@@ -1,0 +1,170 @@
+//! Per-cluster issue queue.
+//!
+//! Holds dispatched-but-not-issued uop ids in age order and tracks
+//! per-thread occupancy — the quantity every scheme of Table 3 reasons
+//! about. The queue itself enforces only its hard capacity; per-thread
+//! limits are the schemes' job.
+
+use csmt_types::ThreadId;
+
+/// An age-ordered issue queue of uop ids.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    /// Uop ids, oldest first (insertion order; select scans in order, so
+    /// oldest-ready-first arbitration falls out naturally).
+    entries: Vec<u32>,
+    /// Owning thread of each entry, parallel to `entries`.
+    owners: Vec<ThreadId>,
+    capacity: usize,
+    per_thread: [usize; 2],
+}
+
+impl IssueQueue {
+    pub fn new(capacity: usize) -> Self {
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            owners: Vec::with_capacity(capacity),
+            capacity,
+            per_thread: [0, 0],
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Entries held by `thread`.
+    pub fn thread_occupancy(&self, thread: ThreadId) -> usize {
+        self.per_thread[thread.idx()]
+    }
+
+    /// Insert a uop at the tail (youngest). Returns `false` when full.
+    pub fn insert(&mut self, uop_id: u32, thread: ThreadId) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push(uop_id);
+        self.owners.push(thread);
+        self.per_thread[thread.idx()] += 1;
+        true
+    }
+
+    /// Iterate uop ids oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Remove a specific uop (after it issues). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, uop_id: u32) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == uop_id) {
+            let t = self.owners[pos];
+            self.entries.remove(pos);
+            self.owners.remove(pos);
+            self.per_thread[t.idx()] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every entry of `thread` satisfying `pred` (squash support).
+    /// Returns the removed uop ids.
+    pub fn squash<F: FnMut(u32) -> bool>(&mut self, thread: ThreadId, mut pred: F) -> Vec<u32> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.owners[i] == thread && pred(self.entries[i]) {
+                removed.push(self.entries[i]);
+                self.entries.remove(i);
+                self.owners.remove(i);
+                self.per_thread[thread.idx()] -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn insert_to_capacity() {
+        let mut q = IssueQueue::new(3);
+        assert!(q.insert(1, T0));
+        assert!(q.insert(2, T1));
+        assert!(q.insert(3, T0));
+        assert!(q.is_full());
+        assert!(!q.insert(4, T0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.thread_occupancy(T0), 2);
+        assert_eq!(q.thread_occupancy(T1), 1);
+    }
+
+    #[test]
+    fn iteration_is_age_ordered() {
+        let mut q = IssueQueue::new(8);
+        for id in [5, 9, 2, 7] {
+            q.insert(id, T0);
+        }
+        let order: Vec<u32> = q.iter().collect();
+        assert_eq!(order, vec![5, 9, 2, 7]);
+    }
+
+    #[test]
+    fn remove_updates_occupancy() {
+        let mut q = IssueQueue::new(4);
+        q.insert(1, T0);
+        q.insert(2, T1);
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert_eq!(q.thread_occupancy(T0), 0);
+        assert_eq!(q.thread_occupancy(T1), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn squash_removes_only_matching_thread_entries() {
+        let mut q = IssueQueue::new(8);
+        q.insert(10, T0);
+        q.insert(11, T1);
+        q.insert(12, T0);
+        q.insert(13, T0);
+        // Squash thread 0 uops with id >= 12.
+        let removed = q.squash(T0, |id| id >= 12);
+        assert_eq!(removed, vec![12, 13]);
+        assert_eq!(q.thread_occupancy(T0), 1);
+        assert_eq!(q.thread_occupancy(T1), 1);
+        let left: Vec<u32> = q.iter().collect();
+        assert_eq!(left, vec![10, 11]);
+    }
+
+    #[test]
+    fn occupancies_always_sum_to_len() {
+        let mut q = IssueQueue::new(16);
+        for i in 0..16 {
+            q.insert(i, if i % 3 == 0 { T0 } else { T1 });
+        }
+        q.remove(3);
+        q.squash(T1, |id| id > 10);
+        assert_eq!(q.thread_occupancy(T0) + q.thread_occupancy(T1), q.len());
+    }
+}

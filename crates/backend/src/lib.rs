@@ -1,0 +1,21 @@
+//! # csmt-backend
+//!
+//! Clustered back-end building blocks: per-cluster issue queues with
+//! per-thread occupancy accounting, physical register files with free-list
+//! allocation (optionally unbounded for the Figure-2 study), the
+//! point-to-point inter-cluster link fabric carrying copy micro-ops, and
+//! the three-issue-port scheduler of Table 1.
+//!
+//! These structures are policy-free: the resource-assignment schemes of
+//! `csmt-core` decide *whether* a thread may take an entry; the structures
+//! here only enforce hard capacities and report occupancies.
+
+pub mod interconnect;
+pub mod issue_queue;
+pub mod ports;
+pub mod regfile;
+
+pub use interconnect::LinkFabric;
+pub use issue_queue::IssueQueue;
+pub use ports::PortScheduler;
+pub use regfile::RegFile;

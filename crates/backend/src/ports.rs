@@ -1,0 +1,134 @@
+//! Issue-port scheduling within a cluster.
+//!
+//! Table 1 gives each cluster three issue ports: Port0 and Port1 execute
+//! integer and FP/SIMD operations, Port2 executes integer and memory
+//! operations. The scheduler is rebuilt every cycle: select claims ports
+//! oldest-first; unsatisfied ready uops are what the Figure-5
+//! workload-imbalance metric counts.
+
+use csmt_types::config::PortCaps;
+use csmt_types::OpClass;
+
+/// Per-cycle port availability of one cluster.
+#[derive(Debug, Clone)]
+pub struct PortScheduler {
+    busy: [bool; PortCaps::NUM_PORTS],
+}
+
+impl Default for PortScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PortScheduler {
+    pub fn new() -> Self {
+        PortScheduler {
+            busy: [false; PortCaps::NUM_PORTS],
+        }
+    }
+
+    /// Reset at the start of each cycle.
+    pub fn reset(&mut self) {
+        self.busy = [false; PortCaps::NUM_PORTS];
+    }
+
+    /// Try to claim a port able to execute `op`. Prefers the most
+    /// restricted suitable port (mem → port2; fp → port0/1) so flexible
+    /// integer uops don't starve specialized ones.
+    pub fn claim(&mut self, op: OpClass) -> Option<usize> {
+        // Candidate ports in preference order per class.
+        let order: &[usize] = match op {
+            OpClass::Load | OpClass::Store => &[2],
+            OpClass::FpSimd | OpClass::FpDiv => &[0, 1],
+            // Integer-like ops: fill port2 last so it stays free for memory.
+            _ => &[0, 1, 2],
+        };
+        for &p in order {
+            debug_assert!(PortCaps::allows(p, op));
+            if !self.busy[p] {
+                self.busy[p] = true;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Whether at least one port able to execute `op` is still free.
+    pub fn has_free_for(&self, op: OpClass) -> bool {
+        (0..PortCaps::NUM_PORTS).any(|p| PortCaps::allows(p, op) && !self.busy[p])
+    }
+
+    /// Number of free ports able to execute `op`.
+    pub fn free_for(&self, op: OpClass) -> usize {
+        (0..PortCaps::NUM_PORTS)
+            .filter(|&p| PortCaps::allows(p, op) && !self.busy[p])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_int_ops_per_cycle() {
+        let mut s = PortScheduler::new();
+        assert!(s.claim(OpClass::Int).is_some());
+        assert!(s.claim(OpClass::Int).is_some());
+        assert!(s.claim(OpClass::Int).is_some());
+        assert!(s.claim(OpClass::Int).is_none());
+    }
+
+    #[test]
+    fn one_mem_op_per_cycle() {
+        let mut s = PortScheduler::new();
+        assert_eq!(s.claim(OpClass::Load), Some(2));
+        assert!(s.claim(OpClass::Store).is_none());
+        // Port 0/1 still free for fp/int.
+        assert!(s.claim(OpClass::FpSimd).is_some());
+        assert!(s.claim(OpClass::Int).is_some());
+        assert!(s.claim(OpClass::Int).is_none(), "all ports taken");
+    }
+
+    #[test]
+    fn two_fp_ops_per_cycle() {
+        let mut s = PortScheduler::new();
+        assert!(s.claim(OpClass::FpSimd).is_some());
+        assert!(s.claim(OpClass::FpDiv).is_some());
+        assert!(s.claim(OpClass::FpSimd).is_none());
+        // Mem port still free.
+        assert!(s.claim(OpClass::Load).is_some());
+    }
+
+    #[test]
+    fn int_ops_avoid_mem_port_when_possible() {
+        let mut s = PortScheduler::new();
+        assert_eq!(s.claim(OpClass::Int), Some(0));
+        assert_eq!(s.claim(OpClass::Int), Some(1));
+        assert!(s.has_free_for(OpClass::Load));
+        assert_eq!(s.claim(OpClass::Int), Some(2));
+        assert!(!s.has_free_for(OpClass::Load));
+    }
+
+    #[test]
+    fn reset_restores_all_ports() {
+        let mut s = PortScheduler::new();
+        s.claim(OpClass::Int);
+        s.claim(OpClass::Int);
+        s.claim(OpClass::Int);
+        s.reset();
+        assert_eq!(s.free_for(OpClass::Int), 3);
+        assert_eq!(s.free_for(OpClass::FpSimd), 2);
+        assert_eq!(s.free_for(OpClass::Load), 1);
+    }
+
+    #[test]
+    fn copies_can_use_any_port() {
+        let mut s = PortScheduler::new();
+        assert!(s.claim(OpClass::Copy).is_some());
+        assert!(s.claim(OpClass::Copy).is_some());
+        assert!(s.claim(OpClass::Copy).is_some());
+        assert!(s.claim(OpClass::Copy).is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: register-file free-list integrity and issue-queue
+//! occupancy accounting under random operation sequences.
+
+use csmt_backend::{IssueQueue, LinkFabric, RegFile};
+use csmt_types::ThreadId;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn regfile_never_hands_out_duplicates(
+        ops in prop::collection::vec(any::<bool>(), 1..500),
+    ) {
+        let mut rf = RegFile::new(32);
+        let mut held: Vec<(ThreadId, csmt_types::PhysReg)> = Vec::new();
+        let mut outstanding = HashSet::new();
+        for (i, alloc) in ops.into_iter().enumerate() {
+            let t = ThreadId((i % 2) as u8);
+            if alloc {
+                if let Some(r) = rf.alloc(t) {
+                    prop_assert!(outstanding.insert(r.0), "duplicate register {}", r.0);
+                    held.push((t, r));
+                }
+            } else if let Some((t, r)) = held.pop() {
+                outstanding.remove(&r.0);
+                rf.release(t, r);
+            }
+            prop_assert_eq!(rf.used_total(), held.len());
+            prop_assert!(rf.used_total() <= 32);
+        }
+    }
+
+    #[test]
+    fn unbounded_regfile_is_duplicate_free(n in 1usize..2000) {
+        let mut rf = RegFile::unbounded();
+        let mut seen = HashSet::new();
+        for i in 0..n {
+            let r = rf.alloc(ThreadId((i % 2) as u8)).unwrap();
+            prop_assert!(seen.insert(r.0));
+        }
+    }
+
+    #[test]
+    fn issue_queue_occupancy_consistent(
+        ops in prop::collection::vec((any::<bool>(), 0u8..2), 1..300),
+    ) {
+        let mut q = IssueQueue::new(32);
+        let mut next_id = 0u32;
+        let mut live: Vec<(u32, ThreadId)> = Vec::new();
+        for (insert, t) in ops {
+            let t = ThreadId(t);
+            if insert {
+                if q.insert(next_id, t) {
+                    live.push((next_id, t));
+                }
+                next_id += 1;
+            } else if let Some((id, _)) = live.pop() {
+                prop_assert!(q.remove(id));
+            }
+            let t0 = live.iter().filter(|(_, t)| t.0 == 0).count();
+            let t1 = live.iter().filter(|(_, t)| t.0 == 1).count();
+            prop_assert_eq!(q.thread_occupancy(ThreadId(0)), t0);
+            prop_assert_eq!(q.thread_occupancy(ThreadId(1)), t1);
+            prop_assert_eq!(q.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn issue_queue_preserves_age_order(ids in prop::collection::vec(any::<u32>(), 1..32)) {
+        let mut q = IssueQueue::new(64);
+        let mut unique = ids.clone();
+        unique.dedup();
+        for &id in &unique {
+            q.insert(id, ThreadId(0));
+        }
+        let out: Vec<u32> = q.iter().collect();
+        prop_assert_eq!(out, unique);
+    }
+
+    #[test]
+    fn link_fabric_never_exceeds_bandwidth(
+        times in prop::collection::vec(0u64..100, 1..200),
+        links in 1usize..4,
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut fabric = LinkFabric::new(links, 1);
+        let mut starts: Vec<u64> = Vec::new();
+        for t in sorted {
+            let arrive = fabric.book(t);
+            prop_assert!(arrive > t);
+            starts.push(arrive - 1);
+        }
+        // No cycle may carry more transfers than there are links.
+        let mut counts = std::collections::HashMap::new();
+        for s in starts {
+            *counts.entry(s).or_insert(0usize) += 1;
+        }
+        for (&cycle, &n) in &counts {
+            prop_assert!(n <= links, "cycle {cycle} carried {n} > {links}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Ablation benches for the design choices DESIGN.md calls out: steering
+//! balance threshold (A1), CDPRF adaptation interval (A2) and the
+//! inter-cluster link fabric (A3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csmt_bench::{run, workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+
+fn ablation_steering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_steering");
+    g.sample_size(10);
+    let w = workload("mixes/mix.2.2");
+    for threshold in [2usize, 6, 24] {
+        g.bench_function(format!("thr{threshold}"), |b| {
+            b.iter_batched(
+                || MachineConfig {
+                    steer_imbalance_threshold: threshold,
+                    ..MachineConfig::iq_study(32)
+                },
+                |cfg| run(&w, SchemeKind::Cssp, RegFileSchemeKind::Shared, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn ablation_interval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    let w = workload("ISPEC-FSPEC/mix.2.1");
+    for shift in [10u32, 13, 15] {
+        g.bench_function(format!("2^{shift}"), |b| {
+            b.iter_batched(
+                || MachineConfig {
+                    cdprf_interval: 1 << shift,
+                    ..MachineConfig::rf_study(64)
+                },
+                |cfg| run(&w, SchemeKind::Cssp, RegFileSchemeKind::Cdprf, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn ablation_links(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_links");
+    g.sample_size(10);
+    let w = workload("FSPEC00/ilp.2.1");
+    for (links, latency) in [(1usize, 1u64), (2, 1), (2, 6)] {
+        g.bench_function(format!("{links}links_{latency}cy"), |b| {
+            b.iter_batched(
+                || MachineConfig {
+                    num_links: links,
+                    link_latency: latency,
+                    ..MachineConfig::iq_study(32)
+                },
+                |cfg| run(&w, SchemeKind::Cssp, RegFileSchemeKind::Shared, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, ablation_steering, ablation_interval, ablation_links);
+criterion_main!(ablations);

@@ -1,0 +1,104 @@
+//! Component micro-benchmarks: how fast are the substrates the simulator
+//! is built from? Useful when optimizing the cycle loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_frontend::Gshare;
+use csmt_mem::{MemHierarchy, Mob, SetAssocCache};
+use csmt_trace::profile::{category_base, TraceClass};
+use csmt_trace::ThreadTrace;
+use csmt_types::{MachineConfig, Prng, ThreadId};
+use std::hint::black_box;
+
+fn trace_generation(c: &mut Criterion) {
+    let profile = category_base("ISPEC00").variant(TraceClass::Ilp);
+    let mut t = ThreadTrace::from_profile(&profile, 1);
+    c.bench_function("trace_gen_1k_uops", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(t.next_uop());
+            }
+        })
+    });
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut cache = SetAssocCache::new(32 * 1024, 2, 64);
+    let mut rng = Prng::new(7);
+    c.bench_function("l1_access_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(cache.access(rng.below(1 << 20)));
+            }
+        })
+    });
+}
+
+fn hierarchy_load(c: &mut Criterion) {
+    let mut mem = MemHierarchy::new(&MachineConfig::baseline());
+    let mut rng = Prng::new(9);
+    let mut now = 0u64;
+    c.bench_function("hierarchy_load_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                now += 1;
+                black_box(mem.load(now, rng.below(8 << 20)));
+            }
+        })
+    });
+}
+
+fn gshare_predict(c: &mut Criterion) {
+    let mut g = Gshare::new(32 * 1024);
+    let mut rng = Prng::new(11);
+    c.bench_function("gshare_update_1k", |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                black_box(g.update(ThreadId(0), i * 4, rng.chance(0.7)));
+            }
+        })
+    });
+}
+
+fn mob_check(c: &mut Criterion) {
+    c.bench_function("mob_alloc_check_release_256", |b| {
+        b.iter(|| {
+            let mut mob = Mob::new(128);
+            let mut handles = Vec::new();
+            for s in 0..64u64 {
+                let is_store = s % 3 == 0;
+                let h = mob.alloc(ThreadId(0), is_store, s).unwrap();
+                mob.set_addr(h, s * 8, 8);
+                if is_store {
+                    mob.set_store_data_ready(h);
+                } else {
+                    black_box(mob.check_load(h));
+                }
+                handles.push(h);
+            }
+            for h in handles {
+                mob.release(h);
+            }
+        })
+    });
+}
+
+fn full_simulation_cycle_rate(c: &mut Criterion) {
+    use csmt_bench::{run, workload};
+    use csmt_types::RegFileSchemeKind as RF;
+    use csmt_types::SchemeKind as IQ;
+    let w = workload("office/ilp.2.1");
+    c.bench_function("simulate_2k_commits", |b| {
+        b.iter(|| black_box(run(&w, IQ::Cssp, RF::Cdprf, MachineConfig::rf_study(64))))
+    });
+}
+
+criterion_group!(
+    components,
+    trace_generation,
+    cache_access,
+    hierarchy_load,
+    gshare_predict,
+    mob_check,
+    full_simulation_cycle_rate
+);
+criterion_main!(components);

@@ -1,0 +1,178 @@
+//! One Criterion group per reproduced figure: times a representative slice
+//! of each figure's simulation grid.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csmt_bench::{run, workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+
+fn fig2_iq_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_iq_throughput");
+    g.sample_size(10);
+    let w = workload("mixes/mix.2.1");
+    for iq in [32usize, 64] {
+        for scheme in [SchemeKind::Icount, SchemeKind::Cssp, SchemeKind::Pc] {
+            g.bench_function(format!("{scheme}/iq{iq}"), |b| {
+                b.iter_batched(
+                    || MachineConfig::iq_study(iq),
+                    |cfg| run(&w, scheme, RegFileSchemeKind::Shared, cfg),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig3_copies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_copies");
+    g.sample_size(10);
+    let w = workload("DH/ilp.2.1");
+    for scheme in [SchemeKind::Icount, SchemeKind::Cssp, SchemeKind::Pc] {
+        g.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || MachineConfig::iq_study(32),
+                |cfg| {
+                    let r = run(&w, scheme, RegFileSchemeKind::Shared, cfg);
+                    r.copies_per_retired()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig4_iq_stalls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_iq_stalls");
+    g.sample_size(10);
+    let w = workload("server/mem.2.1");
+    for scheme in [SchemeKind::Icount, SchemeKind::Stall, SchemeKind::FlushPlus] {
+        g.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || MachineConfig::iq_study(32),
+                |cfg| {
+                    let r = run(&w, scheme, RegFileSchemeKind::Shared, cfg);
+                    r.iq_stalls_per_retired()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig5_imbalance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_imbalance");
+    g.sample_size(10);
+    let w = workload("multimedia/ilp.2.1");
+    for scheme in [SchemeKind::Icount, SchemeKind::Cisp, SchemeKind::Cssp, SchemeKind::Pc] {
+        g.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || MachineConfig::iq_study(32),
+                |cfg| {
+                    let r = run(&w, scheme, RegFileSchemeKind::Shared, cfg);
+                    r.imbalance_score()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig6_rf_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_rf_throughput");
+    g.sample_size(10);
+    let w = workload("ISPEC00/ilp.2.1");
+    for regs in [64usize, 128] {
+        for rf in [
+            RegFileSchemeKind::Shared,
+            RegFileSchemeKind::Cssprf,
+            RegFileSchemeKind::Cisprf,
+        ] {
+            g.bench_function(format!("{rf}/{regs}"), |b| {
+                b.iter_batched(
+                    || MachineConfig::rf_study(regs),
+                    |cfg| run(&w, SchemeKind::Cssp, rf, cfg),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fig9_cdprf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_cdprf");
+    g.sample_size(10);
+    let w = workload("ISPEC-FSPEC/mix.2.1");
+    for rf in [
+        RegFileSchemeKind::Shared,
+        RegFileSchemeKind::Cssprf,
+        RegFileSchemeKind::Cisprf,
+        RegFileSchemeKind::Cdprf,
+    ] {
+        g.bench_function(rf.name(), |b| {
+            b.iter_batched(
+                || MachineConfig::rf_study(64),
+                |cfg| run(&w, SchemeKind::Cssp, rf, cfg),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fig10_fairness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_fairness");
+    g.sample_size(10);
+    let w = workload("ISPEC-FSPEC/mix.2.2");
+    // Fairness needs the SMT run plus both single-thread baselines.
+    g.bench_function("cdprf_vs_alone", |b| {
+        b.iter_batched(
+            || MachineConfig::rf_study(64),
+            |cfg| {
+                let smt = run(&w, SchemeKind::Cssp, RegFileSchemeKind::Cdprf, cfg.clone());
+                let alone: Vec<f64> = w
+                    .traces
+                    .iter()
+                    .map(|spec| {
+                        let mut sim = csmt_core::Simulator::new(
+                            cfg.clone(),
+                            SchemeKind::Icount,
+                            RegFileSchemeKind::Shared,
+                            std::slice::from_ref(spec),
+                        );
+                        sim.run_with_warmup(
+                            csmt_bench::BENCH_WARMUP,
+                            csmt_bench::BENCH_TARGET,
+                            10_000_000,
+                        )
+                        .ipc(csmt_types::ThreadId(0))
+                    })
+                    .collect();
+                csmt_core::fairness(
+                    [
+                        smt.ipc(csmt_types::ThreadId(0)),
+                        smt.ipc(csmt_types::ThreadId(1)),
+                    ],
+                    [alone[0], alone[1]],
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig2_iq_throughput,
+    fig3_copies,
+    fig4_iq_stalls,
+    fig5_imbalance,
+    fig6_rf_throughput,
+    fig9_cdprf,
+    fig10_fairness
+);
+criterion_main!(figures);

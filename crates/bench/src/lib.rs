@@ -1,0 +1,32 @@
+//! # csmt-bench
+//!
+//! Criterion benchmarks, one group per reproduced figure plus the ablation
+//! studies and component micro-benchmarks. Each figure bench simulates a
+//! representative slice of the figure's (workload × scheme × config) grid,
+//! so `cargo bench` both times the simulator and regenerates the figure's
+//! data points at reduced scale. The full-scale regeneration lives in the
+//! `csmt-experiments` CLI (`cargo run -p csmt-experiments --release -- all`).
+
+use csmt_core::metrics::SimResult;
+use csmt_core::Simulator;
+use csmt_trace::suite::{suite, Workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+
+/// Committed uops per thread per bench iteration (small: Criterion runs
+/// each closure many times).
+pub const BENCH_TARGET: u64 = 2_000;
+pub const BENCH_WARMUP: u64 = 500;
+
+/// Look up a suite workload by name.
+pub fn workload(name: &str) -> Workload {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload {name} not in suite"))
+}
+
+/// One measured simulation run, as used by every figure bench.
+pub fn run(w: &Workload, iq: SchemeKind, rf: RegFileSchemeKind, cfg: MachineConfig) -> SimResult {
+    let mut sim = Simulator::new(cfg, iq, rf, &w.traces);
+    sim.run_with_warmup(BENCH_WARMUP, BENCH_TARGET, 10_000_000)
+}

@@ -1,0 +1,27 @@
+use csmt_core::SimBuilder;
+use csmt_trace::suite;
+use std::time::Instant;
+
+fn main() {
+    let s = suite();
+    for name in ["DH/ilp.2.1", "server/mem.2.1", "ISPEC-FSPEC/mix.2.1"] {
+        let w = s.iter().find(|w| w.name == name).unwrap();
+        let t0 = Instant::now();
+        let r = SimBuilder::new(csmt_types::MachineConfig::baseline())
+            .iq_scheme(csmt_types::SchemeKind::Cssp)
+            .workload(w)
+            .commit_target(50_000)
+            .run();
+        let dt = t0.elapsed();
+        println!(
+            "{name}: {} cycles, tp={:.3}, copies/ret={:.3}, misp={:.3}, l2miss={:?}, {:.0} kcycles/s, wall={:?}",
+            r.stats.cycles,
+            r.throughput(),
+            r.copies_per_retired(),
+            r.mispredict_ratio(),
+            r.stats.l2_misses,
+            r.stats.cycles as f64 / dt.as_secs_f64() / 1e3,
+            dt
+        );
+    }
+}

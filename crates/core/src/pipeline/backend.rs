@@ -1,0 +1,310 @@
+//! Issue (wakeup/select, ports) and execution completion (FUs, links,
+//! memory, branch resolution).
+
+use super::{Simulator, UopState};
+use csmt_backend::PortScheduler;
+use csmt_mem::LoadCheck;
+use csmt_types::{ImbalanceKind, OpClass, ThreadId, NUM_CLUSTERS};
+
+impl Simulator {
+    /// Issue stage: per cluster, scan the issue queue oldest-first, claim
+    /// ports for ready uops, and record Figure-5 imbalance events for ready
+    /// uops that found no port.
+    pub(crate) fn issue(&mut self) {
+        let mut ports = [PortScheduler::new(), PortScheduler::new()];
+        // Ready-but-portless uop kinds per cluster.
+        let mut failed: [[bool; ImbalanceKind::COUNT]; NUM_CLUSTERS] =
+            [[false; ImbalanceKind::COUNT]; NUM_CLUSTERS];
+        let mut issued_any = false;
+
+        for c in 0..NUM_CLUSTERS {
+            let mut to_issue: Vec<(u32, usize)> = Vec::new();
+            for id in self.iqs[c].iter() {
+                let e = self.slab.get(id);
+                debug_assert_eq!(e.state, UopState::InIq);
+                // Stores issue on their *address* operand alone (split
+                // store-address/store-data, as the P4-era decomposition the
+                // front-end models would produce): the data operand is
+                // awaited during execution, so younger loads are not
+                // serialized behind the store's data chain.
+                let ready = if e.uop.class == OpClass::Store {
+                    e.srcs[0].is_none_or(|s| {
+                        self.scoreboard
+                            .is_ready(e.cluster, s.class, s.phys, self.now)
+                    })
+                } else {
+                    e.srcs.iter().flatten().all(|s| {
+                        self.scoreboard
+                            .is_ready(e.cluster, s.class, s.phys, self.now)
+                    })
+                };
+                if !ready {
+                    continue;
+                }
+                if let Some(port) = ports[c].claim(e.uop.class) {
+                    to_issue.push((id, port));
+                } else {
+                    failed[c][e.uop.class.imbalance_kind().idx()] = true;
+                }
+            }
+            for (id, port) in to_issue {
+                self.iqs[c].remove(id);
+                self.start_execution(id);
+                self.stats.issued[c] += 1;
+                self.stats.issued_by_port[c][port] += 1;
+                issued_any = true;
+                if self.event_log.is_some() {
+                    let (t, seq) = {
+                        let e = self.slab.get(id);
+                        (e.thread, e.seq)
+                    };
+                    if let Some(log) = self.event_log.as_mut() {
+                        log.on_issue(t, seq, self.now);
+                    }
+                }
+            }
+        }
+
+        if issued_any {
+            self.stats.cycles_with_issue += 1;
+        }
+        // Figure-5 accounting: for each kind that failed in some cluster,
+        // did the *other* cluster still have a compatible free port?
+        for c in 0..NUM_CLUSTERS {
+            for kind in ImbalanceKind::all() {
+                if !failed[c][kind.idx()] {
+                    continue;
+                }
+                let probe = match kind {
+                    ImbalanceKind::Int => OpClass::Int,
+                    ImbalanceKind::FpSimd => OpClass::FpSimd,
+                    ImbalanceKind::Mem => OpClass::Load,
+                };
+                let other = 1 - c;
+                let avail = usize::from(ports[other].free_for(probe) > 0);
+                self.stats.imbalance[kind.idx()][avail] += 1;
+            }
+        }
+    }
+
+    /// Transition a uop from the issue queue into execution and schedule
+    /// its completion / value broadcast.
+    fn start_execution(&mut self, id: u32) {
+        let now = self.now;
+        let (class, cluster, dest) = {
+            let e = self.slab.get(id);
+            (e.uop.class, e.cluster, e.dest)
+        };
+        let lat = self.cfg.latency(class);
+        let done_at = match class {
+            OpClass::Copy => {
+                // Read in the producer cluster, traverse a link, write in
+                // the consumer cluster.
+                let d = dest.expect("copy without destination");
+                let arrive = self.links.book(now + lat);
+                self.scoreboard.set_ready_at(d.cluster, d.class, d.phys, arrive);
+                arrive
+            }
+            OpClass::Load | OpClass::Store => {
+                // AGU first; the memory side happens in
+                // `complete_execution` once the address is known.
+                now + lat
+            }
+            _ => {
+                if let Some(d) = dest {
+                    self.scoreboard
+                        .set_ready_at(d.cluster, d.class, d.phys, now + lat);
+                }
+                now + lat
+            }
+        };
+        let e = self.slab.get_mut(id);
+        e.state = UopState::Executing;
+        e.exec_done_at = done_at;
+        e.addr_set = false;
+        let _ = cluster;
+        self.executing.push(id);
+    }
+
+    /// Completion stage: repeatedly pick any executing uop whose time has
+    /// come. Handlers may squash other in-flight uops (branch resolution,
+    /// Flush+), which mutates the executing list — hence the rescan loop
+    /// instead of index iteration. Every handler either removes the uop or
+    /// pushes its deadline past `now`, so the loop terminates.
+    pub(crate) fn complete_execution(&mut self) {
+        let now = self.now;
+        while let Some(pos) = self
+            .executing
+            .iter()
+            .position(|&id| self.slab.get(id).exec_done_at <= now)
+        {
+            let id = self.executing[pos];
+            let (class, addr_set) = {
+                let e = self.slab.get(id);
+                (e.uop.class, e.addr_set)
+            };
+            match class {
+                OpClass::Load if !addr_set => {
+                    // Address phase: stays in the executing list with a
+                    // later deadline (retry, forward or cache latency).
+                    self.load_address_phase(id);
+                }
+                OpClass::Store if !addr_set => {
+                    // Address half: resolve the address in the MOB so
+                    // younger loads can disambiguate immediately.
+                    let (mob, mem) = {
+                        let e = self.slab.get(id);
+                        (e.mob, e.uop.mem)
+                    };
+                    let m = mem.expect("store without address");
+                    let idx = mob.expect("store without MOB entry");
+                    self.mob.set_addr(idx, m.addr, m.size);
+                    self.slab.get_mut(id).addr_set = true;
+                    self.try_finish_store(id, pos);
+                }
+                OpClass::Store => {
+                    // Data half: complete once the data operand is ready.
+                    self.try_finish_store(id, pos);
+                }
+                _ => {
+                    self.executing.swap_remove(pos);
+                    self.finish_uop(id);
+                }
+            }
+        }
+    }
+
+    /// Store data half: mark the store's data forwardable and complete it
+    /// once the data operand is ready; otherwise retry next cycle.
+    fn try_finish_store(&mut self, id: u32, pos: usize) {
+        let now = self.now;
+        let (cluster, data_src, mob) = {
+            let e = self.slab.get(id);
+            (e.cluster, e.srcs[1], e.mob)
+        };
+        let data_ready = data_src.is_none_or(|s| {
+            self.scoreboard.is_ready(cluster, s.class, s.phys, now)
+        });
+        if data_ready {
+            self.mob
+                .set_store_data_ready(mob.expect("store without MOB entry"));
+            self.executing.swap_remove(pos);
+            self.finish_uop(id);
+        } else {
+            self.slab.get_mut(id).exec_done_at = now + 1;
+        }
+    }
+
+    /// Load address phase: register the address with the MOB and decide
+    /// between forwarding, waiting, or going to the cache. The uop always
+    /// remains in the executing list with a deadline after `now`.
+    fn load_address_phase(&mut self, id: u32) {
+        let now = self.now;
+        let (mob, mem, thread, cluster, dest, wrong_path, seq) = {
+            let e = self.slab.get(id);
+            (
+                e.mob, e.uop.mem, e.thread, e.cluster, e.dest, e.wrong_path, e.seq,
+            )
+        };
+        let m = mem.expect("load without address");
+        let idx = mob.expect("load without MOB entry");
+        self.mob.set_addr(idx, m.addr, m.size);
+        match self.mob.check_load(idx) {
+            LoadCheck::WaitOlderStore => {
+                // Address stays registered; retry next cycle.
+                self.slab.get_mut(id).exec_done_at = now + 1;
+            }
+            LoadCheck::Forward => {
+                let ready = now + 1;
+                if let Some(d) = dest {
+                    self.scoreboard.set_ready_at(d.cluster, d.class, d.phys, ready);
+                }
+                let e = self.slab.get_mut(id);
+                e.addr_set = true;
+                e.exec_done_at = ready;
+            }
+            LoadCheck::Cache => {
+                let r = self.mem.load(now, m.addr);
+                let ready = now + r.latency.max(1);
+                if let Some(d) = dest {
+                    self.scoreboard.set_ready_at(d.cluster, d.class, d.phys, ready);
+                }
+                {
+                    let e = self.slab.get_mut(id);
+                    e.addr_set = true;
+                    e.exec_done_at = ready;
+                }
+                let _ = cluster;
+                if r.l2_miss && !wrong_path {
+                    self.note_l2_miss(id, thread, seq, now, ready);
+                }
+            }
+        }
+    }
+
+    /// Record an outstanding L2 miss and let the scheme react (Flush+).
+    fn note_l2_miss(&mut self, id: u32, t: ThreadId, load_seq: u64, started: u64, ready: u64) {
+        self.stats.l2_misses[t.idx()] += 1;
+        self.threads[t.idx()].l2_misses.push(super::L2Miss {
+            uop: id,
+            started,
+            ready_at: ready,
+        });
+        self.slab.get_mut(id).l2_outstanding = true;
+        let view = self.sched_view();
+        if self.iq_scheme.should_flush_on_l2_miss(t, &view) {
+            self.flush_thread(t, load_seq, ready);
+        }
+    }
+
+    /// Final completion bookkeeping common to all classes.
+    fn finish_uop(&mut self, id: u32) {
+        let now = self.now;
+        let (mispredicted, wrong_path, thread, l2_outstanding, exec_done_at) = {
+            let e = self.slab.get(id);
+            (
+                e.mispredicted,
+                e.wrong_path,
+                e.thread,
+                e.l2_outstanding,
+                e.exec_done_at,
+            )
+        };
+        if l2_outstanding {
+            // The miss data arrived with this completion.
+            let th = &mut self.threads[thread.idx()];
+            th.l2_misses.retain(|mm| mm.uop != id);
+            self.slab.get_mut(id).l2_outstanding = false;
+        }
+        let _ = exec_done_at;
+        self.slab.get_mut(id).state = UopState::Done;
+        if self.event_log.is_some() {
+            let seq = self.slab.get(id).seq;
+            if let Some(log) = self.event_log.as_mut() {
+                log.on_complete(thread, seq, now);
+            }
+        }
+        if mispredicted && !wrong_path {
+            self.resolve_mispredict(thread, id, now);
+        }
+    }
+
+    /// A mispredicted branch resolved: squash its wrong path and redirect
+    /// fetch after the misprediction-pipeline penalty (Table 1: 14 cycles).
+    fn resolve_mispredict(&mut self, t: ThreadId, branch_id: u32, now: u64) {
+        let seq = self.slab.get(branch_id).seq;
+        self.squash_younger(t, seq);
+        let th = &mut self.threads[t.idx()];
+        // Everything in the fetch queue is wrong-path by construction.
+        th.fetchq.clear();
+        debug_assert_eq!(th.unresolved_mispredict, Some(branch_id));
+        th.unresolved_mispredict = None;
+        th.wrong_path_mode = false;
+        th.fetch_resume_at = th
+            .fetch_resume_at
+            .max(now + self.cfg.mispredict_penalty);
+        // The branch's code block will be refetched at a new position;
+        // reset chunk tracking.
+        th.cur_block = u32::MAX;
+    }
+}

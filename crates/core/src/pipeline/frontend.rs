@@ -1,0 +1,162 @@
+//! Fetch stage: thread selection, trace-cache/MITE timing, branch
+//! prediction and wrong-path injection.
+
+use super::Simulator;
+use csmt_frontend::FetchedUop;
+use csmt_types::{MicroOp, OpClass, ThreadId};
+
+impl Simulator {
+    /// Next correct-path uop for thread `ti`: drained from the replay
+    /// buffer (flush refetch) before pulling fresh uops from the trace.
+    fn next_correct_uop(&mut self, ti: usize) -> MicroOp {
+        let th = &mut self.threads[ti];
+        th.replay
+            .pop_front()
+            .unwrap_or_else(|| th.trace.next_uop())
+    }
+
+    /// Fetch stage: §3 — instructions are fetched from **one thread per
+    /// cycle**, always the eligible thread with the fewest uops in its
+    /// private fetch queue.
+    pub(crate) fn fetch(&mut self) {
+        let mut best: Option<(usize, usize)> = None;
+        let n = self.threads.len();
+        // Alternate scan order each cycle so ties don't favor thread 0.
+        for k in 0..n {
+            let i = (k + (self.now & 1) as usize) % n;
+            let th = &self.threads[i];
+            if th.fetch_resume_at > self.now || th.fetchq.room() == 0 {
+                continue;
+            }
+            let len = th.fetchq.len();
+            if best.is_none_or(|(l, _)| len < l) {
+                best = Some((len, i));
+            }
+        }
+        let Some((_, ti)) = best else { return };
+        if self.threads[ti].wrong_path_mode {
+            self.fetch_wrong_path(ti);
+        } else {
+            self.fetch_correct_path(ti);
+        }
+    }
+
+    /// Wrong-path fetch: plausible garbage from the thread's profile keeps
+    /// consuming front-end bandwidth and back-end resources until the
+    /// mispredicted branch resolves.
+    fn fetch_wrong_path(&mut self, ti: usize) {
+        let width = self.cfg.fetch_width;
+        for _ in 0..width {
+            if self.threads[ti].fetchq.room() == 0 {
+                break;
+            }
+            let u = self.threads[ti].wrong.next_uop();
+            let ok = self.threads[ti].fetchq.push(FetchedUop {
+                uop: u,
+                wrong_path: true,
+                mispredicted: false,
+            });
+            debug_assert!(ok);
+        }
+    }
+
+    fn fetch_correct_path(&mut self, ti: usize) {
+        let t = ThreadId(ti as u8);
+        let first = self.next_correct_uop(ti);
+
+        // Track position within the code block for trace-cache chunking.
+        {
+            let th = &mut self.threads[ti];
+            if first.code_block != th.cur_block {
+                th.cur_block = first.code_block;
+                th.block_pos = 0;
+            }
+        }
+        let block_pos = self.threads[ti].block_pos;
+
+        // Instruction-side translation: blocks are laid out ~64 bytes apart.
+        let itlb_extra = self.itlb.translate((first.code_block as u64) << 6);
+        let tl = self.tc.lookup(t, first.code_block, block_pos, first.is_mrom);
+        let stall = tl.stall + itlb_extra;
+        if stall > 0 {
+            // MROM sequencing / page walk: deliver the group after the
+            // stall; put the uop back for refetch.
+            let th = &mut self.threads[ti];
+            th.fetch_resume_at = self.now + stall;
+            th.replay.push_front(first);
+            return;
+        }
+
+        let width = tl.width;
+        let group_block = first.code_block;
+        let mut u = first;
+        for slot in 0..width {
+            if self.threads[ti].fetchq.room() == 0 {
+                self.threads[ti].replay.push_front(u);
+                return;
+            }
+            let mut mispredicted = false;
+            let mut taken = false;
+            if u.class.is_branch() {
+                mispredicted = self.predict_branch(t, &u);
+                taken = u.branch.expect("branch uop without info").taken;
+            }
+            let ok = self.threads[ti].fetchq.push(FetchedUop {
+                uop: u,
+                wrong_path: false,
+                mispredicted,
+            });
+            debug_assert!(ok);
+            self.threads[ti].block_pos += 1;
+            if mispredicted {
+                // Subsequent fetch goes down the wrong path until the
+                // branch resolves.
+                self.threads[ti].wrong_path_mode = true;
+                return;
+            }
+            if taken {
+                // A taken branch ends the fetch group. If it is a back
+                // edge, the next visit re-enters the same block at uop 0 —
+                // reset chunk tracking so the trace cache sees the same
+                // lines again instead of ever-growing phantom chunks.
+                self.threads[ti].cur_block = u32::MAX;
+                return;
+            }
+            if slot + 1 == width {
+                return;
+            }
+            let next = self.next_correct_uop(ti);
+            if next.code_block != group_block {
+                // Group ends at the block boundary; keep the uop for the
+                // next cycle.
+                self.threads[ti].replay.push_front(next);
+                return;
+            }
+            u = next;
+        }
+    }
+
+    /// Run the predictors on a correct-path branch at fetch; returns
+    /// whether the branch was mispredicted. Predictor state (tables and the
+    /// thread's global history) is updated in place — the trace-driven
+    /// front-end knows the architected outcome immediately.
+    fn predict_branch(&mut self, t: ThreadId, u: &MicroOp) -> bool {
+        let b = u.branch.expect("branch uop without info");
+        self.stats.branches += 1;
+        let history = self.gshare.history(t);
+        let dir_correct = self.gshare.update(t, u.pc, b.taken);
+        let mispredicted = match u.class {
+            OpClass::Branch => !dir_correct,
+            OpClass::BranchIndirect => {
+                // Direction and target must both be right.
+                let tgt_correct = self.indirect.update(u.pc, history, b.target);
+                !dir_correct || !tgt_correct
+            }
+            _ => unreachable!("predict_branch on non-branch"),
+        };
+        if mispredicted {
+            self.stats.mispredicts += 1;
+        }
+        mispredicted
+    }
+}

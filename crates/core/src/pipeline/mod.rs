@@ -1,0 +1,755 @@
+//! The cycle-level clustered SMT pipeline.
+//!
+//! One [`Simulator`] models the full machine of §3: shared front-end,
+//! two-cluster back-end, shared MOB and memory hierarchy. The per-cycle
+//! stage order is commit → execute-completion → issue → rename/dispatch →
+//! fetch, so structural effects resolve the way hardware resolves them
+//! (a value produced this cycle wakes consumers for next cycle's issue).
+//!
+//! The module is split by stage:
+//! * `frontend` — fetch, trace cache, prediction, wrong-path injection;
+//! * `dispatch` — rename selection, steering, copy generation, resource
+//!   checks against the assignment schemes;
+//! * `backend` — wakeup/select, ports, execution, memory access;
+//! * `retire` — in-order commit, squash (mispredicts and Flush+).
+
+mod backend;
+mod dispatch;
+mod frontend;
+mod retire;
+#[cfg(test)]
+mod tests;
+
+use crate::metrics::{SimResult, SimStats};
+use crate::schemes::{make_iq_scheme, make_rf_scheme, IqScheme, RfScheme, RfView, SchedView};
+use csmt_backend::{IssueQueue, LinkFabric, RegFile};
+use csmt_frontend::{FetchQueue, Gshare, IndirectPredictor, RenameTable, Rob, TraceCache};
+use csmt_mem::{MemHierarchy, Mob, MobIdx, Tlb};
+use csmt_trace::suite::{TraceSpec, Workload};
+use csmt_trace::{ThreadTrace, WrongPathSource};
+use csmt_types::{
+    ClusterId, MachineConfig, MicroOp, PhysReg, RegClass, RegFileSchemeKind, SchemeKind, ThreadId,
+    NUM_CLUSTERS,
+};
+use std::collections::VecDeque;
+
+/// Execution state of an in-flight uop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UopState {
+    /// Dispatched, waiting in an issue queue.
+    InIq,
+    /// Issued, executing (or waiting on memory).
+    Executing,
+    /// Completed, waiting to commit.
+    Done,
+}
+
+/// Destination-register bookkeeping of an in-flight uop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DestInfo {
+    pub class: RegClass,
+    pub log: csmt_types::LogReg,
+    pub phys: PhysReg,
+    /// Cluster whose register file holds `phys` (for copies this is the
+    /// *consuming* cluster, not the issuing one).
+    pub cluster: ClusterId,
+    /// Rename-table mapping before this uop renamed (walk-back restore; for
+    /// plain defines also the registers to free at commit).
+    pub prev: csmt_frontend::rename::Mapping,
+    /// True when `prev` was produced by `add_location` (copy) rather than
+    /// `define`: commit must not free the previous locations.
+    pub is_copy_mapping: bool,
+}
+
+/// A source operand resolved to a physical register.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SrcInfo {
+    pub class: RegClass,
+    pub phys: PhysReg,
+}
+
+/// One in-flight uop (slab entry).
+#[derive(Debug, Clone)]
+pub(crate) struct InFlight {
+    pub uop: MicroOp,
+    pub thread: ThreadId,
+    /// Per-thread program-order sequence number (copies get their own,
+    /// just before their consumer).
+    pub seq: u64,
+    /// Cluster in which the uop *issues* (for copies: the producer
+    /// cluster).
+    pub cluster: ClusterId,
+    pub state: UopState,
+    pub wrong_path: bool,
+    /// Branch known (trace-driven) to have been mispredicted at fetch.
+    pub mispredicted: bool,
+    pub is_copy: bool,
+    pub dest: Option<DestInfo>,
+    /// Sources in `cluster`'s register files.
+    pub srcs: [Option<SrcInfo>; 2],
+    pub mob: Option<MobIdx>,
+    /// Completion cycle once issued.
+    pub exec_done_at: u64,
+    /// Load phase flag: address has been sent to the MOB.
+    pub addr_set: bool,
+    /// This load's L2 miss is still outstanding (for squash accounting).
+    pub l2_outstanding: bool,
+    pub live: bool,
+}
+
+/// Slab of in-flight uops with free-list recycling.
+#[derive(Debug, Default)]
+pub(crate) struct Slab {
+    entries: Vec<InFlight>,
+    free: Vec<u32>,
+}
+
+impl Slab {
+    pub fn alloc(&mut self, e: InFlight) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.entries[i as usize] = e;
+            i
+        } else {
+            self.entries.push(e);
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    pub fn release(&mut self, id: u32) {
+        debug_assert!(self.entries[id as usize].live);
+        self.entries[id as usize].live = false;
+        self.free.push(id);
+    }
+
+    #[inline]
+    pub fn get(&self, id: u32) -> &InFlight {
+        debug_assert!(self.entries[id as usize].live, "dead uop {id}");
+        &self.entries[id as usize]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: u32) -> &mut InFlight {
+        debug_assert!(self.entries[id as usize].live, "dead uop {id}");
+        &mut self.entries[id as usize]
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+}
+
+/// Per-(cluster, class) readiness scoreboard over physical registers.
+#[derive(Debug, Default)]
+pub(crate) struct Scoreboard {
+    ready: [[Vec<u64>; RegClass::COUNT]; NUM_CLUSTERS],
+}
+
+impl Scoreboard {
+    fn slot(&mut self, c: ClusterId, k: RegClass, p: PhysReg) -> &mut u64 {
+        let v = &mut self.ready[c.idx()][k.idx()];
+        if v.len() <= p.idx() {
+            v.resize(p.idx() + 1, u64::MAX);
+        }
+        &mut v[p.idx()]
+    }
+
+    /// Mark a register pending (at rename).
+    pub fn mark_pending(&mut self, c: ClusterId, k: RegClass, p: PhysReg) {
+        *self.slot(c, k, p) = u64::MAX;
+    }
+
+    /// Set the cycle at which the register's value becomes usable.
+    pub fn set_ready_at(&mut self, c: ClusterId, k: RegClass, p: PhysReg, cycle: u64) {
+        *self.slot(c, k, p) = cycle;
+    }
+
+    #[inline]
+    pub fn is_ready(&self, c: ClusterId, k: RegClass, p: PhysReg, now: u64) -> bool {
+        self.ready[c.idx()][k.idx()]
+            .get(p.idx())
+            .is_some_and(|&r| r <= now)
+    }
+}
+
+/// Outstanding L2 miss record (for Flush+ ordering and stall release).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct L2Miss {
+    /// Slab id of the missing load.
+    pub uop: u32,
+    pub started: u64,
+    pub ready_at: u64,
+}
+
+/// Per-thread context: trace source, private front-end state, ROB section.
+pub(crate) struct ThreadCtx {
+    pub id: ThreadId,
+    pub trace: ThreadTrace,
+    pub wrong: WrongPathSource,
+    /// Replay buffer: correct-path uops refetched after a flush (FIFO,
+    /// consumed before the generator).
+    pub replay: VecDeque<MicroOp>,
+    pub fetchq: FetchQueue,
+    pub rename: RenameTable,
+    pub rob: Rob,
+    pub seq_next: u64,
+    /// Fetching down the wrong path of an unresolved mispredicted branch.
+    pub wrong_path_mode: bool,
+    /// Slab id of the unresolved mispredicted branch, if any.
+    pub unresolved_mispredict: Option<u32>,
+    /// Fetch suppressed until this cycle (redirect penalty, TC/MROM stall).
+    pub fetch_resume_at: u64,
+    /// Trace-cache chunk tracking.
+    pub cur_block: u32,
+    pub block_pos: u32,
+    /// Outstanding L2 misses of correct-path loads.
+    pub l2_misses: Vec<L2Miss>,
+    pub committed: u64,
+    pub finish_cycle: u64,
+    /// Home cluster holding the architected state at reset.
+    pub home: ClusterId,
+}
+
+impl ThreadCtx {
+    pub fn pending_l2(&self) -> u32 {
+        self.l2_misses.len() as u32
+    }
+
+    pub fn earliest_l2_start(&self) -> u64 {
+        self.l2_misses.iter().map(|m| m.started).min().unwrap_or(u64::MAX)
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) iq_scheme: Box<dyn IqScheme>,
+    pub(crate) rf_scheme: Box<dyn RfScheme>,
+    pub(crate) threads: Vec<ThreadCtx>,
+    // shared front-end
+    pub(crate) tc: TraceCache,
+    pub(crate) gshare: Gshare,
+    pub(crate) indirect: IndirectPredictor,
+    pub(crate) itlb: Tlb,
+    // back-end
+    pub(crate) iqs: [IssueQueue; NUM_CLUSTERS],
+    /// `regfiles[cluster][class]`.
+    pub(crate) regfiles: [[RegFile; RegClass::COUNT]; NUM_CLUSTERS],
+    pub(crate) links: LinkFabric,
+    pub(crate) mob: Mob,
+    pub(crate) mem: MemHierarchy,
+    pub(crate) slab: Slab,
+    pub(crate) scoreboard: Scoreboard,
+    /// Uops currently executing (issued, not yet complete).
+    pub(crate) executing: Vec<u32>,
+    pub(crate) now: u64,
+    pub(crate) stats: SimStats,
+    /// Commit priority alternates between threads each cycle.
+    pub(crate) commit_rr: u8,
+    /// Register-file starvation flags for the current cycle (CDPRF input).
+    pub(crate) rf_starved: [[bool; RegClass::COUNT]; 2],
+    /// Opt-in per-uop event log (None = zero overhead).
+    pub(crate) event_log: Option<crate::tracelog::EventLog>,
+}
+
+impl Simulator {
+    /// Build a simulator for 1 or 2 trace specs.
+    pub fn new(
+        cfg: MachineConfig,
+        iq_kind: SchemeKind,
+        rf_kind: RegFileSchemeKind,
+        traces: &[TraceSpec],
+    ) -> Self {
+        cfg.validate().expect("invalid machine configuration");
+        assert!(!traces.is_empty() && traces.len() <= 2, "1 or 2 threads");
+        let make_rf = |cluster_regs: usize| {
+            if cfg.unbounded_regs {
+                RegFile::unbounded()
+            } else {
+                RegFile::new(cluster_regs)
+            }
+        };
+        let regfiles = [
+            [make_rf(cfg.int_regs_per_cluster), make_rf(cfg.fp_regs_per_cluster)],
+            [make_rf(cfg.int_regs_per_cluster), make_rf(cfg.fp_regs_per_cluster)],
+        ];
+        let threads: Vec<ThreadCtx> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let trace = ThreadTrace::from_profile(&spec.profile, spec.seed);
+                let wrong = WrongPathSource::new(&spec.profile, spec.seed);
+                ThreadCtx {
+                    id: ThreadId(i as u8),
+                    trace,
+                    wrong,
+                    replay: VecDeque::new(),
+                    fetchq: FetchQueue::new(cfg.fetch_queue_entries),
+                    rename: RenameTable::new(),
+                    rob: if cfg.unbounded_rob {
+                        Rob::unbounded()
+                    } else {
+                        Rob::new(cfg.rob_per_thread)
+                    },
+                    seq_next: 0,
+                    wrong_path_mode: false,
+                    unresolved_mispredict: None,
+                    fetch_resume_at: 0,
+                    cur_block: u32::MAX,
+                    block_pos: 0,
+                    l2_misses: Vec::new(),
+                    committed: 0,
+                    finish_cycle: 0,
+                    home: ClusterId((i % NUM_CLUSTERS) as u8),
+                }
+            })
+            .collect();
+        let mut sim = Simulator {
+            iq_scheme: make_iq_scheme(iq_kind, &cfg),
+            rf_scheme: make_rf_scheme(rf_kind, &cfg),
+            tc: TraceCache::new(&cfg),
+            gshare: Gshare::new(cfg.gshare_entries),
+            indirect: IndirectPredictor::new(cfg.indirect_entries),
+            itlb: Tlb::new(cfg.itlb_entries, cfg.itlb_assoc, cfg.tlb_miss_penalty),
+            iqs: [
+                IssueQueue::new(cfg.iq_per_cluster),
+                IssueQueue::new(cfg.iq_per_cluster),
+            ],
+            regfiles,
+            links: LinkFabric::new(cfg.num_links, cfg.link_latency),
+            mob: Mob::new(cfg.mob_entries),
+            mem: MemHierarchy::new(&cfg),
+            slab: Slab::default(),
+            scoreboard: Scoreboard::default(),
+            executing: Vec::new(),
+            now: 0,
+            stats: SimStats::default(),
+            commit_rr: 0,
+            rf_starved: [[false; RegClass::COUNT]; 2],
+            event_log: None,
+            threads,
+            cfg,
+        };
+        sim.init_architected_state();
+        sim.warm_caches();
+        sim
+    }
+
+    /// Checkpoint-style cache warm-up: preload each thread's hot region
+    /// (L1+L2) and stream regions (L2) so short measured runs see steady
+    /// state instead of a compulsory-miss transient. The budget splits the
+    /// L2 between threads; genuinely memory-bound footprints exceed it and
+    /// keep missing, as they should.
+    fn warm_caches(&mut self) {
+        let l2_lines = (self.cfg.l2_size / self.cfg.l1_line) as u64;
+        let per_thread = l2_lines / (2 * self.threads.len().max(1) as u64);
+        for th in &self.threads {
+            let mut budget = per_thread;
+            for (i, (start, len)) in th.trace.program().warm_ranges().into_iter().enumerate() {
+                // Range 0 is the hot region: L1-resident.
+                self.mem.warm(start, len, i == 0, &mut budget);
+            }
+        }
+    }
+
+    /// Allocate initial physical registers for each thread's architected
+    /// state in its home cluster (values ready at cycle 0).
+    fn init_architected_state(&mut self) {
+        for ti in 0..self.threads.len() {
+            let t = ThreadId(ti as u8);
+            let home = self.threads[ti].home;
+            let spans = {
+                let p = self.threads[ti].trace.profile();
+                [
+                    p.int_reg_span.max(1),
+                    p.fp_reg_span.max(1),
+                ]
+            };
+            for (ki, class) in RegClass::all().into_iter().enumerate() {
+                for r in 0..spans[ki] {
+                    let phys = self.regfiles[home.idx()][class.idx()]
+                        .alloc(t)
+                        .expect("register file too small for architected state");
+                    self.threads[ti].rename.define(
+                        class,
+                        csmt_types::LogReg(r as u8),
+                        home.idx(),
+                        phys,
+                    );
+                    self.scoreboard.set_ready_at(home, class, phys, 0);
+                }
+            }
+        }
+    }
+
+    /// Current scheduler view (built fresh each cycle; cheap).
+    pub(crate) fn sched_view(&self) -> SchedView {
+        let mut v = SchedView {
+            iq_capacity: self.cfg.iq_per_cluster,
+            cycle_parity: (self.now & 1) as usize,
+            ..Default::default()
+        };
+        for (i, th) in self.threads.iter().enumerate() {
+            v.active[i] = true;
+            v.fetchq_len[i] = th.fetchq.len();
+            // "On a wrong path" for policy purposes means the mispredicted
+            // branch has already dispatched: everything left to rename is
+            // doomed garbage. While the branch itself still waits in the
+            // fetch queue, the thread must stay renameable or the branch
+            // could never resolve.
+            v.wrong_path[i] = th.wrong_path_mode && th.unresolved_mispredict.is_some();
+            v.pending_l2[i] = th.pending_l2();
+            v.earliest_l2_start[i] = th.earliest_l2_start();
+            for c in 0..NUM_CLUSTERS {
+                v.iq_occ[i][c] = self.iqs[c].thread_occupancy(th.id);
+            }
+            v.rename_to_issue[i] = v.iq_occ[i].iter().sum();
+        }
+        v
+    }
+
+    /// Current register-file view.
+    pub(crate) fn rf_view(&self) -> RfView {
+        let mut v = RfView {
+            capacity: [
+                self.cfg.int_regs_per_cluster,
+                self.cfg.fp_regs_per_cluster,
+            ],
+            unbounded: self.cfg.unbounded_regs,
+            ..Default::default()
+        };
+        for (i, th) in self.threads.iter().enumerate() {
+            for c in 0..NUM_CLUSTERS {
+                for k in 0..RegClass::COUNT {
+                    v.used[i][k][c] = self.regfiles[c][k].used_by(th.id);
+                }
+            }
+        }
+        v
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        self.rf_starved = [[false; RegClass::COUNT]; 2];
+        self.commit();
+        self.complete_execution();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        // CDPRF per-cycle hook (Figure 7).
+        let rf_view = self.rf_view();
+        self.rf_scheme.end_cycle(&rf_view, &self.rf_starved);
+        self.now += 1;
+    }
+
+    /// Run until every thread has committed `target` uops (or `max_cycles`
+    /// elapses) and return the collected result.
+    pub fn run(&mut self, target: u64, max_cycles: u64) -> SimResult {
+        self.run_with_warmup(0, target, max_cycles)
+    }
+
+    /// Run `warmup` committed uops per thread to heat caches, predictors
+    /// and the trace cache, reset the statistics, then measure `target`
+    /// committed uops per thread. Standard trace-driven methodology — the
+    /// paper's runs measure steady-state regions of much longer traces.
+    pub fn run_with_warmup(&mut self, warmup: u64, target: u64, max_cycles: u64) -> SimResult {
+        // Phase 1: warm up.
+        while self.now < max_cycles
+            && self.threads.iter().any(|t| t.committed < warmup)
+        {
+            self.step();
+        }
+        // Reset counters; measurement starts here.
+        self.stats = SimStats::default();
+        let epoch = self.now;
+        let bases: Vec<u64> = self.threads.iter().map(|t| t.committed).collect();
+
+        // Phase 2: measure.
+        while self.now < max_cycles {
+            self.step();
+            let mut all_done = true;
+            for (i, th) in self.threads.iter_mut().enumerate() {
+                if th.committed - bases[i] >= target && th.finish_cycle == 0 {
+                    th.finish_cycle = self.now - epoch;
+                }
+                if th.finish_cycle == 0 {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+        }
+        for (i, th) in self.threads.iter().enumerate() {
+            self.stats.committed[i] = th.committed - bases[i];
+            self.stats.finish_cycle[i] = th.finish_cycle;
+        }
+        self.stats.cycles = self.now - epoch;
+        self.stats.tc_miss_ratio = self.tc.miss_ratio();
+        self.stats.l1_miss_ratio = self.mem.l1_miss_ratio();
+        self.stats.l2_miss_ratio = self.mem.l2_miss_ratio();
+        SimResult {
+            num_threads: self.threads.len(),
+            commit_target: target,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Simulated cycle count so far.
+    pub fn cycles(&self) -> u64 {
+        self.now
+    }
+
+    /// Cross-structure consistency checks, used by tests and property
+    /// harnesses. Panics on violation.
+    pub fn check_invariants(&self) {
+        // Every issue-queue entry is a live, InIq uop of that cluster, and
+        // per-thread occupancies add up.
+        for c in 0..NUM_CLUSTERS {
+            let mut per_thread = [0usize; 2];
+            for id in self.iqs[c].iter() {
+                let e = self.slab.get(id);
+                assert_eq!(e.state, UopState::InIq, "IQ holds non-InIq uop {id}");
+                assert_eq!(e.cluster.idx(), c, "uop {id} in wrong cluster queue");
+                per_thread[e.thread.idx()] += 1;
+            }
+            for (ti, th) in self.threads.iter().enumerate() {
+                assert_eq!(
+                    per_thread[ti],
+                    self.iqs[c].thread_occupancy(th.id),
+                    "occupancy counter drift in cluster {c}"
+                );
+            }
+        }
+        // Every live slab entry sits in exactly one ROB; ROB seqs increase.
+        let rob_total: usize = self.threads.iter().map(|t| t.rob.len()).sum();
+        assert_eq!(self.slab.live_count(), rob_total, "slab/ROB drift");
+        for th in &self.threads {
+            let mut prev = None;
+            for id in th.rob.iter() {
+                let e = self.slab.get(id);
+                assert_eq!(e.thread, th.id);
+                if let Some(p) = prev {
+                    assert!(e.seq > p, "ROB out of program order");
+                }
+                prev = Some(e.seq);
+            }
+        }
+        // Executing list consistency.
+        for &id in &self.executing {
+            assert_eq!(self.slab.get(id).state, UopState::Executing);
+        }
+        // MOB occupancy equals live memory uops holding an entry.
+        let mem_uops = self
+            .threads
+            .iter()
+            .flat_map(|t| t.rob.iter())
+            .filter(|&id| self.slab.get(id).mob.is_some())
+            .count();
+        assert_eq!(self.mob.occupancy(), mem_uops, "MOB leak");
+        // Outstanding-miss records reference live loads still flagged as
+        // outstanding, with coherent timestamps (a leaked record would
+        // stall the Stall/Flush+ schemes forever).
+        for th in &self.threads {
+            for m in &th.l2_misses {
+                assert!(m.ready_at >= m.started, "miss record time-travels");
+                let e = self.slab.get(m.uop);
+                assert!(e.l2_outstanding, "stale L2 miss record");
+                assert_eq!(e.thread, th.id, "miss record on wrong thread");
+            }
+        }
+    }
+
+    /// Read-only access to the accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Enable per-uop event logging (see [`crate::tracelog`]); records up
+    /// to `capacity` uops.
+    pub fn enable_event_log(&mut self, capacity: usize) {
+        self.event_log = Some(crate::tracelog::EventLog::new(capacity));
+    }
+
+    /// Access the event log, if enabled.
+    pub fn event_log(&self) -> Option<&crate::tracelog::EventLog> {
+        self.event_log.as_ref()
+    }
+
+    /// Test/debug: suppress fetch on every thread (injection harnesses).
+    #[doc(hidden)]
+    pub fn debug_disable_fetch(&mut self) {
+        for th in self.threads.iter_mut() {
+            th.fetch_resume_at = u64::MAX;
+        }
+    }
+
+    /// Test/debug: inject a uop into a thread's fetch queue.
+    #[doc(hidden)]
+    pub fn debug_inject(&mut self, t: usize, uop: MicroOp) {
+        let ok = self.threads[t].fetchq.push(csmt_frontend::FetchedUop {
+            uop,
+            wrong_path: false,
+            mispredicted: false,
+        });
+        assert!(ok, "injection queue full");
+    }
+
+    /// Test/debug: one-line state dump.
+    #[doc(hidden)]
+    pub fn debug_state(&self) -> String {
+        let mut out = String::new();
+        for th in &self.threads {
+            out.push_str(&format!(
+                "T{}[fq{} rob{} com{}] ",
+                th.id.0,
+                th.fetchq.len(),
+                th.rob.len(),
+                th.committed
+            ));
+        }
+        for id in self.threads.iter().flat_map(|t| t.rob.iter()) {
+            let e = self.slab.get(id);
+            out.push_str(&format!(
+                "{{{} {} {:?} c{} done@{}}} ",
+                id, e.uop.class, e.state, e.cluster.0, e.exec_done_at
+            ));
+        }
+        out
+    }
+
+    /// Shared MOB occupancy (probe support).
+    pub(crate) fn mob_occupancy(&self) -> usize {
+        self.mob.occupancy()
+    }
+
+    /// Per-thread occupancy views (probe support).
+    pub(crate) fn thread_views(&self) -> Vec<crate::probe::ThreadView> {
+        self.threads
+            .iter()
+            .map(|th| {
+                let mut regs = [[0usize; NUM_CLUSTERS]; RegClass::COUNT];
+                for c in 0..NUM_CLUSTERS {
+                    for k in 0..RegClass::COUNT {
+                        regs[k][c] = self.regfiles[c][k].used_by(th.id);
+                    }
+                }
+                crate::probe::ThreadView {
+                    iq: [
+                        self.iqs[0].thread_occupancy(th.id),
+                        self.iqs[1].thread_occupancy(th.id),
+                    ],
+                    regs,
+                    rob: th.rob.len(),
+                    fetchq: th.fetchq.len(),
+                    committed: th.committed,
+                    pending_l2: th.pending_l2(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Convenience builder used by examples, tests and the experiment harness.
+pub struct SimBuilder {
+    cfg: MachineConfig,
+    iq: SchemeKind,
+    iq_custom: Option<Box<dyn IqScheme>>,
+    rf: RegFileSchemeKind,
+    traces: Vec<TraceSpec>,
+    target: u64,
+    warmup: u64,
+    max_cycles: u64,
+}
+
+impl SimBuilder {
+    pub fn new(cfg: MachineConfig) -> Self {
+        SimBuilder {
+            cfg,
+            iq: SchemeKind::Icount,
+            iq_custom: None,
+            rf: RegFileSchemeKind::Shared,
+            traces: Vec::new(),
+            target: 20_000,
+            warmup: 5_000,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    pub fn iq_scheme(mut self, s: SchemeKind) -> Self {
+        self.iq = s;
+        self
+    }
+
+    /// Use a custom issue-queue scheme (e.g. the
+    /// [`ext::HillClimb`](crate::schemes::ext::HillClimb) extension)
+    /// instead of one of the paper's Table-3 schemes.
+    pub fn iq_scheme_custom(mut self, s: Box<dyn IqScheme>) -> Self {
+        self.iq_custom = Some(s);
+        self
+    }
+
+    pub fn rf_scheme(mut self, s: RegFileSchemeKind) -> Self {
+        self.rf = s;
+        self
+    }
+
+    /// Use both traces of a suite workload.
+    pub fn workload(mut self, w: &Workload) -> Self {
+        self.traces = w.traces.to_vec();
+        self
+    }
+
+    /// Run a single trace alone (fairness baselines).
+    pub fn single(mut self, spec: &TraceSpec) -> Self {
+        self.traces = vec![spec.clone()];
+        self
+    }
+
+    /// Append one trace (build custom workloads thread by thread).
+    pub fn push_trace(mut self, spec: TraceSpec) -> Self {
+        self.traces.push(spec);
+        self
+    }
+
+    /// Committed uops per thread to simulate (measured region).
+    pub fn commit_target(mut self, n: u64) -> Self {
+        self.target = n;
+        self
+    }
+
+    /// Committed uops per thread to warm caches and predictors before the
+    /// measured region (default 5000).
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Safety valve on simulated cycles.
+    pub fn max_cycles(mut self, n: u64) -> Self {
+        self.max_cycles = n;
+        self
+    }
+
+    pub fn build(self) -> (Simulator, u64, u64) {
+        let mut sim = Simulator::new(self.cfg, self.iq, self.rf, &self.traces);
+        if let Some(custom) = self.iq_custom {
+            sim.iq_scheme = custom;
+        }
+        (sim, self.target, self.max_cycles)
+    }
+
+    /// Build and run to completion.
+    pub fn run(self) -> SimResult {
+        let target = self.target;
+        let warmup = self.warmup;
+        // Default safety valve: generous but finite (200 cycles per uop).
+        let max_cycles = if self.max_cycles == u64::MAX {
+            (target + warmup).saturating_mul(200).max(1_000_000)
+        } else {
+            self.max_cycles
+        };
+        let (mut sim, target, _) = SimBuilder { max_cycles, ..self }.build();
+        sim.run_with_warmup(warmup, target, max_cycles)
+    }
+
+}

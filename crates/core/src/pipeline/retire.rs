@@ -1,0 +1,168 @@
+//! In-order commit and squash (misprediction recovery and Flush+ thread
+//! flushes).
+
+use super::{Simulator, UopState};
+use csmt_types::{OpClass, ThreadId};
+
+impl Simulator {
+    /// Commit stage: up to `commit_width` completed uops in program order;
+    /// commit priority alternates between threads each cycle so neither
+    /// monopolizes the bandwidth.
+    pub(crate) fn commit(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        let n = self.threads.len();
+        let first = (self.commit_rr as usize) % n;
+        self.commit_rr ^= 1;
+        for k in 0..n {
+            let ti = (first + k) % n;
+            while budget > 0 {
+                let Some(front) = self.threads[ti].rob.front() else {
+                    break;
+                };
+                if self.slab.get(front).state != UopState::Done {
+                    break;
+                }
+                self.threads[ti].rob.pop_front();
+                self.commit_one(ti, front);
+                budget -= 1;
+            }
+        }
+    }
+
+    fn commit_one(&mut self, ti: usize, id: u32) {
+        let now = self.now;
+        let t = ThreadId(ti as u8);
+        let (dest, mob, class, mem, is_copy, wrong_path) = {
+            let e = self.slab.get(id);
+            (e.dest, e.mob, e.uop.class, e.uop.mem, e.is_copy, e.wrong_path)
+        };
+        debug_assert!(!wrong_path, "wrong-path uop reached commit");
+        // Free the registers this definition superseded. Copy mappings
+        // added a location without superseding anything — nothing to free.
+        if let Some(d) = dest {
+            if !d.is_copy_mapping {
+                for (ci, loc) in d.prev.loc.iter().enumerate() {
+                    if let Some(p) = loc {
+                        self.regfiles[ci][d.class.idx()].release(t, *p);
+                    }
+                }
+            }
+        }
+        // Stores write the memory system at commit; both loads and stores
+        // release their MOB entry.
+        if class == OpClass::Store {
+            let m = mem.expect("store without address");
+            self.mem.store(now, m.addr);
+        }
+        if let Some(idx) = mob {
+            self.mob.release(idx);
+        }
+        if is_copy {
+            self.stats.copies_retired += 1;
+        } else {
+            self.threads[ti].committed += 1;
+        }
+        if self.event_log.is_some() {
+            let seq = self.slab.get(id).seq;
+            if let Some(log) = self.event_log.as_mut() {
+                log.on_commit(t, seq, now);
+            }
+        }
+        self.slab.release(id);
+    }
+
+    /// Flush+ thread flush: squash everything younger than the missing
+    /// load, refetch it later (correct-path uops go to the replay buffer),
+    /// and hold fetch until the miss returns.
+    pub(crate) fn flush_thread(&mut self, t: ThreadId, boundary_seq: u64, resume_at: u64) {
+        self.stats.flushes += 1;
+        self.squash_younger(t, boundary_seq);
+        let th = &mut self.threads[t.idx()];
+        // Refetch correct-path uops that were still waiting in the fetch
+        // queue; drop wrong-path garbage.
+        let mut refetch = Vec::with_capacity(th.fetchq.len());
+        while let Some(fu) = th.fetchq.pop() {
+            if !fu.wrong_path {
+                refetch.push(fu.uop);
+            }
+        }
+        for u in refetch.into_iter().rev() {
+            th.replay.push_front(u);
+        }
+        // If the unresolved mispredicted branch was squashed or refetched,
+        // the thread is no longer on a wrong path.
+        if th.unresolved_mispredict.is_none() {
+            th.wrong_path_mode = false;
+        }
+        th.fetch_resume_at = th.fetch_resume_at.max(resume_at);
+        th.cur_block = u32::MAX;
+    }
+
+    /// Squash every uop of `t` younger than `boundary_seq`, walking the ROB
+    /// from the tail: free destination registers, restore rename mappings,
+    /// release issue-queue / MOB entries, cancel outstanding misses.
+    pub(crate) fn squash_younger(&mut self, t: ThreadId, boundary_seq: u64) {
+        let ti = t.idx();
+        // Squashed correct-path uops must be refetched after a flush; the
+        // walk sees youngest first, so collect and prepend in reverse.
+        let mut replay: Vec<csmt_types::MicroOp> = Vec::new();
+        while let Some(back) = self.threads[ti].rob.back() {
+            let e = self.slab.get(back);
+            if e.seq <= boundary_seq {
+                break;
+            }
+            let (state, cluster, dest, mob, wrong_path, is_copy, l2_outstanding, exec_done_at, uop) = (
+                e.state,
+                e.cluster,
+                e.dest,
+                e.mob,
+                e.wrong_path,
+                e.is_copy,
+                e.l2_outstanding,
+                e.exec_done_at,
+                e.uop,
+            );
+            self.threads[ti].rob.pop_back();
+            match state {
+                UopState::InIq => {
+                    let removed = self.iqs[cluster.idx()].remove(back);
+                    debug_assert!(removed);
+                }
+                UopState::Executing => {
+                    self.executing.retain(|&x| x != back);
+                }
+                UopState::Done => {}
+            }
+            if let Some(d) = dest {
+                self.regfiles[d.cluster.idx()][d.class.idx()].release(t, d.phys);
+                self.threads[ti].rename.set(d.class, d.log, d.prev);
+            }
+            if let Some(idx) = mob {
+                self.mob.release(idx);
+            }
+            if l2_outstanding {
+                self.threads[ti].l2_misses.retain(|m| m.uop != back);
+            }
+            let _ = exec_done_at;
+            if self.threads[ti].unresolved_mispredict == Some(back) {
+                self.threads[ti].unresolved_mispredict = None;
+                self.threads[ti].wrong_path_mode = false;
+            }
+            if !wrong_path && !is_copy {
+                replay.push(uop);
+            }
+            self.stats.squashed += 1;
+            if self.event_log.is_some() {
+                let seq = self.slab.get(back).seq;
+                if let Some(log) = self.event_log.as_mut() {
+                    log.on_squash(t, seq);
+                }
+            }
+            self.slab.release(back);
+        }
+        for u in replay {
+            // `replay` is youngest-first; push_front restores program order.
+            self.threads[ti].replay.push_front(u);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Machine introspection: per-cycle snapshots of resource occupancy.
+//!
+//! The paper's analysis hinges on *where* entries live (which thread holds
+//! which cluster's queue, who owns the registers). [`MachineSnapshot`]
+//! exposes exactly that, so tools can plot occupancy timelines (see the
+//! `occupancy_timeline` example) and tests can assert scheme behaviour
+//! from outside the crate.
+
+use crate::pipeline::Simulator;
+use csmt_types::{RegClass, ThreadId, NUM_CLUSTERS};
+use serde::{Deserialize, Serialize};
+
+/// Point-in-time view of the machine's shared resources.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MachineSnapshot {
+    pub cycle: u64,
+    /// Issue-queue entries held per thread per cluster.
+    pub iq: [[usize; NUM_CLUSTERS]; 2],
+    /// Registers used per thread, class, cluster.
+    pub regs: [[[usize; NUM_CLUSTERS]; RegClass::COUNT]; 2],
+    /// ROB occupancy per thread.
+    pub rob: [usize; 2],
+    /// Fetch-queue length per thread.
+    pub fetchq: [usize; 2],
+    /// Committed uops per thread so far.
+    pub committed: [u64; 2],
+    /// Outstanding L2 misses per thread.
+    pub pending_l2: [u32; 2],
+    /// MOB occupancy (shared).
+    pub mob: usize,
+}
+
+impl MachineSnapshot {
+    /// Total issue-queue entries in use.
+    pub fn iq_total(&self) -> usize {
+        self.iq.iter().flatten().sum()
+    }
+
+    /// Issue-queue share of one thread (0..=1 of occupied entries).
+    pub fn iq_share(&self, t: ThreadId) -> f64 {
+        let total = self.iq_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.iq[t.idx()].iter().sum::<usize>() as f64 / total as f64
+        }
+    }
+
+    /// CSV header matching [`MachineSnapshot::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "cycle,iq00,iq01,iq10,iq11,rob0,rob1,fq0,fq1,l2m0,l2m1,mob,committed0,committed1"
+    }
+
+    /// One CSV row (for timeline dumps).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.cycle,
+            self.iq[0][0],
+            self.iq[0][1],
+            self.iq[1][0],
+            self.iq[1][1],
+            self.rob[0],
+            self.rob[1],
+            self.fetchq[0],
+            self.fetchq[1],
+            self.pending_l2[0],
+            self.pending_l2[1],
+            self.mob,
+            self.committed[0],
+            self.committed[1],
+        )
+    }
+}
+
+impl Simulator {
+    /// Capture the machine's current occupancy state.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut s = MachineSnapshot {
+            cycle: self.cycles(),
+            mob: self.mob_occupancy(),
+            ..Default::default()
+        };
+        for (i, view) in self.thread_views().into_iter().enumerate() {
+            s.iq[i] = view.iq;
+            s.regs[i] = view.regs;
+            s.rob[i] = view.rob;
+            s.fetchq[i] = view.fetchq;
+            s.committed[i] = view.committed;
+            s.pending_l2[i] = view.pending_l2;
+        }
+        s
+    }
+}
+
+/// Per-thread occupancy view (crate-internal helper for snapshots).
+pub(crate) struct ThreadView {
+    pub iq: [usize; NUM_CLUSTERS],
+    pub regs: [[usize; NUM_CLUSTERS]; RegClass::COUNT],
+    pub rob: usize,
+    pub fetchq: usize,
+    pub committed: u64,
+    pub pending_l2: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimBuilder;
+    use csmt_trace::suite;
+    use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+
+    #[test]
+    fn snapshot_reflects_running_machine() {
+        let (mut sim, _, _) = SimBuilder::new(MachineConfig::baseline())
+            .iq_scheme(SchemeKind::Cssp)
+            .rf_scheme(RegFileSchemeKind::Shared)
+            .workload(&suite()[0])
+            .build();
+        let s0 = sim.snapshot();
+        assert_eq!(s0.cycle, 0);
+        assert_eq!(s0.iq_total(), 0);
+        for _ in 0..5000 {
+            sim.step();
+        }
+        let s = sim.snapshot();
+        assert_eq!(s.cycle, 5000);
+        assert!(s.committed[0] + s.committed[1] > 0, "nothing committed");
+        assert!(s.iq_total() <= 64);
+        // CSSP: no thread above half of any cluster's queue.
+        for t in 0..2 {
+            for c in 0..2 {
+                assert!(s.iq[t][c] <= 16);
+            }
+        }
+        let share = s.iq_share(ThreadId(0)) + s.iq_share(ThreadId(1));
+        assert!(s.iq_total() == 0 || (share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let s = MachineSnapshot::default();
+        let cols = MachineSnapshot::csv_header().split(',').count();
+        assert_eq!(s.to_csv_row().split(',').count(), cols);
+    }
+}

@@ -1,0 +1,410 @@
+//! Extensions beyond the paper: the adaptive schemes its conclusion names
+//! as future work, adapted to the clustered machine.
+//!
+//! * [`HillClimb`] — learning-based partitioning in the spirit of Choi &
+//!   Yeung \[32\]: per-thread, per-cluster issue-queue caps are perturbed
+//!   every epoch and the perturbation is kept only if measured throughput
+//!   improved.
+//! * [`RoundRobin`] — a deliberately naive rename selection baseline,
+//!   useful for calibrating how much Icount itself buys.
+//!
+//! These are not part of the paper's evaluated grid (`SchemeKind`); build
+//! them directly and pass them to
+//! [`SimBuilder::iq_scheme_custom`](crate::SimBuilder::iq_scheme_custom).
+
+use super::{IqScheme, SchedView, MAX_THREADS};
+use csmt_types::{ClusterId, MachineConfig, SchemeKind, ThreadId};
+
+/// Hill-climbing issue-queue partitioning.
+///
+/// State: one cap per (thread, cluster), initialized to an even split.
+/// Every `epoch` selection calls the scheme samples aggregate progress
+/// (total rename-to-issue drain is not observable here, so the proxy is
+/// the *sum of issue-queue occupancies*, which the scheme wants LOW for a
+/// given dispatch rate); if the last perturbation made things worse, it is
+/// reverted and the next candidate direction is tried.
+pub struct HillClimb {
+    caps: [[usize; 2]; MAX_THREADS],
+    capacity: usize,
+    epoch: u64,
+    tick: u64,
+    /// Accumulated occupancy this epoch (lower is better at equal load).
+    acc: u64,
+    last_score: f64,
+    /// Which (thread, cluster) the last perturbation grew.
+    last_move: Option<(usize, usize, isize)>,
+    step: usize,
+    rr: usize,
+}
+
+impl HillClimb {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let half = cfg.iq_per_cluster / 2;
+        HillClimb {
+            caps: [[half; 2]; MAX_THREADS],
+            capacity: cfg.iq_per_cluster,
+            epoch: 2048,
+            tick: 0,
+            acc: 0,
+            last_score: f64::INFINITY,
+            last_move: None,
+            step: cfg.iq_per_cluster / 8,
+            rr: 0,
+        }
+    }
+
+    fn perturb(&mut self) {
+        // Candidate moves cycle over (thread, cluster) pairs: grow that
+        // thread's cap by `step`, shrinking the other thread's cap in the
+        // same cluster to keep the sum ≤ capacity.
+        let t = self.rr % MAX_THREADS;
+        let c = (self.rr / MAX_THREADS) % 2;
+        self.rr += 1;
+        let other = 1 - t;
+        let step = self.step;
+        if self.caps[other][c] >= step + 4 {
+            self.caps[t][c] = (self.caps[t][c] + step).min(self.capacity);
+            self.caps[other][c] -= step;
+            self.last_move = Some((t, c, step as isize));
+        } else {
+            self.last_move = None;
+        }
+    }
+
+    fn revert(&mut self) {
+        if let Some((t, c, step)) = self.last_move.take() {
+            let other = 1 - t;
+            self.caps[t][c] = (self.caps[t][c] as isize - step) as usize;
+            self.caps[other][c] = (self.caps[other][c] as isize + step) as usize;
+        }
+    }
+
+    /// Current cap for a thread and cluster (diagnostics / tests).
+    pub fn cap(&self, t: ThreadId, c: ClusterId) -> usize {
+        self.caps[t.idx()][c.idx()]
+    }
+}
+
+impl IqScheme for HillClimb {
+    fn kind(&self) -> SchemeKind {
+        // Reported as CSSP's family for display purposes: it is a
+        // cluster-sensitive partitioner.
+        SchemeKind::Cssp
+    }
+
+    fn select_rename_thread(&mut self, view: &SchedView) -> Option<ThreadId> {
+        // Epoch accounting piggybacks on the once-per-cycle selection call.
+        self.tick += 1;
+        self.acc += (view.total_occ(ThreadId(0)) + view.total_occ(ThreadId(1))) as u64;
+        if self.tick.is_multiple_of(self.epoch) {
+            let score = self.acc as f64 / self.epoch as f64;
+            self.acc = 0;
+            if score > self.last_score {
+                self.revert();
+            }
+            self.last_score = score;
+            self.perturb();
+        }
+        // Icount-style selection under the current caps.
+        let mut best: Option<(usize, ThreadId)> = None;
+        for k in 0..MAX_THREADS {
+            let i = (k + view.cycle_parity) % MAX_THREADS;
+            if !view.active[i] || view.fetchq_len[i] == 0 {
+                continue;
+            }
+            let count = view.rename_to_issue[i];
+            if best.is_none_or(|(c, _)| count < c) {
+                best = Some((count, ThreadId(i as u8)));
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+
+    fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
+        self.caps[t.idx()][c.idx()].saturating_sub(view.iq_occ[t.idx()][c.idx()])
+    }
+}
+
+/// Round-robin rename selection with no occupancy policy: the "no scheme"
+/// control.
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    pub fn new() -> Self {
+        RoundRobin { next: 0 }
+    }
+}
+
+impl Default for RoundRobin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IqScheme for RoundRobin {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Icount // closest reporting family
+    }
+
+    fn select_rename_thread(&mut self, view: &SchedView) -> Option<ThreadId> {
+        for k in 0..MAX_THREADS {
+            let i = (self.next + k) % MAX_THREADS;
+            if view.active[i] && view.fetchq_len[i] > 0 {
+                self.next = (i + 1) % MAX_THREADS;
+                return Some(ThreadId(i as u8));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(occ: [[usize; 2]; 2], fq: [usize; 2]) -> SchedView {
+        SchedView {
+            iq_occ: occ,
+            iq_capacity: 32,
+            rename_to_issue: [occ[0][0] + occ[0][1], occ[1][0] + occ[1][1]],
+            fetchq_len: fq,
+            active: [true, true],
+            earliest_l2_start: [u64::MAX; 2],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hill_climb_starts_at_even_split() {
+        let h = HillClimb::new(&MachineConfig::baseline());
+        for t in 0..2 {
+            for c in 0..2 {
+                assert_eq!(h.cap(ThreadId(t), ClusterId(c)), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn hill_climb_caps_enforced_via_headroom() {
+        let h = HillClimb::new(&MachineConfig::baseline());
+        let v = view([[16, 0], [0, 0]], [1, 1]);
+        assert_eq!(h.headroom(ThreadId(0), ClusterId(0), &v), 0);
+        assert_eq!(h.headroom(ThreadId(0), ClusterId(1), &v), 16);
+        assert!(!h.allows(ThreadId(0), ClusterId(0), &v));
+    }
+
+    #[test]
+    fn hill_climb_perturbs_after_epoch() {
+        let mut h = HillClimb::new(&MachineConfig::baseline());
+        let v = view([[4, 4], [4, 4]], [1, 1]);
+        let before = h.caps;
+        for _ in 0..2048 {
+            h.select_rename_thread(&v);
+        }
+        assert_ne!(h.caps, before, "an epoch boundary must perturb the caps");
+        // Per-cluster sums never exceed capacity.
+        for c in 0..2 {
+            assert!(h.caps[0][c] + h.caps[1][c] <= 32 + 16);
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut s = RoundRobin::new();
+        let v = view([[0, 0], [0, 0]], [1, 1]);
+        let a = s.select_rename_thread(&v).unwrap();
+        let b = s.select_rename_thread(&v).unwrap();
+        assert_ne!(a, b);
+        let c = s.select_rename_thread(&v).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn round_robin_skips_empty_queue() {
+        let mut s = RoundRobin::new();
+        let v = view([[0, 0], [0, 0]], [0, 3]);
+        assert_eq!(s.select_rename_thread(&v), Some(ThreadId(1)));
+        assert_eq!(s.select_rename_thread(&v), Some(ThreadId(1)));
+    }
+}
+
+/// DCRA-inspired dynamic resource allocation (Cazorla et al. \[30\],
+/// adapted to the clustered machine).
+///
+/// Threads are classified each cycle as *fast* (no outstanding L2 miss) or
+/// *slow* (at least one). Slow threads are capped at a quarter of each
+/// cluster's issue queue — enough to keep memory-level parallelism in
+/// flight, not enough to bury the fast thread's entries under
+/// miss-dependent work. Fast threads may use up to three quarters, so the
+/// machine never degenerates into a static 50/50 split when both threads
+/// are healthy.
+pub struct Dcra {
+    capacity: usize,
+}
+
+impl Dcra {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Dcra {
+            capacity: cfg.iq_per_cluster,
+        }
+    }
+
+    fn is_slow(t: ThreadId, view: &SchedView) -> bool {
+        view.pending_l2[t.idx()] > 0
+    }
+}
+
+impl IqScheme for Dcra {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Cssp // cluster-sensitive family for reporting
+    }
+
+    fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
+        let other_active = view.active[t.other().idx()];
+        let cap = if !other_active {
+            self.capacity
+        } else if Self::is_slow(t, view) {
+            self.capacity / 4
+        } else {
+            self.capacity * 3 / 4
+        };
+        cap.saturating_sub(view.iq_occ[t.idx()][c.idx()])
+    }
+}
+
+#[cfg(test)]
+mod dcra_tests {
+    use super::*;
+
+    fn view(occ: [[usize; 2]; 2], l2: [u32; 2]) -> SchedView {
+        SchedView {
+            iq_occ: occ,
+            iq_capacity: 32,
+            rename_to_issue: [occ[0][0] + occ[0][1], occ[1][0] + occ[1][1]],
+            pending_l2: l2,
+            fetchq_len: [1, 1],
+            active: [true, true],
+            earliest_l2_start: [u64::MAX; 2],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slow_thread_capped_at_quarter() {
+        let d = Dcra::new(&MachineConfig::baseline()); // 32 → slow cap 8
+        let v = view([[8, 0], [0, 0]], [1, 0]);
+        assert!(!d.allows(ThreadId(0), ClusterId(0), &v));
+        assert_eq!(d.headroom(ThreadId(0), ClusterId(1), &v), 8);
+    }
+
+    #[test]
+    fn fast_thread_gets_three_quarters() {
+        let d = Dcra::new(&MachineConfig::baseline()); // fast cap 24
+        let v = view([[23, 0], [0, 0]], [0, 0]);
+        assert!(d.allows(ThreadId(0), ClusterId(0), &v));
+        let v = view([[24, 0], [0, 0]], [0, 0]);
+        assert!(!d.allows(ThreadId(0), ClusterId(0), &v));
+    }
+
+    #[test]
+    fn lone_thread_uncapped() {
+        let d = Dcra::new(&MachineConfig::baseline());
+        let mut v = view([[30, 0], [0, 0]], [1, 0]);
+        v.active[1] = false;
+        assert!(d.allows(ThreadId(0), ClusterId(0), &v));
+    }
+
+    #[test]
+    fn classification_follows_miss_state() {
+        let d = Dcra::new(&MachineConfig::baseline());
+        let v = view([[10, 0], [10, 0]], [1, 0]);
+        // Thread 0 slow (cap 8 < 10 used → no headroom), thread 1 fast.
+        assert_eq!(d.headroom(ThreadId(0), ClusterId(0), &v), 0);
+        assert_eq!(d.headroom(ThreadId(1), ClusterId(0), &v), 14);
+    }
+}
+
+/// Wrong-path rename gating, in the spirit of El-Moursy & Albonesi's
+/// front-end policies \[20\] (low-confidence fetch gating): a thread that
+/// is currently fetching down a mispredicted branch's wrong path will have
+/// everything it renames squashed, so giving it rename slots and issue
+/// queue entries only steals them from its partner. The gate holds the
+/// thread at rename until the branch resolves; selection is Icount
+/// otherwise. (A real front-end uses a confidence estimator; the
+/// trace-driven front-end knows outcomes exactly, making this the
+/// upper-bound "perfect confidence" variant.)
+pub struct BranchGate;
+
+impl IqScheme for BranchGate {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Icount // reporting family
+    }
+
+    fn thread_stalled(&self, t: ThreadId, view: &SchedView) -> bool {
+        view.wrong_path[t.idx()]
+    }
+}
+
+#[cfg(test)]
+mod gate_tests {
+    use super::*;
+
+    fn view() -> SchedView {
+        SchedView {
+            iq_capacity: 32,
+            active: [true, true],
+            fetchq_len: [4, 4],
+            earliest_l2_start: [u64::MAX; 2],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn gates_wrong_path_thread() {
+        let g = BranchGate;
+        let mut v = view();
+        v.wrong_path = [true, false];
+        assert!(g.thread_stalled(ThreadId(0), &v));
+        assert!(!g.thread_stalled(ThreadId(1), &v));
+    }
+
+    #[test]
+    fn selection_skips_wrong_path_thread() {
+        let mut g = BranchGate;
+        let mut v = view();
+        v.wrong_path = [true, false];
+        v.rename_to_issue = [0, 20];
+        v.iq_occ = [[0, 0], [20, 0]];
+        // Thread 0 has the lower count but is on a wrong path → skip.
+        assert_eq!(g.select_rename_thread(&v), Some(ThreadId(1)));
+        v.wrong_path = [false, false];
+        assert_eq!(g.select_rename_thread(&v), Some(ThreadId(0)));
+    }
+
+    #[test]
+    fn end_to_end_gating_still_completes() {
+        use csmt_trace::profile::{category_base, TraceClass};
+        use csmt_trace::suite::TraceSpec;
+        let traces = vec![
+            TraceSpec {
+                profile: category_base("office").variant(TraceClass::Ilp),
+                seed: 3,
+            },
+            TraceSpec {
+                profile: category_base("ISPEC00").variant(TraceClass::Ilp),
+                seed: 4,
+            },
+        ];
+        let mut builder = crate::SimBuilder::new(MachineConfig::baseline())
+            .iq_scheme_custom(Box::new(BranchGate))
+            .warmup(500)
+            .commit_target(1500);
+        for t in traces {
+            builder = builder.push_trace(t);
+        }
+        let r = builder.run();
+        assert!(r.stats.committed[0] >= 1500 && r.stats.committed[1] >= 1500);
+    }
+}

@@ -1,0 +1,341 @@
+//! Issue-queue assignment schemes of Table 3.
+
+use super::{IqScheme, SchedView};
+use csmt_types::{ClusterId, MachineConfig, SchemeKind, ThreadId};
+
+/// Icount (Tullsen et al. \[1\]): rename the thread with the fewest uops
+/// between rename and issue. No occupancy caps — the baseline everything is
+/// normalized against.
+pub struct Icount;
+
+impl IqScheme for Icount {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Icount
+    }
+}
+
+/// Stall (Tullsen & Brown \[19\]): Icount, plus a thread with an outstanding
+/// L2 miss is not renamed until the miss resolves.
+pub struct Stall;
+
+impl IqScheme for Stall {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Stall
+    }
+
+    fn thread_stalled(&self, t: ThreadId, view: &SchedView) -> bool {
+        view.pending_l2[t.idx()] > 0
+    }
+}
+
+/// Flush+ (Cazorla et al. \[25\]): like Stall, but the missing thread also
+/// *releases* its allocated resources (the pipeline squashes everything
+/// younger than the missing load). When both threads have outstanding
+/// misses, the one that missed first is allowed to continue — only the
+/// later thread is flushed.
+pub struct FlushPlus;
+
+impl IqScheme for FlushPlus {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::FlushPlus
+    }
+
+    fn thread_stalled(&self, t: ThreadId, view: &SchedView) -> bool {
+        let me = view.earliest_l2_start[t.idx()];
+        if view.pending_l2[t.idx()] == 0 {
+            return false;
+        }
+        // Stalled unless this thread is the earliest misser while the other
+        // thread is also missing (then it is allowed to continue).
+        let other = t.other();
+        let other_missing = view.pending_l2[other.idx()] > 0;
+        !(other_missing && me <= view.earliest_l2_start[other.idx()])
+    }
+
+    fn should_flush_on_l2_miss(&self, t: ThreadId, view: &SchedView) -> bool {
+        // Flush the thread unless the other thread already has an
+        // outstanding miss that started earlier (this thread would then be
+        // the one "allowed to continue" is the FIRST misser; a later misser
+        // is flushed; if this thread missed first, flush it only when the
+        // other thread is clean — i.e. the plain Flush behaviour).
+        let other = t.other();
+        if view.pending_l2[other.idx()] == 0 {
+            return true; // only thread missing → release its resources
+        }
+        // Both missing: flush only if this thread missed later.
+        view.earliest_l2_start[t.idx()] > view.earliest_l2_start[other.idx()]
+    }
+}
+
+/// CISP — Cluster-Insensitive Static Partitioning (\[31\]-style): a thread
+/// may hold at most 50% of the *total* issue-queue entries, wherever they
+/// are.
+pub struct Cisp {
+    total_cap: usize,
+}
+
+impl Cisp {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Cisp {
+            total_cap: cfg.total_iq() / 2,
+        }
+    }
+}
+
+impl IqScheme for Cisp {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Cisp
+    }
+
+    fn headroom(&self, t: ThreadId, _c: ClusterId, view: &SchedView) -> usize {
+        self.total_cap.saturating_sub(view.total_occ(t))
+    }
+
+    fn total_headroom(&self, t: ThreadId, view: &SchedView) -> usize {
+        self.total_cap.saturating_sub(view.total_occ(t))
+    }
+}
+
+/// CSSP — Cluster-Sensitive Static Partitioning: a thread may hold at most
+/// 50% of *each cluster's* issue queue. The paper's best IQ scheme.
+pub struct Cssp {
+    per_cluster_cap: usize,
+}
+
+impl Cssp {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Cssp {
+            per_cluster_cap: cfg.iq_per_cluster / 2,
+        }
+    }
+}
+
+impl IqScheme for Cssp {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Cssp
+    }
+
+    fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
+        self.per_cluster_cap
+            .saturating_sub(view.iq_occ[t.idx()][c.idx()])
+    }
+}
+
+/// CSPSP — Cluster-Sensitive Partial Static Partitioning: 25% of each
+/// cluster's entries are guaranteed per thread; threads compete for the
+/// rest.
+pub struct Cspsp {
+    guaranteed: usize,
+    capacity: usize,
+}
+
+impl Cspsp {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Cspsp {
+            guaranteed: cfg.iq_per_cluster / 4,
+            capacity: cfg.iq_per_cluster,
+        }
+    }
+}
+
+impl IqScheme for Cspsp {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Cspsp
+    }
+
+    fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
+        let mine = view.iq_occ[t.idx()][c.idx()];
+        // Beyond the guarantee the thread competes for the shared part, but
+        // the cluster must still honor the other thread's reservation.
+        let other = t.other();
+        let other_occ = if view.active[other.idx()] {
+            view.iq_occ[other.idx()][c.idx()]
+        } else {
+            self.guaranteed // inactive thread reserves nothing in practice
+        };
+        let reserved_other = self.guaranteed.saturating_sub(other_occ);
+        let shared = self
+            .capacity
+            .saturating_sub(view.cluster_used(c) + reserved_other);
+        self.guaranteed.saturating_sub(mine).max(shared)
+    }
+}
+
+/// PC — Private Clusters: thread *t* is statically bound to cluster *t*;
+/// all its uops are steered there.
+pub struct PrivateClusters;
+
+impl IqScheme for PrivateClusters {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Pc
+    }
+
+    fn forced_cluster(&self, t: ThreadId) -> Option<ClusterId> {
+        Some(ClusterId(t.0 % csmt_types::NUM_CLUSTERS as u8))
+    }
+
+    fn headroom(&self, t: ThreadId, c: ClusterId, _view: &SchedView) -> usize {
+        if c == ClusterId(t.0 % csmt_types::NUM_CLUSTERS as u8) {
+            usize::MAX
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::make_iq_scheme;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const C0: ClusterId = ClusterId(0);
+    const C1: ClusterId = ClusterId(1);
+
+    fn view() -> SchedView {
+        SchedView {
+            iq_capacity: 32,
+            active: [true, true],
+            fetchq_len: [4, 4],
+            earliest_l2_start: [u64::MAX, u64::MAX],
+            ..Default::default()
+        }
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::baseline() // 32 IQ entries per cluster
+    }
+
+    #[test]
+    fn icount_picks_lowest_count() {
+        let mut s = Icount;
+        let mut v = view();
+        v.rename_to_issue = [10, 3];
+        assert_eq!(s.select_rename_thread(&v), Some(T1));
+        v.rename_to_issue = [2, 3];
+        assert_eq!(s.select_rename_thread(&v), Some(T0));
+    }
+
+    #[test]
+    fn icount_skips_empty_fetch_queue() {
+        let mut s = Icount;
+        let mut v = view();
+        v.rename_to_issue = [0, 50];
+        v.fetchq_len = [0, 4];
+        assert_eq!(s.select_rename_thread(&v), Some(T1));
+        v.fetchq_len = [0, 0];
+        assert_eq!(s.select_rename_thread(&v), None);
+    }
+
+    #[test]
+    fn icount_never_caps_occupancy() {
+        let s = Icount;
+        let mut v = view();
+        v.iq_occ = [[32, 32], [0, 0]];
+        assert!(s.allows(T0, C0, &v));
+    }
+
+    #[test]
+    fn stall_holds_missing_thread() {
+        let mut s = Stall;
+        let mut v = view();
+        v.pending_l2 = [1, 0];
+        assert!(s.thread_stalled(T0, &v));
+        assert!(!s.thread_stalled(T1, &v));
+        v.rename_to_issue = [0, 10];
+        // Despite the lower icount, the stalled thread is skipped.
+        assert_eq!(s.select_rename_thread(&v), Some(T1));
+    }
+
+    #[test]
+    fn flush_plus_flushes_lone_misser() {
+        let s = FlushPlus;
+        let mut v = view();
+        v.pending_l2 = [0, 0];
+        v.pending_l2[0] = 1;
+        v.earliest_l2_start[0] = 100;
+        assert!(s.should_flush_on_l2_miss(T0, &v));
+    }
+
+    #[test]
+    fn flush_plus_lets_first_misser_continue() {
+        let s = FlushPlus;
+        let mut v = view();
+        v.pending_l2 = [1, 1];
+        v.earliest_l2_start = [100, 200];
+        // T1 missed later → flushed; T0 missed first → not flushed, and not
+        // even rename-stalled (it is "allowed to continue").
+        assert!(s.should_flush_on_l2_miss(T1, &v));
+        assert!(!s.should_flush_on_l2_miss(T0, &v));
+        assert!(!s.thread_stalled(T0, &v));
+        assert!(s.thread_stalled(T1, &v));
+    }
+
+    #[test]
+    fn cisp_caps_total_not_per_cluster() {
+        let s = Cisp::new(&cfg()); // cap = 64/2 = 32
+        let mut v = view();
+        v.iq_occ[0] = [30, 1]; // total 31 < 32
+        assert!(s.allows(T0, C0, &v));
+        assert!(s.allows(T0, C1, &v));
+        v.iq_occ[0] = [31, 1]; // total 32
+        assert!(!s.allows(T0, C0, &v));
+        assert!(!s.allows(T0, C1, &v), "cluster-insensitive: both blocked");
+    }
+
+    #[test]
+    fn cssp_caps_each_cluster_independently() {
+        let s = Cssp::new(&cfg()); // cap = 16 per cluster
+        let mut v = view();
+        v.iq_occ[0] = [16, 5];
+        assert!(!s.allows(T0, C0, &v), "at the 50% cap in C0");
+        assert!(s.allows(T0, C1, &v), "C1 still open");
+        assert!(s.allows(T1, C0, &v), "other thread unaffected");
+    }
+
+    #[test]
+    fn cspsp_guarantee_and_competition() {
+        let s = Cspsp::new(&cfg()); // guaranteed 8, capacity 32
+        let mut v = view();
+        // Below guarantee: always allowed even in a nearly full cluster.
+        v.iq_occ = [[7, 0], [24, 0]];
+        assert!(s.allows(T0, C0, &v));
+        // Beyond guarantee: must leave the other thread's reservation.
+        // T1 holds 2 (6 reserved); used 26 + 6 = 32 → not allowed.
+        v.iq_occ = [[24, 0], [2, 0]];
+        assert!(!s.allows(T0, C0, &v));
+        // T1 holds 8 (0 reserved); used 30 < 32 → allowed.
+        v.iq_occ = [[22, 0], [8, 0]];
+        assert!(s.allows(T0, C0, &v));
+    }
+
+    #[test]
+    fn pc_binds_threads_to_their_cluster() {
+        let s = PrivateClusters;
+        let v = view();
+        assert_eq!(s.forced_cluster(T0), Some(C0));
+        assert_eq!(s.forced_cluster(T1), Some(C1));
+        assert!(s.allows(T0, C0, &v));
+        assert!(!s.allows(T0, C1, &v));
+        assert!(!s.allows(T1, C0, &v));
+        assert!(s.allows(T1, C1, &v));
+    }
+
+    #[test]
+    fn factory_builds_every_scheme() {
+        for kind in SchemeKind::all() {
+            let s = make_iq_scheme(kind, &cfg());
+            assert_eq!(s.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn plain_schemes_do_not_flush() {
+        let v = view();
+        for k in [SchemeKind::Icount, SchemeKind::Stall, SchemeKind::Cssp] {
+            let s = make_iq_scheme(k, &cfg());
+            assert!(!s.should_flush_on_l2_miss(T0, &v), "{k}");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Resource assignment schemes — the paper's subject matter.
+//!
+//! Two orthogonal scheme families compose (§5):
+//!
+//! * [`IqScheme`] (Table 3) governs the **issue queues** and the rename
+//!   selection policy: Icount, Stall, Flush+, CISP, CSSP, CSPSP, PC.
+//! * [`RfScheme`] (Table 4 + §5.2) governs the **physical register files**:
+//!   Shared (no cap), CSSPRF, CISPRF, and the proposed dynamic CDPRF.
+//!
+//! The paper's final proposal is CSSP + CDPRF.
+
+pub mod ext;
+mod iq;
+mod rf;
+
+pub use ext::{BranchGate, Dcra, HillClimb, RoundRobin};
+pub use iq::*;
+pub use rf::*;
+
+use csmt_types::{ClusterId, RegClass, SchemeKind, ThreadId, NUM_CLUSTERS};
+
+/// Maximum hardware threads (2-way SMT throughout the paper).
+pub const MAX_THREADS: usize = csmt_types::MAX_THREADS;
+
+/// Per-cycle pipeline state the IQ schemes observe.
+#[derive(Debug, Clone, Default)]
+pub struct SchedView {
+    /// Issue-queue occupancy per thread per cluster (includes copies).
+    pub iq_occ: [[usize; NUM_CLUSTERS]; MAX_THREADS],
+    /// Total issue-queue capacity per cluster.
+    pub iq_capacity: usize,
+    /// Uops between rename and issue per thread — the Icount metric.
+    pub rename_to_issue: [usize; MAX_THREADS],
+    /// Outstanding L2 misses per thread (what Stall / Flush+ react to).
+    pub pending_l2: [u32; MAX_THREADS],
+    /// Cycle at which each thread's *earliest outstanding* L2 miss started
+    /// (`u64::MAX` when none) — Flush+ tie-breaking.
+    pub earliest_l2_start: [u64; MAX_THREADS],
+    /// Fetch-queue length per thread (threads with an empty queue cannot be
+    /// selected for rename).
+    pub fetchq_len: [usize; MAX_THREADS],
+    /// Which thread contexts are running.
+    pub active: [bool; MAX_THREADS],
+    /// Thread is currently fetching down a mispredicted branch's wrong
+    /// path (everything it renames will be squashed).
+    pub wrong_path: [bool; MAX_THREADS],
+    /// Low bit of the cycle counter: used to alternate tie-breaking so
+    /// neither thread is structurally favored when counts are equal.
+    pub cycle_parity: usize,
+}
+
+impl SchedView {
+    /// Total issue-queue entries held by a thread across clusters.
+    pub fn total_occ(&self, t: ThreadId) -> usize {
+        self.iq_occ[t.idx()].iter().sum()
+    }
+
+    /// Entries used in one cluster by all threads.
+    pub fn cluster_used(&self, c: ClusterId) -> usize {
+        (0..MAX_THREADS).map(|t| self.iq_occ[t][c.idx()]).sum()
+    }
+}
+
+/// Per-cycle register-file state the RF schemes observe.
+#[derive(Debug, Clone, Default)]
+pub struct RfView {
+    /// Registers used per thread, class, cluster.
+    pub used: [[[usize; NUM_CLUSTERS]; RegClass::COUNT]; MAX_THREADS],
+    /// Hard capacity per cluster for each class.
+    pub capacity: [usize; RegClass::COUNT],
+    /// Register files are unbounded (Figure-2 study) — schemes must not
+    /// constrain anything.
+    pub unbounded: bool,
+}
+
+impl RfView {
+    /// Registers of `class` used by `t` across both clusters.
+    pub fn used_total(&self, t: ThreadId, class: RegClass) -> usize {
+        self.used[t.idx()][class.idx()].iter().sum()
+    }
+
+    /// Registers of `class` used by everyone across both clusters.
+    pub fn used_all(&self, class: RegClass) -> usize {
+        (0..MAX_THREADS).map(|t| ThreadId(t as u8)).map(|t| self.used_total(t, class)).sum()
+    }
+
+    /// Total capacity of `class` across clusters.
+    pub fn total_capacity(&self, class: RegClass) -> usize {
+        self.capacity[class.idx()] * NUM_CLUSTERS
+    }
+}
+
+/// Issue-queue assignment scheme: rename selection + per-cluster occupancy
+/// policy (Table 3).
+pub trait IqScheme: Send {
+    fn kind(&self) -> SchemeKind;
+
+    /// Whether the scheme refuses to *rename* from `t` this cycle (Stall
+    /// and Flush+ hold back threads with outstanding L2 misses).
+    fn thread_stalled(&self, _t: ThreadId, _view: &SchedView) -> bool {
+        false
+    }
+
+    /// Rename selection policy: pick the thread to rename this cycle.
+    ///
+    /// Default: Icount — the runnable thread with the fewest uops between
+    /// rename and issue (ties to the lower thread id, matching the paper's
+    /// simple policy).
+    fn select_rename_thread(&mut self, view: &SchedView) -> Option<ThreadId> {
+        let mut best: Option<(usize, ThreadId)> = None;
+        // Alternate the scan order every cycle so equal counts do not
+        // structurally favor thread 0.
+        for k in 0..MAX_THREADS {
+            let i = (k + view.cycle_parity) % MAX_THREADS;
+            let t = ThreadId(i as u8);
+            if !view.active[i] || view.fetchq_len[i] == 0 || self.thread_stalled(t, view) {
+                continue;
+            }
+            let count = view.rename_to_issue[i];
+            if best.is_none_or(|(c, _)| count < c) {
+                best = Some((count, t));
+            }
+        }
+        best.map(|(_, t)| t)
+    }
+
+    /// How many more issue-queue entries `t` may take in `c` under this
+    /// scheme's policy (hard capacity is checked by the pipeline).
+    /// `usize::MAX` means unconstrained.
+    fn headroom(&self, _t: ThreadId, _c: ClusterId, _view: &SchedView) -> usize {
+        usize::MAX
+    }
+
+    /// Additional cap on entries taken *across both clusters* in one
+    /// dispatch (cluster-insensitive schemes bound the total, so a consumer
+    /// plus its copies draw from one budget).
+    fn total_headroom(&self, _t: ThreadId, _view: &SchedView) -> usize {
+        usize::MAX
+    }
+
+    /// Whether `t` may take one more issue-queue entry in `c`.
+    fn allows(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> bool {
+        self.headroom(t, c, view) >= 1 && self.total_headroom(t, view) >= 1
+    }
+
+    /// Static thread→cluster binding (Private Clusters).
+    fn forced_cluster(&self, _t: ThreadId) -> Option<ClusterId> {
+        None
+    }
+
+    /// Whether a thread incurring an L2 miss should be flushed (Flush+).
+    /// Called when the miss is detected; the pipeline performs the flush.
+    /// `view` reflects the state at detection time.
+    fn should_flush_on_l2_miss(&self, _t: ThreadId, _view: &SchedView) -> bool {
+        false
+    }
+}
+
+/// Register-file assignment scheme (Table 4, §5.2).
+pub trait RfScheme: Send {
+    fn kind(&self) -> csmt_types::RegFileSchemeKind;
+
+    /// Whether `t` may allocate one more `class` register in cluster `c`.
+    /// Hard free-list capacity is checked by the pipeline.
+    fn allows(&self, _t: ThreadId, _class: RegClass, _c: ClusterId, _view: &RfView) -> bool {
+        true
+    }
+
+    /// Per-cycle hook (Figure 7): `starved[t][class]` is set when thread
+    /// `t` was denied a `class` register this cycle.
+    fn end_cycle(&mut self, _view: &RfView, _starved: &[[bool; RegClass::COUNT]; MAX_THREADS]) {}
+}
+
+/// Instantiate an issue-queue scheme.
+pub fn make_iq_scheme(kind: SchemeKind, cfg: &csmt_types::MachineConfig) -> Box<dyn IqScheme> {
+    match kind {
+        SchemeKind::Icount => Box::new(Icount),
+        SchemeKind::Stall => Box::new(Stall),
+        SchemeKind::FlushPlus => Box::new(FlushPlus),
+        SchemeKind::Cisp => Box::new(Cisp::new(cfg)),
+        SchemeKind::Cssp => Box::new(Cssp::new(cfg)),
+        SchemeKind::Cspsp => Box::new(Cspsp::new(cfg)),
+        SchemeKind::Pc => Box::new(PrivateClusters),
+    }
+}
+
+/// Instantiate a register-file scheme.
+pub fn make_rf_scheme(
+    kind: csmt_types::RegFileSchemeKind,
+    cfg: &csmt_types::MachineConfig,
+) -> Box<dyn RfScheme> {
+    use csmt_types::RegFileSchemeKind as K;
+    match kind {
+        K::Shared => Box::new(SharedRf),
+        K::Cssprf => Box::new(Cssprf),
+        K::Cisprf => Box::new(Cisprf),
+        K::Cdprf => Box::new(Cdprf::new(cfg)),
+    }
+}

@@ -1,0 +1,331 @@
+//! Register-file assignment schemes (Table 4) and the paper's proposal,
+//! CDPRF (§5.2, Figures 7 and 8).
+
+use super::{RfScheme, RfView, MAX_THREADS};
+use csmt_types::{ClusterId, MachineConfig, RegClass, RegFileSchemeKind, ThreadId};
+
+/// Shared register files: no per-thread cap (the behaviour implicit in the
+/// Table-4 "Icount" and "CSSP" rows).
+pub struct SharedRf;
+
+impl RfScheme for SharedRf {
+    fn kind(&self) -> RegFileSchemeKind {
+        RegFileSchemeKind::Shared
+    }
+}
+
+/// CSSPRF: a thread may use at most half of *each cluster's* register file
+/// of each kind. Shown by the paper to always lose to CISPRF because it
+/// fights the issue-queue scheme's steering decisions.
+pub struct Cssprf;
+
+impl RfScheme for Cssprf {
+    fn kind(&self) -> RegFileSchemeKind {
+        RegFileSchemeKind::Cssprf
+    }
+
+    fn allows(&self, t: ThreadId, class: RegClass, c: ClusterId, view: &RfView) -> bool {
+        if view.unbounded {
+            return true;
+        }
+        view.used[t.idx()][class.idx()][c.idx()] < view.capacity[class.idx()] / 2
+    }
+}
+
+/// CISPRF: a thread may use at most half of the *total* registers of each
+/// kind, located anywhere.
+pub struct Cisprf;
+
+impl RfScheme for Cisprf {
+    fn kind(&self) -> RegFileSchemeKind {
+        RegFileSchemeKind::Cisprf
+    }
+
+    fn allows(&self, t: ThreadId, class: RegClass, _c: ClusterId, view: &RfView) -> bool {
+        if view.unbounded {
+            return true;
+        }
+        view.used_total(t, class) < view.total_capacity(class) / 2
+    }
+}
+
+/// CDPRF — Cluster-insensitive Dynamic Partitioned Register File, the
+/// paper's proposal.
+///
+/// Per cycle (Figure 7), for each thread and register type:
+///
+/// * if the thread was stalled this cycle for lack of registers of that
+///   type, `Starvation += 1`, else `Starvation = 0`;
+/// * `RFOC += allocated_registers + Starvation`.
+///
+/// Per interval of 128K cycles (Figure 8):
+///
+/// * `threshold = min(RFOC / interval, total_registers / 2)` — the average
+///   occupancy (the division is a shift, hence the power-of-two interval),
+///   boosted quickly under starvation by the Starvation term;
+/// * `RFOC = 0`.
+///
+/// A thread below its threshold may always allocate; beyond it, only while
+/// the file can still satisfy the other thread's remaining reservation.
+pub struct Cdprf {
+    interval: u64,
+    shift: u32,
+    cycle_in_interval: u64,
+    rfoc: [[u64; RegClass::COUNT]; MAX_THREADS],
+    starvation: [[u64; RegClass::COUNT]; MAX_THREADS],
+    threshold: [[usize; RegClass::COUNT]; MAX_THREADS],
+}
+
+impl Cdprf {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        assert!(cfg.cdprf_interval.is_power_of_two());
+        Cdprf {
+            interval: cfg.cdprf_interval,
+            shift: cfg.cdprf_interval.trailing_zeros(),
+            cycle_in_interval: 0,
+            rfoc: [[0; RegClass::COUNT]; MAX_THREADS],
+            starvation: [[0; RegClass::COUNT]; MAX_THREADS],
+            threshold: [[0; RegClass::COUNT]; MAX_THREADS],
+        }
+    }
+
+    /// Current threshold for a thread and class (test/diagnostic access).
+    pub fn threshold(&self, t: ThreadId, class: RegClass) -> usize {
+        self.threshold[t.idx()][class.idx()]
+    }
+
+    /// Current starvation counter (test/diagnostic access).
+    pub fn starvation(&self, t: ThreadId, class: RegClass) -> u64 {
+        self.starvation[t.idx()][class.idx()]
+    }
+}
+
+impl RfScheme for Cdprf {
+    fn kind(&self) -> RegFileSchemeKind {
+        RegFileSchemeKind::Cdprf
+    }
+
+    fn allows(&self, t: ThreadId, class: RegClass, _c: ClusterId, view: &RfView) -> bool {
+        if view.unbounded {
+            return true;
+        }
+        let used = view.used_total(t, class);
+        if used < self.threshold[t.idx()][class.idx()] {
+            return true;
+        }
+        // Beyond the reservation: the allocation must leave room for the
+        // other thread's outstanding reservation.
+        let other = t.other();
+        let reserved_other = self.threshold[other.idx()][class.idx()]
+            .saturating_sub(view.used_total(other, class));
+        view.used_all(class) + reserved_other < view.total_capacity(class)
+    }
+
+    fn end_cycle(&mut self, view: &RfView, starved: &[[bool; RegClass::COUNT]; MAX_THREADS]) {
+        for t in 0..MAX_THREADS {
+            for k in 0..RegClass::COUNT {
+                if starved[t][k] {
+                    self.starvation[t][k] += 1;
+                } else {
+                    self.starvation[t][k] = 0;
+                }
+                let used = view.used[t][k].iter().sum::<usize>() as u64;
+                self.rfoc[t][k] += used + self.starvation[t][k];
+            }
+        }
+        self.cycle_in_interval += 1;
+        if self.cycle_in_interval == self.interval {
+            self.cycle_in_interval = 0;
+            for t in 0..MAX_THREADS {
+                for (k, class) in RegClass::all().into_iter().enumerate() {
+                    let avg = (self.rfoc[t][k] >> self.shift) as usize;
+                    let half = view.total_capacity(class) / 2;
+                    self.threshold[t][k] = avg.min(half);
+                    self.rfoc[t][k] = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::make_rf_scheme;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const C0: ClusterId = ClusterId(0);
+    const C1: ClusterId = ClusterId(1);
+    const INT: RegClass = RegClass::Int;
+
+    fn view() -> RfView {
+        RfView {
+            capacity: [128, 128],
+            ..Default::default()
+        }
+    }
+
+    fn small_cfg() -> MachineConfig {
+        let mut c = MachineConfig::baseline();
+        c.cdprf_interval = 16; // tiny interval for unit tests
+        c
+    }
+
+    #[test]
+    fn shared_never_denies() {
+        let s = SharedRf;
+        let mut v = view();
+        v.used[0][0] = [128, 128];
+        assert!(s.allows(T0, INT, C0, &v));
+    }
+
+    #[test]
+    fn cssprf_caps_per_cluster() {
+        let s = Cssprf;
+        let mut v = view();
+        v.used[0][0] = [64, 10]; // at half of C0's 128
+        assert!(!s.allows(T0, INT, C0, &v));
+        assert!(s.allows(T0, INT, C1, &v));
+        assert!(s.allows(T1, INT, C0, &v));
+    }
+
+    #[test]
+    fn cisprf_caps_total() {
+        let s = Cisprf;
+        let mut v = view();
+        v.used[0][0] = [100, 27]; // 127 < 128 (half of 256)
+        assert!(s.allows(T0, INT, C0, &v));
+        v.used[0][0] = [100, 28]; // 128 = half
+        assert!(!s.allows(T0, INT, C0, &v));
+        assert!(!s.allows(T0, INT, C1, &v));
+        // FP file unaffected.
+        assert!(s.allows(T0, RegClass::FpSimd, C0, &v));
+    }
+
+    #[test]
+    fn unbounded_view_disables_all_caps() {
+        let mut v = view();
+        v.unbounded = true;
+        v.used[0][0] = [1000, 1000];
+        for kind in RegFileSchemeKind::all() {
+            let s = make_rf_scheme(kind, &small_cfg());
+            assert!(s.allows(T0, INT, C0, &v), "{kind}");
+        }
+    }
+
+    #[test]
+    fn cdprf_starts_unrestricted() {
+        let s = Cdprf::new(&small_cfg());
+        let mut v = view();
+        v.used[0][0] = [90, 37]; // 127 of 256 used
+        assert!(s.allows(T0, INT, C0, &v), "zero thresholds reserve nothing");
+    }
+
+    #[test]
+    fn cdprf_threshold_tracks_average_occupancy() {
+        let mut s = Cdprf::new(&small_cfg()); // interval 16
+        let mut v = view();
+        v.used[0][0] = [40, 0]; // thread 0 steadily uses 40 int regs
+        let starved = [[false; 2]; 2];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        assert_eq!(s.threshold(T0, INT), 40);
+        assert_eq!(s.threshold(T1, INT), 0);
+        assert_eq!(s.threshold(T0, RegClass::FpSimd), 0);
+    }
+
+    #[test]
+    fn cdprf_threshold_capped_at_half() {
+        let mut s = Cdprf::new(&small_cfg());
+        let mut v = view();
+        v.used[0][0] = [128, 128]; // would average 256
+        let starved = [[false; 2]; 2];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        assert_eq!(
+            s.threshold(T0, INT),
+            128,
+            "no private region beyond half the total file"
+        );
+    }
+
+    #[test]
+    fn cdprf_starvation_inflates_threshold() {
+        let mut s = Cdprf::new(&small_cfg());
+        let v = view(); // starved thread holds ~0 regs
+        let mut starved = [[false; 2]; 2];
+        starved[1][0] = true; // thread 1 starved for int regs every cycle
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        // RFOC accumulated 1+2+...+16 = 136 → avg 8; without the starvation
+        // term it would be 0.
+        assert!(s.threshold(T1, INT) > 0);
+        assert_eq!(s.threshold(T0, INT), 0);
+    }
+
+    #[test]
+    fn cdprf_starvation_resets_when_satisfied() {
+        let mut s = Cdprf::new(&small_cfg());
+        let v = view();
+        let mut starved = [[false; 2]; 2];
+        starved[0][0] = true;
+        s.end_cycle(&v, &starved);
+        s.end_cycle(&v, &starved);
+        assert_eq!(s.starvation(T0, INT), 2);
+        starved[0][0] = false;
+        s.end_cycle(&v, &starved);
+        assert_eq!(s.starvation(T0, INT), 0, "Figure 7: reset when not stalled");
+    }
+
+    #[test]
+    fn cdprf_respects_other_threads_reservation() {
+        let mut s = Cdprf::new(&small_cfg());
+        let mut v = view();
+        // Build a 60-register threshold for thread 1.
+        v.used[1][0] = [30, 30];
+        let starved = [[false; 2]; 2];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        assert_eq!(s.threshold(T1, INT), 60);
+        // Thread 1 currently holds only 10 → 50 reserved. Thread 0 (past its
+        // own 0-threshold) may allocate only while used_all + 50 < 256.
+        v.used[1][0] = [10, 0];
+        v.used[0][0] = [190, 5]; // used_all = 205; 205 + 50 = 255 < 256 → ok
+        assert!(s.allows(T0, INT, C0, &v));
+        v.used[0][0] = [190, 6]; // 206 + 50 = 256 → denied
+        assert!(!s.allows(T0, INT, C0, &v));
+        // Thread 1 itself is under threshold → always allowed.
+        assert!(s.allows(T1, INT, C1, &v));
+    }
+
+    #[test]
+    fn cdprf_interval_resets_rfoc() {
+        let mut s = Cdprf::new(&small_cfg());
+        let mut v = view();
+        v.used[0][0] = [40, 0];
+        let starved = [[false; 2]; 2];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        assert_eq!(s.threshold(T0, INT), 40);
+        // Next interval with zero occupancy → threshold drops to 0.
+        v.used[0][0] = [0, 0];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        assert_eq!(s.threshold(T0, INT), 0);
+    }
+
+    #[test]
+    fn factory_builds_every_rf_scheme() {
+        for kind in RegFileSchemeKind::all() {
+            let s = make_rf_scheme(kind, &small_cfg());
+            assert_eq!(s.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Dependence- and workload-based steering (Canal, Parcerisa & González,
+//! HPCA 2000 — the algorithm §3 of the paper builds on).
+//!
+//! For every renamed uop the steering logic prefers the cluster where most
+//! of its source operands already reside (minimizing copy traffic), breaks
+//! ties toward the less-loaded cluster, and overrides dependences entirely
+//! when the load imbalance between clusters exceeds a threshold. The
+//! assignment scheme can veto the preferred cluster, in which case the uop
+//! is redirected — the event Figure 4 counts as an "issue queue stall".
+
+use csmt_types::{ClusterId, NUM_CLUSTERS};
+
+/// Outcome of the steering decision for one uop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SteerDecision {
+    /// The cluster the steering logic wants.
+    pub preferred: ClusterId,
+    /// The decision was driven by operand residence (as opposed to load
+    /// balance or a static binding).
+    pub dep_based: bool,
+}
+
+/// Compute the preferred cluster for a uop.
+///
+/// * `src_presence[i][c]` — source operand `i` has a copy in cluster `c`.
+/// * `load` — pending-uop count per cluster (issue-queue occupancy).
+/// * `imbalance_threshold` — when `|load\[0\] − load\[1\]|` exceeds this, the
+///   less-loaded cluster is preferred regardless of operand residence.
+/// * `forced` — static binding (Private Clusters), which wins outright.
+pub fn steer(
+    src_presence: &[[bool; NUM_CLUSTERS]],
+    load: [usize; NUM_CLUSTERS],
+    imbalance_threshold: usize,
+    forced: Option<ClusterId>,
+) -> SteerDecision {
+    if let Some(c) = forced {
+        return SteerDecision {
+            preferred: c,
+            dep_based: false,
+        };
+    }
+    let lighter = if load[1] < load[0] {
+        ClusterId(1)
+    } else {
+        ClusterId(0)
+    };
+    let imbalance = load[0].abs_diff(load[1]);
+    if imbalance > imbalance_threshold {
+        return SteerDecision {
+            preferred: lighter,
+            dep_based: false,
+        };
+    }
+    let mut score = [0usize; NUM_CLUSTERS];
+    for p in src_presence {
+        for (c, present) in p.iter().enumerate() {
+            score[c] += *present as usize;
+        }
+    }
+    if score[0] > score[1] {
+        SteerDecision {
+            preferred: ClusterId(0),
+            dep_based: true,
+        }
+    } else if score[1] > score[0] {
+        SteerDecision {
+            preferred: ClusterId(1),
+            dep_based: true,
+        }
+    } else {
+        SteerDecision {
+            preferred: lighter,
+            dep_based: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: ClusterId = ClusterId(0);
+    const C1: ClusterId = ClusterId(1);
+
+    #[test]
+    fn follows_operand_residence() {
+        // Both sources in cluster 1.
+        let d = steer(&[[false, true], [false, true]], [0, 0], 12, None);
+        assert_eq!(d.preferred, C1);
+        assert!(d.dep_based);
+        // Majority in cluster 0 (one source in both).
+        let d = steer(&[[true, true], [true, false]], [0, 0], 12, None);
+        assert_eq!(d.preferred, C0);
+        assert!(d.dep_based);
+    }
+
+    #[test]
+    fn tie_goes_to_lighter_cluster() {
+        let d = steer(&[[true, true]], [10, 4], 12, None);
+        assert_eq!(d.preferred, C1);
+        assert!(!d.dep_based);
+        // No sources at all → lighter cluster.
+        let d = steer(&[], [3, 9], 12, None);
+        assert_eq!(d.preferred, C0);
+    }
+
+    #[test]
+    fn imbalance_overrides_dependences() {
+        // Sources favor C0, but C0 is overloaded past the threshold.
+        let d = steer(&[[true, false], [true, false]], [30, 2], 12, None);
+        assert_eq!(d.preferred, C1);
+        assert!(!d.dep_based);
+        // Below the threshold, dependences win.
+        let d = steer(&[[true, false], [true, false]], [13, 2], 12, None);
+        assert_eq!(d.preferred, C0);
+        assert!(d.dep_based);
+    }
+
+    #[test]
+    fn forced_binding_wins() {
+        let d = steer(&[[true, false]], [100, 0], 1, Some(C0));
+        assert_eq!(d.preferred, C0);
+        assert!(!d.dep_based);
+    }
+
+    #[test]
+    fn equal_load_tie_prefers_cluster0() {
+        let d = steer(&[], [5, 5], 12, None);
+        assert_eq!(d.preferred, C0);
+    }
+}

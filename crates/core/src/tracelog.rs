@@ -1,0 +1,220 @@
+//! Per-uop pipeline event logging (opt-in).
+//!
+//! When enabled, the simulator records the cycle at which every uop passes
+//! each pipeline stage. The log renders as a text pipeline view — the
+//! debugging instrument every cycle-level simulator grows eventually, and
+//! the fastest way to *see* a scheme starve a thread.
+//!
+//! ```text
+//! T0 #12  int   D@105 I@107 X@108 C@110   DDIXC
+//! T1 #40  load  D@105 I@106 X@119 C@121   DI...........XC
+//! ```
+
+use csmt_types::{OpClass, ThreadId};
+use std::collections::HashMap;
+
+/// Lifecycle timestamps of one uop (0 = not reached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UopRecord {
+    pub thread: u8,
+    pub seq: u64,
+    pub pc: u64,
+    pub class: Option<OpClass>,
+    pub is_copy: bool,
+    pub dispatch: u64,
+    pub issue: u64,
+    pub complete: u64,
+    pub commit: u64,
+    pub squashed: bool,
+}
+
+/// Bounded per-uop event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    records: Vec<UopRecord>,
+    index: HashMap<(u8, u64), usize>,
+    capacity: usize,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            records: Vec::with_capacity(capacity.min(1 << 16)),
+            index: HashMap::new(),
+            capacity,
+        }
+    }
+
+    fn slot(&mut self, thread: ThreadId, seq: u64) -> Option<&mut UopRecord> {
+        let key = (thread.0, seq);
+        if let Some(&i) = self.index.get(&key) {
+            return Some(&mut self.records[i]);
+        }
+        if self.records.len() >= self.capacity {
+            return None; // log full: stop recording new uops
+        }
+        let i = self.records.len();
+        self.records.push(UopRecord {
+            thread: thread.0,
+            seq,
+            ..Default::default()
+        });
+        self.index.insert(key, i);
+        Some(&mut self.records[i])
+    }
+
+    pub fn on_dispatch(
+        &mut self,
+        thread: ThreadId,
+        seq: u64,
+        pc: u64,
+        class: OpClass,
+        is_copy: bool,
+        cycle: u64,
+    ) {
+        if let Some(r) = self.slot(thread, seq) {
+            r.pc = pc;
+            r.class = Some(class);
+            r.is_copy = is_copy;
+            r.dispatch = cycle;
+        }
+    }
+
+    pub fn on_issue(&mut self, thread: ThreadId, seq: u64, cycle: u64) {
+        if let Some(r) = self.slot(thread, seq) {
+            r.issue = cycle;
+        }
+    }
+
+    pub fn on_complete(&mut self, thread: ThreadId, seq: u64, cycle: u64) {
+        if let Some(r) = self.slot(thread, seq) {
+            r.complete = cycle;
+        }
+    }
+
+    pub fn on_commit(&mut self, thread: ThreadId, seq: u64, cycle: u64) {
+        if let Some(r) = self.slot(thread, seq) {
+            r.commit = cycle;
+        }
+    }
+
+    pub fn on_squash(&mut self, thread: ThreadId, seq: u64) {
+        if let Some(r) = self.slot(thread, seq) {
+            r.squashed = true;
+        }
+    }
+
+    /// All records, in recording order.
+    pub fn records(&self) -> &[UopRecord] {
+        &self.records
+    }
+
+    /// Committed records only.
+    pub fn committed(&self) -> impl Iterator<Item = &UopRecord> {
+        self.records.iter().filter(|r| r.commit > 0)
+    }
+
+    /// Render a pipeline-view window: one lane per committed uop whose
+    /// dispatch falls in `[from, to)`, stages as D (dispatch→issue wait),
+    /// X (execute), W (await commit), C (commit).
+    pub fn render_window(&self, from: u64, to: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in self.committed() {
+            if r.dispatch < from || r.dispatch >= to {
+                continue;
+            }
+            let class = r.class.map(|c| c.to_string()).unwrap_or_default();
+            write!(
+                out,
+                "T{} #{:<5} {:<5} D@{:<6} I@{:<6} X@{:<6} C@{:<6} ",
+                r.thread, r.seq, class, r.dispatch, r.issue, r.complete, r.commit
+            )
+            .unwrap();
+            // Lane, anchored at the window start.
+            let lane_start = (r.dispatch - from) as usize;
+            out.push_str(&" ".repeat(lane_start.min(120)));
+            let d = r.issue.saturating_sub(r.dispatch) as usize;
+            let x = r.complete.saturating_sub(r.issue) as usize;
+            let w = r.commit.saturating_sub(r.complete) as usize;
+            out.push_str(&"D".repeat(d.clamp(1, 80)));
+            out.push_str(&"X".repeat(x.clamp(1, 80)));
+            if w > 1 {
+                out.push_str(&"w".repeat((w - 1).min(80)));
+            }
+            out.push('C');
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean dispatch→commit latency of committed uops.
+    pub fn mean_latency(&self) -> f64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for r in self.committed() {
+            sum += r.commit - r.dispatch;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+
+    #[test]
+    fn records_full_lifecycle() {
+        let mut log = EventLog::new(16);
+        log.on_dispatch(T0, 5, 0x40, OpClass::Int, false, 10);
+        log.on_issue(T0, 5, 12);
+        log.on_complete(T0, 5, 13);
+        log.on_commit(T0, 5, 15);
+        let r = log.records()[0];
+        assert_eq!((r.dispatch, r.issue, r.complete, r.commit), (10, 12, 13, 15));
+        assert!(!r.squashed);
+        assert_eq!(log.committed().count(), 1);
+        assert!((log.mean_latency() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn squashed_uops_are_marked_not_committed() {
+        let mut log = EventLog::new(16);
+        log.on_dispatch(T0, 1, 0, OpClass::Int, false, 1);
+        log.on_squash(T0, 1);
+        assert!(log.records()[0].squashed);
+        assert_eq!(log.committed().count(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut log = EventLog::new(2);
+        for seq in 0..5 {
+            log.on_dispatch(T0, seq, 0, OpClass::Int, false, seq + 1);
+        }
+        assert_eq!(log.records().len(), 2);
+        // Updates to already-tracked uops still work at capacity.
+        log.on_commit(T0, 0, 9);
+        assert_eq!(log.records()[0].commit, 9);
+    }
+
+    #[test]
+    fn window_render_contains_lanes() {
+        let mut log = EventLog::new(16);
+        log.on_dispatch(T0, 1, 0x40, OpClass::Load, false, 100);
+        log.on_issue(T0, 1, 102);
+        log.on_complete(T0, 1, 110);
+        log.on_commit(T0, 1, 111);
+        let view = log.render_window(95, 120);
+        assert!(view.contains("load"), "{view}");
+        assert!(view.contains("DDXXXXXXXXC"), "{view}");
+        // Outside the window: empty.
+        assert!(log.render_window(0, 50).is_empty());
+    }
+}

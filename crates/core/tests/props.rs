@@ -1,0 +1,279 @@
+//! Property tests: scheme-policy algebra and whole-pipeline invariants
+//! under randomized configurations.
+
+use csmt_core::schemes::{make_iq_scheme, make_rf_scheme, RfView, SchedView};
+use csmt_core::Simulator;
+use csmt_trace::profile::{category_base, TraceClass};
+use csmt_trace::suite::TraceSpec;
+use csmt_types::{
+    ClusterId, MachineConfig, RegClass, RegFileSchemeKind, SchemeKind, ThreadId,
+};
+use proptest::prelude::*;
+
+fn arb_sched_view() -> impl Strategy<Value = SchedView> {
+    (
+        prop::array::uniform2(prop::array::uniform2(0usize..33)),
+        prop::array::uniform2(0u32..4),
+        prop::array::uniform2(0usize..16),
+        0usize..2,
+    )
+        .prop_map(|(iq_occ, pending_l2, fetchq_len, parity)| SchedView {
+            iq_occ,
+            iq_capacity: 32,
+            rename_to_issue: [iq_occ[0][0] + iq_occ[0][1], iq_occ[1][0] + iq_occ[1][1]],
+            pending_l2,
+            earliest_l2_start: [
+                if pending_l2[0] > 0 { 100 } else { u64::MAX },
+                if pending_l2[1] > 0 { 200 } else { u64::MAX },
+            ],
+            fetchq_len,
+            active: [true, true],
+            wrong_path: [false, false],
+            cycle_parity: parity,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allows_iff_headroom(view in arb_sched_view()) {
+        // For every scheme: allows == (headroom ≥ 1 && total_headroom ≥ 1).
+        let cfg = MachineConfig::baseline();
+        for kind in SchemeKind::all() {
+            let s = make_iq_scheme(kind, &cfg);
+            for t in [ThreadId(0), ThreadId(1)] {
+                for c in ClusterId::all() {
+                    let a = s.allows(t, c, &view);
+                    let h = s.headroom(t, c, &view) >= 1 && s.total_headroom(t, &view) >= 1;
+                    prop_assert_eq!(a, h, "{}: allows != headroom", kind);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cssp_headroom_respects_half_cap(view in arb_sched_view()) {
+        let cfg = MachineConfig::baseline(); // 32-entry queues → cap 16
+        let s = make_iq_scheme(SchemeKind::Cssp, &cfg);
+        for t in [ThreadId(0), ThreadId(1)] {
+            for c in ClusterId::all() {
+                let occ = view.iq_occ[t.idx()][c.idx()];
+                let h = s.headroom(t, c, &view);
+                prop_assert!(h.saturating_add(occ) <= 16 || h == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cspsp_always_grants_guarantee(view in arb_sched_view()) {
+        // Below the 25% guarantee a thread is never denied.
+        let cfg = MachineConfig::baseline(); // guarantee 8
+        let s = make_iq_scheme(SchemeKind::Cspsp, &cfg);
+        for t in [ThreadId(0), ThreadId(1)] {
+            for c in ClusterId::all() {
+                if view.iq_occ[t.idx()][c.idx()] < 8 {
+                    prop_assert!(s.allows(t, c, &view), "guarantee violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rename_selection_skips_empty_queues(view in arb_sched_view()) {
+        let cfg = MachineConfig::baseline();
+        for kind in SchemeKind::all() {
+            let mut s = make_iq_scheme(kind, &cfg);
+            if let Some(t) = s.select_rename_thread(&view) {
+                prop_assert!(view.fetchq_len[t.idx()] > 0, "{}: selected empty thread", kind);
+            } else {
+                // No selectable thread: both empty or policy-stalled.
+                for i in 0..2 {
+                    let t = ThreadId(i as u8);
+                    prop_assert!(
+                        view.fetchq_len[i] == 0 || s.thread_stalled(t, &view),
+                        "{}: refused a runnable thread",
+                        kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rf_schemes_never_deny_below_reservation(
+        used in prop::array::uniform2(prop::array::uniform2(prop::array::uniform2(0usize..65))),
+    ) {
+        let view = RfView {
+            used,
+            capacity: [64, 64],
+            unbounded: false,
+        };
+        let cfg = MachineConfig::rf_study(64);
+        // CISPRF: a thread strictly below half the total is always allowed.
+        let s = make_rf_scheme(RegFileSchemeKind::Cisprf, &cfg);
+        for t in [ThreadId(0), ThreadId(1)] {
+            for k in [RegClass::Int, RegClass::FpSimd] {
+                let mine: usize = used[t.idx()][k.idx()].iter().sum();
+                if mine < 64 {
+                    prop_assert!(s.allows(t, k, ClusterId(0), &view));
+                }
+            }
+        }
+    }
+}
+
+// Whole-pipeline invariants on randomized (scheme, config, seed) points.
+// Expensive, so few cases and short runs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_invariants_hold_for_random_points(
+        iq_idx in 0usize..7,
+        rf_idx in 0usize..4,
+        seed in 0u64..1000,
+        iq_size in prop::sample::select(vec![16usize, 32, 64]),
+        cat in prop::sample::select(vec!["DH", "ISPEC00", "server", "office"]),
+        mem_trace: bool,
+    ) {
+        let iq = SchemeKind::all()[iq_idx];
+        let rf = RegFileSchemeKind::all()[rf_idx];
+        let class = if mem_trace { TraceClass::Mem } else { TraceClass::Ilp };
+        let traces = vec![
+            TraceSpec { profile: category_base(cat).variant(class), seed },
+            TraceSpec { profile: category_base(cat).variant(TraceClass::Ilp), seed: seed + 1 },
+        ];
+        let mut cfg = MachineConfig::rf_study(64);
+        cfg.iq_per_cluster = iq_size;
+        let mut sim = Simulator::new(cfg, iq, rf, &traces);
+        for i in 0..3000 {
+            sim.step();
+            if i % 500 == 0 {
+                sim.check_invariants();
+            }
+        }
+        sim.check_invariants();
+    }
+}
+
+/// Mini-fuzzer: inject arbitrary (valid) uop sequences directly into the
+/// pipeline with fetch disabled; every injected uop must commit, and the
+/// machine must satisfy its structural invariants throughout and end
+/// drained.
+mod injection_fuzz {
+    use super::*;
+    use csmt_types::uop::RegOperand;
+    use csmt_types::{MicroOp, OpClass};
+
+    #[derive(Debug, Clone, Copy)]
+    struct MiniOp {
+        class_sel: u8,
+        dest: u8,
+        src0: u8,
+        src1: u8,
+        addr: u16,
+        taken: bool,
+    }
+
+    fn arb_mini() -> impl Strategy<Value = MiniOp> {
+        (0u8..8, 0u8..8, 0u8..8, 0u8..8, any::<u16>(), any::<bool>()).prop_map(
+            |(class_sel, dest, src0, src1, addr, taken)| MiniOp {
+                class_sel,
+                dest,
+                src0,
+                src1,
+                addr,
+                taken,
+            },
+        )
+    }
+
+    fn build(pc: u64, m: MiniOp) -> MicroOp {
+        let int = |r: u8| Some(RegOperand::int(r));
+        let fp = |r: u8| Some(RegOperand::fp(r));
+        let base = MicroOp::nop(pc);
+        match m.class_sel {
+            0 | 1 => base
+                .with_class(if m.class_sel == 0 { OpClass::Int } else { OpClass::IntMul })
+                .with_dest(RegOperand::int(m.dest))
+                .with_srcs(int(m.src0), int(m.src1)),
+            2 => base
+                .with_class(OpClass::FpSimd)
+                .with_dest(RegOperand::fp(m.dest))
+                .with_srcs(fp(m.src0), fp(m.src1)),
+            3 => base
+                .with_class(OpClass::FpDiv)
+                .with_dest(RegOperand::fp(m.dest))
+                .with_srcs(fp(m.src0), None),
+            4 => base
+                .with_class(OpClass::Load)
+                .with_dest(RegOperand::int(m.dest))
+                .with_srcs(int(m.src0), None)
+                .with_mem(0x1000_0000 + m.addr as u64 * 8, 8),
+            5 => base
+                .with_class(OpClass::Store)
+                .with_srcs(int(m.src0), int(m.src1))
+                .with_mem(0x1000_0000 + m.addr as u64 * 8, 8),
+            6 => base
+                .with_class(OpClass::Branch)
+                .with_srcs(int(m.src0), None)
+                .with_branch(m.taken, m.addr as u32),
+            _ => base
+                .with_class(OpClass::BranchIndirect)
+                .with_srcs(int(m.src0), None)
+                .with_branch(m.taken, m.addr as u32),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn injected_sequences_always_drain(
+            ops0 in prop::collection::vec(arb_mini(), 1..40),
+            ops1 in prop::collection::vec(arb_mini(), 0..40),
+            iq_idx in 0usize..7,
+        ) {
+            let iq = SchemeKind::all()[iq_idx];
+            let traces = vec![
+                TraceSpec { profile: category_base("DH").variant(TraceClass::Ilp), seed: 1 },
+                TraceSpec { profile: category_base("DH").variant(TraceClass::Ilp), seed: 2 },
+            ];
+            let mut sim = Simulator::new(
+                MachineConfig::rf_study(64),
+                iq,
+                RegFileSchemeKind::Cdprf,
+                &traces,
+            );
+            sim.debug_disable_fetch();
+            for (i, &m) in ops0.iter().enumerate() {
+                sim.debug_inject(0, build(0x1000 + i as u64 * 4, m));
+            }
+            for (i, &m) in ops1.iter().enumerate() {
+                sim.debug_inject(1, build(0x8000 + i as u64 * 4, m));
+            }
+            // Generous drain budget: fpdivs + cold memory + TLB walks.
+            for cycle in 0..20_000u64 {
+                sim.step();
+                if cycle % 1024 == 0 {
+                    sim.check_invariants();
+                }
+                let s = sim.snapshot();
+                if s.committed[0] as usize == ops0.len()
+                    && s.committed[1] as usize == ops1.len()
+                {
+                    break;
+                }
+            }
+            sim.check_invariants();
+            let s = sim.snapshot();
+            prop_assert_eq!(s.committed[0] as usize, ops0.len(), "{} stalled", iq.name());
+            prop_assert_eq!(s.committed[1] as usize, ops1.len(), "{} stalled", iq.name());
+            // Fully drained: no in-flight state left anywhere.
+            prop_assert_eq!(s.iq_total(), 0);
+            prop_assert_eq!(s.rob, [0, 0]);
+            prop_assert_eq!(s.mob, 0);
+        }
+    }
+}

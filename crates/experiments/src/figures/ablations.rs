@@ -1,0 +1,246 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! * **A1 — steering balance threshold**: how aggressively the
+//!   dependence-based steering overrides operand affinity for balance.
+//! * **A2 — CDPRF adaptation interval**: sensitivity of the dynamic
+//!   register-file partition to its re-thresholding period.
+//! * **A3 — inter-cluster links**: bandwidth/latency of the copy network,
+//!   probing the paper's claim that communication is largely hidden by
+//!   multithreaded execution.
+
+use crate::report::Table;
+use crate::runner::{CfgKind, Sweeps};
+use csmt_trace::suite::{self, Category};
+use csmt_trace::Workload;
+use csmt_types::{RegFileSchemeKind, SchemeKind};
+
+/// Representative sample: the first MIX workload of every category (the
+/// workloads most sensitive to steering and communication).
+fn sample() -> Vec<Workload> {
+    let all = suite::suite();
+    Category::all()
+        .into_iter()
+        .filter_map(|c| {
+            all.iter()
+                .find(|w| w.category == c && w.kind == suite::WorkloadKind::Mix)
+                .cloned()
+        })
+        .collect()
+}
+
+/// A1: throughput across steering thresholds, normalized to threshold 6
+/// (the default). Run under **Icount**, whose only balancing force is the
+/// steering override — CSSP's per-cluster caps would mask the effect.
+pub fn steering(sweeps: &Sweeps) -> Table {
+    let ws = sample();
+    let thresholds = [2usize, 6, 12, 24, 64];
+    let grid: Vec<_> = thresholds
+        .iter()
+        .map(|&t| {
+            (
+                SchemeKind::Icount,
+                RegFileSchemeKind::Shared,
+                CfgKind::SteerAblation { threshold: t },
+            )
+        })
+        .collect();
+    sweeps.smt_batch(&ws, &grid);
+    let mut t = Table::new(
+        "Ablation A1 — steering balance threshold (Icount throughput vs thr=6)",
+        "workload",
+        thresholds.iter().map(|x| format!("thr{x}")).collect(),
+    );
+    for w in &ws {
+        let base = sweeps
+            .get(&Sweeps::smt_key(
+                w,
+                SchemeKind::Icount,
+                RegFileSchemeKind::Shared,
+                CfgKind::SteerAblation { threshold: 6 },
+            ))
+            .throughput();
+        let vals = thresholds
+            .iter()
+            .map(|&thr| {
+                sweeps
+                    .get(&Sweeps::smt_key(
+                        w,
+                        SchemeKind::Icount,
+                        RegFileSchemeKind::Shared,
+                        CfgKind::SteerAblation { threshold: thr },
+                    ))
+                    .throughput()
+                    / base.max(1e-9)
+            })
+            .collect();
+        t.push(&w.name, vals);
+    }
+    t.push_average("AVG");
+    t
+}
+
+/// A2: CDPRF throughput across adaptation intervals (2^shift cycles),
+/// normalized to 2^13 (the study default).
+pub fn interval(sweeps: &Sweeps) -> Table {
+    let all = suite::suite();
+    let ws: Vec<Workload> = all
+        .iter()
+        .filter(|w| w.category == Category::IspecFspec)
+        .cloned()
+        .collect();
+    let shifts = [10u32, 13, 15, 17];
+    let grid: Vec<_> = shifts
+        .iter()
+        .map(|&s| {
+            (
+                SchemeKind::Cssp,
+                RegFileSchemeKind::Cdprf,
+                CfgKind::IntervalAblation { shift: s },
+            )
+        })
+        .collect();
+    sweeps.smt_batch(&ws, &grid);
+    let mut t = Table::new(
+        "Ablation A2 — CDPRF interval (ISPEC-FSPEC throughput vs 2^13)",
+        "workload",
+        shifts.iter().map(|s| format!("2^{s}")).collect(),
+    );
+    for w in &ws {
+        let base = sweeps
+            .get(&Sweeps::smt_key(
+                w,
+                SchemeKind::Cssp,
+                RegFileSchemeKind::Cdprf,
+                CfgKind::IntervalAblation { shift: 13 },
+            ))
+            .throughput();
+        let vals = shifts
+            .iter()
+            .map(|&sh| {
+                sweeps
+                    .get(&Sweeps::smt_key(
+                        w,
+                        SchemeKind::Cssp,
+                        RegFileSchemeKind::Cdprf,
+                        CfgKind::IntervalAblation { shift: sh },
+                    ))
+                    .throughput()
+                    / base.max(1e-9)
+            })
+            .collect();
+        t.push(w.name.split('/').nth(1).unwrap_or(&w.name), vals);
+    }
+    t.push_average("AVG");
+    t
+}
+
+/// A3: link bandwidth/latency sensitivity (CSSP throughput vs 2 links ×
+/// 1 cycle, the Table-1 fabric). The paper's claim: communication is
+/// largely hidden by multithreading, so modest fabric changes matter
+/// little.
+pub fn links(sweeps: &Sweeps) -> Table {
+    let ws = sample();
+    let fabrics = [(1usize, 1u64), (2, 1), (4, 1), (2, 3), (2, 6)];
+    let grid: Vec<_> = fabrics
+        .iter()
+        .map(|&(l, lat)| {
+            (
+                SchemeKind::Cssp,
+                RegFileSchemeKind::Shared,
+                CfgKind::LinkAblation {
+                    links: l,
+                    latency: lat,
+                },
+            )
+        })
+        .collect();
+    sweeps.smt_batch(&ws, &grid);
+    let mut t = Table::new(
+        "Ablation A3 — inter-cluster links (CSSP throughput vs 2 links @1cy)",
+        "workload",
+        fabrics.iter().map(|(l, lat)| format!("{l}x{lat}cy")).collect(),
+    );
+    for w in &ws {
+        let base = sweeps
+            .get(&Sweeps::smt_key(
+                w,
+                SchemeKind::Cssp,
+                RegFileSchemeKind::Shared,
+                CfgKind::LinkAblation { links: 2, latency: 1 },
+            ))
+            .throughput();
+        let vals = fabrics
+            .iter()
+            .map(|&(l, lat)| {
+                sweeps
+                    .get(&Sweeps::smt_key(
+                        w,
+                        SchemeKind::Cssp,
+                        RegFileSchemeKind::Shared,
+                        CfgKind::LinkAblation {
+                            links: l,
+                            latency: lat,
+                        },
+                    ))
+                    .throughput()
+                    / base.max(1e-9)
+            })
+            .collect();
+        t.push(&w.name, vals);
+    }
+    t.push_average("AVG");
+    t
+}
+
+/// A4: hardware prefetcher × scheme interplay. A prefetcher hides exactly
+/// the L2 misses that Stall/Flush+ react to and that make Icount clog —
+/// does it shrink the gaps the assignment schemes exploit?
+pub fn prefetch(sweeps: &Sweeps) -> Table {
+    let ws = sample();
+    let kinds = [(0u8, "none"), (1, "next-line"), (2, "stride")];
+    let schemes = [SchemeKind::Icount, SchemeKind::Stall, SchemeKind::Cssp];
+    let mut grid = Vec::new();
+    for &(k, _) in &kinds {
+        for &s in &schemes {
+            grid.push((s, RegFileSchemeKind::Shared, CfgKind::PrefetchAblation { kind: k }));
+        }
+    }
+    sweeps.smt_batch(&ws, &grid);
+    let mut t = Table::new(
+        "Ablation A4 — prefetcher x scheme (throughput vs Icount/no-prefetch)",
+        "workload",
+        kinds
+            .iter()
+            .flat_map(|(_, n)| schemes.iter().map(move |s| format!("{s}/{n}")))
+            .collect(),
+    );
+    for w in &ws {
+        let base = sweeps
+            .get(&Sweeps::smt_key(
+                w,
+                SchemeKind::Icount,
+                RegFileSchemeKind::Shared,
+                CfgKind::PrefetchAblation { kind: 0 },
+            ))
+            .throughput();
+        let mut vals = Vec::new();
+        for &(k, _) in &kinds {
+            for &s in &schemes {
+                vals.push(
+                    sweeps
+                        .get(&Sweeps::smt_key(
+                            w,
+                            s,
+                            RegFileSchemeKind::Shared,
+                            CfgKind::PrefetchAblation { kind: k },
+                        ))
+                        .throughput()
+                        / base.max(1e-9),
+                );
+            }
+        }
+        t.push(&w.name, vals);
+    }
+    t.push_average("AVG");
+    t
+}

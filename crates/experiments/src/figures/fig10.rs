@@ -1,0 +1,84 @@
+//! Figure 10: fairness speedup versus Icount for Stall, Flush+, CSSP and
+//! CSSP+CDPRF, per category plus average.
+//!
+//! Fairness follows \[33\]: the minimum ratio of the two threads' relative
+//! slowdowns versus running alone on the same machine. The single-thread
+//! baselines run Icount/Shared (a lone thread with the full machine).
+
+use super::by_category;
+use crate::report::Table;
+use crate::runner::{CfgKind, Sweeps};
+use csmt_core::metrics::fairness;
+use csmt_trace::suite;
+use csmt_trace::suite::Workload;
+use csmt_types::{RegFileSchemeKind, SchemeKind, ThreadId};
+
+/// (label, iq scheme, rf scheme) series of Figure 10.
+pub const SERIES: [(&str, SchemeKind, RegFileSchemeKind); 4] = [
+    ("Stall", SchemeKind::Stall, RegFileSchemeKind::Shared),
+    ("Flush+", SchemeKind::FlushPlus, RegFileSchemeKind::Shared),
+    ("CSSP", SchemeKind::Cssp, RegFileSchemeKind::Shared),
+    ("CDPRF", SchemeKind::Cssp, RegFileSchemeKind::Cdprf),
+];
+
+pub const REGS: usize = 64;
+
+/// Fairness of one scheme on one workload.
+pub fn workload_fairness(
+    sweeps: &Sweeps,
+    w: &Workload,
+    iq: SchemeKind,
+    rf: RegFileSchemeKind,
+) -> f64 {
+    let cfg = CfgKind::RfStudy { regs: REGS };
+    let smt = sweeps.get(&Sweeps::smt_key(w, iq, rf, cfg));
+    let alone0 = sweeps.get(&Sweeps::single_key(&w.traces[0], cfg));
+    let alone1 = sweeps.get(&Sweeps::single_key(&w.traces[1], cfg));
+    fairness(
+        [smt.ipc(ThreadId(0)), smt.ipc(ThreadId(1))],
+        [alone0.ipc(ThreadId(0)), alone1.ipc(ThreadId(0))],
+    )
+}
+
+pub fn run(sweeps: &Sweeps) -> Table {
+    let workloads = suite::suite();
+    let cfg = CfgKind::RfStudy { regs: REGS };
+    let mut grid: Vec<_> = SERIES.iter().map(|&(_, iq, rf)| (iq, rf, cfg)).collect();
+    grid.push((SchemeKind::Icount, RegFileSchemeKind::Shared, cfg));
+    sweeps.smt_batch(&workloads, &grid);
+    sweeps.single_batch(&workloads, cfg);
+
+    let columns: Vec<String> = SERIES.iter().map(|(n, _, _)| n.to_string()).collect();
+    let mut t = Table::new(
+        "Figure 10 — fairness speedup vs Icount (64 regs/cluster)",
+        "category",
+        columns,
+    );
+    for (c, ws) in by_category() {
+        let vals: Vec<f64> = SERIES
+            .iter()
+            .map(|&(_, iq, rf)| {
+                ws.iter()
+                    .map(|w| {
+                        let f = workload_fairness(sweeps, w, iq, rf);
+                        let base = workload_fairness(
+                            sweeps,
+                            w,
+                            SchemeKind::Icount,
+                            RegFileSchemeKind::Shared,
+                        );
+                        if base > 0.0 {
+                            f / base
+                        } else {
+                            1.0
+                        }
+                    })
+                    .sum::<f64>()
+                    / ws.len() as f64
+            })
+            .collect();
+        t.push(c.name(), vals);
+    }
+    t.push_average("Average");
+    t
+}

@@ -1,0 +1,54 @@
+//! Figure 2: throughput of the seven IQ assignment schemes with 32 and 64
+//! issue-queue entries per cluster, register files and ROB unbounded,
+//! normalized per workload to Icount with 32 entries.
+
+use super::category_table;
+use crate::report::Table;
+use crate::runner::{CfgKind, Sweeps};
+use csmt_trace::suite;
+use csmt_types::{RegFileSchemeKind, SchemeKind};
+
+/// The (scheme, iq-size) grid of Figure 2.
+pub fn combos() -> Vec<(SchemeKind, usize)> {
+    let mut v = Vec::new();
+    for s in SchemeKind::all() {
+        for iq in [32usize, 64] {
+            v.push((s, iq));
+        }
+    }
+    v
+}
+
+pub fn run(sweeps: &Sweeps) -> Table {
+    let workloads = suite();
+    let grid: Vec<_> = combos()
+        .into_iter()
+        .map(|(s, iq)| (s, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq }))
+        .collect();
+    sweeps.smt_batch(&workloads, &grid);
+
+    let columns: Vec<String> = combos()
+        .iter()
+        .map(|(s, iq)| format!("{s}/{iq}"))
+        .collect();
+    category_table(
+        "Figure 2 — throughput speedup vs Icount@32 (IQ study)",
+        columns,
+        |w, j| {
+            let (s, iq) = combos()[j];
+            let base = sweeps.get(&Sweeps::smt_key(
+                w,
+                SchemeKind::Icount,
+                RegFileSchemeKind::Shared,
+                CfgKind::IqStudy { iq: 32 },
+            ));
+            let r = sweeps.get(&Sweeps::smt_key(
+                w,
+                s,
+                RegFileSchemeKind::Shared,
+                CfgKind::IqStudy { iq },
+            ));
+            r.throughput() / base.throughput().max(1e-9)
+        },
+    )
+}

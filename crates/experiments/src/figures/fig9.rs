@@ -1,0 +1,72 @@
+//! Figure 9: CDPRF on the ISPEC-FSPEC category — per-workload throughput
+//! of CSSP, CSSPRF, CISPRF and CDPRF normalized to Icount, plus the
+//! category average (AVG) and the average over the full suite (AVG All).
+//!
+//! 64 registers per cluster: the configuration where the register file is
+//! actually contended and the static/dynamic partitioning trade-off shows.
+
+use crate::report::Table;
+use crate::runner::{CfgKind, Sweeps};
+use csmt_trace::suite::{self, Category};
+use csmt_types::{RegFileSchemeKind, SchemeKind};
+
+pub const RF_SERIES: [RegFileSchemeKind; 4] = [
+    RegFileSchemeKind::Shared, // plain CSSP
+    RegFileSchemeKind::Cssprf,
+    RegFileSchemeKind::Cisprf,
+    RegFileSchemeKind::Cdprf,
+];
+
+pub const REGS: usize = 64;
+
+fn series_name(rf: RegFileSchemeKind) -> &'static str {
+    match rf {
+        RegFileSchemeKind::Shared => "CSSP",
+        other => other.name(),
+    }
+}
+
+pub fn run(sweeps: &Sweeps) -> Table {
+    let all = suite::suite();
+    let cfg = CfgKind::RfStudy { regs: REGS };
+    let mut grid: Vec<_> = RF_SERIES
+        .into_iter()
+        .map(|rf| (SchemeKind::Cssp, rf, cfg))
+        .collect();
+    grid.push((SchemeKind::Icount, RegFileSchemeKind::Shared, cfg));
+    sweeps.smt_batch(&all, &grid);
+
+    let norm = |w: &suite::Workload, rf: RegFileSchemeKind| {
+        let base = sweeps.get(&Sweeps::smt_key(
+            w,
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            cfg,
+        ));
+        let r = sweeps.get(&Sweeps::smt_key(w, SchemeKind::Cssp, rf, cfg));
+        r.throughput() / base.throughput().max(1e-9)
+    };
+
+    let columns: Vec<String> = RF_SERIES.iter().map(|rf| series_name(*rf).into()).collect();
+    let mut t = Table::new(
+        "Figure 9 — ISPEC-FSPEC throughput vs Icount (64 regs/cluster)",
+        "workload",
+        columns,
+    );
+    let isfs: Vec<_> = all
+        .iter()
+        .filter(|w| w.category == Category::IspecFspec)
+        .collect();
+    for w in &isfs {
+        let short = w.name.split('/').nth(1).unwrap_or(&w.name);
+        t.push(short, RF_SERIES.iter().map(|rf| norm(w, *rf)).collect());
+    }
+    t.push_average("AVG");
+    // AVG All: mean over the whole suite.
+    let avg_all: Vec<f64> = RF_SERIES
+        .iter()
+        .map(|rf| all.iter().map(|w| norm(w, *rf)).sum::<f64>() / all.len() as f64)
+        .collect();
+    t.push("AVG All", avg_all);
+    t
+}

@@ -1,0 +1,46 @@
+//! Headline-number summary: the paper's claims next to our measurements.
+//!
+//! * CSSP ≈ +16% throughput over Icount (32-entry IQ study);
+//! * CDPRF ≈ +17.6% over Icount overall, ~+5% extra on ISPEC-FSPEC;
+//! * CDPRF fairness ≈ +24% over Icount (Stall +13%, Flush+ +14%).
+
+use super::{fig10, fig2, fig9};
+use crate::report::Table;
+use crate::runner::Sweeps;
+
+pub fn run(sweeps: &Sweeps) -> Table {
+    let f2 = fig2::run(sweeps);
+    let f9 = fig9::run(sweeps);
+    let f10 = fig10::run(sweeps);
+
+    let mut t = Table::new(
+        "Summary — paper headline vs measured",
+        "claim",
+        vec!["paper".into(), "measured".into()],
+    );
+    let cssp32 = f2.value("AVG", "CSSP/32").unwrap_or(f64::NAN);
+    t.push("CSSP vs Icount (IQ study, x)", vec![1.16, cssp32]);
+    let cdprf = f9.value("AVG All", "CDPRF").unwrap_or(f64::NAN);
+    t.push("CDPRF vs Icount overall (x)", vec![1.176, cdprf]);
+    let cssp_all = f9.value("AVG All", "CSSP").unwrap_or(f64::NAN);
+    t.push("CSSP vs Icount overall (x)", vec![1.16, cssp_all]);
+    let isfs_cssp = f9.value("AVG", "CSSP").unwrap_or(f64::NAN);
+    let isfs_cdprf = f9.value("AVG", "CDPRF").unwrap_or(f64::NAN);
+    t.push(
+        "CDPRF extra on ISPEC-FSPEC (x over CSSP)",
+        vec![1.05, isfs_cdprf / isfs_cssp],
+    );
+    t.push(
+        "Fairness: Stall vs Icount (x)",
+        vec![1.13, f10.value("Average", "Stall").unwrap_or(f64::NAN)],
+    );
+    t.push(
+        "Fairness: Flush+ vs Icount (x)",
+        vec![1.14, f10.value("Average", "Flush+").unwrap_or(f64::NAN)],
+    );
+    t.push(
+        "Fairness: CDPRF vs Icount (x)",
+        vec![1.24, f10.value("Average", "CDPRF").unwrap_or(f64::NAN)],
+    );
+    t
+}

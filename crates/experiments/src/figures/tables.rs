@@ -1,0 +1,37 @@
+//! Table reproductions: Table 2 (the workload suite).
+
+use crate::report::Table;
+use csmt_trace::suite::{self, WorkloadKind};
+
+/// Table 2 — workload counts per category and type.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2 — benchmark suite (workload counts)",
+        "category",
+        vec!["ILP".into(), "MEM".into(), "MIX".into(), "total".into()],
+    );
+    let all = suite::suite();
+    for c in suite::Category::all() {
+        let ws: Vec<_> = all.iter().filter(|w| w.category == c).collect();
+        let count = |k: WorkloadKind| ws.iter().filter(|w| w.kind == k).count() as f64;
+        t.push(
+            c.name(),
+            vec![
+                count(WorkloadKind::Ilp),
+                count(WorkloadKind::Mem),
+                count(WorkloadKind::Mix),
+                ws.len() as f64,
+            ],
+        );
+    }
+    t.push(
+        "TOTAL",
+        vec![
+            all.iter().filter(|w| w.kind == WorkloadKind::Ilp).count() as f64,
+            all.iter().filter(|w| w.kind == WorkloadKind::Mem).count() as f64,
+            all.iter().filter(|w| w.kind == WorkloadKind::Mix).count() as f64,
+            all.len() as f64,
+        ],
+    );
+    t
+}

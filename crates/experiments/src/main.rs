@@ -1,0 +1,98 @@
+//! Command-line driver: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! csmt-experiments <artifact>... [--target N] [--workers N] [--csv DIR] [--quiet]
+//! csmt-experiments all [--target N]
+//! ```
+
+use csmt_experiments::figures::{run_named, ABLATIONS, ALL_ARTIFACTS};
+use csmt_experiments::runner::{ExpOptions, Sweeps};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut opts = ExpOptions::default();
+    let mut csv_dir: Option<String> = None;
+    let mut bars = false;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--target" => {
+                opts.commit_target = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--target needs a number");
+            }
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs a number");
+            }
+            "--csv" => {
+                csv_dir = Some(it.next().expect("--csv needs a directory").clone());
+            }
+            "--quiet" => opts.verbose = false,
+            "--bars" => bars = true,
+            "all" => artifacts.extend(ALL_ARTIFACTS.iter().map(|s| s.to_string())),
+            "ablations" => artifacts.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    // compare <a.json> <b.json> [tolerance]: artifact drift check.
+    if artifacts.first().map(String::as_str) == Some("compare") {
+        let a = artifacts.get(1).expect("compare needs two JSON files");
+        let b = artifacts.get(2).expect("compare needs two JSON files");
+        let tol: f64 = artifacts.get(3).and_then(|t| t.parse().ok()).unwrap_or(0.05);
+        let ta = csmt_experiments::report::Table::from_json(
+            &std::fs::read_to_string(a).expect("read first table"),
+        )
+        .expect("parse first table");
+        let tb = csmt_experiments::report::Table::from_json(
+            &std::fs::read_to_string(b).expect("read second table"),
+        )
+        .expect("parse second table");
+        let (diff, violations) = ta.diff(&tb, tol);
+        println!("{}", diff.render());
+        if violations.is_empty() {
+            println!("OK: no cell drifted more than {:.1}%", tol * 100.0);
+            return;
+        }
+        println!("{} cells drifted beyond {:.1}%:", violations.len(), tol * 100.0);
+        for v in &violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    if artifacts.is_empty() {
+        eprintln!(
+            "usage: csmt-experiments <artifact>... [--target N] [--workers N] [--csv DIR] [--bars]"
+        );
+        eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
+        eprintln!("           ablations  detail:<workload-name>");
+        std::process::exit(2);
+    }
+    let sweeps = Sweeps::new(opts);
+    for name in &artifacts {
+        match run_named(name, &sweeps) {
+            Some(table) => {
+                println!("{}", table.render());
+                if bars {
+                    println!("{}", table.render_all_bars());
+                }
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir).expect("create csv dir");
+                    let path = format!("{dir}/{name}.csv");
+                    std::fs::write(&path, table.to_csv()).expect("write csv");
+                    let jpath = format!("{dir}/{name}.json");
+                    std::fs::write(&jpath, table.to_json()).expect("write json");
+                    eprintln!("wrote {path} and {jpath}");
+                }
+            }
+            None => {
+                eprintln!("unknown artifact: {name}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Parallel, memoized simulation runner.
+//!
+//! A [`Sweeps`] store maps [`RunKey`]s (workload × scheme × configuration)
+//! to [`SimResult`]s. Figures request batches of keys; the store simulates
+//! missing ones across worker threads (crossbeam scoped threads, one per
+//! available core) and memoizes, so e.g. the Icount@32 baseline shared by
+//! Figures 2, 3, 4 and 5 is simulated exactly once per process.
+
+use csmt_core::metrics::SimResult;
+use csmt_core::Simulator;
+use csmt_trace::suite::{TraceSpec, Workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Machine configuration variants used by the paper's studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CfgKind {
+    /// §5.1 issue-queue study: `iq` entries per cluster, unbounded
+    /// registers and ROB.
+    IqStudy { iq: usize },
+    /// §5.2 register-file study: 32-entry IQs, `regs` registers per
+    /// cluster and class.
+    RfStudy { regs: usize },
+    /// Full Table-1 baseline.
+    Baseline,
+    /// Ablation A1: steering balance threshold sweep (32-entry IQ study).
+    SteerAblation { threshold: usize },
+    /// Ablation A2: CDPRF interval sweep (64-register RF study),
+    /// interval = 2^shift cycles.
+    IntervalAblation { shift: u32 },
+    /// Ablation A3: inter-cluster link count / latency sweep.
+    LinkAblation { links: usize, latency: u64 },
+    /// Ablation A4: hardware prefetcher (0 none, 1 next-line, 2 stride),
+    /// 32-entry IQ study.
+    PrefetchAblation { kind: u8 },
+}
+
+impl CfgKind {
+    pub fn build(self) -> MachineConfig {
+        match self {
+            CfgKind::IqStudy { iq } => MachineConfig::iq_study(iq),
+            CfgKind::RfStudy { regs } => MachineConfig::rf_study(regs),
+            CfgKind::Baseline => MachineConfig::baseline(),
+            CfgKind::SteerAblation { threshold } => MachineConfig {
+                steer_imbalance_threshold: threshold,
+                ..MachineConfig::iq_study(32)
+            },
+            CfgKind::IntervalAblation { shift } => MachineConfig {
+                cdprf_interval: 1 << shift,
+                ..MachineConfig::rf_study(64)
+            },
+            CfgKind::LinkAblation { links, latency } => MachineConfig {
+                num_links: links,
+                link_latency: latency,
+                ..MachineConfig::iq_study(32)
+            },
+            CfgKind::PrefetchAblation { kind } => MachineConfig {
+                prefetcher: ["none", "next-line", "stride"][kind as usize % 3].to_string(),
+                ..MachineConfig::iq_study(32)
+            },
+        }
+    }
+
+    pub fn label(self) -> String {
+        match self {
+            CfgKind::IqStudy { iq } => format!("iq{iq}"),
+            CfgKind::RfStudy { regs } => format!("rf{regs}"),
+            CfgKind::Baseline => "base".to_string(),
+            CfgKind::SteerAblation { threshold } => format!("steer{threshold}"),
+            CfgKind::IntervalAblation { shift } => format!("interval2^{shift}"),
+            CfgKind::LinkAblation { links, latency } => format!("links{links}x{latency}"),
+            CfgKind::PrefetchAblation { kind } => format!("pf{kind}"),
+        }
+    }
+}
+
+/// Identity of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Workload name from the suite, or `single:<profile>:<seed>` for a
+    /// fairness baseline.
+    pub label: String,
+    pub iq: SchemeKind,
+    pub rf: RegFileSchemeKind,
+    pub cfg: CfgKind,
+}
+
+/// What a key simulates. Boxed: a 2-trace workload carries two full
+/// profiles and would dominate the variant size otherwise.
+#[derive(Clone)]
+enum RunInput {
+    Smt(Box<Workload>),
+    Single(Box<TraceSpec>),
+}
+
+/// Harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpOptions {
+    /// Committed uops per thread per run.
+    pub commit_target: u64,
+    /// Warm-up committed uops per thread before measurement.
+    pub warmup: u64,
+    /// Hard cycle cap per run.
+    pub max_cycles: u64,
+    /// Worker threads (0 = all available cores).
+    pub workers: usize,
+    /// Print progress dots.
+    pub verbose: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            commit_target: 20_000,
+            warmup: 10_000,
+            max_cycles: 30_000_000,
+            workers: 0,
+            verbose: true,
+        }
+    }
+}
+
+/// Memoizing run store.
+pub struct Sweeps {
+    pub opts: ExpOptions,
+    results: Mutex<HashMap<RunKey, SimResult>>,
+}
+
+impl Sweeps {
+    pub fn new(opts: ExpOptions) -> Self {
+        Sweeps {
+            opts,
+            results: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Key for an SMT run of a suite workload.
+    pub fn smt_key(w: &Workload, iq: SchemeKind, rf: RegFileSchemeKind, cfg: CfgKind) -> RunKey {
+        RunKey {
+            label: w.name.clone(),
+            iq,
+            rf,
+            cfg,
+        }
+    }
+
+    /// Key for a single-thread baseline run of one trace.
+    pub fn single_key(spec: &TraceSpec, cfg: CfgKind) -> RunKey {
+        RunKey {
+            label: format!("single:{}:{}", spec.profile.name, spec.seed),
+            iq: SchemeKind::Icount,
+            rf: RegFileSchemeKind::Shared,
+            cfg,
+        }
+    }
+
+    /// Ensure all (key, input) pairs are simulated; memoized.
+    fn ensure(&self, batch: Vec<(RunKey, RunInput)>) {
+        let todo: Vec<(RunKey, RunInput)> = {
+            let map = self.results.lock();
+            batch
+                .into_iter()
+                .filter(|(k, _)| !map.contains_key(k))
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let workers = if self.opts.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.opts.workers
+        }
+        .min(todo.len());
+        let next = AtomicUsize::new(0);
+        let total = todo.len();
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let (key, input) = &todo[i];
+                    let result = run_one(key, input, &self.opts);
+                    if self.opts.verbose {
+                        eprint!(".");
+                    }
+                    self.results.lock().insert(key.clone(), result);
+                });
+            }
+        })
+        .expect("worker panicked");
+        if self.opts.verbose {
+            eprintln!(" [{total} runs]");
+        }
+    }
+
+    /// Run (or fetch) a batch of SMT runs over `workloads`.
+    pub fn smt_batch(
+        &self,
+        workloads: &[Workload],
+        combos: &[(SchemeKind, RegFileSchemeKind, CfgKind)],
+    ) {
+        let mut batch = Vec::new();
+        for w in workloads {
+            for &(iq, rf, cfg) in combos {
+                batch.push((
+                    Sweeps::smt_key(w, iq, rf, cfg),
+                    RunInput::Smt(Box::new(w.clone())),
+                ));
+            }
+        }
+        self.ensure(batch);
+    }
+
+    /// Run (or fetch) single-thread baselines for every trace of the
+    /// workloads.
+    pub fn single_batch(&self, workloads: &[Workload], cfg: CfgKind) {
+        let mut batch = Vec::new();
+        for w in workloads {
+            for spec in &w.traces {
+                batch.push((
+                    Sweeps::single_key(spec, cfg),
+                    RunInput::Single(Box::new(spec.clone())),
+                ));
+            }
+        }
+        self.ensure(batch);
+    }
+
+    /// Fetch a memoized result (must have been ensured).
+    pub fn get(&self, key: &RunKey) -> SimResult {
+        self.results
+            .lock()
+            .get(key)
+            .unwrap_or_else(|| panic!("run not simulated: {key:?}"))
+            .clone()
+    }
+
+    /// Number of memoized runs.
+    pub fn len(&self) -> usize {
+        self.results.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.results.lock().is_empty()
+    }
+}
+
+fn run_one(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
+    let cfg = key.cfg.build();
+    let traces: Vec<TraceSpec> = match input {
+        RunInput::Smt(w) => w.traces.to_vec(),
+        RunInput::Single(s) => vec![(**s).clone()],
+    };
+    let mut sim = Simulator::new(cfg, key.iq, key.rf, &traces);
+    sim.run_with_warmup(opts.warmup, opts.commit_target, opts.max_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csmt_trace::suite;
+
+    fn tiny_opts() -> ExpOptions {
+        ExpOptions {
+            commit_target: 800,
+            warmup: 200,
+            max_cycles: 2_000_000,
+            workers: 0,
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn memoization_avoids_reruns() {
+        let sweeps = Sweeps::new(tiny_opts());
+        let ws: Vec<_> = suite().into_iter().take(2).collect();
+        let combos = [(
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        )];
+        sweeps.smt_batch(&ws, &combos);
+        assert_eq!(sweeps.len(), 2);
+        sweeps.smt_batch(&ws, &combos); // no-op
+        assert_eq!(sweeps.len(), 2);
+        let k = Sweeps::smt_key(&ws[0], combos[0].0, combos[0].1, combos[0].2);
+        let r = sweeps.get(&k);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn single_baselines_dedupe_by_trace() {
+        let sweeps = Sweeps::new(tiny_opts());
+        let ws: Vec<_> = suite().into_iter().take(1).collect();
+        sweeps.single_batch(&ws, CfgKind::Baseline);
+        assert_eq!(sweeps.len(), 2, "two traces per workload");
+        let k = Sweeps::single_key(&ws[0].traces[0], CfgKind::Baseline);
+        assert_eq!(sweeps.get(&k).num_threads, 1);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let ws: Vec<_> = suite().into_iter().take(3).collect();
+        let combos = [(
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        )];
+        let a = Sweeps::new(ExpOptions {
+            workers: 1,
+            ..tiny_opts()
+        });
+        a.smt_batch(&ws, &combos);
+        let b = Sweeps::new(ExpOptions {
+            workers: 3,
+            ..tiny_opts()
+        });
+        b.smt_batch(&ws, &combos);
+        for w in &ws {
+            let k = Sweeps::smt_key(w, combos[0].0, combos[0].1, combos[0].2);
+            assert_eq!(a.get(&k).stats.cycles, b.get(&k).stats.cycles, "{}", w.name);
+        }
+    }
+}

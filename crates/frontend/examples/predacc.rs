@@ -1,0 +1,40 @@
+use csmt_frontend::{Gshare, IndirectPredictor};
+use csmt_trace::profile::{category_base, TraceClass};
+use csmt_trace::ThreadTrace;
+use csmt_types::{OpClass, ThreadId};
+
+fn main() {
+    for (cat, class) in [
+        ("DH", TraceClass::Ilp),
+        ("FSPEC00", TraceClass::Ilp),
+        ("ISPEC00", TraceClass::Ilp),
+        ("server", TraceClass::Mem),
+    ] {
+        let p = category_base(cat).variant(class);
+        let mut t = ThreadTrace::from_profile(&p, 5);
+        let mut g = Gshare::new(32 * 1024);
+        let mut ind = IndirectPredictor::new(4096);
+        let (mut br, mut misp, mut ibr, mut ibr_misp) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..300_000 {
+            let u = t.next_uop();
+            if let Some(b) = u.branch {
+                let measured = (30_000..60_000).contains(&i);
+                if measured { br += 1; }
+                let h = g.history(ThreadId(0));
+                let dir_ok = g.update(ThreadId(0), u.pc, b.taken);
+                let mut bad = !dir_ok;
+                if u.class == OpClass::BranchIndirect {
+                    if measured { ibr += 1; }
+                    let tgt_ok = ind.update(u.pc, h, b.target);
+                    if !tgt_ok { if measured { ibr_misp += 1; } bad = true; }
+                }
+                if bad && measured { misp += 1; }
+            }
+        }
+        println!(
+            "{cat}-{class}: branches={br} misp_ratio={:.4} dir_misp={:.4} ibr={ibr} ibr_misp={ibr_misp}",
+            misp as f64 / br as f64,
+            g.mispredict_ratio()
+        );
+    }
+}

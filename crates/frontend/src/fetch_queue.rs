@@ -1,0 +1,143 @@
+//! Per-thread fetch queues.
+//!
+//! §3: *"Fetched instructions from every thread are stored into private
+//! queues residing inside the thread selection component."* The fetch
+//! selection policy always fetches for the thread with the fewest queued
+//! uops so the rename selection policy (the scheme under study) can always
+//! choose either thread.
+
+use csmt_types::MicroOp;
+use std::collections::VecDeque;
+
+/// A fetched uop annotated with front-end prediction state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchedUop {
+    pub uop: MicroOp,
+    /// This uop lies on a mispredicted path and will be squashed when the
+    /// offending branch resolves.
+    pub wrong_path: bool,
+    /// This branch was mispredicted at fetch: when it executes, the thread
+    /// redirects (squash + mispredict penalty).
+    pub mispredicted: bool,
+}
+
+/// One thread's private fetch queue.
+#[derive(Debug, Clone)]
+pub struct FetchQueue {
+    q: VecDeque<FetchedUop>,
+    capacity: usize,
+}
+
+impl FetchQueue {
+    pub fn new(capacity: usize) -> Self {
+        FetchQueue {
+            q: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Free slots remaining.
+    pub fn room(&self) -> usize {
+        self.capacity - self.q.len()
+    }
+
+    /// Push a fetched uop; returns `false` when full.
+    pub fn push(&mut self, u: FetchedUop) -> bool {
+        if self.q.len() >= self.capacity {
+            return false;
+        }
+        self.q.push_back(u);
+        true
+    }
+
+    /// Peek the oldest uop without consuming it.
+    pub fn peek(&self) -> Option<&FetchedUop> {
+        self.q.front()
+    }
+
+    /// Consume the oldest uop (it proceeds to rename).
+    pub fn pop(&mut self) -> Option<FetchedUop> {
+        self.q.pop_front()
+    }
+
+    /// Drop every queued uop (fetch-queue flush on squash). Returns how
+    /// many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.q.len();
+        self.q.clear();
+        n
+    }
+
+    /// Drop queued wrong-path uops only (used when a mispredicted branch
+    /// resolves while its wrong path is still queued).
+    pub fn drop_wrong_path(&mut self) -> usize {
+        let before = self.q.len();
+        self.q.retain(|u| !u.wrong_path);
+        before - self.q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fu(pc: u64, wrong: bool) -> FetchedUop {
+        FetchedUop {
+            uop: MicroOp::nop(pc),
+            wrong_path: wrong,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FetchQueue::new(4);
+        assert!(q.push(fu(0, false)));
+        assert!(q.push(fu(4, false)));
+        assert_eq!(q.pop().unwrap().uop.pc, 0);
+        assert_eq!(q.peek().unwrap().uop.pc, 4);
+        assert_eq!(q.pop().unwrap().uop.pc, 4);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = FetchQueue::new(2);
+        assert!(q.push(fu(0, false)));
+        assert!(q.push(fu(4, false)));
+        assert!(!q.push(fu(8, false)));
+        assert_eq!(q.room(), 0);
+        q.pop();
+        assert_eq!(q.room(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = FetchQueue::new(4);
+        q.push(fu(0, false));
+        q.push(fu(4, true));
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_wrong_path_keeps_correct_path() {
+        let mut q = FetchQueue::new(8);
+        q.push(fu(0, false));
+        q.push(fu(4, true));
+        q.push(fu(8, true));
+        q.push(fu(12, false));
+        assert_eq!(q.drop_wrong_path(), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().uop.pc, 0);
+        assert_eq!(q.pop().unwrap().uop.pc, 12);
+    }
+}

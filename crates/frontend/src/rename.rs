@@ -1,0 +1,168 @@
+//! Per-thread rename tables.
+//!
+//! §3: the renaming tables are private per thread. In a clustered machine a
+//! logical register's current value may be physically present in *several*
+//! clusters at once: its defining cluster, plus any cluster that received
+//! it through a copy micro-op. The mapping therefore records one optional
+//! physical register per cluster; the steering logic counts source
+//! locations per cluster, and the copy generator adds locations as copies
+//! are renamed.
+
+use csmt_types::{LogReg, PhysReg, RegClass, NUM_CLUSTERS, NUM_LOG_REGS};
+
+/// Where a logical register's current value lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mapping {
+    /// Physical location per cluster (None = not present there).
+    pub loc: [Option<PhysReg>; NUM_CLUSTERS],
+}
+
+impl Mapping {
+    /// The single-cluster mapping produced by a fresh definition.
+    pub fn defined_in(cluster: usize, reg: PhysReg) -> Self {
+        let mut m = Mapping::default();
+        m.loc[cluster] = Some(reg);
+        m
+    }
+
+    /// Clusters holding the value.
+    pub fn present_mask(&self) -> [bool; NUM_CLUSTERS] {
+        [self.loc[0].is_some(), self.loc[1].is_some()]
+    }
+
+    /// Any cluster holding the value (lowest index first).
+    pub fn any_cluster(&self) -> Option<usize> {
+        self.loc.iter().position(|l| l.is_some())
+    }
+}
+
+/// One thread's rename table: a [`Mapping`] per (class, logical register).
+#[derive(Debug, Clone)]
+pub struct RenameTable {
+    map: [[Mapping; NUM_LOG_REGS]; RegClass::COUNT],
+}
+
+impl Default for RenameTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RenameTable {
+    /// An empty table (no register has a location yet — the simulator
+    /// assigns initial architected state at reset).
+    pub fn new() -> Self {
+        RenameTable {
+            map: [[Mapping::default(); NUM_LOG_REGS]; RegClass::COUNT],
+        }
+    }
+
+    pub fn get(&self, class: RegClass, reg: LogReg) -> Mapping {
+        self.map[class.idx()][reg.idx()]
+    }
+
+    pub fn set(&mut self, class: RegClass, reg: LogReg, m: Mapping) {
+        self.map[class.idx()][reg.idx()] = m;
+    }
+
+    /// Record a new definition: replaces the mapping, returning the
+    /// previous one (stored in the ROB for walk-back restore and for
+    /// freeing the superseded physical registers at commit).
+    pub fn define(&mut self, class: RegClass, reg: LogReg, cluster: usize, phys: PhysReg) -> Mapping {
+        let prev = self.get(class, reg);
+        self.set(class, reg, Mapping::defined_in(cluster, phys));
+        prev
+    }
+
+    /// Record that a copy replicated `reg` into `cluster` as `phys`.
+    /// Returns the pre-copy mapping (for walk-back restore).
+    pub fn add_location(
+        &mut self,
+        class: RegClass,
+        reg: LogReg,
+        cluster: usize,
+        phys: PhysReg,
+    ) -> Mapping {
+        let prev = self.get(class, reg);
+        let mut next = prev;
+        debug_assert!(
+            next.loc[cluster].is_none(),
+            "copy into a cluster that already holds the value"
+        );
+        next.loc[cluster] = Some(phys);
+        self.set(class, reg, next);
+        prev
+    }
+
+    /// Iterate every (class, reg, mapping) — used at reset and by
+    /// invariant-checking tests.
+    pub fn iter(&self) -> impl Iterator<Item = (RegClass, LogReg, Mapping)> + '_ {
+        RegClass::all().into_iter().flat_map(move |c| {
+            (0..NUM_LOG_REGS).map(move |r| (c, LogReg(r as u8), self.map[c.idx()][r]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R1: LogReg = LogReg(1);
+
+    #[test]
+    fn define_replaces_and_returns_previous() {
+        let mut t = RenameTable::new();
+        let prev = t.define(RegClass::Int, R1, 0, PhysReg(10));
+        assert_eq!(prev, Mapping::default());
+        let prev = t.define(RegClass::Int, R1, 1, PhysReg(20));
+        assert_eq!(prev.loc[0], Some(PhysReg(10)));
+        assert_eq!(prev.loc[1], None);
+        let cur = t.get(RegClass::Int, R1);
+        assert_eq!(cur.loc[0], None);
+        assert_eq!(cur.loc[1], Some(PhysReg(20)));
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut t = RenameTable::new();
+        t.define(RegClass::Int, R1, 0, PhysReg(5));
+        assert_eq!(t.get(RegClass::FpSimd, R1), Mapping::default());
+    }
+
+    #[test]
+    fn add_location_extends_mapping() {
+        let mut t = RenameTable::new();
+        t.define(RegClass::FpSimd, R1, 0, PhysReg(3));
+        let prev = t.add_location(RegClass::FpSimd, R1, 1, PhysReg(9));
+        assert_eq!(prev.loc[1], None);
+        let cur = t.get(RegClass::FpSimd, R1);
+        assert_eq!(cur.loc[0], Some(PhysReg(3)));
+        assert_eq!(cur.loc[1], Some(PhysReg(9)));
+        assert_eq!(cur.present_mask(), [true, true]);
+    }
+
+    #[test]
+    fn restore_via_set_round_trips() {
+        let mut t = RenameTable::new();
+        t.define(RegClass::Int, R1, 0, PhysReg(1));
+        let snapshot = t.get(RegClass::Int, R1);
+        let prev = t.define(RegClass::Int, R1, 1, PhysReg(2));
+        assert_eq!(prev, snapshot);
+        t.set(RegClass::Int, R1, prev); // walk-back restore
+        assert_eq!(t.get(RegClass::Int, R1), snapshot);
+    }
+
+    #[test]
+    fn mapping_helpers() {
+        let m = Mapping::defined_in(1, PhysReg(7));
+        assert_eq!(m.any_cluster(), Some(1));
+        assert_eq!(m.present_mask(), [false, true]);
+        assert_eq!(Mapping::default().any_cluster(), None);
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let t = RenameTable::new();
+        assert_eq!(t.iter().count(), RegClass::COUNT * NUM_LOG_REGS);
+    }
+}

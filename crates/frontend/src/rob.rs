@@ -1,0 +1,129 @@
+//! Per-thread reorder buffer.
+//!
+//! §3: the ROB is split into as many private sections as running threads
+//! (128 entries per thread, Table 1). The structure stores uop ids in
+//! program order; commit pops from the front, squash walks from the back.
+//! The Figure-2 issue-queue study uses an unbounded variant.
+
+use std::collections::VecDeque;
+
+/// One thread's reorder buffer section.
+#[derive(Debug, Clone)]
+pub struct Rob {
+    q: VecDeque<u32>,
+    capacity: usize,
+    unbounded: bool,
+}
+
+impl Rob {
+    pub fn new(capacity: usize) -> Self {
+        Rob {
+            q: VecDeque::with_capacity(capacity),
+            capacity,
+            unbounded: false,
+        }
+    }
+
+    pub fn unbounded() -> Self {
+        Rob {
+            q: VecDeque::new(),
+            capacity: usize::MAX,
+            unbounded: true,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        !self.unbounded && self.q.len() >= self.capacity
+    }
+
+    /// Allocate at the tail (program order). Returns `false` when full.
+    pub fn push(&mut self, uop_id: u32) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.q.push_back(uop_id);
+        true
+    }
+
+    /// Oldest in-flight uop (next to commit).
+    pub fn front(&self) -> Option<u32> {
+        self.q.front().copied()
+    }
+
+    /// Youngest in-flight uop (first squashed).
+    pub fn back(&self) -> Option<u32> {
+        self.q.back().copied()
+    }
+
+    /// Commit the oldest uop.
+    pub fn pop_front(&mut self) -> Option<u32> {
+        self.q.pop_front()
+    }
+
+    /// Squash the youngest uop.
+    pub fn pop_back(&mut self) -> Option<u32> {
+        self.q.pop_back()
+    }
+
+    /// Iterate uop ids oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.q.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_order_commit() {
+        let mut r = Rob::new(4);
+        for i in 0..4 {
+            assert!(r.push(i));
+        }
+        assert!(r.is_full());
+        assert!(!r.push(4));
+        assert_eq!(r.pop_front(), Some(0));
+        assert_eq!(r.front(), Some(1));
+        assert!(r.push(4));
+    }
+
+    #[test]
+    fn squash_from_back() {
+        let mut r = Rob::new(8);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.pop_back(), Some(4));
+        assert_eq!(r.pop_back(), Some(3));
+        assert_eq!(r.back(), Some(2));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn unbounded_never_fills() {
+        let mut r = Rob::unbounded();
+        for i in 0..100_000 {
+            assert!(r.push(i));
+        }
+        assert!(!r.is_full());
+        assert_eq!(r.len(), 100_000);
+    }
+
+    #[test]
+    fn iteration_is_oldest_first() {
+        let mut r = Rob::new(8);
+        for i in [3u32, 1, 4, 1] {
+            r.push(i);
+        }
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 1, 4, 1]);
+    }
+}

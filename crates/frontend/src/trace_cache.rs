@@ -1,0 +1,172 @@
+//! Trace cache and MITE timing model.
+//!
+//! Table 1: a 32K-uop trace cache. The synthetic programs tag every uop
+//! with its code block; the trace cache stores lines of
+//! `trace_cache_line_uops` consecutive uops of a block. On a hit, fetch
+//! proceeds at full width from the TC; on a miss, the line is built through
+//! the MITE at reduced width, with an extra penalty when the line contains
+//! MROM-sequenced complex ops.
+
+use csmt_mem::SetAssocCache;
+use csmt_types::{MachineConfig, ThreadId};
+
+/// Outcome of a trace-cache lookup for one fetch group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcLookup {
+    pub hit: bool,
+    /// Uops deliverable this cycle (full width on a hit, MITE width on a
+    /// miss).
+    pub width: usize,
+    /// Extra stall cycles before delivery (MROM sequencing on a miss).
+    pub stall: u64,
+}
+
+/// The trace cache.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    cache: SetAssocCache,
+    line_uops: usize,
+    full_width: usize,
+    mite_width: usize,
+    mrom_penalty: u64,
+    lookups: u64,
+    misses: u64,
+}
+
+impl TraceCache {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let lines = (cfg.trace_cache_uops / cfg.trace_cache_line_uops).max(cfg.trace_cache_assoc);
+        // Round lines down to a multiple of the associativity.
+        let lines = lines - (lines % cfg.trace_cache_assoc);
+        TraceCache {
+            cache: SetAssocCache::with_entries(lines, cfg.trace_cache_assoc),
+            line_uops: cfg.trace_cache_line_uops,
+            full_width: cfg.fetch_width,
+            mite_width: cfg.mite_width,
+            mrom_penalty: cfg.mrom_penalty,
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up the line holding uop number `uop_in_block` of `code_block`
+    /// for `thread`. Fills on miss (the MITE builds the line as it
+    /// decodes). `has_mrom` marks whether the group contains a complex op.
+    pub fn lookup(
+        &mut self,
+        thread: ThreadId,
+        code_block: u32,
+        uop_in_block: u32,
+        has_mrom: bool,
+    ) -> TcLookup {
+        self.lookups += 1;
+        let chunk = uop_in_block as u64 / self.line_uops as u64;
+        // Threads run different programs: the tag must include the thread.
+        let key = ((thread.idx() as u64) << 56) | ((code_block as u64) << 16) | chunk;
+        if self.cache.access(key) {
+            TcLookup {
+                hit: true,
+                width: self.full_width,
+                stall: 0,
+            }
+        } else {
+            self.misses += 1;
+            TcLookup {
+                hit: false,
+                width: self.mite_width,
+                stall: if has_mrom { self.mrom_penalty } else { 0 },
+            }
+        }
+    }
+
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+
+    pub fn line_uops(&self) -> usize {
+        self.line_uops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    fn tc() -> TraceCache {
+        TraceCache::new(&MachineConfig::baseline())
+    }
+
+    #[test]
+    fn first_lookup_misses_then_hits() {
+        let mut t = tc();
+        let r = t.lookup(T0, 5, 0, false);
+        assert!(!r.hit);
+        assert_eq!(r.width, 3); // MITE width
+        let r = t.lookup(T0, 5, 0, false);
+        assert!(r.hit);
+        assert_eq!(r.width, 6);
+        assert_eq!(r.stall, 0);
+    }
+
+    #[test]
+    fn chunks_of_a_block_are_distinct_lines() {
+        let mut t = tc();
+        t.lookup(T0, 7, 0, false);
+        // uop 3 is in the same 6-uop line; uop 6 is the next line.
+        assert!(t.lookup(T0, 7, 3, false).hit);
+        assert!(!t.lookup(T0, 7, 6, false).hit);
+    }
+
+    #[test]
+    fn threads_do_not_alias() {
+        let mut t = tc();
+        t.lookup(T0, 9, 0, false);
+        assert!(
+            !t.lookup(T1, 9, 0, false).hit,
+            "same block id from another thread is different code"
+        );
+    }
+
+    #[test]
+    fn mrom_penalty_only_on_miss() {
+        let mut t = tc();
+        let r = t.lookup(T0, 11, 0, true);
+        assert!(!r.hit);
+        assert_eq!(r.stall, MachineConfig::baseline().mrom_penalty);
+        let r = t.lookup(T0, 11, 0, true);
+        assert!(r.hit);
+        assert_eq!(r.stall, 0, "TC delivers decoded uops: no MROM cost");
+    }
+
+    #[test]
+    fn small_code_fits_large_code_thrashes() {
+        let mut t = tc();
+        // 100-block loop (≈ 100 lines) fits in a 32K-uop TC easily.
+        for round in 0..3 {
+            for b in 0..100u32 {
+                let hit = t.lookup(T0, b, 0, false).hit;
+                if round > 0 {
+                    assert!(hit);
+                }
+            }
+        }
+        // 40K distinct lines thrash it.
+        let mut t = tc();
+        for round in 0..2 {
+            let mut hits = 0;
+            for b in 0..40_000u32 {
+                hits += t.lookup(T0, b, 0, false).hit as u32;
+            }
+            if round > 0 {
+                assert!(hits < 20_000, "hits={hits}");
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the front-end structures.
+
+use csmt_frontend::rename::Mapping;
+use csmt_frontend::{FetchQueue, FetchedUop, Gshare, IndirectPredictor, RenameTable, Rob};
+use csmt_types::{LogReg, MicroOp, PhysReg, RegClass, ThreadId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gshare_is_deterministic_and_consistent(
+        outcomes in prop::collection::vec((0u64..64, any::<bool>()), 1..300),
+    ) {
+        let mut a = Gshare::new(1024);
+        let mut b = Gshare::new(1024);
+        for &(pc8, taken) in &outcomes {
+            let pc = pc8 * 4;
+            prop_assert_eq!(a.predict(ThreadId(0), pc), b.predict(ThreadId(0), pc));
+            prop_assert_eq!(
+                a.update(ThreadId(0), pc, taken),
+                b.update(ThreadId(0), pc, taken)
+            );
+        }
+        prop_assert_eq!(a.history(ThreadId(0)), b.history(ThreadId(0)));
+    }
+
+    #[test]
+    fn gshare_update_reports_prediction(
+        outcomes in prop::collection::vec((0u64..64, any::<bool>()), 1..200),
+    ) {
+        // update() must return whether predict() (pre-update) was correct.
+        let mut g = Gshare::new(1024);
+        for &(pc8, taken) in &outcomes {
+            let pc = pc8 * 4;
+            let predicted = g.predict(ThreadId(0), pc);
+            let correct = g.update(ThreadId(0), pc, taken);
+            prop_assert_eq!(correct, predicted == taken);
+        }
+    }
+
+    #[test]
+    fn indirect_predicts_last_seen_target(
+        targets in prop::collection::vec(0u32..1000, 1..100),
+    ) {
+        let mut p = IndirectPredictor::new(64);
+        let mut last = None;
+        for &t in &targets {
+            // Fixed pc/history → same entry throughout.
+            let pred = p.predict(0x40, 0);
+            prop_assert_eq!(pred, last);
+            p.update(0x40, 0, t);
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn fetch_queue_is_fifo(pcs in prop::collection::vec(any::<u64>(), 1..48)) {
+        let mut q = FetchQueue::new(64);
+        for &pc in &pcs {
+            let fu = FetchedUop {
+                uop: MicroOp::nop(pc),
+                wrong_path: false,
+                mispredicted: false,
+            };
+            prop_assert!(q.push(fu));
+        }
+        for &pc in &pcs {
+            prop_assert_eq!(q.pop().unwrap().uop.pc, pc);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rob_round_trips_in_order(ids in prop::collection::vec(any::<u32>(), 1..128)) {
+        let mut r = Rob::new(128);
+        for &id in &ids {
+            prop_assert!(r.push(id));
+        }
+        let drained: Vec<u32> = std::iter::from_fn(|| r.pop_front()).collect();
+        prop_assert_eq!(drained, ids);
+    }
+
+    #[test]
+    fn rename_define_restore_roundtrip(
+        ops in prop::collection::vec((0u8..32, any::<bool>(), 0u16..64, 0u8..2), 1..100),
+    ) {
+        // Applying defines and undoing them in reverse restores the table.
+        let mut table = RenameTable::new();
+        let initial: Vec<(RegClass, LogReg, Mapping)> = table.iter().collect();
+        let mut undo: Vec<(RegClass, LogReg, Mapping)> = Vec::new();
+        for &(reg, fp, phys, cluster) in &ops {
+            let class = if fp { RegClass::FpSimd } else { RegClass::Int };
+            let prev = table.define(class, LogReg(reg), cluster as usize, PhysReg(phys));
+            undo.push((class, LogReg(reg), prev));
+        }
+        for (class, reg, prev) in undo.into_iter().rev() {
+            table.set(class, reg, prev);
+        }
+        let after: Vec<(RegClass, LogReg, Mapping)> = table.iter().collect();
+        prop_assert_eq!(initial, after);
+    }
+}

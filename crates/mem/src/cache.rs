@@ -1,0 +1,279 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! Used for the L1 data cache, the unified L2 and (with uop-line geometry)
+//! the trace cache. The model tracks tags only — the simulator never needs
+//! data values, just hit/miss timing.
+
+/// A set-associative, true-LRU, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `tags[set * assoc + way]`; `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`; larger = more recently used.
+    stamps: Vec<u64>,
+    num_sets: usize,
+    assoc: usize,
+    line_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Build a cache of `size` bytes with `assoc` ways and `line` -byte
+    /// lines. `size` must be divisible by `line * assoc` and `line` a power
+    /// of two (checked by `MachineConfig::validate`, asserted here).
+    pub fn new(size: usize, assoc: usize, line: usize) -> Self {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1);
+        assert_eq!(size % (line * assoc), 0, "size not divisible by line*assoc");
+        let num_sets = size / (line * assoc);
+        assert!(num_sets >= 1);
+        SetAssocCache {
+            tags: vec![INVALID; num_sets * assoc],
+            stamps: vec![0; num_sets * assoc],
+            num_sets,
+            assoc,
+            line_shift: line.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Build from an abstract entry count (for TLBs and the trace cache,
+    /// where "line size" is 1 entry): `entries` total, `assoc` ways.
+    pub fn with_entries(entries: usize, assoc: usize) -> Self {
+        assert!(entries.is_multiple_of(assoc), "entries not divisible by assoc");
+        SetAssocCache {
+            tags: vec![INVALID; entries],
+            stamps: vec![0; entries],
+            num_sets: entries / assoc,
+            assoc,
+            line_shift: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line % self.num_sets as u64) as usize, line)
+    }
+
+    /// Probe without fill or LRU update. Returns hit.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc].contains(&tag)
+    }
+
+    /// Access the cache: on hit, refresh LRU and return `true`; on miss,
+    /// fill the line (evicting the LRU way) and return `false`.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.access_evict(addr).0
+    }
+
+    /// Like [`access`](Self::access), additionally reporting the line
+    /// number evicted by a miss fill (None on hits and invalid-way fills) —
+    /// the feed for a victim cache.
+    pub fn access_evict(&mut self, addr: u64) -> (bool, Option<u64>) {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+        self.clock += 1;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == tag {
+                self.stamps[base + way] = self.clock;
+                self.hits += 1;
+                return (true, None);
+            }
+        }
+        self.misses += 1;
+        // Fill: pick the LRU way (invalid ways have stamp 0, chosen first).
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        let mut evicted = None;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == INVALID {
+                victim = way;
+                break;
+            }
+            if self.stamps[base + way] < best {
+                best = self.stamps[base + way];
+                victim = way;
+            }
+        }
+        if self.tags[base + victim] != INVALID {
+            evicted = Some(self.tags[base + victim]);
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        (false, evicted)
+    }
+
+    /// Invalidate the line containing `addr` if present.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.assoc;
+        for way in 0..self.assoc {
+            if self.tags[base + way] == tag {
+                self.tags[base + way] = INVALID;
+                self.stamps[base + way] = 0;
+            }
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses so far (0 if no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_computed_correctly() {
+        // 32 KB, 2-way, 64 B lines → 256 sets.
+        let c = SetAssocCache::new(32 * 1024, 2, 64);
+        assert_eq!(c.num_sets(), 256);
+        assert_eq!(c.assoc(), 2);
+        // 4 MB, 8-way, 64 B lines → 8192 sets.
+        let c = SetAssocCache::new(4 * 1024 * 1024, 8, 64);
+        assert_eq!(c.num_sets(), 8192);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103F)); // same line
+        assert!(!c.access(0x1040)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2 sets × 2 ways × 64 B = 256 B. Addresses 0, 128, 256 map to set 0.
+        let mut c = SetAssocCache::new(256, 2, 64);
+        assert!(!c.access(0)); // set0 way0
+        assert!(!c.access(128)); // set0 way1
+        assert!(c.access(0)); // refresh 0 → 128 is now LRU
+        assert!(!c.access(256)); // evicts 128
+        assert!(c.access(0), "0 must survive");
+        assert!(!c.access(128), "128 must have been evicted");
+    }
+
+    #[test]
+    fn associativity_prevents_conflict() {
+        // Fully associative set: 4 ways, 1 set.
+        let mut c = SetAssocCache::new(256, 4, 64);
+        for a in [0u64, 64, 128, 192] {
+            assert!(!c.access(a));
+        }
+        for a in [0u64, 64, 128, 192] {
+            assert!(c.access(a), "all 4 lines must fit");
+        }
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        c.access(0x40);
+        assert!(c.access(0x40));
+        c.invalidate(0x40);
+        assert!(!c.access(0x40));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = SetAssocCache::new(256, 2, 64);
+        c.access(0);
+        c.access(128);
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        let (h, m) = (c.hits(), c.misses());
+        c.probe(0);
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn with_entries_models_tlbs() {
+        // 1024-entry 8-way TLB over page numbers.
+        let mut t = SetAssocCache::with_entries(1024, 8);
+        assert_eq!(t.num_sets(), 128);
+        assert!(!t.access(5));
+        assert!(t.access(5));
+    }
+
+    #[test]
+    fn miss_ratio_sane() {
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        assert_eq!(c.miss_ratio(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_working_set_thrashes_small_cache() {
+        let mut c = SetAssocCache::new(1024, 2, 64); // 16 lines
+        // Cycle through 64 lines repeatedly → ~100% misses after warmup.
+        for round in 0..4 {
+            for i in 0..64u64 {
+                let hit = c.access(i * 64);
+                if round > 0 {
+                    assert!(!hit, "line {i} should thrash");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_line() {
+        SetAssocCache::new(1024, 2, 48);
+    }
+
+    #[test]
+    fn access_evict_reports_the_lru_line() {
+        // 1 set × 2 ways.
+        let mut c = SetAssocCache::new(128, 2, 64);
+        assert_eq!(c.access_evict(0), (false, None)); // invalid way fill
+        assert_eq!(c.access_evict(64), (false, None));
+        // Fill a third line: evicts line 0 (LRU).
+        let (hit, ev) = c.access_evict(128);
+        assert!(!hit);
+        assert_eq!(ev, Some(0));
+        // Hits never evict.
+        assert_eq!(c.access_evict(128), (true, None));
+    }
+}

@@ -1,0 +1,26 @@
+//! # csmt-mem
+//!
+//! Memory-system substrate for the clustered SMT simulator: set-associative
+//! caches with LRU replacement, TLBs, the two-level data hierarchy of
+//! Table 1 (32 KB L1, 4 MB L2, 60-cycle memory, 2 L1↔L2 buses, MSHR-style
+//! miss merging) and the 128-entry shared memory order buffer with
+//! store-to-load forwarding.
+//!
+//! The paper identifies pending L2 misses as the signal the Stall and Flush+
+//! policies react to; [`hierarchy::AccessResult::l2_miss`] exposes exactly
+//! that bit per access so the pipeline can track per-thread outstanding
+//! misses.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod mob;
+pub mod prefetch;
+pub mod victim;
+pub mod tlb;
+
+pub use cache::SetAssocCache;
+pub use hierarchy::{AccessResult, MemHierarchy};
+pub use mob::{LoadCheck, Mob, MobIdx};
+pub use prefetch::{PrefetchKind, Prefetcher};
+pub use victim::VictimCache;
+pub use tlb::Tlb;

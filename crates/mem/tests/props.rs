@@ -1,0 +1,115 @@
+//! Property tests: the set-associative cache against a reference LRU
+//! model, and MOB ordering invariants under random operation sequences.
+
+use csmt_mem::{LoadCheck, Mob, SetAssocCache};
+use csmt_types::ThreadId;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference model: per-set LRU lists.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    line_shift: u32,
+}
+
+impl RefCache {
+    fn new(num_sets: usize, assoc: usize, line: usize) -> Self {
+        RefCache {
+            sets: (0..num_sets).map(|_| VecDeque::new()).collect(),
+            assoc,
+            line_shift: line.trailing_zeros(),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets.len() as u64) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&t| t == line) {
+            s.remove(pos);
+            s.push_front(line);
+            true
+        } else {
+            s.push_front(line);
+            if s.len() > self.assoc {
+                s.pop_back();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..1 << 14, 1..400)) {
+        // 4 KB, 2-way, 64 B lines → 32 sets: small enough to stress
+        // conflicts with 14-bit addresses.
+        let mut dut = SetAssocCache::new(4096, 2, 64);
+        let mut model = RefCache::new(32, 2, 64);
+        for a in addrs {
+            prop_assert_eq!(dut.access(a), model.access(a), "divergence at {:#x}", a);
+        }
+    }
+
+    #[test]
+    fn cache_hit_after_access_always(addr: u64) {
+        let mut c = SetAssocCache::new(32 * 1024, 2, 64);
+        c.access(addr);
+        prop_assert!(c.access(addr));
+        prop_assert!(c.probe(addr));
+    }
+
+    #[test]
+    fn mob_never_forwards_from_unready_store(
+        ops in prop::collection::vec((any::<bool>(), 0u64..256, any::<bool>()), 1..64),
+    ) {
+        // Random alloc sequence of loads/stores with overlapping addresses;
+        // a load may only Forward when some older overlapping store exists
+        // with data ready.
+        let mut mob = Mob::new(128);
+        let mut live: Vec<(csmt_mem::MobIdx, bool, u64, bool)> = Vec::new(); // (idx, is_store, addr, data_ready)
+        for (seq, (is_store, addr8, ready)) in ops.into_iter().enumerate() {
+            let addr = addr8 * 8;
+            if let Some(idx) = mob.alloc(ThreadId(0), is_store, seq as u64) {
+                mob.set_addr(idx, addr, 8);
+                if is_store && ready {
+                    mob.set_store_data_ready(idx);
+                }
+                if !is_store {
+                    let verdict = mob.check_load(idx);
+                    let overlapping_ready = live.iter().any(|&(_, st, a, r)| st && r && a == addr);
+                    let overlapping_unready = live.iter().any(|&(_, st, a, r)| st && !r && a == addr);
+                    match verdict {
+                        LoadCheck::Forward => prop_assert!(overlapping_ready),
+                        LoadCheck::Cache => prop_assert!(!overlapping_unready),
+                        LoadCheck::WaitOlderStore => {
+                            prop_assert!(live.iter().any(|&(_, st, _, r)| st && !r) || overlapping_unready)
+                        }
+                    }
+                }
+                live.push((idx, is_store, addr, is_store && ready));
+            }
+        }
+        // Release everything; occupancy must return to zero.
+        for (idx, ..) in live {
+            mob.release(idx);
+        }
+        prop_assert_eq!(mob.occupancy(), 0);
+    }
+
+    #[test]
+    fn mob_occupancy_bounded(n in 1usize..300) {
+        let mut mob = Mob::new(64);
+        let mut allocated = 0usize;
+        for s in 0..n {
+            if mob.alloc(ThreadId((s % 2) as u8), s % 3 == 0, (s / 2) as u64 + s as u64).is_some() {
+                allocated += 1;
+            }
+            prop_assert!(mob.occupancy() <= 64);
+        }
+        prop_assert_eq!(mob.occupancy(), allocated.min(64));
+    }
+}

@@ -1,0 +1,456 @@
+//! Binary trace files.
+//!
+//! The paper's simulator is *trace-driven*: workloads are files of decoded
+//! micro-ops. This module provides the equivalent interchange format so
+//! traces can be recorded once (e.g. from the synthetic generator, or from
+//! an external decoder) and replayed byte-identically:
+//!
+//! * fixed-size little-endian records (no allocation while streaming),
+//! * a self-describing header (magic, version, source profile name, seed,
+//!   record count),
+//! * a streaming [`TraceReader`] yielding [`MicroOp`]s, and a
+//!   [`TraceWriter`] that can capture any uop source.
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! header:  b"CSMT" u16(version) u16(name_len) name_bytes u64(seed) u64(count)
+//! record:  u64 pc | u8 class | u8 flags | u8 dest | u8 src0 | u8 src1
+//!          | u64 addr | u8 size | u32 target | u32 code_block   (30 bytes)
+//! ```
+
+use bytes::{Buf, BufMut};
+use csmt_types::uop::RegOperand;
+use csmt_types::{BranchInfo, LogReg, MemInfo, MicroOp, OpClass, RegClass};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CSMT";
+const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 30;
+
+/// Flag bits in the record's `flags` byte.
+mod flags {
+    pub const HAS_DEST: u8 = 1 << 0;
+    pub const DEST_FP: u8 = 1 << 1;
+    pub const HAS_SRC0: u8 = 1 << 2;
+    pub const SRC0_FP: u8 = 1 << 3;
+    pub const HAS_SRC1: u8 = 1 << 4;
+    pub const SRC1_FP: u8 = 1 << 5;
+    pub const TAKEN: u8 = 1 << 6;
+    pub const MROM: u8 = 1 << 7;
+}
+
+fn class_code(c: OpClass) -> u8 {
+    match c {
+        OpClass::Int => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpSimd => 2,
+        OpClass::FpDiv => 3,
+        OpClass::Load => 4,
+        OpClass::Store => 5,
+        OpClass::Branch => 6,
+        OpClass::BranchIndirect => 7,
+        OpClass::Copy => 8,
+    }
+}
+
+fn code_class(b: u8) -> io::Result<OpClass> {
+    Ok(match b {
+        0 => OpClass::Int,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpSimd,
+        3 => OpClass::FpDiv,
+        4 => OpClass::Load,
+        5 => OpClass::Store,
+        6 => OpClass::Branch,
+        7 => OpClass::BranchIndirect,
+        8 => OpClass::Copy,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown op class code {other}"),
+            ))
+        }
+    })
+}
+
+fn encode_record(u: &MicroOp, buf: &mut Vec<u8>) {
+    buf.put_u64_le(u.pc);
+    buf.put_u8(class_code(u.class));
+    let mut f = 0u8;
+    let enc_reg = |op: Option<RegOperand>, has: u8, fp: u8, f: &mut u8| -> u8 {
+        match op {
+            Some(r) => {
+                *f |= has;
+                if r.class == RegClass::FpSimd {
+                    *f |= fp;
+                }
+                r.reg.0
+            }
+            None => 0,
+        }
+    };
+    let dest = enc_reg(u.dest, flags::HAS_DEST, flags::DEST_FP, &mut f);
+    let s0 = enc_reg(u.srcs[0], flags::HAS_SRC0, flags::SRC0_FP, &mut f);
+    let s1 = enc_reg(u.srcs[1], flags::HAS_SRC1, flags::SRC1_FP, &mut f);
+    if u.branch.is_some_and(|b| b.taken) {
+        f |= flags::TAKEN;
+    }
+    if u.is_mrom {
+        f |= flags::MROM;
+    }
+    buf.put_u8(f);
+    buf.put_u8(dest);
+    buf.put_u8(s0);
+    buf.put_u8(s1);
+    buf.put_u64_le(u.mem.map_or(0, |m| m.addr));
+    buf.put_u8(u.mem.map_or(0, |m| m.size));
+    buf.put_u32_le(u.branch.map_or(0, |b| b.target));
+    buf.put_u32_le(u.code_block);
+}
+
+fn decode_record(mut buf: &[u8]) -> io::Result<MicroOp> {
+    debug_assert_eq!(buf.len(), RECORD_BYTES);
+    let pc = buf.get_u64_le();
+    let class = code_class(buf.get_u8())?;
+    let f = buf.get_u8();
+    let dest_reg = buf.get_u8();
+    let s0 = buf.get_u8();
+    let s1 = buf.get_u8();
+    let addr = buf.get_u64_le();
+    let size = buf.get_u8();
+    let target = buf.get_u32_le();
+    let code_block = buf.get_u32_le();
+    let dec_reg = |present: u8, fp: u8, reg: u8| -> Option<RegOperand> {
+        (f & present != 0).then_some(RegOperand {
+            reg: LogReg(reg),
+            class: if f & fp != 0 {
+                RegClass::FpSimd
+            } else {
+                RegClass::Int
+            },
+        })
+    };
+    Ok(MicroOp {
+        pc,
+        class,
+        dest: dec_reg(flags::HAS_DEST, flags::DEST_FP, dest_reg),
+        srcs: [
+            dec_reg(flags::HAS_SRC0, flags::SRC0_FP, s0),
+            dec_reg(flags::HAS_SRC1, flags::SRC1_FP, s1),
+        ],
+        mem: class.is_mem().then_some(MemInfo { addr, size }),
+        branch: class.is_branch().then_some(BranchInfo {
+            taken: f & flags::TAKEN != 0,
+            target,
+        }),
+        code_block,
+        is_mrom: f & flags::MROM != 0,
+    })
+}
+
+/// Streaming trace-file writer.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    count: u64,
+    buf: Vec<u8>,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Create a trace file; the count field is fixed up via
+    /// [`TraceWriter::finish`]-style two-pass writing, so the writer needs
+    /// the count up-front for file sinks. Use [`record_trace`] for the
+    /// common record-N-uops case.
+    pub fn create(path: &Path, name: &str, seed: u64, count: u64) -> io::Result<Self> {
+        let file = BufWriter::new(File::create(path)?);
+        TraceWriter::new(file, name, seed, count)
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start a trace stream with a known record count.
+    pub fn new(mut out: W, name: &str, seed: u64, count: u64) -> io::Result<Self> {
+        let name_bytes = name.as_bytes();
+        assert!(name_bytes.len() <= u16::MAX as usize, "name too long");
+        let mut header = Vec::with_capacity(4 + 2 + 2 + name_bytes.len() + 16);
+        header.put_slice(MAGIC);
+        header.put_u16_le(VERSION);
+        header.put_u16_le(name_bytes.len() as u16);
+        header.put_slice(name_bytes);
+        header.put_u64_le(seed);
+        header.put_u64_le(count);
+        out.write_all(&header)?;
+        Ok(TraceWriter {
+            out,
+            count,
+            buf: Vec::with_capacity(RECORD_BYTES),
+        })
+    }
+
+    /// Append one uop. Panics (debug) if more than the declared count is
+    /// written.
+    pub fn write(&mut self, u: &MicroOp) -> io::Result<()> {
+        debug_assert!(self.count > 0, "wrote more records than declared");
+        self.count = self.count.saturating_sub(1);
+        self.buf.clear();
+        encode_record(u, &mut self.buf);
+        self.out.write_all(&self.buf)
+    }
+
+    /// Flush and return the sink. Errors if fewer records were written
+    /// than declared.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.count != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} declared records missing", self.count),
+            ));
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Trace-file metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    pub name: String,
+    pub seed: u64,
+    pub count: u64,
+}
+
+/// Streaming trace-file reader.
+pub struct TraceReader<R: Read> {
+    inp: R,
+    header: TraceHeader,
+    remaining: u64,
+    buf: [u8; RECORD_BYTES],
+}
+
+impl TraceReader<BufReader<File>> {
+    pub fn open(path: &Path) -> io::Result<Self> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    pub fn new(mut inp: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        inp.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        }
+        let mut fixed = [0u8; 4];
+        inp.read_exact(&mut fixed)?;
+        let mut b = &fixed[..];
+        let version = b.get_u16_le();
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let name_len = b.get_u16_le() as usize;
+        let mut name = vec![0u8; name_len];
+        inp.read_exact(&mut name)?;
+        let mut tail = [0u8; 16];
+        inp.read_exact(&mut tail)?;
+        let mut b = &tail[..];
+        let seed = b.get_u64_le();
+        let count = b.get_u64_le();
+        Ok(TraceReader {
+            inp,
+            header: TraceHeader {
+                name: String::from_utf8(name)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                seed,
+                count,
+            },
+            remaining: count,
+            buf: [0; RECORD_BYTES],
+        })
+    }
+
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Read the next uop; `Ok(None)` at end of trace.
+    pub fn next_uop(&mut self) -> io::Result<Option<MicroOp>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.inp.read_exact(&mut self.buf)?;
+        self.remaining -= 1;
+        decode_record(&self.buf).map(Some)
+    }
+
+    /// Drain the remaining records into a vector.
+    pub fn read_all(mut self) -> io::Result<Vec<MicroOp>> {
+        let mut v = Vec::with_capacity(self.remaining.min(1 << 20) as usize);
+        while let Some(u) = self.next_uop()? {
+            v.push(u);
+        }
+        Ok(v)
+    }
+}
+
+/// Record `n` uops of a generator into a trace file.
+pub fn record_trace(
+    path: &Path,
+    trace: &mut crate::ThreadTrace,
+    n: u64,
+) -> io::Result<()> {
+    let name = trace.profile().name.clone();
+    let mut w = TraceWriter::create(path, &name, 0, n)?;
+    for _ in 0..n {
+        w.write(&trace.next_uop())?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{category_base, TraceClass};
+    use crate::ThreadTrace;
+
+    fn sample_uops(n: usize) -> Vec<MicroOp> {
+        let p = category_base("ISPEC00").variant(TraceClass::Mem);
+        let mut t = ThreadTrace::from_profile(&p, 42);
+        (0..n).map(|_| t.next_uop()).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let uops = sample_uops(5000);
+        let mut sink = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut sink, "ispec-mem", 42, uops.len() as u64).unwrap();
+            for u in &uops {
+                w.write(u).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let r = TraceReader::new(&sink[..]).unwrap();
+        assert_eq!(
+            r.header(),
+            &TraceHeader {
+                name: "ispec-mem".into(),
+                seed: 42,
+                count: uops.len() as u64
+            }
+        );
+        let back = r.read_all().unwrap();
+        assert_eq!(back, uops);
+    }
+
+    #[test]
+    fn record_size_is_stable() {
+        // The on-disk format is an interchange contract.
+        let mut buf = Vec::new();
+        encode_record(&MicroOp::nop(0x40), &mut buf);
+        assert_eq!(buf.len(), RECORD_BYTES);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = match TraceReader::new(&b"XXXX\x01\x00\x00\x00"[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("bad magic accepted"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut sink = Vec::new();
+        sink.put_slice(MAGIC);
+        sink.put_u16_le(99);
+        sink.put_u16_le(0);
+        sink.put_u64_le(0);
+        sink.put_u64_le(0);
+        let err = match TraceReader::new(&sink[..]) {
+            Err(e) => e,
+            Ok(_) => panic!("bad version accepted"),
+        };
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_unknown_class_code() {
+        let mut sink = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut sink, "x", 0, 1).unwrap();
+            w.write(&MicroOp::nop(4)).unwrap();
+            w.finish().unwrap();
+        }
+        // Corrupt the class byte of the first record (offset: header + 8).
+        let header_len = 4 + 2 + 2 + 1 + 8 + 8;
+        sink[header_len + 8] = 200;
+        let mut r = TraceReader::new(&sink[..]).unwrap();
+        assert!(r.next_uop().is_err());
+    }
+
+    #[test]
+    fn finish_detects_short_writes() {
+        let mut sink = Vec::new();
+        let mut w = TraceWriter::new(&mut sink, "x", 0, 3).unwrap();
+        w.write(&MicroOp::nop(0)).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn next_uop_stops_at_declared_count() {
+        let uops = sample_uops(10);
+        let mut sink = Vec::new();
+        let mut w = TraceWriter::new(&mut sink, "x", 0, 10).unwrap();
+        for u in &uops {
+            w.write(u).unwrap();
+        }
+        w.finish().unwrap();
+        // Append garbage beyond the declared records.
+        sink.extend_from_slice(&[0xAB; 64]);
+        let mut r = TraceReader::new(&sink[..]).unwrap();
+        let mut n = 0;
+        while r.next_uop().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("csmt-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csmt");
+        let p = category_base("server").variant(TraceClass::Ilp);
+        let mut gen = ThreadTrace::from_profile(&p, 7);
+        record_trace(&path, &mut gen, 2000).unwrap();
+
+        let mut fresh = ThreadTrace::from_profile(&p, 7);
+        let reader = TraceReader::open(&path).unwrap();
+        assert_eq!(reader.header().count, 2000);
+        for u in reader.read_all().unwrap() {
+            assert_eq!(u, fresh.next_uop());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn all_decoded_uops_validate() {
+        let uops = sample_uops(3000);
+        let mut sink = Vec::new();
+        let mut w = TraceWriter::new(&mut sink, "x", 0, uops.len() as u64).unwrap();
+        for u in &uops {
+            w.write(u).unwrap();
+        }
+        w.finish().unwrap();
+        for u in TraceReader::new(&sink[..]).unwrap().read_all().unwrap() {
+            u.validate().unwrap();
+        }
+    }
+}

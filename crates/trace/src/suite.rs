@@ -1,0 +1,359 @@
+//! The benchmark suite of Table 2: 120 two-threaded workloads in 11
+//! categories, each classified ILP / MEM / MIX.
+//!
+//! Counts follow the paper: nine base categories contribute 3 ILP + 3 MEM +
+//! 2 MIX workloads each (72), ISPEC-FSPEC contributes 4 + 4 + 8 (16, the
+//! workloads enumerated in Figure 9), and `mixes` contributes 32
+//! cross-category pairs — 120 in total.
+
+use crate::profile::{category_base, TraceClass, TraceProfile};
+use serde::{Deserialize, Serialize};
+
+/// The nine simple-profile categories of Table 2.
+pub const BASE_CATEGORIES: [&str; 9] = [
+    "DH",
+    "FSPEC00",
+    "ISPEC00",
+    "multimedia",
+    "office",
+    "productivity",
+    "server",
+    "workstation",
+    "miscellanea",
+];
+
+/// A benchmark category (Table 2 row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Category {
+    Base(usize), // index into BASE_CATEGORIES
+    IspecFspec,
+    Mixes,
+}
+
+impl Category {
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Base(i) => BASE_CATEGORIES[i],
+            Category::IspecFspec => "ISPEC-FSPEC",
+            Category::Mixes => "mixes",
+        }
+    }
+
+    /// All 11 categories, in the paper's reporting order.
+    pub fn all() -> Vec<Category> {
+        let mut v: Vec<Category> = (0..BASE_CATEGORIES.len()).map(Category::Base).collect();
+        v.push(Category::IspecFspec);
+        v.push(Category::Mixes);
+        v
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload classification (Table 2 "Types" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Both traces highly parallel.
+    Ilp,
+    /// Both traces memory-bounded.
+    Mem,
+    /// One of each.
+    Mix,
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadKind::Ilp => write!(f, "ilp"),
+            WorkloadKind::Mem => write!(f, "mem"),
+            WorkloadKind::Mix => write!(f, "mix"),
+        }
+    }
+}
+
+/// One 2-threaded workload: two trace profiles plus their seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Paper-style name, e.g. `ISPEC-FSPEC/mix.2.3`.
+    pub name: String,
+    pub category: Category,
+    pub kind: WorkloadKind,
+    /// The two single-thread traces.
+    pub traces: [TraceSpec; 2],
+}
+
+/// A single-thread trace: profile + generation seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    pub profile: TraceProfile,
+    pub seed: u64,
+}
+
+/// Stable 64-bit hash of a workload/trace name (FNV-1a) used to derive
+/// seeds, so the suite never changes when unrelated code does.
+fn name_seed(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn spec(category: &str, class: TraceClass, instance: u32) -> TraceSpec {
+    let profile = category_base(category).variant(class);
+    TraceSpec {
+        seed: name_seed(&format!("{category}/{class}/{instance}")),
+        profile,
+    }
+}
+
+fn same_category_workloads(cat_idx: usize) -> Vec<Workload> {
+    let cat = BASE_CATEGORIES[cat_idx];
+    let mut out = Vec::with_capacity(8);
+    // 3 ILP: two highly-parallel traces (different seeds).
+    for i in 0..3u32 {
+        out.push(Workload {
+            name: format!("{cat}/ilp.2.{}", i + 1),
+            category: Category::Base(cat_idx),
+            kind: WorkloadKind::Ilp,
+            traces: [
+                spec(cat, TraceClass::Ilp, 2 * i),
+                spec(cat, TraceClass::Ilp, 2 * i + 1),
+            ],
+        });
+    }
+    // 3 MEM.
+    for i in 0..3u32 {
+        out.push(Workload {
+            name: format!("{cat}/mem.2.{}", i + 1),
+            category: Category::Base(cat_idx),
+            kind: WorkloadKind::Mem,
+            traces: [
+                spec(cat, TraceClass::Mem, 2 * i),
+                spec(cat, TraceClass::Mem, 2 * i + 1),
+            ],
+        });
+    }
+    // 2 MIX: one parallel + one memory-bounded.
+    for i in 0..2u32 {
+        out.push(Workload {
+            name: format!("{cat}/mix.2.{}", i + 1),
+            category: Category::Base(cat_idx),
+            kind: WorkloadKind::Mix,
+            traces: [
+                spec(cat, TraceClass::Ilp, 10 + i),
+                spec(cat, TraceClass::Mem, 10 + i),
+            ],
+        });
+    }
+    out
+}
+
+fn ispec_fspec_workloads() -> Vec<Workload> {
+    // Figure 9 enumerates ilp.2.1–4, mem.2.1–4, mix.2.1–8. Every workload
+    // pairs one ISPEC00 trace with one FSPEC00 trace — almost disjoint
+    // register-file demand, the case where static RF partitioning loses.
+    let mut out = Vec::with_capacity(16);
+    for i in 0..4u32 {
+        out.push(Workload {
+            name: format!("ISPEC-FSPEC/ilp.2.{}", i + 1),
+            category: Category::IspecFspec,
+            kind: WorkloadKind::Ilp,
+            traces: [
+                spec("ISPEC00", TraceClass::Ilp, 20 + i),
+                spec("FSPEC00", TraceClass::Ilp, 20 + i),
+            ],
+        });
+    }
+    for i in 0..4u32 {
+        out.push(Workload {
+            name: format!("ISPEC-FSPEC/mem.2.{}", i + 1),
+            category: Category::IspecFspec,
+            kind: WorkloadKind::Mem,
+            traces: [
+                spec("ISPEC00", TraceClass::Mem, 20 + i),
+                spec("FSPEC00", TraceClass::Mem, 20 + i),
+            ],
+        });
+    }
+    for i in 0..8u32 {
+        // Alternate which side is the memory-bounded trace.
+        let (c0, c1, t0, t1) = if i % 2 == 0 {
+            ("ISPEC00", "FSPEC00", TraceClass::Ilp, TraceClass::Mem)
+        } else {
+            ("ISPEC00", "FSPEC00", TraceClass::Mem, TraceClass::Ilp)
+        };
+        out.push(Workload {
+            name: format!("ISPEC-FSPEC/mix.2.{}", i + 1),
+            category: Category::IspecFspec,
+            kind: WorkloadKind::Mix,
+            traces: [spec(c0, t0, 30 + i), spec(c1, t1, 30 + i)],
+        });
+    }
+    out
+}
+
+fn mixes_workloads() -> Vec<Workload> {
+    // 32 cross-category pairs. Deterministic coverage: walk category pairs
+    // (i, i+k) for k = 1..4 offsets, pairing an ILP trace of one category
+    // with a MEM trace of another (the paper's mixes are all MIX-type).
+    let n = BASE_CATEGORIES.len();
+    let mut out = Vec::with_capacity(32);
+    let mut idx = 0u32;
+    'outer: for k in 1..n {
+        for i in 0..n {
+            if out.len() == 32 {
+                break 'outer;
+            }
+            let a = BASE_CATEGORIES[i];
+            let b = BASE_CATEGORIES[(i + k) % n];
+            let (ca, cb) = if idx.is_multiple_of(2) {
+                (TraceClass::Ilp, TraceClass::Mem)
+            } else {
+                (TraceClass::Mem, TraceClass::Ilp)
+            };
+            idx += 1;
+            out.push(Workload {
+                name: format!("mixes/mix.2.{idx}"),
+                category: Category::Mixes,
+                kind: WorkloadKind::Mix,
+                traces: [spec(a, ca, 40 + idx), spec(b, cb, 40 + idx)],
+            });
+        }
+    }
+    out
+}
+
+/// The full 120-workload suite of Table 2.
+pub fn suite() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(120);
+    for i in 0..BASE_CATEGORIES.len() {
+        out.extend(same_category_workloads(i));
+    }
+    out.extend(ispec_fspec_workloads());
+    out.extend(mixes_workloads());
+    out
+}
+
+/// Workloads of one category.
+pub fn category_workloads(cat: Category) -> Vec<Workload> {
+    suite().into_iter().filter(|w| w.category == cat).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_120_workloads() {
+        assert_eq!(suite().len(), 120);
+    }
+
+    #[test]
+    fn category_counts_match_table2() {
+        let s = suite();
+        for i in 0..BASE_CATEGORIES.len() {
+            let cat: Vec<_> = s
+                .iter()
+                .filter(|w| w.category == Category::Base(i))
+                .collect();
+            assert_eq!(cat.len(), 8, "{}", BASE_CATEGORIES[i]);
+            assert_eq!(cat.iter().filter(|w| w.kind == WorkloadKind::Ilp).count(), 3);
+            assert_eq!(cat.iter().filter(|w| w.kind == WorkloadKind::Mem).count(), 3);
+            assert_eq!(cat.iter().filter(|w| w.kind == WorkloadKind::Mix).count(), 2);
+        }
+        let isfs: Vec<_> = s
+            .iter()
+            .filter(|w| w.category == Category::IspecFspec)
+            .collect();
+        assert_eq!(isfs.len(), 16);
+        assert_eq!(isfs.iter().filter(|w| w.kind == WorkloadKind::Ilp).count(), 4);
+        assert_eq!(isfs.iter().filter(|w| w.kind == WorkloadKind::Mem).count(), 4);
+        assert_eq!(isfs.iter().filter(|w| w.kind == WorkloadKind::Mix).count(), 8);
+        let mixes: Vec<_> = s.iter().filter(|w| w.category == Category::Mixes).collect();
+        assert_eq!(mixes.len(), 32);
+        assert!(mixes.iter().all(|w| w.kind == WorkloadKind::Mix));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = suite().into_iter().map(|w| w.name).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn seeds_are_unique_within_workload() {
+        for w in suite() {
+            assert_ne!(
+                (w.traces[0].seed, &w.traces[0].profile.name),
+                (w.traces[1].seed, &w.traces[1].profile.name),
+                "{}: identical traces",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn mix_workloads_pair_ilp_with_mem() {
+        for w in suite() {
+            if w.kind == WorkloadKind::Mix && w.category != Category::Mixes {
+                let tags: Vec<bool> = w
+                    .traces
+                    .iter()
+                    .map(|t| t.profile.name.ends_with("-mem"))
+                    .collect();
+                assert_eq!(
+                    tags.iter().filter(|&&x| x).count(),
+                    1,
+                    "{}: expected exactly one memory-bounded trace",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite();
+        let b = suite();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for w in suite() {
+            for t in &w.traces {
+                t.profile.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_cover_many_category_pairs() {
+        let mixes = category_workloads(Category::Mixes);
+        let mut pairs = std::collections::HashSet::new();
+        for w in &mixes {
+            let a = w.traces[0].profile.name.split('-').next().unwrap().to_string();
+            let b = w.traces[1].profile.name.split('-').next().unwrap().to_string();
+            assert_ne!(a, b, "{}: same category on both threads", w.name);
+            pairs.insert((a, b));
+        }
+        assert!(pairs.len() >= 24, "only {} distinct pairs", pairs.len());
+    }
+
+    #[test]
+    fn category_all_is_eleven() {
+        assert_eq!(Category::all().len(), 11);
+        let names: Vec<_> = Category::all().iter().map(|c| c.name()).collect();
+        assert!(names.contains(&"ISPEC-FSPEC"));
+        assert!(names.contains(&"mixes"));
+    }
+}

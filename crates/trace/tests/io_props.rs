@@ -1,0 +1,110 @@
+//! Property tests for the binary trace format: arbitrary *valid* micro-ops
+//! round-trip bit-exactly.
+
+use csmt_trace::{TraceReader, TraceWriter};
+use csmt_types::uop::RegOperand;
+use csmt_types::{LogReg, MicroOp, OpClass, RegClass};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Option<RegOperand>> {
+    prop::option::of((0u8..32, any::<bool>()).prop_map(|(r, fp)| RegOperand {
+        reg: LogReg(r),
+        class: if fp { RegClass::FpSimd } else { RegClass::Int },
+    }))
+}
+
+fn arb_uop() -> impl Strategy<Value = MicroOp> {
+    (
+        any::<u64>(),            // pc
+        0u8..8,                  // class selector (no Copy in traces)
+        arb_reg(),
+        arb_reg(),
+        arb_reg(),
+        any::<u64>(),            // addr
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+        any::<bool>(),           // taken
+        any::<u32>(),            // target
+        any::<u32>(),            // code block
+        any::<bool>(),           // mrom
+    )
+        .prop_map(
+            |(pc, cls, dest, s0, s1, addr, size, taken, target, block, mrom)| {
+                let class = match cls {
+                    0 => OpClass::Int,
+                    1 => OpClass::IntMul,
+                    2 => OpClass::FpSimd,
+                    3 => OpClass::FpDiv,
+                    4 => OpClass::Load,
+                    5 => OpClass::Store,
+                    6 => OpClass::Branch,
+                    _ => OpClass::BranchIndirect,
+                };
+                MicroOp {
+                    pc,
+                    class,
+                    dest: if class == OpClass::Store { None } else { dest },
+                    srcs: [s0, s1],
+                    mem: class
+                        .is_mem()
+                        .then_some(csmt_types::MemInfo { addr, size }),
+                    branch: class
+                        .is_branch()
+                        .then_some(csmt_types::BranchInfo { taken, target }),
+                    code_block: block,
+                    is_mrom: mrom,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_uops_round_trip(uops in prop::collection::vec(arb_uop(), 1..200)) {
+        let mut sink = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut sink, "prop", 7, uops.len() as u64).unwrap();
+            for u in &uops {
+                w.write(u).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let r = TraceReader::new(&sink[..]).unwrap();
+        let back = r.read_all().unwrap();
+        prop_assert_eq!(back, uops);
+    }
+
+    #[test]
+    fn header_name_round_trips(name in "[a-zA-Z0-9 _./-]{0,64}", seed: u64) {
+        let mut sink = Vec::new();
+        TraceWriter::new(&mut sink, &name, seed, 0).unwrap().finish().unwrap();
+        let r = TraceReader::new(&sink[..]).unwrap();
+        prop_assert_eq!(&r.header().name, &name);
+        prop_assert_eq!(r.header().seed, seed);
+        prop_assert_eq!(r.header().count, 0);
+    }
+
+    #[test]
+    fn truncated_files_error_not_panic(
+        uops in prop::collection::vec(arb_uop(), 1..30),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut sink = Vec::new();
+        {
+            let mut w = TraceWriter::new(&mut sink, "t", 0, uops.len() as u64).unwrap();
+            for u in &uops {
+                w.write(u).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let cut = ((sink.len() as f64) * cut_frac) as usize;
+        match TraceReader::new(&sink[..cut]) {
+            Err(_) => {} // truncated header
+            Ok(mut r) => {
+                // Truncated body must surface as Err, never panic.
+                while let Ok(Some(_)) = r.next_uop() {}
+            }
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Machine configuration mirroring Table 1 of the paper, plus the scheme
+//! selectors of Tables 3 and 4.
+
+use crate::ids::{OpClass, NUM_CLUSTERS};
+use serde::{Deserialize, Serialize};
+
+/// Issue-port capabilities of one cluster.
+///
+/// Table 1: *"Issue rate per cluster: Port0: int, fp, simd; Port1: int, fp,
+/// simd; Port2: int, mem"* — three ports, two of them shared between integer
+/// and FP/SIMD, the third shared between integer and memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortCaps {
+    /// `can_execute[port][op]` flattened via [`PortCaps::allows`].
+    _priv: (),
+}
+
+impl PortCaps {
+    pub const NUM_PORTS: usize = 3;
+
+    /// Whether `port` can execute `op`. Copy uops are register moves and can
+    /// use any integer-capable port (all three).
+    #[inline]
+    pub fn allows(port: usize, op: OpClass) -> bool {
+        match op {
+            OpClass::Int | OpClass::IntMul | OpClass::Branch | OpClass::BranchIndirect => true,
+            OpClass::FpSimd | OpClass::FpDiv => port == 0 || port == 1,
+            OpClass::Load | OpClass::Store => port == 2,
+            OpClass::Copy => true,
+        }
+    }
+
+    /// Number of ports able to execute `op`.
+    #[inline]
+    pub fn ports_for(op: OpClass) -> usize {
+        (0..Self::NUM_PORTS).filter(|&p| Self::allows(p, op)).count()
+    }
+}
+
+/// Issue-queue resource assignment scheme (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Icount (Tullsen et al.): pick the thread with the fewest uops between
+    /// rename and issue; no occupancy caps.
+    Icount,
+    /// Icount + stall a thread with a pending L2 miss (Tullsen & Brown).
+    Stall,
+    /// Icount + flush a thread with a pending L2 miss; when both threads
+    /// miss, the first to miss continues (Cazorla et al.).
+    FlushPlus,
+    /// Cluster-Insensitive Static Partitioning: a thread may hold at most
+    /// 50% of the *total* issue-queue entries, located anywhere.
+    Cisp,
+    /// Cluster-Sensitive Static Partitioning: a thread may hold at most 50%
+    /// of *each cluster's* issue queue.
+    Cssp,
+    /// Cluster-Sensitive Partial Static Partitioning: 25% of each cluster's
+    /// queue is guaranteed per thread; the remaining half is shared.
+    Cspsp,
+    /// Private Clusters: thread *t* is statically bound to cluster *t*.
+    Pc,
+}
+
+impl SchemeKind {
+    pub fn all() -> [SchemeKind; 7] {
+        [
+            SchemeKind::Icount,
+            SchemeKind::Stall,
+            SchemeKind::FlushPlus,
+            SchemeKind::Cisp,
+            SchemeKind::Cssp,
+            SchemeKind::Cspsp,
+            SchemeKind::Pc,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Icount => "Icount",
+            SchemeKind::Stall => "Stall",
+            SchemeKind::FlushPlus => "Flush+",
+            SchemeKind::Cisp => "CISP",
+            SchemeKind::Cssp => "CSSP",
+            SchemeKind::Cspsp => "CSPSP",
+            SchemeKind::Pc => "PC",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Physical register file assignment scheme (Table 4 and §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegFileSchemeKind {
+    /// Registers are a free-for-all (the Table-4 "Icount"/"CSSP" rows:
+    /// whatever the IQ scheme, the register files impose no per-thread cap).
+    Shared,
+    /// Cluster-Sensitive Static Partitioned Register File: a thread may use
+    /// at most half of *each cluster's* register file of each class.
+    Cssprf,
+    /// Cluster-Insensitive Static Partitioned Register File: a thread may
+    /// use at most half of the *total* registers of each class.
+    Cisprf,
+    /// Cluster-insensitive Dynamic Partitioned Register File — the paper's
+    /// proposal (Figures 7 and 8): per-thread, per-class thresholds adapted
+    /// every interval from occupancy (RFOC) and starvation counters.
+    Cdprf,
+}
+
+impl RegFileSchemeKind {
+    pub fn all() -> [RegFileSchemeKind; 4] {
+        [
+            RegFileSchemeKind::Shared,
+            RegFileSchemeKind::Cssprf,
+            RegFileSchemeKind::Cisprf,
+            RegFileSchemeKind::Cdprf,
+        ]
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RegFileSchemeKind::Shared => "Shared",
+            RegFileSchemeKind::Cssprf => "CSSPRF",
+            RegFileSchemeKind::Cisprf => "CISPRF",
+            RegFileSchemeKind::Cdprf => "CDPRF",
+        }
+    }
+}
+
+impl std::fmt::Display for RegFileSchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full machine configuration. Field defaults reproduce Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    // ---- front end ----
+    /// Fetch width in uops per cycle (Table 1: 6).
+    pub fetch_width: usize,
+    /// Rename/dispatch width in uops per cycle (matches fetch width).
+    pub rename_width: usize,
+    /// Commit width in uops per cycle (Table 1: 6).
+    pub commit_width: usize,
+    /// Branch misprediction pipeline depth in cycles (Table 1: 14).
+    pub mispredict_penalty: u64,
+    /// Per-thread fetch-queue capacity between fetch and rename.
+    pub fetch_queue_entries: usize,
+    /// gshare predictor entries (Table 1: 32K).
+    pub gshare_entries: usize,
+    /// Indirect branch predictor entries (Table 1: 4096).
+    pub indirect_entries: usize,
+    /// Trace cache capacity in uops (Table 1: 32K uops).
+    pub trace_cache_uops: usize,
+    /// Uops per trace-cache line.
+    pub trace_cache_line_uops: usize,
+    /// Trace-cache associativity.
+    pub trace_cache_assoc: usize,
+    /// Fetch bandwidth through the MITE on a trace-cache miss (uops/cycle).
+    pub mite_width: usize,
+    /// Extra decode cycles for an MROM-sequenced complex op through the MITE.
+    pub mrom_penalty: u64,
+    /// ITLB entries / associativity (Table 1: 1024, 8-way).
+    pub itlb_entries: usize,
+    pub itlb_assoc: usize,
+
+    // ---- back end ----
+    /// Reorder-buffer entries per thread (Table 1: 128 per thread).
+    pub rob_per_thread: usize,
+    /// Issue-queue entries per cluster (Table 1 sweeps 32–64).
+    pub iq_per_cluster: usize,
+    /// Integer physical registers per cluster (Table 1 sweeps 64–128).
+    pub int_regs_per_cluster: usize,
+    /// FP/SIMD physical registers per cluster (Table 1 sweeps 64–128).
+    pub fp_regs_per_cluster: usize,
+    /// Treat register files as unbounded (used by the Figure-2 issue-queue
+    /// study, which removes register-file side effects).
+    pub unbounded_regs: bool,
+    /// Treat the ROB as unbounded (Figure-2 study).
+    pub unbounded_rob: bool,
+    /// Memory-order-buffer entries, shared (Table 1: 128).
+    pub mob_entries: usize,
+    /// Inter-cluster point-to-point links (Table 1: 2).
+    pub num_links: usize,
+    /// Link latency in cycles (Table 1: 1).
+    pub link_latency: u64,
+
+    // ---- memory hierarchy ----
+    /// L1 data cache size in bytes (Table 1: 32 KB).
+    pub l1_size: usize,
+    /// L1 associativity (Table 1: 2).
+    pub l1_assoc: usize,
+    /// L1 line size in bytes.
+    pub l1_line: usize,
+    /// L1 hit latency in cycles (Table 1: 1).
+    pub l1_latency: u64,
+    /// L1 read / write ports (Table 1: 2 read / 2 write).
+    pub l1_read_ports: usize,
+    pub l1_write_ports: usize,
+    /// L2 size in bytes (Table 1: 4 MB) and associativity (8).
+    pub l2_size: usize,
+    pub l2_assoc: usize,
+    /// L2 hit latency (Table 1: 12 cycles).
+    pub l2_latency: u64,
+    /// L1↔L2 data buses (Table 1: 2): max line fills initiated per cycle.
+    pub l2_buses: usize,
+    /// Main memory latency (Table 1: 60 cycles).
+    pub mem_latency: u64,
+    /// Hardware prefetcher selector, encoded as a string to keep this
+    /// crate dependency-free: "none" (Table-1 baseline), "next-line" or
+    /// "stride". Parsed by the memory hierarchy.
+    pub prefetcher: String,
+    /// Victim-cache lines behind the L1 (0 = none, the Table-1 baseline).
+    pub victim_lines: usize,
+    /// DTLB entries / associativity (Table 1: 1024, 8-way) and miss penalty
+    /// (not in Table 1; a 20-cycle page walk is assumed — see DESIGN.md).
+    pub dtlb_entries: usize,
+    pub dtlb_assoc: usize,
+    pub tlb_miss_penalty: u64,
+
+    // ---- execution latencies (cycles in the FU, excluding cache time) ----
+    pub lat_int: u64,
+    pub lat_int_mul: u64,
+    pub lat_fp: u64,
+    pub lat_fp_div: u64,
+    pub lat_branch: u64,
+    pub lat_copy: u64,
+    /// Address-generation + L1 pipeline stages for a load before the cache
+    /// latency is added.
+    pub lat_agu: u64,
+
+    // ---- steering ----
+    /// Workload-imbalance threshold of the dependence-based steering
+    /// algorithm (Canal et al.): when the difference in pending uops between
+    /// clusters exceeds this many uops, the least-loaded cluster is
+    /// preferred regardless of operand residence.
+    pub steer_imbalance_threshold: usize,
+
+    // ---- scheme parameters ----
+    /// CDPRF adaptation interval in cycles (§5.2: 128K cycles, a power of
+    /// two so the average is a shift).
+    pub cdprf_interval: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl MachineConfig {
+    /// The Table-1 baseline configuration: 32-entry issue queues and
+    /// 128-register files per cluster (the defaults used by §5.2 onwards).
+    pub fn baseline() -> Self {
+        MachineConfig {
+            fetch_width: 6,
+            rename_width: 6,
+            commit_width: 6,
+            mispredict_penalty: 14,
+            fetch_queue_entries: 48,
+            gshare_entries: 32 * 1024,
+            indirect_entries: 4096,
+            trace_cache_uops: 32 * 1024,
+            trace_cache_line_uops: 6,
+            trace_cache_assoc: 8,
+            mite_width: 3,
+            mrom_penalty: 4,
+            itlb_entries: 1024,
+            itlb_assoc: 8,
+            rob_per_thread: 128,
+            iq_per_cluster: 32,
+            int_regs_per_cluster: 128,
+            fp_regs_per_cluster: 128,
+            unbounded_regs: false,
+            unbounded_rob: false,
+            mob_entries: 128,
+            num_links: 2,
+            link_latency: 1,
+            l1_size: 32 * 1024,
+            l1_assoc: 2,
+            l1_line: 64,
+            l1_latency: 1,
+            l1_read_ports: 2,
+            l1_write_ports: 2,
+            l2_size: 4 * 1024 * 1024,
+            l2_assoc: 8,
+            l2_latency: 12,
+            l2_buses: 2,
+            mem_latency: 60,
+            prefetcher: "none".to_string(),
+            victim_lines: 0,
+            dtlb_entries: 1024,
+            dtlb_assoc: 8,
+            tlb_miss_penalty: 20,
+            lat_int: 1,
+            lat_int_mul: 4,
+            lat_fp: 4,
+            lat_fp_div: 16,
+            lat_branch: 1,
+            lat_copy: 1,
+            lat_agu: 2,
+            steer_imbalance_threshold: 6,
+            cdprf_interval: 128 * 1024,
+        }
+    }
+
+    /// Figure-2 study configuration: issue queues of `iq` entries per
+    /// cluster with unbounded register files and ROB, *"in order to avoid
+    /// side effects on these components"*.
+    pub fn iq_study(iq: usize) -> Self {
+        MachineConfig {
+            iq_per_cluster: iq,
+            unbounded_regs: true,
+            unbounded_rob: true,
+            ..Self::baseline()
+        }
+    }
+
+    /// Figure-6/9 study configuration: 32-entry issue queues and `regs`
+    /// physical registers per cluster and class.
+    ///
+    /// The CDPRF interval is scaled down to 8K cycles: the paper's 128K was
+    /// chosen for traces hundreds of millions of cycles long; our measured
+    /// regions are tens of thousands of cycles, and the adaptation must
+    /// complete several intervals inside them. The algorithm (Figures 7–8)
+    /// averages occupancy per interval, so its behaviour is
+    /// interval-scale-invariant as long as the interval spans many misses.
+    pub fn rf_study(regs: usize) -> Self {
+        MachineConfig {
+            iq_per_cluster: 32,
+            int_regs_per_cluster: regs,
+            fp_regs_per_cluster: regs,
+            cdprf_interval: 8 * 1024,
+            ..Self::baseline()
+        }
+    }
+
+    /// Physical registers per cluster for a class.
+    pub fn regs_per_cluster(&self, class: crate::ids::RegClass) -> usize {
+        match class {
+            crate::ids::RegClass::Int => self.int_regs_per_cluster,
+            crate::ids::RegClass::FpSimd => self.fp_regs_per_cluster,
+        }
+    }
+
+    /// Total issue-queue entries across clusters.
+    pub fn total_iq(&self) -> usize {
+        self.iq_per_cluster * NUM_CLUSTERS
+    }
+
+    /// Execution latency of an op class (excluding memory-hierarchy time,
+    /// which the MOB/cache model adds for loads).
+    pub fn latency(&self, op: OpClass) -> u64 {
+        match op {
+            OpClass::Int => self.lat_int,
+            OpClass::IntMul => self.lat_int_mul,
+            OpClass::FpSimd => self.lat_fp,
+            OpClass::FpDiv => self.lat_fp_div,
+            OpClass::Load | OpClass::Store => self.lat_agu,
+            OpClass::Branch | OpClass::BranchIndirect => self.lat_branch,
+            OpClass::Copy => self.lat_copy,
+        }
+    }
+
+    /// Sanity checks on a configuration. Call before building a simulator.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pow2(x: usize) -> bool {
+            x != 0 && x & (x - 1) == 0
+        }
+        if self.fetch_width == 0 || self.rename_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.iq_per_cluster < 4 {
+            return Err("issue queues need at least 4 entries".into());
+        }
+        if !pow2(self.l1_line) {
+            return Err("L1 line size must be a power of two".into());
+        }
+        if !self.l1_size.is_multiple_of(self.l1_line * self.l1_assoc) {
+            return Err("L1 size must be divisible by line size × associativity".into());
+        }
+        if !self.l2_size.is_multiple_of(self.l1_line * self.l2_assoc) {
+            return Err("L2 size must be divisible by line size × associativity".into());
+        }
+        if !pow2(self.cdprf_interval as usize) {
+            return Err("CDPRF interval must be a power of two (average computed by shift)".into());
+        }
+        if self.num_links == 0 {
+            return Err("need at least one inter-cluster link".into());
+        }
+        if !matches!(self.prefetcher.as_str(), "none" | "next-line" | "stride") {
+            return Err(format!("unknown prefetcher '{}'", self.prefetcher));
+        }
+        if !self.unbounded_regs
+            && (self.int_regs_per_cluster < NUM_LOG_REGS_MIN
+                || self.fp_regs_per_cluster < NUM_LOG_REGS_MIN)
+        {
+            return Err(format!(
+                "register files must hold at least the {NUM_LOG_REGS_MIN} architected registers"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Physical registers must at least cover the architected state of both
+/// threads or renaming can deadlock.
+const NUM_LOG_REGS_MIN: usize = crate::ids::NUM_LOG_REGS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegClass;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = MachineConfig::baseline();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.commit_width, 6);
+        assert_eq!(c.mispredict_penalty, 14);
+        assert_eq!(c.rob_per_thread, 128);
+        assert_eq!(c.gshare_entries, 32 * 1024);
+        assert_eq!(c.indirect_entries, 4096);
+        assert_eq!(c.trace_cache_uops, 32 * 1024);
+        assert_eq!(c.mob_entries, 128);
+        assert_eq!(c.l1_size, 32 * 1024);
+        assert_eq!(c.l1_assoc, 2);
+        assert_eq!(c.l1_latency, 1);
+        assert_eq!(c.l2_size, 4 * 1024 * 1024);
+        assert_eq!(c.l2_assoc, 8);
+        assert_eq!(c.l2_latency, 12);
+        assert_eq!(c.mem_latency, 60);
+        assert_eq!(c.num_links, 2);
+        assert_eq!(c.link_latency, 1);
+        assert_eq!(c.l2_buses, 2);
+        assert_eq!(c.dtlb_entries, 1024);
+        assert_eq!(c.dtlb_assoc, 8);
+        assert_eq!(c.itlb_entries, 1024);
+        assert_eq!(c.itlb_assoc, 8);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn iq_study_unbinds_regs_and_rob() {
+        for iq in [32, 64] {
+            let c = MachineConfig::iq_study(iq);
+            assert_eq!(c.iq_per_cluster, iq);
+            assert!(c.unbounded_regs);
+            assert!(c.unbounded_rob);
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn rf_study_sets_both_files() {
+        for regs in [64, 128] {
+            let c = MachineConfig::rf_study(regs);
+            assert_eq!(c.regs_per_cluster(RegClass::Int), regs);
+            assert_eq!(c.regs_per_cluster(RegClass::FpSimd), regs);
+            assert!(!c.unbounded_regs);
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn port_caps_match_table1() {
+        // Port0 and Port1: int, fp, simd. Port2: int, mem.
+        assert!(PortCaps::allows(0, OpClass::Int));
+        assert!(PortCaps::allows(0, OpClass::FpSimd));
+        assert!(!PortCaps::allows(0, OpClass::Load));
+        assert!(PortCaps::allows(1, OpClass::FpSimd));
+        assert!(PortCaps::allows(2, OpClass::Int));
+        assert!(PortCaps::allows(2, OpClass::Load));
+        assert!(PortCaps::allows(2, OpClass::Store));
+        assert!(!PortCaps::allows(2, OpClass::FpSimd));
+        assert_eq!(PortCaps::ports_for(OpClass::Int), 3);
+        assert_eq!(PortCaps::ports_for(OpClass::FpSimd), 2);
+        assert_eq!(PortCaps::ports_for(OpClass::Load), 1);
+        assert_eq!(PortCaps::ports_for(OpClass::Copy), 3);
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut c = MachineConfig::baseline();
+        c.iq_per_cluster = 2;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::baseline();
+        c.l1_line = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::baseline();
+        c.cdprf_interval = 100_000; // not a power of two
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::baseline();
+        c.num_links = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::baseline();
+        c.int_regs_per_cluster = 8;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn latency_table_is_total() {
+        let c = MachineConfig::baseline();
+        for op in [
+            OpClass::Int,
+            OpClass::IntMul,
+            OpClass::FpSimd,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+            OpClass::BranchIndirect,
+            OpClass::Copy,
+        ] {
+            assert!(c.latency(op) >= 1, "latency of {op} must be at least 1");
+        }
+        assert!(c.latency(OpClass::FpDiv) > c.latency(OpClass::FpSimd));
+        assert!(c.latency(OpClass::IntMul) > c.latency(OpClass::Int));
+    }
+
+    #[test]
+    fn scheme_names_are_unique() {
+        let names: Vec<_> = SchemeKind::all().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        let names: Vec<_> = RegFileSchemeKind::all().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,323 @@
+//! Entity identifiers and operation classes.
+//!
+//! All identifiers are thin newtypes over small integers so that hot
+//! simulator structures stay index-based (no pointer chasing, no hashing) as
+//! recommended for cycle-level models.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of back-end clusters. The paper's machine has exactly two; the
+/// steering logic, the cluster-sensitive schemes and the workload-imbalance
+/// metric are all defined pairwise, so this is a compile-time constant.
+pub const NUM_CLUSTERS: usize = 2;
+
+/// Number of architectural (logical) registers per register class.
+///
+/// The front-end renames x86-64-like state: 16 general-purpose integer
+/// registers plus 16 XMM registers, doubled to leave room for the
+/// micro-code temporaries the MROM uses when cracking complex macro-ops.
+pub const NUM_LOG_REGS: usize = 32;
+
+/// Maximum number of hardware threads (the paper evaluates 2-threaded
+/// workloads throughout; the machinery supports running with a single
+/// thread for the fairness baselines).
+pub const MAX_THREADS: usize = 2;
+
+/// A hardware thread context (SMT thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Index usable for array addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The other thread of a 2-thread workload.
+    #[inline]
+    pub fn other(self) -> ThreadId {
+        ThreadId(1 - self.0)
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A back-end execution cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(pub u8);
+
+impl ClusterId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The other cluster of the 2-cluster back-end.
+    #[inline]
+    pub fn other(self) -> ClusterId {
+        ClusterId(1 - self.0)
+    }
+
+    /// Iterate over both clusters.
+    #[inline]
+    pub fn all() -> impl Iterator<Item = ClusterId> {
+        (0..NUM_CLUSTERS as u8).map(ClusterId)
+    }
+}
+
+impl std::fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A physical register inside one cluster's register file of one class.
+///
+/// Physical registers are cluster-local: the pair `(ClusterId, RegClass,
+/// PhysReg)` names a storage cell. `u16` comfortably covers the 64–128
+/// registers per file of Table 1 and leaves room for "unbounded" studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An architectural (logical) register within a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LogReg(pub u8);
+
+impl LogReg {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Register file class. The machine has two register files per cluster: one
+/// for integer values and one for floating-point/SSE values (§3, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    Int,
+    FpSimd,
+}
+
+impl RegClass {
+    pub const COUNT: usize = 2;
+
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::FpSimd => 1,
+        }
+    }
+
+    #[inline]
+    pub fn all() -> [RegClass; 2] {
+        [RegClass::Int, RegClass::FpSimd]
+    }
+}
+
+impl std::fmt::Display for RegClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "Int"),
+            RegClass::FpSimd => write!(f, "Fp/Simd"),
+        }
+    }
+}
+
+/// Micro-operation class.
+///
+/// The class determines which issue ports can execute the uop (see
+/// [`crate::config::PortCaps`]), its base execution latency, and which
+/// register file its destination lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add, logic, shifts, address arithmetic).
+    Int,
+    /// Integer multiply/divide — longer latency, still an integer port op.
+    IntMul,
+    /// Floating point / SSE arithmetic.
+    FpSimd,
+    /// Long-latency FP (divide, sqrt).
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store (address+data; data is written to memory at commit).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Indirect branch / call / return.
+    BranchIndirect,
+    /// Inter-cluster copy uop, generated on demand by the rename logic —
+    /// never present in a trace.
+    Copy,
+}
+
+impl OpClass {
+    /// Register class of the destination this uop writes (if any).
+    #[inline]
+    pub fn dest_class(self) -> RegClass {
+        match self {
+            OpClass::FpSimd | OpClass::FpDiv => RegClass::FpSimd,
+            // Loads in the synthetic traces may target either file; the
+            // trace record carries the authoritative class. This is the
+            // default used for copies and when the record does not override.
+            _ => RegClass::Int,
+        }
+    }
+
+    /// Whether the uop accesses the memory order buffer.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the uop is a control-flow operation.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::BranchIndirect)
+    }
+
+    /// Coarse type used by the workload-imbalance metric of Figure 5:
+    /// Integer, Fp/Simd or Mem.
+    #[inline]
+    pub fn imbalance_kind(self) -> ImbalanceKind {
+        match self {
+            OpClass::FpSimd | OpClass::FpDiv => ImbalanceKind::FpSimd,
+            OpClass::Load | OpClass::Store => ImbalanceKind::Mem,
+            _ => ImbalanceKind::Int,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::Int => "int",
+            OpClass::IntMul => "imul",
+            OpClass::FpSimd => "fp",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "br",
+            OpClass::BranchIndirect => "ibr",
+            OpClass::Copy => "copy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three instruction kinds distinguished by the Figure-5
+/// workload-imbalance analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ImbalanceKind {
+    Int,
+    FpSimd,
+    Mem,
+}
+
+impl ImbalanceKind {
+    pub const COUNT: usize = 3;
+
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            ImbalanceKind::Int => 0,
+            ImbalanceKind::FpSimd => 1,
+            ImbalanceKind::Mem => 2,
+        }
+    }
+
+    pub fn all() -> [ImbalanceKind; 3] {
+        [ImbalanceKind::Int, ImbalanceKind::FpSimd, ImbalanceKind::Mem]
+    }
+}
+
+impl std::fmt::Display for ImbalanceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImbalanceKind::Int => write!(f, "Integer"),
+            ImbalanceKind::FpSimd => write!(f, "Fp/Simd"),
+            ImbalanceKind::Mem => write!(f, "Mem"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_other_is_involutive() {
+        assert_eq!(ThreadId(0).other(), ThreadId(1));
+        assert_eq!(ThreadId(1).other(), ThreadId(0));
+        assert_eq!(ThreadId(0).other().other(), ThreadId(0));
+    }
+
+    #[test]
+    fn cluster_other_is_involutive() {
+        for c in ClusterId::all() {
+            assert_ne!(c, c.other());
+            assert_eq!(c, c.other().other());
+        }
+        assert_eq!(ClusterId::all().count(), NUM_CLUSTERS);
+    }
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Int.is_mem());
+        assert!(OpClass::Branch.is_branch());
+        assert!(OpClass::BranchIndirect.is_branch());
+        assert!(!OpClass::Copy.is_branch());
+    }
+
+    #[test]
+    fn imbalance_kind_mapping() {
+        assert_eq!(OpClass::Int.imbalance_kind(), ImbalanceKind::Int);
+        assert_eq!(OpClass::IntMul.imbalance_kind(), ImbalanceKind::Int);
+        assert_eq!(OpClass::Branch.imbalance_kind(), ImbalanceKind::Int);
+        assert_eq!(OpClass::FpSimd.imbalance_kind(), ImbalanceKind::FpSimd);
+        assert_eq!(OpClass::FpDiv.imbalance_kind(), ImbalanceKind::FpSimd);
+        assert_eq!(OpClass::Load.imbalance_kind(), ImbalanceKind::Mem);
+        assert_eq!(OpClass::Store.imbalance_kind(), ImbalanceKind::Mem);
+    }
+
+    #[test]
+    fn dest_class_by_op() {
+        assert_eq!(OpClass::FpSimd.dest_class(), RegClass::FpSimd);
+        assert_eq!(OpClass::FpDiv.dest_class(), RegClass::FpSimd);
+        assert_eq!(OpClass::Int.dest_class(), RegClass::Int);
+        assert_eq!(OpClass::Copy.dest_class(), RegClass::Int);
+    }
+
+    #[test]
+    fn reg_class_indices_are_dense() {
+        let mut seen = [false; RegClass::COUNT];
+        for c in RegClass::all() {
+            seen[c.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn imbalance_indices_are_dense() {
+        let mut seen = [false; ImbalanceKind::COUNT];
+        for k in ImbalanceKind::all() {
+            seen[k.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

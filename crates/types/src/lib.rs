@@ -1,0 +1,30 @@
+//! # csmt-types
+//!
+//! Common vocabulary types for the clustered SMT simulator reproducing
+//! Latorre, González & González, *"Efficient Resources Assignment Schemes
+//! for Clustered Multithreaded Processors"*, IPDPS 2008.
+//!
+//! This crate deliberately has no dependency on the rest of the workspace so
+//! every other crate (trace generation, memory hierarchy, front-end,
+//! back-end, pipeline) can share one definition of:
+//!
+//! * entity identifiers ([`ThreadId`], [`ClusterId`], [`PhysReg`], ...),
+//! * the micro-operation record ([`uop::MicroOp`]) exchanged between the
+//!   trace generator and the pipeline,
+//! * the machine configuration ([`config::MachineConfig`]) mirroring Table 1
+//!   of the paper,
+//! * a small, fast, deterministic PRNG ([`prng::Prng`]) used everywhere so
+//!   that a simulation is a pure function of `(config, scheme, seed)`.
+
+pub mod config;
+pub mod ids;
+pub mod prng;
+pub mod uop;
+
+pub use config::{MachineConfig, RegFileSchemeKind, SchemeKind};
+pub use ids::{
+    ClusterId, ImbalanceKind, LogReg, OpClass, PhysReg, RegClass, ThreadId, MAX_THREADS,
+    NUM_CLUSTERS, NUM_LOG_REGS,
+};
+pub use prng::Prng;
+pub use uop::{BranchInfo, MemInfo, MicroOp};

@@ -1,0 +1,231 @@
+//! The micro-operation record exchanged between the trace generator and the
+//! pipeline.
+//!
+//! The paper's simulator is trace-driven: traces are sequences of decoded
+//! micro-operations (the x86 front-end work of cracking macro-ops is
+//! represented by the trace-cache / MITE / MROM timing model, not re-done at
+//! simulation time). A [`MicroOp`] therefore carries exactly what the
+//! pipeline needs: operation class, architectural source/destination
+//! registers, the memory address for loads/stores, the branch outcome for
+//! control flow, plus the code-block tag the trace-cache model uses.
+
+use crate::ids::{LogReg, OpClass, RegClass};
+use serde::{Deserialize, Serialize};
+
+/// A register operand: architectural register number plus register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegOperand {
+    pub reg: LogReg,
+    pub class: RegClass,
+}
+
+impl RegOperand {
+    pub fn int(reg: u8) -> Self {
+        RegOperand {
+            reg: LogReg(reg),
+            class: RegClass::Int,
+        }
+    }
+
+    pub fn fp(reg: u8) -> Self {
+        RegOperand {
+            reg: LogReg(reg),
+            class: RegClass::FpSimd,
+        }
+    }
+}
+
+/// Memory access descriptor for loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemInfo {
+    /// Virtual byte address of the access.
+    pub addr: u64,
+    /// Access size in bytes (used by store-to-load forwarding overlap
+    /// checks; the synthetic generator emits 4- and 8-byte accesses).
+    pub size: u8,
+}
+
+/// Branch descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Architected (correct) outcome of the branch.
+    pub taken: bool,
+    /// Architected target tag. For indirect branches the predictor must
+    /// predict this value, not just a direction; for conditional branches it
+    /// identifies the taken successor block.
+    pub target: u32,
+}
+
+/// A single micro-operation of a trace.
+///
+/// `MicroOp` is `Copy` and kept small (≤ 48 bytes) — traces are streamed,
+/// and the pipeline copies records into its in-flight window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroOp {
+    /// Synthetic program counter. Distinct static instructions get distinct
+    /// PCs; the gshare and indirect predictors index on it.
+    pub pc: u64,
+    /// Operation class (determines ports, latency, destination file).
+    pub class: OpClass,
+    /// Destination register, if the uop produces a value.
+    pub dest: Option<RegOperand>,
+    /// Up to two source registers.
+    pub srcs: [Option<RegOperand>; 2],
+    /// Present iff `class.is_mem()`.
+    pub mem: Option<MemInfo>,
+    /// Present iff `class.is_branch()`.
+    pub branch: Option<BranchInfo>,
+    /// Code block (trace line) this uop belongs to; consecutive uops of a
+    /// block fill the same trace-cache line.
+    pub code_block: u32,
+    /// Decoded by the MROM (complex macro-op): fetching it through the MITE
+    /// on a trace-cache miss costs extra decode cycles.
+    pub is_mrom: bool,
+}
+
+impl MicroOp {
+    /// A canonical no-input integer op, useful as a building block in tests.
+    pub fn nop(pc: u64) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::Int,
+            dest: None,
+            srcs: [None, None],
+            mem: None,
+            branch: None,
+            code_block: (pc >> 6) as u32,
+            is_mrom: false,
+        }
+    }
+
+    /// Builder-style: set the destination register.
+    pub fn with_dest(mut self, dest: RegOperand) -> Self {
+        self.dest = Some(dest);
+        self
+    }
+
+    /// Builder-style: set the source registers.
+    pub fn with_srcs(mut self, a: Option<RegOperand>, b: Option<RegOperand>) -> Self {
+        self.srcs = [a, b];
+        self
+    }
+
+    /// Builder-style: change the op class.
+    pub fn with_class(mut self, class: OpClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Builder-style: attach a memory access.
+    pub fn with_mem(mut self, addr: u64, size: u8) -> Self {
+        self.mem = Some(MemInfo { addr, size });
+        self
+    }
+
+    /// Builder-style: attach a branch outcome.
+    pub fn with_branch(mut self, taken: bool, target: u32) -> Self {
+        self.branch = Some(BranchInfo { taken, target });
+        self
+    }
+
+    /// Number of register sources actually present.
+    #[inline]
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Internal consistency: memory info iff memory class, branch info iff
+    /// branch class, copy uops never appear in traces.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.class.is_mem() != self.mem.is_some() {
+            return Err(format!(
+                "uop @{:#x}: mem info presence ({}) inconsistent with class {}",
+                self.pc,
+                self.mem.is_some(),
+                self.class
+            ));
+        }
+        if self.class.is_branch() != self.branch.is_some() {
+            return Err(format!(
+                "uop @{:#x}: branch info presence ({}) inconsistent with class {}",
+                self.pc,
+                self.branch.is_some(),
+                self.class
+            ));
+        }
+        if self.class == OpClass::Copy {
+            return Err(format!("uop @{:#x}: copy uops must not appear in traces", self.pc));
+        }
+        if self.class == OpClass::Store && self.dest.is_some() {
+            return Err(format!("uop @{:#x}: stores produce no register value", self.pc));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let u = MicroOp::nop(0x40)
+            .with_class(OpClass::Load)
+            .with_dest(RegOperand::int(3))
+            .with_srcs(Some(RegOperand::int(5)), None)
+            .with_mem(0x1000, 8);
+        assert_eq!(u.class, OpClass::Load);
+        assert_eq!(u.dest.unwrap().reg, LogReg(3));
+        assert_eq!(u.num_srcs(), 1);
+        assert_eq!(u.mem.unwrap().addr, 0x1000);
+        u.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_mem_mismatch() {
+        let u = MicroOp::nop(0).with_class(OpClass::Load); // missing mem info
+        assert!(u.validate().is_err());
+        let u = MicroOp::nop(0).with_mem(0x10, 4); // mem info on an int op
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_branch_mismatch() {
+        let u = MicroOp::nop(0).with_class(OpClass::Branch);
+        assert!(u.validate().is_err());
+        let u = MicroOp::nop(0).with_branch(true, 7);
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_trace_copies_and_store_dest() {
+        let u = MicroOp::nop(0).with_class(OpClass::Copy);
+        assert!(u.validate().is_err());
+        let u = MicroOp::nop(0)
+            .with_class(OpClass::Store)
+            .with_mem(0x20, 4)
+            .with_dest(RegOperand::int(1));
+        assert!(u.validate().is_err());
+    }
+
+    #[test]
+    fn valid_branch_and_store() {
+        MicroOp::nop(4)
+            .with_class(OpClass::Branch)
+            .with_branch(false, 0)
+            .validate()
+            .unwrap();
+        MicroOp::nop(8)
+            .with_class(OpClass::Store)
+            .with_mem(0x30, 4)
+            .with_srcs(Some(RegOperand::int(2)), Some(RegOperand::int(4)))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn micro_op_stays_small() {
+        // The pipeline copies MicroOps around; keep them cache-friendly.
+        assert!(std::mem::size_of::<MicroOp>() <= 56, "{}", std::mem::size_of::<MicroOp>());
+    }
+}

@@ -1,0 +1,61 @@
+//! Fairness study: reproduce the paper's §4 metric — the minimum ratio of
+//! the two threads' slowdowns relative to running alone ([33]) — for a few
+//! schemes on one workload, including the single-thread baseline runs.
+//!
+//! Run with: `cargo run --release --example fairness_study`
+
+use clustered_smt::prelude::*;
+
+fn main() {
+    let workloads = suite();
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "ISPEC-FSPEC/mix.2.2")
+        .expect("suite workload");
+    let cfg = MachineConfig::rf_study(64);
+
+    // Single-thread baselines: each trace alone on the full machine.
+    let alone: Vec<f64> = w
+        .traces
+        .iter()
+        .map(|spec| {
+            SimBuilder::new(cfg.clone())
+                .single(spec)
+                .warmup(5_000)
+                .commit_target(10_000)
+                .run()
+                .ipc(ThreadId(0))
+        })
+        .collect();
+    println!("{}: alone IPC = {:.2} / {:.2}", w.name, alone[0], alone[1]);
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>10}",
+        "scheme", "throughput", "sd[0]", "sd[1]", "fairness"
+    );
+    for (label, iq, rf) in [
+        ("Icount", SchemeKind::Icount, RegFileSchemeKind::Shared),
+        ("Stall", SchemeKind::Stall, RegFileSchemeKind::Shared),
+        ("Flush+", SchemeKind::FlushPlus, RegFileSchemeKind::Shared),
+        ("CSSP", SchemeKind::Cssp, RegFileSchemeKind::Shared),
+        ("CSSP+CDPRF", SchemeKind::Cssp, RegFileSchemeKind::Cdprf),
+    ] {
+        let r = SimBuilder::new(cfg.clone())
+            .iq_scheme(iq)
+            .rf_scheme(rf)
+            .workload(w)
+            .warmup(5_000)
+            .commit_target(10_000)
+            .run();
+        let smt = [r.ipc(ThreadId(0)), r.ipc(ThreadId(1))];
+        let f = fairness(smt, [alone[0], alone[1]]);
+        println!(
+            "{:<22} {:>10.3} {:>8.2} {:>8.2} {:>10.3}",
+            label,
+            r.throughput(),
+            smt[0] / alone[0],
+            smt[1] / alone[1],
+            f
+        );
+    }
+    println!("\nfairness = min slowdown ratio; 1.0 means both threads slowed equally");
+}

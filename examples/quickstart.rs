@@ -1,0 +1,55 @@
+//! Quickstart: simulate one SMT workload under the baseline policy
+//! (Icount) and the paper's proposal (CSSP + CDPRF), and print the
+//! Table-1 machine configuration being modeled.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clustered_smt::prelude::*;
+
+fn main() {
+    let cfg = MachineConfig::baseline();
+    println!("Machine (Table 1):");
+    println!("  fetch/commit width : {} / {}", cfg.fetch_width, cfg.commit_width);
+    println!("  issue queues       : {} entries x 2 clusters", cfg.iq_per_cluster);
+    println!(
+        "  registers/cluster  : {} int + {} fp/simd",
+        cfg.int_regs_per_cluster, cfg.fp_regs_per_cluster
+    );
+    println!("  ROB                : {} per thread", cfg.rob_per_thread);
+    println!(
+        "  memory             : L1 {}KB/{}cy, L2 {}MB/{}cy, mem {}cy",
+        cfg.l1_size / 1024,
+        cfg.l1_latency,
+        cfg.l2_size / (1024 * 1024),
+        cfg.l2_latency,
+        cfg.mem_latency
+    );
+    println!();
+
+    let workloads = suite();
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "ISPEC-FSPEC/mix.2.2")
+        .expect("suite workload");
+    println!("Workload: {} ({} + {})", w.name, w.traces[0].profile.name, w.traces[1].profile.name);
+
+    for (label, iq, rf) in [
+        ("Icount (baseline)", SchemeKind::Icount, RegFileSchemeKind::Shared),
+        ("CSSP + CDPRF (paper's proposal)", SchemeKind::Cssp, RegFileSchemeKind::Cdprf),
+    ] {
+        let r = SimBuilder::new(MachineConfig::rf_study(64))
+            .iq_scheme(iq)
+            .rf_scheme(rf)
+            .workload(w)
+            .warmup(5_000)
+            .commit_target(10_000)
+            .run();
+        println!(
+            "  {label:32} throughput {:.3} uops/cycle  (per-thread IPC {:.2} / {:.2}, {:.3} copies/uop)",
+            r.throughput(),
+            r.ipc(ThreadId(0)),
+            r.ipc(ThreadId(1)),
+            r.copies_per_retired(),
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # clustered-smt
+//!
+//! A cycle-level simulator of a **clustered SMT processor** and the
+//! resource-assignment schemes studied in F. Latorre, J. González &
+//! A. González, *"Efficient Resources Assignment Schemes for Clustered
+//! Multithreaded Processors"*, IPDPS 2008 — including the paper's proposed
+//! dynamic register-file partitioning scheme, **CDPRF**.
+//!
+//! This crate is a facade re-exporting the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`types`] | ids, micro-ops, Table-1 machine configuration |
+//! | [`trace`] | synthetic trace generator + Table-2 workload suite |
+//! | [`mem`] | caches, TLBs, memory order buffer |
+//! | [`frontend`] | trace cache, branch predictors, rename tables, ROB |
+//! | [`backend`] | issue queues, register files, ports, link fabric |
+//! | [`core`] | the pipeline, schemes (Icount…CDPRF), steering, metrics |
+//! | [`experiments`] | per-figure reproduction harness |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use clustered_smt::prelude::*;
+//!
+//! // Simulate the first Table-2 workload under the paper's proposal
+//! // (CSSP issue queues + CDPRF register files).
+//! let workload = &suite()[0];
+//! let result = SimBuilder::new(MachineConfig::baseline())
+//!     .iq_scheme(SchemeKind::Cssp)
+//!     .rf_scheme(RegFileSchemeKind::Cdprf)
+//!     .workload(workload)
+//!     .warmup(2_000)
+//!     .commit_target(5_000)
+//!     .run();
+//! println!("throughput: {:.2} uops/cycle", result.throughput());
+//! assert!(result.throughput() > 0.0);
+//! ```
+
+pub use csmt_backend as backend;
+pub use csmt_core as core;
+pub use csmt_experiments as experiments;
+pub use csmt_frontend as frontend;
+pub use csmt_mem as mem;
+pub use csmt_trace as trace;
+pub use csmt_types as types;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use csmt_core::{fairness, SimBuilder, SimResult, Simulator};
+    pub use csmt_trace::{suite, Category, TraceProfile, Workload, WorkloadKind};
+    pub use csmt_types::{
+        ClusterId, MachineConfig, RegClass, RegFileSchemeKind, SchemeKind, ThreadId,
+    };
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration: drive the full stack (suite → simulator →
+//! metrics) through the public facade only.
+
+use clustered_smt::prelude::*;
+
+fn quick(
+    iq: SchemeKind,
+    rf: RegFileSchemeKind,
+    cfg: MachineConfig,
+    name: &str,
+    target: u64,
+) -> SimResult {
+    let workloads = suite();
+    let w = workloads.iter().find(|w| w.name == name).expect("workload");
+    SimBuilder::new(cfg)
+        .iq_scheme(iq)
+        .rf_scheme(rf)
+        .workload(w)
+        .warmup(500)
+        .commit_target(target)
+        .run()
+}
+
+#[test]
+fn facade_simulates_suite_workload() {
+    let r = quick(
+        SchemeKind::Icount,
+        RegFileSchemeKind::Shared,
+        MachineConfig::baseline(),
+        "DH/ilp.2.1",
+        2000,
+    );
+    assert_eq!(r.num_threads, 2);
+    assert!(r.stats.committed[0] >= 2000);
+    assert!(r.stats.committed[1] >= 2000);
+    assert!(r.throughput() > 0.2 && r.throughput() <= 6.0);
+}
+
+#[test]
+fn facade_runs_are_deterministic() {
+    let a = quick(
+        SchemeKind::Cssp,
+        RegFileSchemeKind::Cdprf,
+        MachineConfig::rf_study(64),
+        "office/mix.2.1",
+        1500,
+    );
+    let b = quick(
+        SchemeKind::Cssp,
+        RegFileSchemeKind::Cdprf,
+        MachineConfig::rf_study(64),
+        "office/mix.2.1",
+        1500,
+    );
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.committed, b.stats.committed);
+    assert_eq!(a.stats.copies_retired, b.stats.copies_retired);
+}
+
+#[test]
+fn every_scheme_pair_composes() {
+    // IQ × RF scheme cross-product all run to completion on one workload.
+    for iq in SchemeKind::all() {
+        for rf in RegFileSchemeKind::all() {
+            let r = quick(iq, rf, MachineConfig::rf_study(64), "DH/ilp.2.1", 600);
+            assert!(
+                r.stats.committed[0] >= 600 && r.stats.committed[1] >= 600,
+                "{iq}+{rf} did not complete: {:?} in {} cycles",
+                r.stats.committed,
+                r.stats.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn single_thread_baseline_via_facade() {
+    let workloads = suite();
+    let w = &workloads[0];
+    let r = SimBuilder::new(MachineConfig::baseline())
+        .single(&w.traces[0])
+        .warmup(500)
+        .commit_target(2000)
+        .run();
+    assert_eq!(r.num_threads, 1);
+    assert!(r.ipc(ThreadId(0)) > 0.1);
+}
+
+#[test]
+fn fairness_metric_in_unit_range() {
+    let r = quick(
+        SchemeKind::Icount,
+        RegFileSchemeKind::Shared,
+        MachineConfig::baseline(),
+        "server/mix.2.1",
+        1500,
+    );
+    let workloads = suite();
+    let w = workloads.iter().find(|w| w.name == "server/mix.2.1").unwrap();
+    let alone: Vec<f64> = w
+        .traces
+        .iter()
+        .map(|s| {
+            SimBuilder::new(MachineConfig::baseline())
+                .single(s)
+                .warmup(500)
+                .commit_target(1500)
+                .run()
+                .ipc(ThreadId(0))
+        })
+        .collect();
+    let f = fairness(
+        [r.ipc(ThreadId(0)), r.ipc(ThreadId(1))],
+        [alone[0], alone[1]],
+    );
+    assert!(f > 0.0 && f <= 1.0 + 1e-9, "fairness={f}");
+}
+
+#[test]
+fn custom_profile_through_facade() {
+    use clustered_smt::trace::suite::TraceSpec;
+    let mut p = TraceProfile::balanced("custom");
+    p.mix = [0.5, 0.0, 0.1, 0.0, 0.2, 0.1, 0.1, 0.0];
+    p.validate().unwrap();
+    let r = SimBuilder::new(MachineConfig::baseline())
+        .push_trace(TraceSpec { profile: p.clone(), seed: 1 })
+        .push_trace(TraceSpec { profile: p, seed: 2 })
+        .warmup(200)
+        .commit_target(800)
+        .run();
+    assert!(r.throughput() > 0.0);
+}

