@@ -76,7 +76,10 @@ impl RegFile {
             if self.unbounded {
                 // Grow: mint a fresh register id.
                 let r = PhysReg(self.next_fresh);
-                self.next_fresh = self.next_fresh.checked_add(1).expect("unbounded RF overflow");
+                self.next_fresh = self
+                    .next_fresh
+                    .checked_add(1)
+                    .expect("unbounded RF overflow");
                 self.used[thread.idx()] += 1;
                 return Some(r);
             }

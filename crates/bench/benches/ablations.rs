@@ -64,5 +64,10 @@ fn ablation_links(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, ablation_steering, ablation_interval, ablation_links);
+criterion_group!(
+    ablations,
+    ablation_steering,
+    ablation_interval,
+    ablation_links
+);
 criterion_main!(ablations);

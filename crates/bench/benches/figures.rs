@@ -65,7 +65,12 @@ fn fig5_imbalance(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_imbalance");
     g.sample_size(10);
     let w = workload("multimedia/ilp.2.1");
-    for scheme in [SchemeKind::Icount, SchemeKind::Cisp, SchemeKind::Cssp, SchemeKind::Pc] {
+    for scheme in [
+        SchemeKind::Icount,
+        SchemeKind::Cisp,
+        SchemeKind::Cssp,
+        SchemeKind::Pc,
+    ] {
         g.bench_function(scheme.name(), |b| {
             b.iter_batched(
                 || MachineConfig::iq_study(32),

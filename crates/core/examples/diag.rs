@@ -5,18 +5,28 @@ use csmt_types::*;
 
 fn main() {
     for (cat, class) in [
-        ("DH", TraceClass::Ilp), ("FSPEC00", TraceClass::Ilp), ("ISPEC00", TraceClass::Ilp),
-        ("server", TraceClass::Mem), ("office", TraceClass::Ilp), ("DH", TraceClass::Mem),
+        ("DH", TraceClass::Ilp),
+        ("FSPEC00", TraceClass::Ilp),
+        ("ISPEC00", TraceClass::Ilp),
+        ("server", TraceClass::Mem),
+        ("office", TraceClass::Ilp),
+        ("DH", TraceClass::Mem),
     ] {
-        let spec = TraceSpec { profile: category_base(cat).variant(class), seed: 5 };
-        let cfgs = [("base", MachineConfig::baseline()), ("unb", MachineConfig::iq_study(32))];
+        let spec = TraceSpec {
+            profile: category_base(cat).variant(class),
+            seed: 5,
+        };
+        let cfgs = [
+            ("base", MachineConfig::baseline()),
+            ("unb", MachineConfig::iq_study(32)),
+        ];
         for (cname, cfg) in cfgs {
-        let r = SimBuilder::new(cfg)
-            .single(&spec)
-            .warmup(30_000)
-            .commit_target(30_000)
-            .run();
-        println!(
+            let r = SimBuilder::new(cfg)
+                .single(&spec)
+                .warmup(30_000)
+                .commit_target(30_000)
+                .run();
+            println!(
             "{cat}-{class} [{cname}]: IPC={:.2} misp={:.3} l2m/kuop={:.1} l1mr={:.3} copies={:.3} iqstall/ret={:.2} rename_blk={} rf_blk={:?} squashed={}",
             r.ipc(ThreadId(0)), r.mispredict_ratio(),
             r.stats.l2_misses[0] as f64 / 30.0,

@@ -4,7 +4,12 @@ use csmt_types::*;
 
 fn main() {
     let s = suite();
-    for name in ["ISPEC-FSPEC/mix.2.1", "mixes/mix.2.1", "DH/ilp.2.1", "server/mem.2.1"] {
+    for name in [
+        "ISPEC-FSPEC/mix.2.1",
+        "mixes/mix.2.1",
+        "DH/ilp.2.1",
+        "server/mem.2.1",
+    ] {
         let w = s.iter().find(|w| w.name == name).unwrap();
         for (iq, rf) in [
             (SchemeKind::Icount, RegFileSchemeKind::Shared),
@@ -15,8 +20,11 @@ fn main() {
             (SchemeKind::Pc, RegFileSchemeKind::Shared),
         ] {
             let r = SimBuilder::new(MachineConfig::iq_study(32))
-                .iq_scheme(iq).rf_scheme(rf).workload(w)
-                .warmup(8_000).commit_target(8_000)
+                .iq_scheme(iq)
+                .rf_scheme(rf)
+                .workload(w)
+                .warmup(8_000)
+                .commit_target(8_000)
                 .run();
             println!(
                 "{name} {:>6}: tp={:.2} ipc=[{:.2},{:.2}] copies={:.3} iqstall={:.2} flushes={} sq={}",

@@ -45,8 +45,8 @@ pub mod steering;
 pub mod tracelog;
 
 pub use metrics::{fairness, FigureRow, SimResult, SimStats};
-pub use probe::MachineSnapshot;
 pub use pipeline::{SimBuilder, Simulator};
+pub use probe::MachineSnapshot;
 pub use schemes::{make_iq_scheme, make_rf_scheme, IqScheme, RfScheme, RfView, SchedView};
 pub use steering::{steer, SteerDecision};
 pub use tracelog::{EventLog, UopRecord};

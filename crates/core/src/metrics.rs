@@ -85,7 +85,9 @@ impl SimResult {
     /// Throughput: sum of per-thread IPCs (committed useful uops per
     /// cycle).
     pub fn throughput(&self) -> f64 {
-        (0..self.num_threads).map(|i| self.ipc(ThreadId(i as u8))).sum()
+        (0..self.num_threads)
+            .map(|i| self.ipc(ThreadId(i as u8)))
+            .sum()
     }
 
     /// Copies per retired (useful) instruction — Figure 3's metric.

@@ -102,7 +102,8 @@ impl Simulator {
                 // the consumer cluster.
                 let d = dest.expect("copy without destination");
                 let arrive = self.links.book(now + lat);
-                self.scoreboard.set_ready_at(d.cluster, d.class, d.phys, arrive);
+                self.scoreboard
+                    .set_ready_at(d.cluster, d.class, d.phys, arrive);
                 arrive
             }
             OpClass::Load | OpClass::Store => {
@@ -182,9 +183,8 @@ impl Simulator {
             let e = self.slab.get(id);
             (e.cluster, e.srcs[1], e.mob)
         };
-        let data_ready = data_src.is_none_or(|s| {
-            self.scoreboard.is_ready(cluster, s.class, s.phys, now)
-        });
+        let data_ready =
+            data_src.is_none_or(|s| self.scoreboard.is_ready(cluster, s.class, s.phys, now));
         if data_ready {
             self.mob
                 .set_store_data_ready(mob.expect("store without MOB entry"));
@@ -203,7 +203,13 @@ impl Simulator {
         let (mob, mem, thread, cluster, dest, wrong_path, seq) = {
             let e = self.slab.get(id);
             (
-                e.mob, e.uop.mem, e.thread, e.cluster, e.dest, e.wrong_path, e.seq,
+                e.mob,
+                e.uop.mem,
+                e.thread,
+                e.cluster,
+                e.dest,
+                e.wrong_path,
+                e.seq,
             )
         };
         let m = mem.expect("load without address");
@@ -217,7 +223,8 @@ impl Simulator {
             LoadCheck::Forward => {
                 let ready = now + 1;
                 if let Some(d) = dest {
-                    self.scoreboard.set_ready_at(d.cluster, d.class, d.phys, ready);
+                    self.scoreboard
+                        .set_ready_at(d.cluster, d.class, d.phys, ready);
                 }
                 let e = self.slab.get_mut(id);
                 e.addr_set = true;
@@ -227,7 +234,8 @@ impl Simulator {
                 let r = self.mem.load(now, m.addr);
                 let ready = now + r.latency.max(1);
                 if let Some(d) = dest {
-                    self.scoreboard.set_ready_at(d.cluster, d.class, d.phys, ready);
+                    self.scoreboard
+                        .set_ready_at(d.cluster, d.class, d.phys, ready);
                 }
                 {
                     let e = self.slab.get_mut(id);
@@ -300,9 +308,7 @@ impl Simulator {
         debug_assert_eq!(th.unresolved_mispredict, Some(branch_id));
         th.unresolved_mispredict = None;
         th.wrong_path_mode = false;
-        th.fetch_resume_at = th
-            .fetch_resume_at
-            .max(now + self.cfg.mispredict_penalty);
+        th.fetch_resume_at = th.fetch_resume_at.max(now + self.cfg.mispredict_penalty);
         // The branch's code block will be refetched at a new position;
         // reset chunk tracking.
         th.cur_block = u32::MAX;

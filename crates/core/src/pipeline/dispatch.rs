@@ -132,9 +132,7 @@ impl Simulator {
                 regs_needed[s.class.idx()] += 1;
             }
         }
-        if copies > 0
-            && self.iqs[other.idx()].len() + copies > self.iqs[other.idx()].capacity()
-        {
+        if copies > 0 && self.iqs[other.idx()].len() + copies > self.iqs[other.idx()].capacity() {
             // Copies are generated by the rename logic, not steered
             // instructions: they bypass the scheme's occupancy caps (the
             // paper's redirects always proceed, "only incurring extra
@@ -163,9 +161,7 @@ impl Simulator {
         // Window resources: ROB slots for the uop and its copies, MOB entry
         // for memory ops.
         let th = &self.threads[t.idx()];
-        if !self.cfg.unbounded_rob
-            && th.rob.len() + copies + 1 > self.cfg.rob_per_thread
-        {
+        if !self.cfg.unbounded_rob && th.rob.len() + copies + 1 > self.cfg.rob_per_thread {
             return Err(Veto::Window);
         }
         if u.class.is_mem() && !self.mob.has_free() {
@@ -197,8 +193,7 @@ impl Simulator {
             let dest_phys = self.regfiles[c.idx()][s.class.idx()]
                 .alloc(t)
                 .expect("checked free register for copy");
-            let prev = self
-                .threads[ti]
+            let prev = self.threads[ti]
                 .rename
                 .add_location(s.class, s.reg, c.idx(), dest_phys);
             self.scoreboard.mark_pending(c, s.class, dest_phys);
@@ -266,7 +261,9 @@ impl Simulator {
             let phys = self.regfiles[c.idx()][d.class.idx()]
                 .alloc(t)
                 .expect("checked free destination register");
-            let prev = self.threads[ti].rename.define(d.class, d.reg, c.idx(), phys);
+            let prev = self.threads[ti]
+                .rename
+                .define(d.class, d.reg, c.idx(), phys);
             self.scoreboard.mark_pending(c, d.class, phys);
             DestInfo {
                 class: d.class,

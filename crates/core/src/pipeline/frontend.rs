@@ -10,9 +10,7 @@ impl Simulator {
     /// buffer (flush refetch) before pulling fresh uops from the trace.
     fn next_correct_uop(&mut self, ti: usize) -> MicroOp {
         let th = &mut self.threads[ti];
-        th.replay
-            .pop_front()
-            .unwrap_or_else(|| th.trace.next_uop())
+        th.replay.pop_front().unwrap_or_else(|| th.trace.next_uop())
     }
 
     /// Fetch stage: §3 — instructions are fetched from **one thread per
@@ -76,7 +74,9 @@ impl Simulator {
 
         // Instruction-side translation: blocks are laid out ~64 bytes apart.
         let itlb_extra = self.itlb.translate((first.code_block as u64) << 6);
-        let tl = self.tc.lookup(t, first.code_block, block_pos, first.is_mrom);
+        let tl = self
+            .tc
+            .lookup(t, first.code_block, block_pos, first.is_mrom);
         let stall = tl.stall + itlb_extra;
         if stall > 0 {
             // MROM sequencing / page walk: deliver the group after the

@@ -215,7 +215,11 @@ impl ThreadCtx {
     }
 
     pub fn earliest_l2_start(&self) -> u64 {
-        self.l2_misses.iter().map(|m| m.started).min().unwrap_or(u64::MAX)
+        self.l2_misses
+            .iter()
+            .map(|m| m.started)
+            .min()
+            .unwrap_or(u64::MAX)
     }
 }
 
@@ -269,8 +273,14 @@ impl Simulator {
             }
         };
         let regfiles = [
-            [make_rf(cfg.int_regs_per_cluster), make_rf(cfg.fp_regs_per_cluster)],
-            [make_rf(cfg.int_regs_per_cluster), make_rf(cfg.fp_regs_per_cluster)],
+            [
+                make_rf(cfg.int_regs_per_cluster),
+                make_rf(cfg.fp_regs_per_cluster),
+            ],
+            [
+                make_rf(cfg.int_regs_per_cluster),
+                make_rf(cfg.fp_regs_per_cluster),
+            ],
         ];
         let threads: Vec<ThreadCtx> = traces
             .iter()
@@ -359,10 +369,7 @@ impl Simulator {
             let home = self.threads[ti].home;
             let spans = {
                 let p = self.threads[ti].trace.profile();
-                [
-                    p.int_reg_span.max(1),
-                    p.fp_reg_span.max(1),
-                ]
+                [p.int_reg_span.max(1), p.fp_reg_span.max(1)]
             };
             for (ki, class) in RegClass::all().into_iter().enumerate() {
                 for r in 0..spans[ki] {
@@ -410,10 +417,7 @@ impl Simulator {
     /// Current register-file view.
     pub(crate) fn rf_view(&self) -> RfView {
         let mut v = RfView {
-            capacity: [
-                self.cfg.int_regs_per_cluster,
-                self.cfg.fp_regs_per_cluster,
-            ],
+            capacity: [self.cfg.int_regs_per_cluster, self.cfg.fp_regs_per_cluster],
             unbounded: self.cfg.unbounded_regs,
             ..Default::default()
         };
@@ -453,9 +457,7 @@ impl Simulator {
     /// paper's runs measure steady-state regions of much longer traces.
     pub fn run_with_warmup(&mut self, warmup: u64, target: u64, max_cycles: u64) -> SimResult {
         // Phase 1: warm up.
-        while self.now < max_cycles
-            && self.threads.iter().any(|t| t.committed < warmup)
-        {
+        while self.now < max_cycles && self.threads.iter().any(|t| t.committed < warmup) {
             self.step();
         }
         // Reset counters; measurement starts here.
@@ -751,5 +753,4 @@ impl SimBuilder {
         let (mut sim, target, _) = SimBuilder { max_cycles, ..self }.build();
         sim.run_with_warmup(warmup, target, max_cycles)
     }
-
 }

@@ -34,7 +34,14 @@ impl Simulator {
         let t = ThreadId(ti as u8);
         let (dest, mob, class, mem, is_copy, wrong_path) = {
             let e = self.slab.get(id);
-            (e.dest, e.mob, e.uop.class, e.uop.mem, e.is_copy, e.wrong_path)
+            (
+                e.dest,
+                e.mob,
+                e.uop.class,
+                e.uop.mem,
+                e.is_copy,
+                e.wrong_path,
+            )
         };
         debug_assert!(!wrong_path, "wrong-path uop reached commit");
         // Free the registers this definition superseded. Copy mappings

@@ -147,12 +147,7 @@ fn unbounded_iq_study_config_runs() {
 #[test]
 fn private_clusters_never_mix() {
     let cfg = MachineConfig::baseline();
-    let mut sim = Simulator::new(
-        cfg,
-        SchemeKind::Pc,
-        RegFileSchemeKind::Shared,
-        &ilp_pair(),
-    );
+    let mut sim = Simulator::new(cfg, SchemeKind::Pc, RegFileSchemeKind::Shared, &ilp_pair());
     for _ in 0..20_000 {
         sim.step();
         // Every IQ entry of cluster c belongs to thread c.
@@ -393,7 +388,12 @@ fn warmup_resets_measurement_counters() {
     let traces = ilp_pair();
     // Same total work, with and without warmup: the measured region with
     // warmup must report fewer cycles than the cold run.
-    let mut cold = Simulator::new(cfg.clone(), SchemeKind::Icount, RegFileSchemeKind::Shared, &traces);
+    let mut cold = Simulator::new(
+        cfg.clone(),
+        SchemeKind::Icount,
+        RegFileSchemeKind::Shared,
+        &traces,
+    );
     let rc = cold.run_with_warmup(0, 4000, 10_000_000);
     let mut warm = Simulator::new(cfg, SchemeKind::Icount, RegFileSchemeKind::Shared, &traces);
     let rw = warm.run_with_warmup(4000, 4000, 10_000_000);
@@ -411,7 +411,12 @@ fn warmup_resets_measurement_counters() {
 #[test]
 fn copies_consume_link_transfers() {
     let cfg = MachineConfig::baseline();
-    let mut sim = Simulator::new(cfg, SchemeKind::Cssp, RegFileSchemeKind::Shared, &ilp_pair());
+    let mut sim = Simulator::new(
+        cfg,
+        SchemeKind::Cssp,
+        RegFileSchemeKind::Shared,
+        &ilp_pair(),
+    );
     sim.run(4000, 4_000_000);
     // Every retired copy crossed a link; squashed copies may add more.
     assert!(sim.links.transfers() >= sim.stats.copies_retired);
@@ -420,7 +425,12 @@ fn copies_consume_link_transfers() {
 #[test]
 fn port_accounting_is_consistent() {
     let cfg = MachineConfig::baseline();
-    let mut sim = Simulator::new(cfg, SchemeKind::Icount, RegFileSchemeKind::Shared, &ilp_pair());
+    let mut sim = Simulator::new(
+        cfg,
+        SchemeKind::Icount,
+        RegFileSchemeKind::Shared,
+        &ilp_pair(),
+    );
     let r = sim.run(4000, 4_000_000);
     for c in 0..2 {
         let by_port: u64 = r.stats.issued_by_port[c].iter().sum();
@@ -609,8 +619,11 @@ mod microtests {
         // one operand is remote and must travel as a copy.
         let t0 = ThreadId(0);
         let phys = sim.regfiles[1][RegClass::Int.idx()].alloc(t0).unwrap();
-        sim.threads[0].rename.define(RegClass::Int, LogReg(9), 1, phys);
-        sim.scoreboard.set_ready_at(ClusterId(1), RegClass::Int, phys, 0);
+        sim.threads[0]
+            .rename
+            .define(RegClass::Int, LogReg(9), 1, phys);
+        sim.scoreboard
+            .set_ready_at(ClusterId(1), RegClass::Int, phys, 0);
 
         let consumer = MicroOp::nop(0x400)
             .with_dest(RegOperand::int(1))
@@ -627,8 +640,14 @@ mod microtests {
         );
         assert_eq!(sim.stats.copies_retired, 1, "exactly one copy retires");
         // The copied register is now bi-resident.
-        let r0 = sim.threads[0].rename.get(RegClass::Int, LogReg(0)).present_mask();
-        let r9 = sim.threads[0].rename.get(RegClass::Int, LogReg(9)).present_mask();
+        let r0 = sim.threads[0]
+            .rename
+            .get(RegClass::Int, LogReg(0))
+            .present_mask();
+        let r9 = sim.threads[0]
+            .rename
+            .get(RegClass::Int, LogReg(9))
+            .present_mask();
         assert!(
             r0 == [true, true] || r9 == [true, true],
             "copied operand must be bi-resident: r0 {r0:?}, r9 {r9:?}"
@@ -644,7 +663,9 @@ mod microtests {
                 .with_dest(RegOperand::fp(1))
                 .with_srcs(Some(RegOperand::fp(0)), None);
             if class == OpClass::Int {
-                u = u.with_dest(RegOperand::int(1)).with_srcs(Some(RegOperand::int(0)), None);
+                u = u
+                    .with_dest(RegOperand::int(1))
+                    .with_srcs(Some(RegOperand::int(0)), None);
             }
             inject(&mut sim, 0, u);
             for cycle in 0..100u64 {
@@ -677,7 +698,11 @@ fn event_log_tracks_uop_lifecycles() {
     sim.run(2000, 2_000_000);
     let log = sim.event_log().expect("log enabled");
     let committed: Vec<_> = log.committed().collect();
-    assert!(committed.len() >= 2000, "{} committed records", committed.len());
+    assert!(
+        committed.len() >= 2000,
+        "{} committed records",
+        committed.len()
+    );
     for r in committed.iter().take(500) {
         assert!(r.dispatch > 0, "missing dispatch stamp");
         assert!(r.issue >= r.dispatch, "issue before dispatch");

@@ -81,7 +81,10 @@ impl RfView {
 
     /// Registers of `class` used by everyone across both clusters.
     pub fn used_all(&self, class: RegClass) -> usize {
-        (0..MAX_THREADS).map(|t| ThreadId(t as u8)).map(|t| self.used_total(t, class)).sum()
+        (0..MAX_THREADS)
+            .map(|t| ThreadId(t as u8))
+            .map(|t| self.used_total(t, class))
+            .sum()
     }
 
     /// Total capacity of `class` across clusters.

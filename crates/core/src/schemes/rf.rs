@@ -116,8 +116,8 @@ impl RfScheme for Cdprf {
         // Beyond the reservation: the allocation must leave room for the
         // other thread's outstanding reservation.
         let other = t.other();
-        let reserved_other = self.threshold[other.idx()][class.idx()]
-            .saturating_sub(view.used_total(other, class));
+        let reserved_other =
+            self.threshold[other.idx()][class.idx()].saturating_sub(view.used_total(other, class));
         view.used_all(class) + reserved_other < view.total_capacity(class)
     }
 

@@ -177,7 +177,10 @@ mod tests {
         log.on_complete(T0, 5, 13);
         log.on_commit(T0, 5, 15);
         let r = log.records()[0];
-        assert_eq!((r.dispatch, r.issue, r.complete, r.commit), (10, 12, 13, 15));
+        assert_eq!(
+            (r.dispatch, r.issue, r.complete, r.commit),
+            (10, 12, 13, 15)
+        );
         assert!(!r.squashed);
         assert_eq!(log.committed().count(), 1);
         assert!((log.mean_latency() - 5.0).abs() < 1e-9);

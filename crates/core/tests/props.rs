@@ -5,9 +5,7 @@ use csmt_core::schemes::{make_iq_scheme, make_rf_scheme, RfView, SchedView};
 use csmt_core::Simulator;
 use csmt_trace::profile::{category_base, TraceClass};
 use csmt_trace::suite::TraceSpec;
-use csmt_types::{
-    ClusterId, MachineConfig, RegClass, RegFileSchemeKind, SchemeKind, ThreadId,
-};
+use csmt_types::{ClusterId, MachineConfig, RegClass, RegFileSchemeKind, SchemeKind, ThreadId};
 use proptest::prelude::*;
 
 fn arb_sched_view() -> impl Strategy<Value = SchedView> {
@@ -195,7 +193,11 @@ mod injection_fuzz {
         let base = MicroOp::nop(pc);
         match m.class_sel {
             0 | 1 => base
-                .with_class(if m.class_sel == 0 { OpClass::Int } else { OpClass::IntMul })
+                .with_class(if m.class_sel == 0 {
+                    OpClass::Int
+                } else {
+                    OpClass::IntMul
+                })
                 .with_dest(RegOperand::int(m.dest))
                 .with_srcs(int(m.src0), int(m.src1)),
             2 => base

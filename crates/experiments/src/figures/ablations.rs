@@ -158,7 +158,10 @@ pub fn links(sweeps: &Sweeps) -> Table {
     let mut t = Table::new(
         "Ablation A3 — inter-cluster links (CSSP throughput vs 2 links @1cy)",
         "workload",
-        fabrics.iter().map(|(l, lat)| format!("{l}x{lat}cy")).collect(),
+        fabrics
+            .iter()
+            .map(|(l, lat)| format!("{l}x{lat}cy"))
+            .collect(),
     );
     for w in &ws {
         let base = sweeps
@@ -166,7 +169,10 @@ pub fn links(sweeps: &Sweeps) -> Table {
                 w,
                 SchemeKind::Cssp,
                 RegFileSchemeKind::Shared,
-                CfgKind::LinkAblation { links: 2, latency: 1 },
+                CfgKind::LinkAblation {
+                    links: 2,
+                    latency: 1,
+                },
             ))
             .throughput();
         let vals = fabrics
@@ -202,7 +208,11 @@ pub fn prefetch(sweeps: &Sweeps) -> Table {
     let mut grid = Vec::new();
     for &(k, _) in &kinds {
         for &s in &schemes {
-            grid.push((s, RegFileSchemeKind::Shared, CfgKind::PrefetchAblation { kind: k }));
+            grid.push((
+                s,
+                RegFileSchemeKind::Shared,
+                CfgKind::PrefetchAblation { kind: k },
+            ));
         }
     }
     sweeps.smt_batch(&ws, &grid);

@@ -27,10 +27,7 @@ pub fn run(sweeps: &Sweeps) -> Table {
         .collect();
     sweeps.smt_batch(&workloads, &grid);
 
-    let columns: Vec<String> = combos()
-        .iter()
-        .map(|(s, iq)| format!("{s}/{iq}"))
-        .collect();
+    let columns: Vec<String> = combos().iter().map(|(s, iq)| format!("{s}/{iq}")).collect();
     category_table(
         "Figure 2 — throughput speedup vs Icount@32 (IQ study)",
         columns,

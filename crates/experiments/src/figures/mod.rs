@@ -16,20 +16,15 @@ pub mod tables;
 
 use crate::report::Table;
 use crate::runner::Sweeps;
-use csmt_trace::suite::{Category, Workload};
 use csmt_trace::suite;
+use csmt_trace::suite::{Category, Workload};
 
 /// The suite grouped by category, in the paper's reporting order.
 pub fn by_category() -> Vec<(Category, Vec<Workload>)> {
     let all = suite();
     Category::all()
         .into_iter()
-        .map(|c| {
-            (
-                c,
-                all.iter().filter(|w| w.category == c).cloned().collect(),
-            )
-        })
+        .map(|c| (c, all.iter().filter(|w| w.category == c).cloned().collect()))
         .collect()
 }
 

@@ -24,4 +24,4 @@ pub mod figures;
 pub mod report;
 pub mod runner;
 
-pub use runner::{ExpOptions, RunKey, Sweeps};
+pub use runner::{ExpOptions, RunKey, SweepCounters, Sweeps};

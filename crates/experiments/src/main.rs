@@ -2,97 +2,351 @@
 //!
 //! ```text
 //! csmt-experiments <artifact>... [--target N] [--workers N] [--csv DIR] [--quiet]
+//!                                [--store DIR | --no-store] [--resume] [--bars]
 //! csmt-experiments all [--target N]
+//! csmt-experiments compare <a.json> <b.json> [tolerance]
 //! ```
+//!
+//! Results persist in a content-addressed store (`results/store` by
+//! default): a second run of the same artifacts serves every simulation
+//! from disk. `--resume` additionally skips artifacts a killed previous
+//! run had already completed, using the store's JSONL journal.
 
 use csmt_experiments::figures::{run_named, ABLATIONS, ALL_ARTIFACTS};
+use csmt_experiments::report::render_store_summary;
 use csmt_experiments::runner::{ExpOptions, Sweeps};
+use csmt_store::{EventKind, Journal};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut artifacts: Vec<String> = Vec::new();
-    let mut opts = ExpOptions::default();
-    let mut csv_dir: Option<String> = None;
-    let mut bars = false;
+/// Default persistent store location (relative to the working directory).
+const DEFAULT_STORE_DIR: &str = "results/store";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    artifacts: Vec<String>,
+    opts: ExpOptions,
+    csv_dir: Option<String>,
+    bars: bool,
+    store_dir: Option<String>,
+    no_store: bool,
+    resume: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: csmt-experiments <artifact>... [options]\n\
+         \n\
+         artifacts: {}\n\
+         \x20          ablations  {}  detail:<workload-name>\n\
+         \n\
+         options:\n\
+         \x20 --target N     committed uops per thread per run (positive integer)\n\
+         \x20 --warmup N     warm-up uops per thread before measuring (default: 10000)\n\
+         \x20 --workers N    worker threads, N >= 1 (default: all cores)\n\
+         \x20 --csv DIR      also write <artifact>.csv and .json under DIR\n\
+         \x20 --bars         render ASCII bar charts per column\n\
+         \x20 --quiet        no progress dots\n\
+         \x20 --store DIR    persistent result store (default: {DEFAULT_STORE_DIR})\n\
+         \x20 --no-store     disable the persistent store and journal\n\
+         \x20 --resume       skip artifacts completed by an interrupted previous run\n\
+         \n\
+         csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)",
+        ALL_ARTIFACTS.join(" "),
+        ABLATIONS.join(" "),
+    )
+}
+
+/// Parse and validate arguments. Errors are user-facing messages.
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        artifacts: Vec::new(),
+        opts: ExpOptions::default(),
+        csv_dir: None,
+        bars: false,
+        store_dir: None,
+        no_store: false,
+        resume: false,
+    };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--target" => {
-                opts.commit_target = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--target needs a number");
+                let v = it.next().ok_or("--target needs a value")?;
+                cli.opts.commit_target = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--target needs a positive integer, got '{v}'"))?;
+            }
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup needs a value")?;
+                cli.opts.warmup = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--warmup needs a non-negative integer, got '{v}'"))?;
             }
             "--workers" => {
-                opts.workers = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--workers needs a number");
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers needs an integer, got '{v}'"))?;
+                if n == 0 {
+                    return Err(
+                        "--workers must be at least 1 (omit the flag to use all cores)".into(),
+                    );
+                }
+                cli.opts.workers = n;
             }
             "--csv" => {
-                csv_dir = Some(it.next().expect("--csv needs a directory").clone());
+                cli.csv_dir = Some(it.next().ok_or("--csv needs a directory")?.clone());
             }
-            "--quiet" => opts.verbose = false,
-            "--bars" => bars = true,
-            "all" => artifacts.extend(ALL_ARTIFACTS.iter().map(|s| s.to_string())),
-            "ablations" => artifacts.extend(ABLATIONS.iter().map(|s| s.to_string())),
-            other => artifacts.push(other.to_string()),
+            "--store" => {
+                cli.store_dir = Some(it.next().ok_or("--store needs a directory")?.clone());
+            }
+            "--no-store" => cli.no_store = true,
+            "--resume" => cli.resume = true,
+            "--quiet" => cli.opts.verbose = false,
+            "--bars" => cli.bars = true,
+            "all" => cli
+                .artifacts
+                .extend(ALL_ARTIFACTS.iter().map(|s| s.to_string())),
+            "ablations" => cli
+                .artifacts
+                .extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => cli.artifacts.push(other.to_string()),
         }
     }
-    // compare <a.json> <b.json> [tolerance]: artifact drift check.
-    if artifacts.first().map(String::as_str) == Some("compare") {
-        let a = artifacts.get(1).expect("compare needs two JSON files");
-        let b = artifacts.get(2).expect("compare needs two JSON files");
-        let tol: f64 = artifacts.get(3).and_then(|t| t.parse().ok()).unwrap_or(0.05);
-        let ta = csmt_experiments::report::Table::from_json(
-            &std::fs::read_to_string(a).expect("read first table"),
-        )
-        .expect("parse first table");
-        let tb = csmt_experiments::report::Table::from_json(
-            &std::fs::read_to_string(b).expect("read second table"),
-        )
-        .expect("parse second table");
-        let (diff, violations) = ta.diff(&tb, tol);
-        println!("{}", diff.render());
-        if violations.is_empty() {
-            println!("OK: no cell drifted more than {:.1}%", tol * 100.0);
-            return;
-        }
-        println!("{} cells drifted beyond {:.1}%:", violations.len(), tol * 100.0);
-        for v in &violations {
-            println!("  {v}");
-        }
-        std::process::exit(1);
+    if cli.no_store && cli.store_dir.is_some() {
+        return Err("--no-store and --store are mutually exclusive".into());
     }
-    if artifacts.is_empty() {
-        eprintln!(
-            "usage: csmt-experiments <artifact>... [--target N] [--workers N] [--csv DIR] [--bars]"
-        );
-        eprintln!("artifacts: {}", ALL_ARTIFACTS.join(" "));
-        eprintln!("           ablations  detail:<workload-name>");
-        std::process::exit(2);
+    if cli.no_store && cli.resume {
+        return Err("--resume needs the store's journal; drop --no-store".into());
     }
-    let sweeps = Sweeps::new(opts);
-    for name in &artifacts {
-        match run_named(name, &sweeps) {
-            Some(table) => {
-                println!("{}", table.render());
-                if bars {
-                    println!("{}", table.render_all_bars());
-                }
-                if let Some(dir) = &csv_dir {
-                    std::fs::create_dir_all(dir).expect("create csv dir");
-                    let path = format!("{dir}/{name}.csv");
-                    std::fs::write(&path, table.to_csv()).expect("write csv");
-                    let jpath = format!("{dir}/{name}.json");
-                    std::fs::write(&jpath, table.to_json()).expect("write json");
-                    eprintln!("wrote {path} and {jpath}");
-                }
-            }
-            None => {
-                eprintln!("unknown artifact: {name}");
-                std::process::exit(2);
+    // Validate artifact names up front so a typo fails before hours of
+    // simulation, not after.
+    for name in &cli.artifacts {
+        let known = ALL_ARTIFACTS.contains(&name.as_str())
+            || ABLATIONS.contains(&name.as_str())
+            || name.starts_with("detail:")
+            || name == "compare";
+        if !known {
+            return Err(format!("unknown artifact: {name}"));
+        }
+    }
+    if cli.artifacts.is_empty() {
+        return Err("no artifact named".into());
+    }
+    Ok(cli)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{}", usage());
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `compare` is a standalone subcommand: no simulation, no store.
+    if args.first().map(String::as_str) == Some("compare") {
+        compare(&args[1..]);
+        return;
+    }
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => fail(&e),
+    };
+
+    let sweeps = if cli.no_store {
+        Sweeps::new(cli.opts)
+    } else {
+        let dir = cli.store_dir.as_deref().unwrap_or(DEFAULT_STORE_DIR);
+        match Sweeps::with_store(cli.opts, dir) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("cannot open store at {dir}: {e}")),
+        }
+    };
+
+    // Resume: skip artifacts a previous, interrupted run already finished.
+    let mut skip: Vec<String> = Vec::new();
+    if cli.resume {
+        if let Some(journal) = sweeps.journal() {
+            if let Some(done) = Journal::resumable_artifacts(journal.path()) {
+                skip = done;
             }
         }
+        if skip.is_empty() {
+            eprintln!("resume: no interrupted run found; running everything");
+        }
+    }
+
+    if let Some(journal) = sweeps.journal() {
+        journal.log(EventKind::RunStart {
+            artifacts: cli.artifacts.clone(),
+        });
+    }
+
+    let mut completed = 0usize;
+    for name in &cli.artifacts {
+        if skip.contains(name) {
+            eprintln!("resume: skipping {name} (completed by the interrupted run)");
+            continue;
+        }
+        if let Some(journal) = sweeps.journal() {
+            journal.log(EventKind::ArtifactStart {
+                artifact: name.clone(),
+            });
+        }
+        let Some(table) = run_named(name, &sweeps) else {
+            // Unknown names are rejected in parse_args; this covers a
+            // `detail:` target that names no suite workload.
+            fail(&format!("unknown artifact: {name}"));
+        };
+        println!("{}", table.render());
+        if cli.bars {
+            println!("{}", table.render_all_bars());
+        }
+        if let Some(dir) = &cli.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                fail(&format!("cannot create csv dir {dir}: {e}"));
+            }
+            let path = format!("{dir}/{name}.csv");
+            let jpath = format!("{dir}/{name}.json");
+            if let Err(e) = std::fs::write(&path, table.to_csv())
+                .and_then(|_| std::fs::write(&jpath, table.to_json()))
+            {
+                fail(&format!("cannot write artifact files: {e}"));
+            }
+            eprintln!("wrote {path} and {jpath}");
+        }
+        if let Some(journal) = sweeps.journal() {
+            journal.log(EventKind::ArtifactEnd {
+                artifact: name.clone(),
+            });
+        }
+        completed += 1;
+    }
+
+    if let Some(journal) = sweeps.journal() {
+        journal.log(EventKind::RunEnd {
+            artifacts: completed,
+        });
+    }
+    eprint!("{}", render_store_summary(&sweeps.counters()));
+}
+
+/// `compare <a.json> <b.json> [tolerance]`: artifact drift check.
+fn compare(args: &[String]) {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        fail("compare needs two JSON table files");
+    };
+    let tol: f64 = match args.get(2) {
+        None => 0.05,
+        Some(t) => match t.parse() {
+            Ok(tol) => tol,
+            Err(_) => fail(&format!("tolerance must be a number, got '{t}'")),
+        },
+    };
+    let read = |path: &String| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        csmt_experiments::report::Table::from_json(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+    };
+    let ta = read(a);
+    let tb = read(b);
+    let (diff, violations) = ta.diff(&tb, tol);
+    println!("{}", diff.render());
+    if violations.is_empty() {
+        println!("OK: no cell drifted more than {:.1}%", tol * 100.0);
+        return;
+    }
+    println!(
+        "{} cells drifted beyond {:.1}%:",
+        violations.len(),
+        tol * 100.0
+    );
+    for v in &violations {
+        println!("  {v}");
+    }
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let e = parse(&["fig2", "--workers", "0"]).unwrap_err();
+        assert!(e.contains("--workers"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_target_and_workers() {
+        assert!(parse(&["fig2", "--target", "lots"])
+            .unwrap_err()
+            .contains("'lots'"));
+        assert!(parse(&["fig2", "--target", "-5"])
+            .unwrap_err()
+            .contains("'-5'"));
+        assert!(parse(&["fig2", "--target", "0"])
+            .unwrap_err()
+            .contains("'0'"));
+        assert!(parse(&["fig2", "--workers", "two"])
+            .unwrap_err()
+            .contains("'two'"));
+        assert!(parse(&["fig2", "--target"])
+            .unwrap_err()
+            .contains("--target"));
+        assert!(parse(&["fig2", "--warmup", "soon"])
+            .unwrap_err()
+            .contains("'soon'"));
+        assert_eq!(parse(&["fig2", "--warmup", "0"]).unwrap().opts.warmup, 0);
+    }
+
+    #[test]
+    fn rejects_unknown_artifacts_and_flags() {
+        assert!(parse(&["fig99"]).unwrap_err().contains("fig99"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+        assert!(parse(&[]).unwrap_err().contains("no artifact"));
+    }
+
+    #[test]
+    fn store_flag_combinations() {
+        assert!(parse(&["fig2", "--no-store", "--store", "/tmp/x"]).is_err());
+        assert!(parse(&["fig2", "--no-store", "--resume"]).is_err());
+        let cli = parse(&["fig2", "--store", "/tmp/x", "--resume"]).unwrap();
+        assert_eq!(cli.store_dir.as_deref(), Some("/tmp/x"));
+        assert!(cli.resume);
+        let cli = parse(&["fig2"]).unwrap();
+        assert!(!cli.no_store && cli.store_dir.is_none());
+    }
+
+    #[test]
+    fn expands_artifact_groups_and_accepts_valid_flags() {
+        let cli = parse(&["all", "--target", "5000", "--workers", "2", "--quiet"]).unwrap();
+        assert_eq!(cli.artifacts.len(), ALL_ARTIFACTS.len());
+        assert_eq!(cli.opts.commit_target, 5000);
+        assert_eq!(cli.opts.workers, 2);
+        assert!(!cli.opts.verbose);
+        let cli = parse(&["ablations", "detail:mixes/mix.2.1"]).unwrap();
+        assert_eq!(cli.artifacts.len(), ABLATIONS.len() + 1);
+    }
+
+    #[test]
+    fn usage_names_every_artifact() {
+        let u = usage();
+        for a in ALL_ARTIFACTS.iter().chain(ABLATIONS.iter()) {
+            assert!(u.contains(a), "usage must list {a}");
+        }
+        assert!(u.contains("--no-store") && u.contains("--resume"));
     }
 }

@@ -1,7 +1,39 @@
-//! Text-table, CSV and JSON rendering for figure reproductions.
+//! Text-table, CSV and JSON rendering for figure reproductions, plus the
+//! end-of-run cache/retry summary.
 
+use crate::runner::SweepCounters;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+
+/// Render the result-store and orchestrator counters the way the CLI
+/// prints them after a run.
+pub fn render_store_summary(c: &SweepCounters) -> String {
+    let mut out = String::new();
+    match &c.store {
+        Some(s) => {
+            let lookups = s.hits + s.misses;
+            let warm = if lookups > 0 {
+                100.0 * s.hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                out,
+                "store: {} hits / {} misses ({warm:.1}% warm), {} records written, {} quarantined",
+                s.hits, s.misses, s.puts, s.quarantined
+            )
+            .unwrap();
+        }
+        None => writeln!(out, "store: disabled").unwrap(),
+    }
+    writeln!(
+        out,
+        "jobs:  {} simulated, {} attempts retried, {} failed permanently",
+        c.orch.completed, c.orch.retries, c.orch.failures
+    )
+    .unwrap();
+    out
+}
 
 /// A rendered figure: column headers plus labeled rows of values.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,10 +80,7 @@ impl Table {
     /// Value at (row label, column name).
     pub fn value(&self, row: &str, col: &str) -> Option<f64> {
         let ci = self.columns.iter().position(|c| c == col)?;
-        self.rows
-            .iter()
-            .find(|(l, _)| l == row)
-            .map(|(_, v)| v[ci])
+        self.rows.iter().find(|(l, _)| l == row).map(|(_, v)| v[ci])
     }
 
     /// Render as an aligned text table.

@@ -5,14 +5,28 @@
 //! missing ones across worker threads (crossbeam scoped threads, one per
 //! available core) and memoizes, so e.g. the Icount@32 baseline shared by
 //! Figures 2, 3, 4 and 5 is simulated exactly once per process.
+//!
+//! With [`Sweeps::with_store`], memoization extends **across processes**:
+//! each run's identity (key + full [`MachineConfig`] + run options) is
+//! hashed into a [`csmt_store::ResultStore`] lookup, so a second
+//! `csmt-experiments all` serves every run from disk and simulates
+//! nothing. Simulations are executed through a
+//! [`csmt_store::Orchestrator`]: a panicking run is journaled, retried a
+//! bounded number of times and at worst recorded as a failed job — it
+//! never tears down the sweep.
 
-use csmt_core::metrics::SimResult;
+use csmt_core::metrics::{SimResult, SimStats};
 use csmt_core::Simulator;
+use csmt_store::{
+    EventKind, JobDesc, Journal, Lookup, OrchCounters, Orchestrator, ResultStore, RetryPolicy,
+    StoreCounters, StoreKey, SCHEMA_VERSION,
+};
 use csmt_trace::suite::{TraceSpec, Workload};
 use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Machine configuration variants used by the paper's studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -96,7 +110,7 @@ enum RunInput {
 }
 
 /// Harness options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpOptions {
     /// Committed uops per thread per run.
     pub commit_target: u64,
@@ -122,17 +136,82 @@ impl Default for ExpOptions {
     }
 }
 
+/// Combined cache/orchestration counters of one [`Sweeps`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepCounters {
+    /// Persistent-store traffic; `None` when running without a store.
+    pub store: Option<StoreCounters>,
+    /// Simulation outcomes (completed / retried / failed jobs).
+    pub orch: OrchCounters,
+}
+
 /// Memoizing run store.
 pub struct Sweeps {
     pub opts: ExpOptions,
     results: Mutex<HashMap<RunKey, SimResult>>,
+    store: Option<Arc<ResultStore>>,
+    journal: Option<Arc<Journal>>,
+    orch: Orchestrator,
 }
 
 impl Sweeps {
+    /// In-process memoization only (no persistence, no journal), with
+    /// panic-isolated execution.
     pub fn new(opts: ExpOptions) -> Self {
         Sweeps {
             opts,
             results: Mutex::new(HashMap::new()),
+            store: None,
+            journal: None,
+            orch: Orchestrator::new(RetryPolicy::default(), None),
+        }
+    }
+
+    /// Memoization backed by a persistent [`ResultStore`] under `dir`,
+    /// with a JSONL [`Journal`] and a crash-resilient orchestrator.
+    pub fn with_store(opts: ExpOptions, dir: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let store = Arc::new(ResultStore::open(dir.as_ref())?);
+        let journal = Arc::new(Journal::open(dir.as_ref())?);
+        let orch = Orchestrator::new(RetryPolicy::default(), Some(journal.clone()));
+        Ok(Sweeps {
+            opts,
+            results: Mutex::new(HashMap::new()),
+            store: Some(store),
+            journal: Some(journal),
+            orch,
+        })
+    }
+
+    /// The persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// The event journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Snapshot of cache and orchestration counters.
+    pub fn counters(&self) -> SweepCounters {
+        SweepCounters {
+            store: self.store.as_ref().map(|s| s.counters()),
+            orch: self.orch.counters(),
+        }
+    }
+
+    /// Persistent identity of one run under the current options.
+    fn store_key(&self, key: &RunKey) -> StoreKey {
+        StoreKey {
+            schema: SCHEMA_VERSION,
+            label: key.label.clone(),
+            iq: key.iq.name().to_string(),
+            rf: key.rf.name().to_string(),
+            cfg: key.cfg.label(),
+            config: key.cfg.build(),
+            commit_target: self.opts.commit_target,
+            warmup: self.opts.warmup,
+            max_cycles: self.opts.max_cycles,
         }
     }
 
@@ -156,20 +235,51 @@ impl Sweeps {
         }
     }
 
-    /// Ensure all (key, input) pairs are simulated; memoized.
+    /// Ensure all (key, input) pairs are simulated; memoized in-process
+    /// and, when a store is attached, on disk.
     fn ensure(&self, batch: Vec<(RunKey, RunInput)>) {
-        let todo: Vec<(RunKey, RunInput)> = {
+        let missing: Vec<(RunKey, RunInput)> = {
             let map = self.results.lock();
             batch
                 .into_iter()
                 .filter(|(k, _)| !map.contains_key(k))
                 .collect()
         };
+        if missing.is_empty() {
+            return;
+        }
+        // Warm phase: serve what the persistent store already has.
+        let todo: Vec<(RunKey, RunInput)> = match &self.store {
+            None => missing,
+            Some(store) => missing
+                .into_iter()
+                .filter(|(key, _)| {
+                    let skey = self.store_key(key);
+                    match store.get(&skey) {
+                        Lookup::Hit(result) => {
+                            if let Some(j) = &self.journal {
+                                j.log(EventKind::CacheHit { job: job_desc(key) });
+                            }
+                            self.results.lock().insert(key.clone(), result);
+                            false
+                        }
+                        Lookup::Miss => {
+                            if let Some(j) = &self.journal {
+                                j.log(EventKind::CacheMiss { job: job_desc(key) });
+                            }
+                            true
+                        }
+                    }
+                })
+                .collect(),
+        };
         if todo.is_empty() {
             return;
         }
         let workers = if self.opts.workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.opts.workers
         }
@@ -184,7 +294,23 @@ impl Sweeps {
                         break;
                     }
                     let (key, input) = &todo[i];
-                    let result = run_one(key, input, &self.opts);
+                    let desc = job_desc(key);
+                    let outcome = self.orch.run_job(&desc, || run_one(key, input, &self.opts));
+                    let result = match outcome {
+                        Some(result) => {
+                            if let Some(store) = &self.store {
+                                if let Err(e) = store.put(&self.store_key(key), &result) {
+                                    eprintln!("store write failed for {desc}: {e}");
+                                }
+                            }
+                            result
+                        }
+                        // Every attempt panicked: record a zeroed result so
+                        // dependent figures render (as zeros) instead of
+                        // panicking; the journal and counters carry the
+                        // failure.
+                        None => failed_placeholder(input, &self.opts),
+                    };
                     if self.opts.verbose {
                         eprint!(".");
                     }
@@ -250,7 +376,31 @@ impl Sweeps {
     }
 }
 
+/// Journal/orchestrator identity of a run key.
+fn job_desc(key: &RunKey) -> JobDesc {
+    JobDesc {
+        label: key.label.clone(),
+        iq: key.iq.name().to_string(),
+        rf: key.rf.name().to_string(),
+        cfg: key.cfg.label(),
+    }
+}
+
+/// Stand-in result for a job whose every attempt panicked: correct shape
+/// (thread count, target), all-zero stats.
+fn failed_placeholder(input: &RunInput, opts: &ExpOptions) -> SimResult {
+    SimResult {
+        num_threads: match input {
+            RunInput::Smt(w) => w.traces.len(),
+            RunInput::Single(_) => 1,
+        },
+        commit_target: opts.commit_target,
+        stats: SimStats::default(),
+    }
+}
+
 fn run_one(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
+    fault_injection::maybe_panic(&key.label);
     let cfg = key.cfg.build();
     let traces: Vec<TraceSpec> = match input {
         RunInput::Smt(w) => w.traces.to_vec(),
@@ -258,6 +408,47 @@ fn run_one(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
     };
     let mut sim = Simulator::new(cfg, key.iq, key.rf, &traces);
     sim.run_with_warmup(opts.warmup, opts.commit_target, opts.max_cycles)
+}
+
+/// Test-only fault injection: arm a number of simulated-run panics for
+/// workload labels containing a substring, to exercise the retry and
+/// failure paths end-to-end. Disarmed it costs one uncontended mutex
+/// check per run — noise next to a simulation. Not part of the public
+/// API.
+#[doc(hidden)]
+pub mod fault_injection {
+    use std::sync::Mutex;
+
+    struct Injection {
+        label_contains: String,
+        remaining: u32,
+    }
+
+    static ARMED: Mutex<Option<Injection>> = Mutex::new(None);
+
+    /// Arm `times` panics for runs whose label contains `label_contains`.
+    pub fn arm(label_contains: &str, times: u32) {
+        *ARMED.lock().unwrap() = Some(Injection {
+            label_contains: label_contains.to_string(),
+            remaining: times,
+        });
+    }
+
+    /// Disarm and return how many armed panics were left unused.
+    pub fn disarm() -> u32 {
+        ARMED.lock().unwrap().take().map_or(0, |i| i.remaining)
+    }
+
+    pub(crate) fn maybe_panic(label: &str) {
+        let mut guard = ARMED.lock().unwrap();
+        if let Some(inj) = guard.as_mut() {
+            if inj.remaining > 0 && label.contains(&inj.label_contains) {
+                inj.remaining -= 1;
+                drop(guard);
+                panic!("injected fault for test ({label})");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +492,167 @@ mod tests {
         assert_eq!(sweeps.len(), 2, "two traces per workload");
         let k = Sweeps::single_key(&ws[0].traces[0], CfgKind::Baseline);
         assert_eq!(sweeps.get(&k).num_threads, 1);
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("csmt-runner-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_serves_second_process_warm() {
+        let dir = tmp("warm");
+        let ws: Vec<_> = suite().into_iter().take(2).collect();
+        let combos = [(
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        )];
+        // Cold process: everything simulates and persists.
+        let cold_cycles = {
+            let sweeps = Sweeps::with_store(tiny_opts(), &dir).unwrap();
+            sweeps.smt_batch(&ws, &combos);
+            let c = sweeps.counters();
+            assert_eq!(c.store.unwrap().hits, 0);
+            assert_eq!(c.store.unwrap().misses, 2);
+            assert_eq!(c.store.unwrap().puts, 2);
+            assert_eq!(c.orch.completed, 2);
+            let k = Sweeps::smt_key(&ws[0], combos[0].0, combos[0].1, combos[0].2);
+            sweeps.get(&k).stats.cycles
+        };
+        // Warm process: zero simulations, identical results.
+        let sweeps = Sweeps::with_store(tiny_opts(), &dir).unwrap();
+        sweeps.smt_batch(&ws, &combos);
+        let c = sweeps.counters();
+        assert_eq!(c.store.unwrap().hits, 2, "warm run must be all cache hits");
+        assert_eq!(c.store.unwrap().misses, 0);
+        assert_eq!(c.orch.completed, 0, "warm run must not simulate");
+        let k = Sweeps::smt_key(&ws[0], combos[0].0, combos[0].1, combos[0].2);
+        assert_eq!(
+            sweeps.get(&k).stats.cycles,
+            cold_cycles,
+            "stored result must be identical"
+        );
+    }
+
+    #[test]
+    fn store_does_not_alias_across_options() {
+        let dir = tmp("opts");
+        let ws: Vec<_> = suite().into_iter().take(1).collect();
+        let combos = [(
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        )];
+        {
+            let sweeps = Sweeps::with_store(tiny_opts(), &dir).unwrap();
+            sweeps.smt_batch(&ws, &combos);
+        }
+        // Same key, different commit target → different content hash.
+        let sweeps = Sweeps::with_store(
+            ExpOptions {
+                commit_target: 1200,
+                ..tiny_opts()
+            },
+            &dir,
+        )
+        .unwrap();
+        sweeps.smt_batch(&ws, &combos);
+        let c = sweeps.counters();
+        assert_eq!(c.store.unwrap().hits, 0, "changed options must miss");
+        assert_eq!(c.orch.completed, 1);
+    }
+
+    /// Serializes the fault-injection tests: they share the global armed
+    /// state and the process panic hook.
+    static INJECT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn injected_panic_is_retried_and_the_sweep_survives() {
+        let _guard = INJECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmp("inject");
+        // Workloads no other test in this binary simulates, so the armed
+        // panic cannot leak into a concurrently running sweep.
+        let ws: Vec<_> = suite().into_iter().skip(20).take(2).collect();
+        let combos = [(
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        )];
+        // One armed panic: the first attempt on the first workload dies,
+        // the retry succeeds, the other workload is untouched.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        fault_injection::arm(&ws[0].name, 1);
+        let sweeps = Sweeps::with_store(
+            ExpOptions {
+                workers: 1,
+                ..tiny_opts()
+            },
+            &dir,
+        )
+        .unwrap();
+        sweeps.smt_batch(&ws, &combos);
+        let leftover = fault_injection::disarm();
+        std::panic::set_hook(hook);
+        assert_eq!(leftover, 0, "the injected panic must have fired");
+        let c = sweeps.counters();
+        assert_eq!(c.orch.retries, 1);
+        assert_eq!(c.orch.failures, 0);
+        assert_eq!(
+            c.orch.completed, 2,
+            "both workloads complete despite the panic"
+        );
+        let k = Sweeps::smt_key(&ws[0], combos[0].0, combos[0].1, combos[0].2);
+        assert!(sweeps.get(&k).throughput() > 0.0);
+        // The journal tells the story with identity fields attached.
+        let events = Journal::read(sweeps.journal().unwrap().path());
+        let panics: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::JobPanic { job, attempt, .. } => Some((job.label.clone(), *attempt)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(panics, [(ws[0].name.clone(), 1)]);
+    }
+
+    #[test]
+    fn permanently_poisoned_job_yields_zero_result_not_abort() {
+        let _guard = INJECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmp("poison");
+        let ws: Vec<_> = suite().into_iter().skip(30).take(1).collect();
+        let combos = [(
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        )];
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        fault_injection::arm(&ws[0].name, u32::MAX); // outlasts every retry
+        let sweeps = Sweeps::with_store(
+            ExpOptions {
+                workers: 1,
+                ..tiny_opts()
+            },
+            &dir,
+        )
+        .unwrap();
+        sweeps.smt_batch(&ws, &combos);
+        fault_injection::disarm();
+        std::panic::set_hook(hook);
+        let c = sweeps.counters();
+        assert_eq!(c.orch.failures, 1);
+        let k = Sweeps::smt_key(&ws[0], combos[0].0, combos[0].1, combos[0].2);
+        let r = sweeps.get(&k);
+        assert_eq!(r.stats.cycles, 0, "failed job renders as zeros");
+        assert_eq!(r.num_threads, 2);
+        // Nothing bogus was persisted: a fresh store misses.
+        let sweeps2 = Sweeps::with_store(tiny_opts(), &dir).unwrap();
+        sweeps2.smt_batch(&ws, &combos);
+        assert_eq!(sweeps2.counters().store.unwrap().hits, 0);
     }
 
     #[test]

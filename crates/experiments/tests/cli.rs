@@ -1,0 +1,174 @@
+//! End-to-end tests of the `csmt-experiments` binary: the acceptance
+//! criteria of the result-store work, exercised through a real process —
+//! cold run populates the store, warm run serves everything from disk,
+//! `--resume` skips completed artifacts, and bad flags fail fast with
+//! usage text.
+
+use csmt_store::{EventKind, Journal};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A cheap artifact: one workload × 7 IQ schemes = 7 simulations.
+const ARTIFACT: &str = "detail:DH/ilp.2.1";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_csmt-experiments"))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csmt-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Short runs so the whole file stays in CI budget.
+const FAST: &[&str] = &["--target", "400", "--warmup", "100", "--quiet"];
+
+#[test]
+fn cold_run_then_warm_run_hits_the_store_for_everything() {
+    let dir = tmp("coldwarm");
+    let store = dir.to_str().unwrap();
+
+    // Cold: nothing cached, 7 simulations, 7 records written.
+    let cold = run(&[&[ARTIFACT, "--store", store], FAST].concat());
+    assert!(cold.status.success(), "cold run failed: {}", stderr(&cold));
+    let e = stderr(&cold);
+    assert!(e.contains("0 hits / 7 misses"), "cold summary: {e}");
+    assert!(e.contains("7 records written"), "cold summary: {e}");
+    assert!(e.contains("7 simulated"), "cold summary: {e}");
+
+    // Warm: every simulation served from disk, zero simulator invocations.
+    let warm = run(&[&[ARTIFACT, "--store", store], FAST].concat());
+    assert!(warm.status.success(), "warm run failed: {}", stderr(&warm));
+    let e = stderr(&warm);
+    assert!(
+        e.contains("7 hits / 0 misses (100.0% warm)"),
+        "warm summary: {e}"
+    );
+    assert!(e.contains("0 simulated"), "warm summary: {e}");
+
+    // Both runs print the same table.
+    assert_eq!(
+        String::from_utf8_lossy(&cold.stdout),
+        String::from_utf8_lossy(&warm.stdout),
+        "cached results must reproduce the table bit-for-bit"
+    );
+
+    // The journal recorded both runs with the full event vocabulary.
+    let events = Journal::read(dir.join("journal.jsonl"));
+    let runs: Vec<u64> = events.iter().map(|e| e.run_id).collect();
+    assert!(runs.contains(&1) && runs.contains(&2), "two journaled runs");
+    let n = |f: fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+    assert_eq!(n(|k| matches!(k, EventKind::CacheMiss { .. })), 7);
+    assert_eq!(n(|k| matches!(k, EventKind::CacheHit { .. })), 7);
+    assert_eq!(n(|k| matches!(k, EventKind::JobOk { .. })), 7);
+    assert_eq!(n(|k| matches!(k, EventKind::RunEnd { .. })), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_skips_artifacts_completed_by_an_interrupted_run() {
+    let dir = tmp("resume");
+    let store = dir.to_str().unwrap();
+
+    // Fabricate an interrupted run: ARTIFACT completed, then the process
+    // died (RunStart with no RunEnd).
+    {
+        let j = Journal::open(&dir).unwrap();
+        j.log(EventKind::RunStart {
+            artifacts: vec![ARTIFACT.into(), "detail:DH/ilp.2.2".into()],
+        });
+        j.log(EventKind::ArtifactStart {
+            artifact: ARTIFACT.into(),
+        });
+        j.log(EventKind::ArtifactEnd {
+            artifact: ARTIFACT.into(),
+        });
+        j.log(EventKind::ArtifactStart {
+            artifact: "detail:DH/ilp.2.2".into(),
+        });
+    }
+
+    let out = run(&[
+        &[ARTIFACT, "detail:DH/ilp.2.2", "--store", store, "--resume"],
+        FAST,
+    ]
+    .concat());
+    assert!(out.status.success(), "{}", stderr(&out));
+    let e = stderr(&out);
+    assert!(e.contains(&format!("resume: skipping {ARTIFACT}")), "{e}");
+    // Only the unfinished artifact was simulated: 7 jobs, not 14.
+    assert!(e.contains("7 simulated"), "{e}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("DH/ilp.2.1"),
+        "skipped artifact must not render"
+    );
+    assert!(
+        stdout.contains("DH/ilp.2.2"),
+        "remaining artifact must render"
+    );
+
+    // With the run now cleanly finished, --resume finds nothing to skip.
+    let again = run(&[&[ARTIFACT, "--store", store, "--resume"], FAST].concat());
+    assert!(
+        stderr(&again).contains("resume: no interrupted run found"),
+        "{}",
+        stderr(&again)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_store_disables_persistence() {
+    let dir = tmp("nostore");
+    let out = bin()
+        .args([&[ARTIFACT, "--no-store"], FAST].concat())
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("store: disabled"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_flags_fail_fast_with_usage() {
+    for (args, needle) in [
+        (
+            vec!["fig2", "--workers", "0"],
+            "--workers must be at least 1",
+        ),
+        (vec!["fig2", "--target", "lots"], "positive integer"),
+        (vec!["fig2", "--target", "0"], "positive integer"),
+        (vec!["fig99"], "unknown artifact: fig99"),
+        (vec!["fig2", "--frobnicate"], "unknown flag"),
+        (vec![], "no artifact named"),
+        (vec!["fig2", "--no-store", "--resume"], "--resume"),
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let e = stderr(&out);
+        assert!(
+            e.contains(needle),
+            "args {args:?}: missing '{needle}' in: {e}"
+        );
+        assert!(e.contains("usage:"), "args {args:?} must print usage");
+        assert!(
+            e.contains("fig2") && e.contains("table2"),
+            "usage lists artifacts"
+        );
+    }
+    // Validation happens before any simulation or store I/O: instant even
+    // with a bogus store path.
+    let out = run(&["fig99", "--store", "/nonexistent/deep/path"]);
+    assert_eq!(out.status.code(), Some(2));
+}

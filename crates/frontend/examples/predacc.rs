@@ -19,16 +19,27 @@ fn main() {
             let u = t.next_uop();
             if let Some(b) = u.branch {
                 let measured = (30_000..60_000).contains(&i);
-                if measured { br += 1; }
+                if measured {
+                    br += 1;
+                }
                 let h = g.history(ThreadId(0));
                 let dir_ok = g.update(ThreadId(0), u.pc, b.taken);
                 let mut bad = !dir_ok;
                 if u.class == OpClass::BranchIndirect {
-                    if measured { ibr += 1; }
+                    if measured {
+                        ibr += 1;
+                    }
                     let tgt_ok = ind.update(u.pc, h, b.target);
-                    if !tgt_ok { if measured { ibr_misp += 1; } bad = true; }
+                    if !tgt_ok {
+                        if measured {
+                            ibr_misp += 1;
+                        }
+                        bad = true;
+                    }
                 }
-                if bad && measured { misp += 1; }
+                if bad && measured {
+                    misp += 1;
+                }
             }
         }
         println!(

@@ -407,7 +407,11 @@ mod hybrid_tests {
             bc += b.update(pc, taken) as u32;
             hc += h.update(T0, pc, taken) as u32;
         }
-        let (ga, ba, ha) = (gc as f64 / n as f64, bc as f64 / n as f64, hc as f64 / n as f64);
+        let (ga, ba, ha) = (
+            gc as f64 / n as f64,
+            bc as f64 / n as f64,
+            hc as f64 / n as f64,
+        );
         assert!(
             ha + 0.02 >= ga.max(ba),
             "hybrid {ha:.3} must be near best of gshare {ga:.3} / bimodal {ba:.3}"

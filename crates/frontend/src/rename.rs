@@ -68,7 +68,13 @@ impl RenameTable {
     /// Record a new definition: replaces the mapping, returning the
     /// previous one (stored in the ROB for walk-back restore and for
     /// freeing the superseded physical registers at commit).
-    pub fn define(&mut self, class: RegClass, reg: LogReg, cluster: usize, phys: PhysReg) -> Mapping {
+    pub fn define(
+        &mut self,
+        class: RegClass,
+        reg: LogReg,
+        cluster: usize,
+        phys: PhysReg,
+    ) -> Mapping {
         let prev = self.get(class, reg);
         self.set(class, reg, Mapping::defined_in(cluster, phys));
         prev

@@ -46,7 +46,10 @@ impl SetAssocCache {
     /// Build from an abstract entry count (for TLBs and the trace cache,
     /// where "line size" is 1 entry): `entries` total, `assoc` ways.
     pub fn with_entries(entries: usize, assoc: usize) -> Self {
-        assert!(entries.is_multiple_of(assoc), "entries not divisible by assoc");
+        assert!(
+            entries.is_multiple_of(assoc),
+            "entries not divisible by assoc"
+        );
         SetAssocCache {
             tags: vec![INVALID; entries],
             stamps: vec![0; entries],
@@ -246,7 +249,7 @@ mod tests {
     #[test]
     fn large_working_set_thrashes_small_cache() {
         let mut c = SetAssocCache::new(1024, 2, 64); // 16 lines
-        // Cycle through 64 lines repeatedly → ~100% misses after warmup.
+                                                     // Cycle through 64 lines repeatedly → ~100% misses after warmup.
         for round in 0..4 {
             for i in 0..64u64 {
                 let hit = c.access(i * 64);

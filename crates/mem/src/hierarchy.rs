@@ -4,8 +4,8 @@
 
 use crate::cache::SetAssocCache;
 use crate::prefetch::{PrefetchKind, Prefetcher};
-use crate::victim::VictimCache;
 use crate::tlb::Tlb;
+use crate::victim::VictimCache;
 use csmt_types::MachineConfig;
 use std::collections::VecDeque;
 
@@ -380,7 +380,11 @@ mod tests {
         // Three lines in the same L1 set (2-way): ping-pong between them
         // causes conflict misses that the victim buffer absorbs.
         let stride = 256 * 64; // L1 set stride
-        let addrs = [0x4000_0000u64, 0x4000_0000 + stride, 0x4000_0000 + 2 * stride];
+        let addrs = [
+            0x4000_0000u64,
+            0x4000_0000 + stride,
+            0x4000_0000 + 2 * stride,
+        ];
         for round in 0..20u64 {
             for (i, &a) in addrs.iter().enumerate() {
                 m.load(round * 10 + i as u64, a);

@@ -15,12 +15,12 @@ pub mod cache;
 pub mod hierarchy;
 pub mod mob;
 pub mod prefetch;
-pub mod victim;
 pub mod tlb;
+pub mod victim;
 
 pub use cache::SetAssocCache;
 pub use hierarchy::{AccessResult, MemHierarchy};
 pub use mob::{LoadCheck, Mob, MobIdx};
 pub use prefetch::{PrefetchKind, Prefetcher};
-pub use victim::VictimCache;
 pub use tlb::Tlb;
+pub use victim::VictimCache;

@@ -130,8 +130,7 @@ impl Mob {
             match e.addr {
                 None => return LoadCheck::WaitOlderStore,
                 Some((saddr, ssize)) => {
-                    let overlap =
-                        laddr < saddr + ssize as u64 && saddr < laddr + lsize as u64;
+                    let overlap = laddr < saddr + ssize as u64 && saddr < laddr + lsize as u64;
                     if overlap && verdict == LoadCheck::Cache {
                         // Youngest overlapping store decides.
                         verdict = if e.data_ready {

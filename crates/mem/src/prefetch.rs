@@ -88,10 +88,7 @@ impl Prefetcher {
                 if e.confidence >= 2 && e.stride != 0 {
                     self.issued += 2;
                     let s = e.stride;
-                    vec![
-                        (line as i64 + s) as u64,
-                        (line as i64 + 2 * s) as u64,
-                    ]
+                    vec![(line as i64 + s) as u64, (line as i64 + 2 * s) as u64]
                 } else {
                     Vec::new()
                 }

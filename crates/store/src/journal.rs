@@ -1,0 +1,287 @@
+//! Append-only JSONL event journal.
+//!
+//! Every sweep run appends structured events to `<store>/journal.jsonl`.
+//! Each line is one [`Event`]: a `run_id` (monotonically increasing across
+//! runs of the same store — no wall clocks involved), a per-run monotonic
+//! `seq`, and an [`EventKind`] carrying the run identity fields
+//! (workload/scheme/config) so tests and tooling can assert on exactly
+//! what a sweep did. Lines are flushed as they are written, so the journal
+//! survives a `kill -9` mid-sweep and `--resume` can pick up from it.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one simulation job inside an event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobDesc {
+    /// Workload label.
+    pub label: String,
+    /// Issue-queue scheme name.
+    pub iq: String,
+    /// Register-file scheme name.
+    pub rf: String,
+    /// Configuration variant label.
+    pub cfg: String,
+}
+
+impl std::fmt::Display for JobDesc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}+{}/{}", self.label, self.iq, self.rf, self.cfg)
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A sweep process started with these requested artifacts.
+    RunStart { artifacts: Vec<String> },
+    /// An artifact's figure computation began.
+    ArtifactStart { artifact: String },
+    /// An artifact completed (its table was rendered).
+    ArtifactEnd { artifact: String },
+    /// A job was served from the persistent store.
+    CacheHit { job: JobDesc },
+    /// A job had no usable record and will be simulated.
+    CacheMiss { job: JobDesc },
+    /// A corrupt record was quarantined during lookup.
+    Quarantined { job: JobDesc },
+    /// A simulation attempt began.
+    JobStart { job: JobDesc },
+    /// A simulation finished; wall time in milliseconds.
+    JobOk { job: JobDesc, wall_ms: u64 },
+    /// An attempt panicked and will be retried (attempt is 1-based).
+    JobPanic {
+        job: JobDesc,
+        attempt: u32,
+        error: String,
+    },
+    /// All attempts exhausted; the job is recorded as failed and the sweep
+    /// continues.
+    JobFailed { job: JobDesc, attempts: u32 },
+    /// The sweep process finished cleanly.
+    RunEnd { artifacts: usize },
+}
+
+/// One journal line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub run_id: u64,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+/// Appending journal writer for one run.
+pub struct Journal {
+    path: PathBuf,
+    run_id: u64,
+    seq: AtomicU64,
+    file: Mutex<fs::File>,
+}
+
+impl Journal {
+    /// Open `journal.jsonl` under `store_root` for appending, assigning
+    /// this run the next `run_id` (1 + the largest seen in the file; 1 for
+    /// a fresh journal).
+    pub fn open(store_root: impl AsRef<Path>) -> io::Result<Journal> {
+        let root = store_root.as_ref();
+        fs::create_dir_all(root)?;
+        let path = root.join("journal.jsonl");
+        let run_id = Self::read(&path)
+            .iter()
+            .map(|e| e.run_id)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Journal {
+            path,
+            run_id,
+            seq: AtomicU64::new(0),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// This run's id.
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// Journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one event, assigning the next sequence number. Flushed
+    /// immediately; write errors are swallowed (the journal is telemetry —
+    /// it must never take a sweep down).
+    pub fn log(&self, kind: EventKind) {
+        let event = Event {
+            run_id: self.run_id,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            kind,
+        };
+        if let Ok(line) = serde_json::to_string(&event) {
+            let mut f = self.file.lock();
+            let _ = f.write_all(line.as_bytes());
+            let _ = f.write_all(b"\n");
+            let _ = f.flush();
+        }
+    }
+
+    /// Parse a journal file. Unparseable lines (e.g. a torn final line
+    /// after a crash) are skipped.
+    pub fn read(path: impl AsRef<Path>) -> Vec<Event> {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| serde_json::from_str::<Event>(l).ok())
+            .collect()
+    }
+
+    /// Artifacts that ran to completion in the most recent *unfinished*
+    /// run — the resume set. Returns `None` if the journal is absent, the
+    /// last run ended cleanly ([`EventKind::RunEnd`]) or nothing was
+    /// completed: there is nothing to resume from.
+    pub fn resumable_artifacts(path: impl AsRef<Path>) -> Option<Vec<String>> {
+        let events = Self::read(path);
+        let last = events.iter().map(|e| e.run_id).max()?;
+        let last_run: Vec<&Event> = events.iter().filter(|e| e.run_id == last).collect();
+        if last_run
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RunEnd { .. }))
+        {
+            return None;
+        }
+        let done: Vec<String> = last_run
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::ArtifactEnd { artifact } => Some(artifact.clone()),
+                _ => None,
+            })
+            .collect();
+        if done.is_empty() {
+            None
+        } else {
+            Some(done)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("csmt-journal-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn job() -> JobDesc {
+        JobDesc {
+            label: "mixes/mix.2.1".into(),
+            iq: "CSSP".into(),
+            rf: "CDPRF".into(),
+            cfg: "rf64".into(),
+        }
+    }
+
+    #[test]
+    fn events_carry_monotonic_seq_and_run_id() {
+        let dir = tmp("seq");
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.run_id(), 1);
+        j.log(EventKind::RunStart {
+            artifacts: vec!["fig2".into()],
+        });
+        j.log(EventKind::CacheMiss { job: job() });
+        j.log(EventKind::JobStart { job: job() });
+        let events = Journal::read(j.path());
+        assert_eq!(events.len(), 3);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.run_id, 1);
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(
+            events[1].kind,
+            EventKind::CacheMiss { job: job() },
+            "identity fields must round-trip"
+        );
+    }
+
+    #[test]
+    fn run_ids_increase_across_opens() {
+        let dir = tmp("runid");
+        {
+            let j = Journal::open(&dir).unwrap();
+            j.log(EventKind::RunStart { artifacts: vec![] });
+        }
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.run_id(), 2);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped() {
+        let dir = tmp("torn");
+        let j = Journal::open(&dir).unwrap();
+        j.log(EventKind::RunStart { artifacts: vec![] });
+        drop(j);
+        let path = dir.join("journal.jsonl");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"run_id\":1,\"seq\":9,\"kind\""); // simulated crash mid-write
+        fs::write(&path, text).unwrap();
+        assert_eq!(Journal::read(&path).len(), 1);
+        // And the next run still gets a fresh id.
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.run_id(), 2);
+    }
+
+    #[test]
+    fn resumable_artifacts_reflect_last_unfinished_run() {
+        let dir = tmp("resume");
+        let path = dir.join("journal.jsonl");
+        assert_eq!(Journal::resumable_artifacts(&path), None, "no journal yet");
+        {
+            // Run 1: finished cleanly.
+            let j = Journal::open(&dir).unwrap();
+            j.log(EventKind::ArtifactStart {
+                artifact: "fig2".into(),
+            });
+            j.log(EventKind::ArtifactEnd {
+                artifact: "fig2".into(),
+            });
+            j.log(EventKind::RunEnd { artifacts: 1 });
+        }
+        assert_eq!(
+            Journal::resumable_artifacts(&path),
+            None,
+            "clean run: nothing to resume"
+        );
+        {
+            // Run 2: killed after fig2 and fig3 completed.
+            let j = Journal::open(&dir).unwrap();
+            j.log(EventKind::ArtifactEnd {
+                artifact: "fig2".into(),
+            });
+            j.log(EventKind::ArtifactEnd {
+                artifact: "fig3".into(),
+            });
+            j.log(EventKind::ArtifactStart {
+                artifact: "fig4".into(),
+            });
+        }
+        assert_eq!(
+            Journal::resumable_artifacts(&path),
+            Some(vec!["fig2".to_string(), "fig3".to_string()])
+        );
+    }
+}

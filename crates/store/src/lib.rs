@@ -1,0 +1,45 @@
+//! # csmt-store
+//!
+//! Persistent, content-addressed storage for simulation results plus a
+//! crash-resilient sweep orchestrator.
+//!
+//! The experiment harness regenerates every figure from simulation runs
+//! that are pure functions of (workload, schemes, machine configuration,
+//! run options). This crate makes those runs **durable and shareable**:
+//!
+//! * [`StoreKey`] captures the full identity of a run — workload label,
+//!   scheme names, the complete [`csmt_types::MachineConfig`], the commit
+//!   target / warm-up / cycle-cap options and a [`SCHEMA_VERSION`] — and
+//!   hashes its canonical JSON into a 64-bit content address.
+//! * [`ResultStore`] maps that address to a serialized
+//!   [`csmt_core::SimResult`] on disk. Records are written atomically
+//!   (temp file + rename), carry a per-record checksum, and corrupt
+//!   records are **quarantined** instead of panicking — a damaged cache
+//!   degrades into a re-simulation, never into wrong data.
+//! * [`Journal`] appends structured JSONL events (cache hits/misses, job
+//!   start/finish/retry, artifact progress) with a per-run `run_id` and a
+//!   monotonic `seq`, so an interrupted sweep can be resumed and tests can
+//!   assert on exactly what happened.
+//! * [`Orchestrator`] wraps each simulation in `catch_unwind` with a
+//!   bounded retry budget: one poisoned run is recorded as a failed job
+//!   and the rest of the sweep completes.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <store>/
+//!   index.jsonl            one line per record: hash → file + run identity
+//!   journal.jsonl          append-only event log across runs
+//!   records/<hash>.json    header line (checksum) + payload line
+//!   quarantine/<hash>.json corrupt records, moved aside for post-mortem
+//! ```
+
+pub mod journal;
+pub mod key;
+pub mod orchestrator;
+pub mod store;
+
+pub use journal::{Event, EventKind, JobDesc, Journal};
+pub use key::{fnv1a, StoreKey, SCHEMA_VERSION};
+pub use orchestrator::{OrchCounters, Orchestrator, RetryPolicy};
+pub use store::{Lookup, ResultStore, StoreCounters};

@@ -1,0 +1,206 @@
+//! Integration tests for the content-addressed store: property-based
+//! round-trips over generated keys/results, and the corruption drill the
+//! store exists for — flip a byte on disk, observe quarantine + miss +
+//! successful re-simulation, never a panic and never wrong data.
+
+use csmt_core::{SimResult, SimStats};
+use csmt_store::{Lookup, ResultStore, StoreKey, SCHEMA_VERSION};
+use csmt_types::MachineConfig;
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csmt-store-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a key from the generated raw material.
+#[allow(clippy::too_many_arguments)]
+fn make_key(
+    label: String,
+    iq: &str,
+    rf: &str,
+    iq_entries: usize,
+    l2_latency: u64,
+    commit_target: u64,
+    warmup: u64,
+) -> StoreKey {
+    let mut config = MachineConfig::iq_study(iq_entries);
+    config.l2_latency = l2_latency;
+    StoreKey {
+        schema: SCHEMA_VERSION,
+        label,
+        iq: iq.to_string(),
+        rf: rf.to_string(),
+        cfg: format!("iq{iq_entries}"),
+        config,
+        commit_target,
+        warmup,
+        max_cycles: 30_000_000,
+    }
+}
+
+/// Build a result whose every varying field derives from the generated
+/// numbers, so a swapped or truncated field cannot go unnoticed.
+fn make_result(cycles: u64, c0: u64, c1: u64, copies: u64) -> SimResult {
+    SimResult {
+        num_threads: 2,
+        commit_target: c0.max(1),
+        stats: SimStats {
+            cycles,
+            committed: [c0, c1],
+            finish_cycle: [cycles / 2, cycles],
+            copies_retired: copies,
+            ..Default::default()
+        },
+    }
+}
+
+/// Canonical bytes of a result; `SimResult` has no `PartialEq`, and byte
+/// equality of the canonical serialization is the stronger statement
+/// anyway (it is what the store persists).
+fn canon(r: &SimResult) -> String {
+    serde_json::to_string(r).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Anything stored comes back bit-identical, across a process-restart
+    /// boundary (fresh `ResultStore::open` over the same directory).
+    #[test]
+    fn stored_results_round_trip_across_reopen(
+        label in "[a-z]{1,12}",
+        pick in prop::sample::select(vec![
+            ("Icount", "Shared"),
+            ("RoundRobin", "Shared"),
+            ("CDPRF", "CISPRF"),
+        ]),
+        iq_entries in prop::sample::select(vec![16usize, 32, 64]),
+        l2_latency in 5u64..40,
+        commit_target in 1_000u64..50_000,
+        warmup in 0u64..10_000,
+        cycles in 1u64..1_000_000,
+        c0 in 0u64..100_000,
+        c1 in 0u64..100_000,
+        copies in 0u64..10_000,
+        case in 0u64..1_000_000,
+    ) {
+        let dir = tmp(&format!("prop-{case}"));
+        let key = make_key(label, pick.0, pick.1, iq_entries, l2_latency, commit_target, warmup);
+        let result = make_result(cycles, c0, c1, copies);
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            prop_assert!(matches!(store.get(&key), Lookup::Miss));
+            store.put(&key, &result).unwrap();
+            match store.get(&key) {
+                Lookup::Hit(r) => prop_assert_eq!(canon(&r), canon(&result)),
+                Lookup::Miss => prop_assert!(false, "fresh record must hit"),
+            }
+        }
+        // Reopen: the warm path through index.jsonl must serve the same bytes.
+        let store = ResultStore::open(&dir).unwrap();
+        match store.get(&key) {
+            Lookup::Hit(r) => prop_assert_eq!(canon(&r), canon(&result)),
+            Lookup::Miss => prop_assert!(false, "reopened store must still hit"),
+        }
+        prop_assert_eq!(store.counters().quarantined, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping any single byte of a record makes the store quarantine it
+    /// and miss — never panic, never return the damaged payload.
+    #[test]
+    fn any_single_byte_flip_is_quarantined(
+        cycles in 1u64..1_000_000,
+        flip_pos_seed in 0usize..10_000,
+        flip_bit in 0u8..8,
+        case in 0u64..1_000_000,
+    ) {
+        let dir = tmp(&format!("flip-{case}"));
+        let key = make_key("dh".into(), "Icount", "Shared", 32, 12, 2_000, 100);
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key, &make_result(cycles, 10, 20, 3)).unwrap();
+
+        let path = dir.join("records").join(format!("{}.json", key.file_stem()));
+        let mut bytes = fs::read(&path).unwrap();
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+        fs::write(&path, &bytes).unwrap();
+
+        // A flip may hit the header or the payload; either way the record
+        // must not be served.
+        prop_assert!(matches!(store.get(&key), Lookup::Miss));
+        prop_assert!(!path.exists(), "damaged record must leave records/");
+        prop_assert_eq!(store.counters().quarantined, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// The full corruption drill from the issue: corrupt a record, observe the
+/// quarantine, then "re-simulate" (put the result again) and get a clean
+/// hit — all without a panic, with the damaged bytes preserved for
+/// post-mortem.
+#[test]
+fn corruption_forces_resimulation_then_recovers() {
+    let dir = tmp("drill");
+    let key = make_key("dh".into(), "CDPRF", "CISPRF", 32, 12, 2_000, 100);
+    let fresh = make_result(5_000, 2_000, 2_000, 41);
+
+    let store = ResultStore::open(&dir).unwrap();
+    store.put(&key, &fresh).unwrap();
+    let path = dir
+        .join("records")
+        .join(format!("{}.json", key.file_stem()));
+
+    // Flip a byte in the middle of the payload line.
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() * 3 / 4;
+    bytes[mid] ^= 0x10;
+    fs::write(&path, &bytes).unwrap();
+
+    // Lookup detects the damage: quarantine + miss, i.e. "re-simulate".
+    assert!(matches!(store.get(&key), Lookup::Miss));
+    let qpath = dir
+        .join("quarantine")
+        .join(format!("{}.json", key.file_stem()));
+    assert!(qpath.exists(), "damaged bytes must be kept for post-mortem");
+    assert_eq!(
+        fs::read(&qpath).unwrap(),
+        bytes,
+        "quarantine preserves the file verbatim"
+    );
+
+    // The caller re-simulates and stores again; the slot heals.
+    store.put(&key, &fresh).unwrap();
+    match store.get(&key) {
+        Lookup::Hit(r) => assert_eq!(canon(&r), canon(&fresh)),
+        Lookup::Miss => panic!("healed record must hit"),
+    }
+    let c = store.counters();
+    assert_eq!(c.quarantined, 1);
+    assert_eq!(c.puts, 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Truncated record (torn write that somehow survived, e.g. power loss
+/// mid-rename on a non-atomic filesystem) is also a quarantine, not a panic.
+#[test]
+fn truncated_record_is_quarantined() {
+    let dir = tmp("trunc");
+    let key = make_key("dh".into(), "Icount", "Shared", 32, 12, 2_000, 100);
+    let store = ResultStore::open(&dir).unwrap();
+    store.put(&key, &make_result(100, 1, 2, 0)).unwrap();
+
+    let path = dir
+        .join("records")
+        .join(format!("{}.json", key.file_stem()));
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+
+    assert!(matches!(store.get(&key), Lookup::Miss));
+    assert_eq!(store.counters().quarantined, 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -135,8 +135,14 @@ impl ThreadTrace {
 
     fn emit_branch(&mut self, cur: usize) -> MicroOp {
         let b = &self.program.blocks[cur];
-        let (block_id, branch_pc, indirect_exit, base_trip, succ, succ_bias) =
-            (b.id, b.branch_pc, b.indirect_exit, b.base_trip, b.succ, b.succ_bias);
+        let (block_id, branch_pc, indirect_exit, base_trip, succ, succ_bias) = (
+            b.id,
+            b.branch_pc,
+            b.indirect_exit,
+            b.base_trip,
+            b.succ,
+            b.succ_bias,
+        );
         let looping = self.trips_left > 0;
         let is_loop_block = base_trip > LOOP_TRIP_THRESHOLD;
         let (taken, next_block): (bool, u32) = if looping {
@@ -230,9 +236,8 @@ impl ThreadTrace {
                 if self.cold_state[tmpl_idx].1 == 0 {
                     // New burst: a random line in the footprint, walked for
                     // 4–16 consecutive 8-byte words.
-                    let line = (self.program.cold_base()
-                        + self.rng_mem.below(p.footprint.max(64)))
-                        & !63;
+                    let line =
+                        (self.program.cold_base() + self.rng_mem.below(p.footprint.max(64))) & !63;
                     let len = 4 + self.rng_mem.below(13) as u8;
                     self.cold_state[tmpl_idx] = (line, len);
                 }
@@ -260,10 +265,7 @@ impl ThreadTrace {
             OpClass::Load => [self.pick_src(RegClass::Int), None],
             // Stores read an address register and a data register.
             OpClass::Store => {
-                let data_class = if self
-                    .rng_dep
-                    .chance(self.program.profile.fp_dest_share())
-                {
+                let data_class = if self.rng_dep.chance(self.program.profile.fp_dest_share()) {
                     RegClass::FpSimd
                 } else {
                     RegClass::Int
@@ -499,10 +501,10 @@ mod tests {
         // In an ILP profile with long trip counts, most branch executions
         // are taken back edges.
         let uops = sample("FSPEC00", TraceClass::Ilp, 4, 50_000);
-        let (taken, total) = uops.iter().filter_map(|u| u.branch).fold(
-            (0u32, 0u32),
-            |(t, n), b| (t + b.taken as u32, n + 1),
-        );
+        let (taken, total) = uops
+            .iter()
+            .filter_map(|u| u.branch)
+            .fold((0u32, 0u32), |(t, n), b| (t + b.taken as u32, n + 1));
         let ratio = taken as f64 / total as f64;
         assert!(ratio > 0.6, "taken ratio={ratio}");
     }

@@ -298,11 +298,7 @@ impl<R: Read> TraceReader<R> {
 }
 
 /// Record `n` uops of a generator into a trace file.
-pub fn record_trace(
-    path: &Path,
-    trace: &mut crate::ThreadTrace,
-    n: u64,
-) -> io::Result<()> {
+pub fn record_trace(path: &Path, trace: &mut crate::ThreadTrace, n: u64) -> io::Result<()> {
     let name = trace.profile().name.clone();
     let mut w = TraceWriter::create(path, &name, 0, n)?;
     for _ in 0..n {

@@ -31,7 +31,7 @@ pub mod suite;
 
 pub use gen::{ThreadTrace, WrongPathSource};
 pub use io::{record_trace, TraceReader, TraceWriter};
-pub use stats::{characterize, characterize_trace, TraceStats};
 pub use profile::{TraceClass, TraceProfile};
 pub use program::Program;
+pub use stats::{characterize, characterize_trace, TraceStats};
 pub use suite::{suite, Category, Workload, WorkloadKind};

@@ -101,7 +101,11 @@ impl Program {
             profile.mix[4],
             profile.mix[5],
         ];
-        let indirect_share = if br_w > 0.0 { profile.mix[7] / br_w } else { 0.0 };
+        let indirect_share = if br_w > 0.0 {
+            profile.mix[7] / br_w
+        } else {
+            0.0
+        };
 
         let n = profile.static_blocks as u32;
         let mut blocks = Vec::with_capacity(n as usize);
@@ -173,8 +177,16 @@ impl Program {
                 t.rem_euclid(n as i64) as u32
             };
             let far = |rng: &mut Prng| rng.below(n as u64) as u32;
-            let mut s0 = if rng.chance(0.85) { near(&mut rng) } else { far(&mut rng) };
-            let mut s1 = if rng.chance(0.85) { near(&mut rng) } else { far(&mut rng) };
+            let mut s0 = if rng.chance(0.85) {
+                near(&mut rng)
+            } else {
+                far(&mut rng)
+            };
+            let mut s1 = if rng.chance(0.85) {
+                near(&mut rng)
+            } else {
+                far(&mut rng)
+            };
             if s0 == id {
                 s0 = (id + 1) % n;
             }
@@ -323,7 +335,12 @@ mod tests {
         let mut pcs: Vec<u64> = prog
             .blocks
             .iter()
-            .flat_map(|b| b.body.iter().map(|t| t.pc).chain(std::iter::once(b.branch_pc)))
+            .flat_map(|b| {
+                b.body
+                    .iter()
+                    .map(|t| t.pc)
+                    .chain(std::iter::once(b.branch_pc))
+            })
             .collect();
         let len = pcs.len();
         pcs.sort_unstable();

@@ -263,18 +263,36 @@ mod tests {
                 .filter(|w| w.category == Category::Base(i))
                 .collect();
             assert_eq!(cat.len(), 8, "{}", BASE_CATEGORIES[i]);
-            assert_eq!(cat.iter().filter(|w| w.kind == WorkloadKind::Ilp).count(), 3);
-            assert_eq!(cat.iter().filter(|w| w.kind == WorkloadKind::Mem).count(), 3);
-            assert_eq!(cat.iter().filter(|w| w.kind == WorkloadKind::Mix).count(), 2);
+            assert_eq!(
+                cat.iter().filter(|w| w.kind == WorkloadKind::Ilp).count(),
+                3
+            );
+            assert_eq!(
+                cat.iter().filter(|w| w.kind == WorkloadKind::Mem).count(),
+                3
+            );
+            assert_eq!(
+                cat.iter().filter(|w| w.kind == WorkloadKind::Mix).count(),
+                2
+            );
         }
         let isfs: Vec<_> = s
             .iter()
             .filter(|w| w.category == Category::IspecFspec)
             .collect();
         assert_eq!(isfs.len(), 16);
-        assert_eq!(isfs.iter().filter(|w| w.kind == WorkloadKind::Ilp).count(), 4);
-        assert_eq!(isfs.iter().filter(|w| w.kind == WorkloadKind::Mem).count(), 4);
-        assert_eq!(isfs.iter().filter(|w| w.kind == WorkloadKind::Mix).count(), 8);
+        assert_eq!(
+            isfs.iter().filter(|w| w.kind == WorkloadKind::Ilp).count(),
+            4
+        );
+        assert_eq!(
+            isfs.iter().filter(|w| w.kind == WorkloadKind::Mem).count(),
+            4
+        );
+        assert_eq!(
+            isfs.iter().filter(|w| w.kind == WorkloadKind::Mix).count(),
+            8
+        );
         let mixes: Vec<_> = s.iter().filter(|w| w.category == Category::Mixes).collect();
         assert_eq!(mixes.len(), 32);
         assert!(mixes.iter().all(|w| w.kind == WorkloadKind::Mix));
@@ -341,8 +359,20 @@ mod tests {
         let mixes = category_workloads(Category::Mixes);
         let mut pairs = std::collections::HashSet::new();
         for w in &mixes {
-            let a = w.traces[0].profile.name.split('-').next().unwrap().to_string();
-            let b = w.traces[1].profile.name.split('-').next().unwrap().to_string();
+            let a = w.traces[0]
+                .profile
+                .name
+                .split('-')
+                .next()
+                .unwrap()
+                .to_string();
+            let b = w.traces[1]
+                .profile
+                .name
+                .split('-')
+                .next()
+                .unwrap()
+                .to_string();
             assert_ne!(a, b, "{}: same category on both threads", w.name);
             pairs.insert((a, b));
         }

@@ -15,17 +15,17 @@ fn arb_reg() -> impl Strategy<Value = Option<RegOperand>> {
 
 fn arb_uop() -> impl Strategy<Value = MicroOp> {
     (
-        any::<u64>(),            // pc
-        0u8..8,                  // class selector (no Copy in traces)
+        any::<u64>(), // pc
+        0u8..8,       // class selector (no Copy in traces)
         arb_reg(),
         arb_reg(),
         arb_reg(),
-        any::<u64>(),            // addr
+        any::<u64>(), // addr
         prop::sample::select(vec![1u8, 2, 4, 8]),
-        any::<bool>(),           // taken
-        any::<u32>(),            // target
-        any::<u32>(),            // code block
-        any::<bool>(),           // mrom
+        any::<bool>(), // taken
+        any::<u32>(),  // target
+        any::<u32>(),  // code block
+        any::<bool>(), // mrom
     )
         .prop_map(
             |(pc, cls, dest, s0, s1, addr, size, taken, target, block, mrom)| {
@@ -44,9 +44,7 @@ fn arb_uop() -> impl Strategy<Value = MicroOp> {
                     class,
                     dest: if class == OpClass::Store { None } else { dest },
                     srcs: [s0, s1],
-                    mem: class
-                        .is_mem()
-                        .then_some(csmt_types::MemInfo { addr, size }),
+                    mem: class.is_mem().then_some(csmt_types::MemInfo { addr, size }),
                     branch: class
                         .is_branch()
                         .then_some(csmt_types::BranchInfo { taken, target }),

@@ -7,17 +7,17 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = TraceProfile> {
     (
-        0.02f64..0.9,           // dep_tightness
-        0.0f64..0.8,            // global_src_frac
-        12u64..20,              // log2 footprint
-        0.2f64..1.0,            // hot_frac
-        0.0f64..1.0,            // stride_frac
-        2.0f64..80.0,           // mean_trip
-        0.0f64..0.3,            // chaotic
-        2usize..600,            // static blocks
-        2usize..30,             // int span
-        2usize..30,             // fp span
-        1usize..8,              // dep_min
+        0.02f64..0.9, // dep_tightness
+        0.0f64..0.8,  // global_src_frac
+        12u64..20,    // log2 footprint
+        0.2f64..1.0,  // hot_frac
+        0.0f64..1.0,  // stride_frac
+        2.0f64..80.0, // mean_trip
+        0.0f64..0.3,  // chaotic
+        2usize..600,  // static blocks
+        2usize..30,   // int span
+        2usize..30,   // fp span
+        1usize..8,    // dep_min
     )
         .prop_map(
             |(dep, glob, lfp, hot, stride, trip, chaos, blocks, ispan, fspan, dmin)| {

@@ -33,7 +33,9 @@ impl PortCaps {
     /// Number of ports able to execute `op`.
     #[inline]
     pub fn ports_for(op: OpClass) -> usize {
-        (0..Self::NUM_PORTS).filter(|&p| Self::allows(p, op)).count()
+        (0..Self::NUM_PORTS)
+            .filter(|&p| Self::allows(p, op))
+            .count()
     }
 }
 

@@ -240,7 +240,11 @@ impl ImbalanceKind {
     }
 
     pub fn all() -> [ImbalanceKind; 3] {
-        [ImbalanceKind::Int, ImbalanceKind::FpSimd, ImbalanceKind::Mem]
+        [
+            ImbalanceKind::Int,
+            ImbalanceKind::FpSimd,
+            ImbalanceKind::Mem,
+        ]
     }
 }
 

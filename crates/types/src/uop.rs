@@ -154,10 +154,16 @@ impl MicroOp {
             ));
         }
         if self.class == OpClass::Copy {
-            return Err(format!("uop @{:#x}: copy uops must not appear in traces", self.pc));
+            return Err(format!(
+                "uop @{:#x}: copy uops must not appear in traces",
+                self.pc
+            ));
         }
         if self.class == OpClass::Store && self.dest.is_some() {
-            return Err(format!("uop @{:#x}: stores produce no register value", self.pc));
+            return Err(format!(
+                "uop @{:#x}: stores produce no register value",
+                self.pc
+            ));
         }
         Ok(())
     }
@@ -226,6 +232,10 @@ mod tests {
     #[test]
     fn micro_op_stays_small() {
         // The pipeline copies MicroOps around; keep them cache-friendly.
-        assert!(std::mem::size_of::<MicroOp>() <= 56, "{}", std::mem::size_of::<MicroOp>());
+        assert!(
+            std::mem::size_of::<MicroOp>() <= 56,
+            "{}",
+            std::mem::size_of::<MicroOp>()
+        );
     }
 }

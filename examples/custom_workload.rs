@@ -28,8 +28,14 @@ fn main() {
     chaser.validate().expect("valid profile");
 
     let traces = [
-        TraceSpec { profile: hungry, seed: 1 },
-        TraceSpec { profile: chaser, seed: 2 },
+        TraceSpec {
+            profile: hungry,
+            seed: 1,
+        },
+        TraceSpec {
+            profile: chaser,
+            seed: 2,
+        },
     ];
 
     println!(

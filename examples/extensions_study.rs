@@ -11,7 +11,12 @@ use clustered_smt::prelude::*;
 
 fn main() {
     let workloads = suite();
-    let names = ["mixes/mix.2.1", "mixes/mix.2.2", "ISPEC-FSPEC/mix.2.1", "DH/ilp.2.1"];
+    let names = [
+        "mixes/mix.2.1",
+        "mixes/mix.2.2",
+        "ISPEC-FSPEC/mix.2.1",
+        "DH/ilp.2.1",
+    ];
     println!(
         "{:<22} {}",
         "scheme",
@@ -23,14 +28,22 @@ fn main() {
 
     type Mk = Box<dyn Fn(&MachineConfig) -> Box<dyn IqScheme>>;
     let schemes: Vec<(&str, Mk)> = vec![
-        ("RoundRobin (control)", Box::new(|_| Box::new(RoundRobin::new()))),
-        ("Icount (paper base)", Box::new(|_| {
-            Box::new(clustered_smt::core::schemes::Icount)
-        })),
-        ("CSSP (paper best)", Box::new(|cfg| {
-            Box::new(clustered_smt::core::schemes::Cssp::new(cfg))
-        })),
-        ("HillClimb (ext)", Box::new(|cfg| Box::new(HillClimb::new(cfg)))),
+        (
+            "RoundRobin (control)",
+            Box::new(|_| Box::new(RoundRobin::new())),
+        ),
+        (
+            "Icount (paper base)",
+            Box::new(|_| Box::new(clustered_smt::core::schemes::Icount)),
+        ),
+        (
+            "CSSP (paper best)",
+            Box::new(|cfg| Box::new(clustered_smt::core::schemes::Cssp::new(cfg))),
+        ),
+        (
+            "HillClimb (ext)",
+            Box::new(|cfg| Box::new(HillClimb::new(cfg))),
+        ),
         ("DCRA-style (ext)", Box::new(|cfg| Box::new(Dcra::new(cfg)))),
         ("BranchGate (ext)", Box::new(|_| Box::new(BranchGate))),
     ];

@@ -9,8 +9,14 @@ use clustered_smt::prelude::*;
 fn main() {
     let cfg = MachineConfig::baseline();
     println!("Machine (Table 1):");
-    println!("  fetch/commit width : {} / {}", cfg.fetch_width, cfg.commit_width);
-    println!("  issue queues       : {} entries x 2 clusters", cfg.iq_per_cluster);
+    println!(
+        "  fetch/commit width : {} / {}",
+        cfg.fetch_width, cfg.commit_width
+    );
+    println!(
+        "  issue queues       : {} entries x 2 clusters",
+        cfg.iq_per_cluster
+    );
     println!(
         "  registers/cluster  : {} int + {} fp/simd",
         cfg.int_regs_per_cluster, cfg.fp_regs_per_cluster
@@ -31,11 +37,22 @@ fn main() {
         .iter()
         .find(|w| w.name == "ISPEC-FSPEC/mix.2.2")
         .expect("suite workload");
-    println!("Workload: {} ({} + {})", w.name, w.traces[0].profile.name, w.traces[1].profile.name);
+    println!(
+        "Workload: {} ({} + {})",
+        w.name, w.traces[0].profile.name, w.traces[1].profile.name
+    );
 
     for (label, iq, rf) in [
-        ("Icount (baseline)", SchemeKind::Icount, RegFileSchemeKind::Shared),
-        ("CSSP + CDPRF (paper's proposal)", SchemeKind::Cssp, RegFileSchemeKind::Cdprf),
+        (
+            "Icount (baseline)",
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+        ),
+        (
+            "CSSP + CDPRF (paper's proposal)",
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Cdprf,
+        ),
     ] {
         let r = SimBuilder::new(MachineConfig::rf_study(64))
             .iq_scheme(iq)

@@ -19,8 +19,15 @@ fn main() {
         "profile", "int", "fp", "mem", "br", "depdist", "entropy", "blocks", "span(KB)"
     );
     for cat in [
-        "DH", "FSPEC00", "ISPEC00", "multimedia", "office", "productivity", "server",
-        "workstation", "miscellanea",
+        "DH",
+        "FSPEC00",
+        "ISPEC00",
+        "multimedia",
+        "office",
+        "productivity",
+        "server",
+        "workstation",
+        "miscellanea",
     ] {
         for class in [TraceClass::Ilp, TraceClass::Mem] {
             let p = category_base(cat).variant(class);
@@ -55,7 +62,9 @@ fn main() {
         "\nrecorded {} uops to {} ({} KB) and replayed them identically",
         N,
         path.display(),
-        std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0)
+        std::fs::metadata(&path)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
     );
     let _ = std::fs::remove_file(&path);
 }

@@ -16,6 +16,7 @@
 //! | [`frontend`] | trace cache, branch predictors, rename tables, ROB |
 //! | [`backend`] | issue queues, register files, ports, link fabric |
 //! | [`core`] | the pipeline, schemes (Icount…CDPRF), steering, metrics |
+//! | [`store`] | persistent content-addressed result store + sweep journal |
 //! | [`experiments`] | per-figure reproduction harness |
 //!
 //! ## Quick start
@@ -42,6 +43,7 @@ pub use csmt_core as core;
 pub use csmt_experiments as experiments;
 pub use csmt_frontend as frontend;
 pub use csmt_mem as mem;
+pub use csmt_store as store;
 pub use csmt_trace as trace;
 pub use csmt_types as types;
 

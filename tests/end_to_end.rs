@@ -96,7 +96,10 @@ fn fairness_metric_in_unit_range() {
         1500,
     );
     let workloads = suite();
-    let w = workloads.iter().find(|w| w.name == "server/mix.2.1").unwrap();
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "server/mix.2.1")
+        .unwrap();
     let alone: Vec<f64> = w
         .traces
         .iter()
@@ -123,8 +126,14 @@ fn custom_profile_through_facade() {
     p.mix = [0.5, 0.0, 0.1, 0.0, 0.2, 0.1, 0.1, 0.0];
     p.validate().unwrap();
     let r = SimBuilder::new(MachineConfig::baseline())
-        .push_trace(TraceSpec { profile: p.clone(), seed: 1 })
-        .push_trace(TraceSpec { profile: p, seed: 2 })
+        .push_trace(TraceSpec {
+            profile: p.clone(),
+            seed: 1,
+        })
+        .push_trace(TraceSpec {
+            profile: p,
+            seed: 2,
+        })
         .warmup(200)
         .commit_target(800)
         .run();

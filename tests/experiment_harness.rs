@@ -53,8 +53,16 @@ fn normalized_speedups_are_positive_and_finite() {
     let sweeps = tiny();
     let workloads: Vec<Workload> = suite().into_iter().take(1).collect();
     let grid = [
-        (SchemeKind::Icount, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq: 32 }),
-        (SchemeKind::Cssp, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq: 32 }),
+        (
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        ),
+        (
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        ),
     ];
     sweeps.smt_batch(&workloads, &grid);
     let w = &workloads[0];

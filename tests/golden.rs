@@ -18,7 +18,7 @@ fn run(iq: SchemeKind, rf: RegFileSchemeKind, cfg: MachineConfig, name: &str) ->
         .warmup(1000)
         .commit_target(3000)
         .run()
-    }
+}
 
 #[test]
 fn golden_runs_are_reproducible_within_process() {
@@ -92,7 +92,10 @@ fn golden_trace_prefix_is_pinned() {
 fn soak_long_run_invariants() {
     use clustered_smt::core::Simulator;
     let workloads = suite();
-    let w = workloads.iter().find(|w| w.name == "mixes/mix.2.5").unwrap();
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "mixes/mix.2.5")
+        .unwrap();
     let mut sim = Simulator::new(
         MachineConfig::rf_study(64),
         SchemeKind::FlushPlus,

@@ -35,8 +35,14 @@ fn partitioned_schemes_beat_icount_on_mixed_workloads() {
     let icount = mean(SchemeKind::Icount);
     let cssp = mean(SchemeKind::Cssp);
     let cspsp = mean(SchemeKind::Cspsp);
-    assert!(cssp > icount, "CSSP {cssp} must beat Icount {icount} on average");
-    assert!(cspsp > icount, "CSPSP {cspsp} must beat Icount {icount} on average");
+    assert!(
+        cssp > icount,
+        "CSSP {cssp} must beat Icount {icount} on average"
+    );
+    assert!(
+        cspsp > icount,
+        "CSPSP {cspsp} must beat Icount {icount} on average"
+    );
 }
 
 #[test]
@@ -106,13 +112,19 @@ fn cssprf_never_beats_cisprf_much() {
 #[test]
 fn flush_plus_releases_resources() {
     let workloads = suite();
-    let w = workloads.iter().find(|w| w.name == "server/mem.2.1").unwrap();
+    let w = workloads
+        .iter()
+        .find(|w| w.name == "server/mem.2.1")
+        .unwrap();
     let r = SimBuilder::new(MachineConfig::iq_study(32))
         .iq_scheme(SchemeKind::FlushPlus)
         .workload(w)
         .warmup(1_000)
         .commit_target(2_000)
         .run();
-    assert!(r.stats.flushes > 0, "memory-bound pair must trigger flushes");
+    assert!(
+        r.stats.flushes > 0,
+        "memory-bound pair must trigger flushes"
+    );
     assert!(r.stats.squashed > 0);
 }

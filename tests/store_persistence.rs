@@ -1,0 +1,86 @@
+//! Facade-level integration test: a sweep backed by the persistent store
+//! survives a "process restart" (a second `Sweeps` over the same
+//! directory) without re-simulating anything.
+
+use clustered_smt::experiments::runner::{CfgKind, ExpOptions, Sweeps};
+use clustered_smt::prelude::*;
+use clustered_smt::store::{EventKind, Journal};
+
+fn opts() -> ExpOptions {
+    ExpOptions {
+        commit_target: 400,
+        warmup: 100,
+        max_cycles: 2_000_000,
+        workers: 0,
+        verbose: false,
+    }
+}
+
+#[test]
+fn warm_sweep_serves_everything_from_disk() {
+    let dir = std::env::temp_dir().join(format!("csmt-facade-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let workloads: Vec<Workload> = suite().into_iter().take(2).collect();
+    let combos = [
+        (
+            SchemeKind::Icount,
+            RegFileSchemeKind::Shared,
+            CfgKind::IqStudy { iq: 32 },
+        ),
+        (
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Cdprf,
+            CfgKind::RfStudy { regs: 64 },
+        ),
+    ];
+
+    // Cold process: 2 workloads × 2 combos = 4 simulations, 4 records.
+    let cold_tput = {
+        let sweeps = Sweeps::with_store(opts(), &dir).unwrap();
+        sweeps.smt_batch(&workloads, &combos);
+        let c = sweeps.counters();
+        let s = c.store.unwrap();
+        assert_eq!((s.hits, s.misses, s.puts), (0, 4, 4));
+        assert_eq!(c.orch.completed, 4);
+        sweeps
+            .get(&Sweeps::smt_key(
+                &workloads[0],
+                combos[0].0,
+                combos[0].1,
+                combos[0].2,
+            ))
+            .throughput()
+    };
+
+    // Warm process: same batch, zero simulations, identical numbers.
+    let sweeps = Sweeps::with_store(opts(), &dir).unwrap();
+    sweeps.smt_batch(&workloads, &combos);
+    let c = sweeps.counters();
+    let s = c.store.unwrap();
+    assert_eq!(
+        (s.hits, s.misses, s.puts),
+        (4, 0, 0),
+        "warm run must be 100% cached"
+    );
+    assert_eq!(
+        c.orch.completed, 0,
+        "no simulator invocations for cached keys"
+    );
+    let warm_tput = sweeps
+        .get(&Sweeps::smt_key(
+            &workloads[0],
+            combos[0].0,
+            combos[0].1,
+            combos[0].2,
+        ))
+        .throughput();
+    assert_eq!(cold_tput, warm_tput, "cached result must be bit-identical");
+
+    // The journal carries both processes' events with identity fields.
+    let events = Journal::read(dir.join("journal.jsonl"));
+    assert!(events.iter().any(|e| {
+        e.run_id == 2 && matches!(&e.kind, EventKind::CacheHit { job } if job.iq == "Icount")
+    }));
+    let _ = std::fs::remove_dir_all(&dir);
+}

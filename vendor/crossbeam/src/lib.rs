@@ -1,0 +1,52 @@
+//! Minimal `crossbeam` stand-in: `crossbeam::scope` built on
+//! `std::thread::scope` (std has structured scoped threads since 1.63).
+
+use std::thread;
+
+/// Scope handle passed to the closure; spawned threads may borrow from the
+/// enclosing stack frame and are joined before `scope` returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Like crossbeam, the closure receives the
+    /// scope again so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a thread scope; every spawned thread is joined before this
+/// returns. Mirrors crossbeam's signature: the result is `Err` if any
+/// spawned thread panicked (std's scope propagates the panic instead, so
+/// the `Err` arm is kept only for signature compatibility).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

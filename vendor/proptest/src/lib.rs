@@ -1,0 +1,632 @@
+//! Minimal `proptest` stand-in.
+//!
+//! Provides the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro (with `#![proptest_config(...)]`, `x in
+//! strategy`, and `x: Type` parameter forms), `prop_assert!`-family macros,
+//! range/tuple/array/vec/option/select strategies, `prop_map`, and `any`.
+//!
+//! Cases are generated from a splitmix64 stream seeded deterministically
+//! from the test name and case index, so failures are reproducible run to
+//! run. There is no shrinking: a failure reports the case index and the
+//! assertion message.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---- deterministic RNG ----
+
+/// splitmix64 stream; good enough statistical quality for test-case
+/// generation and fully deterministic.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the test name, perturbed by the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` may not be zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---- strategy core ----
+
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- integer / float / bool strategies ----
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % width;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % width;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyValue<$t>;
+
+            fn arbitrary() -> AnyValue<$t> {
+                AnyValue(PhantomData)
+            }
+        }
+
+        impl Strategy for AnyValue<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String strategy from a regex-like pattern, mirroring proptest's
+/// `&str`-as-strategy. Supports the subset used here: literal characters,
+/// `\`-escapes, character classes `[...]` with ranges, and the quantifiers
+/// `{n}`, `{m,n}`, `*`, `+`, `?` (with `*`/`+` capped at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unterminated character class in pattern")
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(!alphabet.is_empty(), "empty character class in pattern");
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated repetition in pattern")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad repetition bound"),
+                            hi.parse().expect("bad repetition bound"),
+                        ),
+                        None => {
+                            let n: usize = body.parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Full-range strategy returned by [`any`].
+pub struct AnyValue<T>(PhantomData<T>);
+
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyValue<bool>;
+
+    fn arbitrary() -> AnyValue<bool> {
+        AnyValue(PhantomData)
+    }
+}
+
+impl Strategy for AnyValue<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---- tuple strategies ----
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ---- composite strategy modules ----
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    pub struct Uniform2<S>(S);
+
+    /// `[S::Value; 2]` with both elements drawn from the same strategy.
+    pub fn uniform2<S: Strategy>(s: S) -> Uniform2<S> {
+        Uniform2(s)
+    }
+
+    impl<S: Strategy> Strategy for Uniform2<S> {
+        type Value = [S::Value; 2];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            [self.0.generate(rng), self.0.generate(rng)]
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element count bounds for [`vec`]; `max` is inclusive.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<S::Value>`, `None` roughly one case in four.
+    pub fn of<S: Strategy>(s: S) -> OptionStrategy<S> {
+        OptionStrategy(s)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T>(Vec<T>);
+
+    /// One of the given values, uniformly.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---- runner ----
+
+/// Per-block configuration, set with `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property: generates `config.cases` inputs and runs the test
+/// closure on each, panicking (with the case index, for reproduction) on
+/// the first failure.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> Result<(), String>,
+) {
+    for case in 0..config.cases {
+        let mut rng = TestRng::deterministic(name, case);
+        let value = strategy.generate(&mut rng);
+        if let Err(msg) = test(value) {
+            panic!(
+                "property `{name}` failed at case {case}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+// ---- macros ----
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::proptest!(@accum config, ::core::stringify!($name), [], [], ($($params)*), $body);
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    // Parameter muncher: `pat in strategy` form.
+    (@accum $config:ident, $name:expr, [$($pats:tt)*], [$($strats:tt)*],
+     ($p:pat in $s:expr, $($rest:tt)*), $body:block) => {
+        $crate::proptest!(@accum $config, $name, [$($pats)* $p,], [$($strats)* ($s),],
+                          ($($rest)*), $body)
+    };
+    (@accum $config:ident, $name:expr, [$($pats:tt)*], [$($strats:tt)*],
+     ($p:pat in $s:expr), $body:block) => {
+        $crate::proptest!(@accum $config, $name, [$($pats)* $p,], [$($strats)* ($s),],
+                          (), $body)
+    };
+    // Parameter muncher: `name: Type` form (uses `any::<Type>()`).
+    (@accum $config:ident, $name:expr, [$($pats:tt)*], [$($strats:tt)*],
+     ($p:ident : $ty:ty, $($rest:tt)*), $body:block) => {
+        $crate::proptest!(@accum $config, $name, [$($pats)* $p,],
+                          [$($strats)* ($crate::any::<$ty>()),], ($($rest)*), $body)
+    };
+    (@accum $config:ident, $name:expr, [$($pats:tt)*], [$($strats:tt)*],
+     ($p:ident : $ty:ty), $body:block) => {
+        $crate::proptest!(@accum $config, $name, [$($pats)* $p,],
+                          [$($strats)* ($crate::any::<$ty>()),], (), $body)
+    };
+    // All parameters consumed: build the strategy tuple and run.
+    (@accum $config:ident, $name:expr, [$($pats:tt)*], [$($strats:tt)*], (), $body:block) => {
+        $crate::run_cases(&$config, $name, &($($strats)*),
+            |($($pats)*)| -> ::core::result::Result<(), ::std::string::String> {
+                $body
+                ::core::result::Result::Ok(())
+            })
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{:?}` != `{:?}`",
+                        left,
+                        right
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{:?}` != `{:?}`: {}",
+                        left,
+                        right,
+                        ::std::format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{:?}` == `{:?}`",
+                        left,
+                        right
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err(::std::format!(
+                        "assertion failed: `{:?}` == `{:?}`: {}",
+                        left,
+                        right,
+                        ::std::format!($($fmt)+)
+                    ));
+                }
+            }
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    /// Namespace mirror of proptest's `prop::` module tree.
+    pub mod prop {
+        pub use crate::{array, collection, option, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i32..=4, z: bool, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!(usize::from(z) <= 1);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn composites_generate(
+            v in prop::collection::vec((0u8..4, any::<bool>()), 1..9),
+            pair in prop::array::uniform2(0usize..5),
+            pick in prop::sample::select(vec!["a", "b"]),
+            opt in prop::option::of(0u32..3),
+            mapped in (0u16..10).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(pair[0] < 5 && pair[1] < 5);
+            prop_assert!(pick == "a" || pick == "b");
+            prop_assert!(opt.is_none() || opt.unwrap() < 3);
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert_ne!(mapped, 19);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u64..1000, prop::collection::vec(0u8..9, 2..6));
+        let a = strat.generate(&mut crate::TestRng::deterministic("det", 7));
+        let b = strat.generate(&mut crate::TestRng::deterministic("det", 7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,406 @@
+//! Minimal `serde_derive` stand-in: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` without syn/quote. The input item is parsed by
+//! walking the raw token stream, and the impl is emitted as a source string.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields, tuple structs (newtype = transparent),
+//!   unit structs
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde: unit -> `"Name"`, payload -> `{"Name": ...}`)
+//!
+//! Not supported (panics with a clear message): generics, unions,
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---- token-stream parsing ----
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any run of `#[...]` attributes (incl. doc comments) and a `pub` /
+/// `pub(...)` visibility qualifier.
+fn skip_attrs_and_vis(toks: &mut Toks) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next(); // pub(crate) / pub(super) restriction
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive on `{name}`: generic items are not supported by the vendored serde_derive");
+    }
+    let kind = match (kw.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Struct(Fields::Named(parse_named_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            ItemKind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            ItemKind::Struct(Fields::Unit)
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("derive on `{name}`: unsupported {kw} shape near {other:?}"),
+    };
+    Item { name, kind }
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped by
+/// scanning to the next comma at angle-bracket depth zero; parenthesized and
+/// bracketed type syntax arrives as atomic groups, so only `<`/`>` need
+/// depth tracking.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive: expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        let mut depth = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Number of fields in a `(Type, ...)` body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut in_field = false;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if in_field {
+                        count += 1;
+                    }
+                    in_field = false;
+                    continue;
+                }
+                _ => in_field = true,
+            },
+            _ => in_field = true,
+        }
+    }
+    if in_field {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut toks = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive: expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        for t in toks.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn obj_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr}),")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec::Vec::from([{items}]))")
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!("::serde::Value::Object(::std::vec::Vec::from([{entries}]))")
+        }
+        ItemKind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| serialize_variant_arm(name, v, fields))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "{name}::{variant} => \
+               ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+        ),
+        Fields::Tuple(1) => {
+            let entry = obj_entry(variant, "::serde::Serialize::to_value(f0)");
+            format!(
+                "{name}::{variant}(f0) => \
+                   ::serde::Value::Object(::std::vec::Vec::from([{entry}])),"
+            )
+        }
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: String = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            let payload = format!("::serde::Value::Array(::std::vec::Vec::from([{items}]))");
+            let entry = obj_entry(variant, &payload);
+            format!(
+                "{name}::{variant}({}) => \
+                   ::serde::Value::Object(::std::vec::Vec::from([{entry}])),",
+                binders.join(", ")
+            )
+        }
+        Fields::Named(field_names) => {
+            let entries: String = field_names
+                .iter()
+                .map(|f| obj_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                .collect();
+            let payload = format!("::serde::Value::Object(::std::vec::Vec::from([{entries}]))");
+            let entry = obj_entry(variant, &payload);
+            format!(
+                "{name}::{variant} {{ {} }} => \
+                   ::serde::Value::Object(::std::vec::Vec::from([{entry}])),",
+                field_names.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Unit) => format!(
+            "match v {{ \
+               ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+               _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", v)), \
+             }}"
+        ),
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let inits = tuple_field_inits(*n);
+            format!(
+                "{} ::std::result::Result::Ok({name}({inits}))",
+                expect_array(name, *n)
+            )
+        }
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let inits = named_field_inits(name, fields);
+            format!(
+                "let obj = match v {{ \
+                   ::serde::Value::Object(fields) => fields.as_slice(), \
+                   _ => return ::std::result::Result::Err(\
+                          ::serde::DeError::expected(\"struct {name}\", v)), \
+                 }}; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        ItemKind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+/// Statement binding `items` to the payload array after a length check.
+fn expect_array(ty: &str, len: usize) -> String {
+    format!(
+        "let items = match v {{ \
+           ::serde::Value::Array(items) if items.len() == {len} => items.as_slice(), \
+           _ => return ::std::result::Result::Err(\
+                  ::serde::DeError::expected(\"array of length {len} for {ty}\", v)), \
+         }};"
+    )
+}
+
+fn tuple_field_inits(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+        .collect()
+}
+
+fn named_field_inits(ty: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::field(\"{ty}\", obj, \"{f}\")?)?,"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for (variant, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                str_arms.push_str(&format!(
+                    "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+                ));
+            }
+            Fields::Tuple(1) => {
+                obj_arms.push_str(&format!(
+                    "\"{variant}\" => ::std::result::Result::Ok(\
+                       {name}::{variant}(::serde::Deserialize::from_value(payload)?)),"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let inits = tuple_field_inits(*n);
+                let check = expect_array(&format!("{name}::{variant}"), *n)
+                    .replace("match v {", "match payload {");
+                obj_arms.push_str(&format!(
+                    "\"{variant}\" => {{ {check} \
+                       ::std::result::Result::Ok({name}::{variant}({inits})) }},"
+                ));
+            }
+            Fields::Named(field_names) => {
+                let inits = named_field_inits(&format!("{name}::{variant}"), field_names);
+                obj_arms.push_str(&format!(
+                    "\"{variant}\" => {{ \
+                       let obj = match payload {{ \
+                         ::serde::Value::Object(fields) => fields.as_slice(), \
+                         _ => return ::std::result::Result::Err(\
+                                ::serde::DeError::expected(\
+                                  \"object for {name}::{variant}\", payload)), \
+                       }}; \
+                       ::std::result::Result::Ok({name}::{variant} {{ {inits} }}) }},"
+                ));
+            }
+        }
+    }
+    let unknown = format!(
+        "_ => ::std::result::Result::Err(::serde::DeError(\
+           ::std::format!(\"unknown variant `{{}}` of {name}\", tag)))"
+    );
+    format!(
+        "match v {{ \
+           ::serde::Value::Str(tag) => match tag.as_str() {{ {str_arms} {unknown} }}, \
+           ::serde::Value::Object(fields) if fields.len() == 1 => {{ \
+             let (tag, payload) = &fields[0]; \
+             match tag.as_str() {{ {obj_arms} {unknown} }} \
+           }}, \
+           _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", v)), \
+         }}"
+    )
+}
