@@ -15,6 +15,10 @@ pub struct IssueQueue {
     entries: Vec<u32>,
     /// Owning thread of each entry, parallel to `entries`.
     owners: Vec<ThreadId>,
+    /// Caller-defined packed wakeup metadata, parallel to `entries`. The
+    /// select loop scans this dense array instead of dereferencing each
+    /// uop's window entry; the queue itself never interprets it.
+    meta: Vec<u64>,
     capacity: usize,
     per_thread: [usize; 2],
 }
@@ -24,6 +28,7 @@ impl IssueQueue {
         IssueQueue {
             entries: Vec::with_capacity(capacity),
             owners: Vec::with_capacity(capacity),
+            meta: Vec::with_capacity(capacity),
             capacity,
             per_thread: [0, 0],
         }
@@ -52,11 +57,18 @@ impl IssueQueue {
 
     /// Insert a uop at the tail (youngest). Returns `false` when full.
     pub fn insert(&mut self, uop_id: u32, thread: ThreadId) -> bool {
+        self.insert_with_meta(uop_id, thread, 0)
+    }
+
+    /// Insert a uop with its packed wakeup metadata. Returns `false` when
+    /// full.
+    pub fn insert_with_meta(&mut self, uop_id: u32, thread: ThreadId, meta: u64) -> bool {
         if self.is_full() {
             return false;
         }
         self.entries.push(uop_id);
         self.owners.push(thread);
+        self.meta.push(meta);
         self.per_thread[thread.idx()] += 1;
         true
     }
@@ -66,6 +78,18 @@ impl IssueQueue {
         self.entries.iter().copied()
     }
 
+    /// Iterate `(uop id, metadata)` pairs oldest-first.
+    pub fn iter_with_meta(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.entries.iter().copied().zip(self.meta.iter().copied())
+    }
+
+    /// The entry ids and their metadata words, age-ordered, with the
+    /// metadata mutable: the select loop caches per-entry wakeup hints in
+    /// spare metadata bits while it scans.
+    pub fn entries_and_meta_mut(&mut self) -> (&[u32], &mut [u64]) {
+        (&self.entries, &mut self.meta)
+    }
+
     /// Remove a specific uop (after it issues). Returns whether it was
     /// present.
     pub fn remove(&mut self, uop_id: u32) -> bool {
@@ -73,11 +97,49 @@ impl IssueQueue {
             let t = self.owners[pos];
             self.entries.remove(pos);
             self.owners.remove(pos);
+            self.meta.remove(pos);
             self.per_thread[t.idx()] -= 1;
             true
         } else {
             false
         }
+    }
+
+    /// Remove a batch of uops that appear in the queue in the order given
+    /// (the select loop's pick list is naturally age-ordered). One
+    /// compaction pass instead of one `Vec::remove` per issued uop.
+    /// Returns the number removed; every id must be present.
+    pub fn remove_in_order<I: IntoIterator<Item = u32>>(&mut self, ids: I) -> usize {
+        let mut it = ids.into_iter();
+        let Some(mut target) = it.next() else {
+            return 0;
+        };
+        let mut write = 0;
+        let mut removed = 0;
+        let mut remaining = true;
+        for read in 0..self.entries.len() {
+            if remaining && self.entries[read] == target {
+                self.per_thread[self.owners[read].idx()] -= 1;
+                removed += 1;
+                match it.next() {
+                    Some(next) => target = next,
+                    None => remaining = false,
+                }
+            } else {
+                self.entries[write] = self.entries[read];
+                self.owners[write] = self.owners[read];
+                self.meta[write] = self.meta[read];
+                write += 1;
+            }
+        }
+        debug_assert!(
+            !remaining && it.next().is_none(),
+            "remove_in_order: id missing or out of queue order"
+        );
+        self.entries.truncate(write);
+        self.owners.truncate(write);
+        self.meta.truncate(write);
+        removed
     }
 
     /// Remove every entry of `thread` satisfying `pred` (squash support).
@@ -90,6 +152,7 @@ impl IssueQueue {
                 removed.push(self.entries[i]);
                 self.entries.remove(i);
                 self.owners.remove(i);
+                self.meta.remove(i);
                 self.per_thread[thread.idx()] -= 1;
             } else {
                 i += 1;
@@ -155,6 +218,32 @@ mod tests {
         assert_eq!(q.thread_occupancy(T1), 1);
         let left: Vec<u32> = q.iter().collect();
         assert_eq!(left, vec![10, 11]);
+    }
+
+    #[test]
+    fn meta_rides_along_with_entries() {
+        let mut q = IssueQueue::new(8);
+        q.insert_with_meta(1, T0, 0xAA);
+        q.insert_with_meta(2, T1, 0xBB);
+        q.insert_with_meta(3, T0, 0xCC);
+        q.remove(2);
+        let pairs: Vec<(u32, u64)> = q.iter_with_meta().collect();
+        assert_eq!(pairs, vec![(1, 0xAA), (3, 0xCC)]);
+    }
+
+    #[test]
+    fn remove_in_order_compacts_in_one_pass() {
+        let mut q = IssueQueue::new(8);
+        for id in [10, 11, 12, 13, 14] {
+            q.insert_with_meta(id, if id % 2 == 0 { T0 } else { T1 }, id as u64);
+        }
+        assert_eq!(q.remove_in_order([10, 12, 14]), 3);
+        let pairs: Vec<(u32, u64)> = q.iter_with_meta().collect();
+        assert_eq!(pairs, vec![(11, 11), (13, 13)]);
+        assert_eq!(q.thread_occupancy(T0), 0);
+        assert_eq!(q.thread_occupancy(T1), 2);
+        assert_eq!(q.remove_in_order(std::iter::empty()), 0);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

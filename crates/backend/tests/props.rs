@@ -101,3 +101,105 @@ proptest! {
         }
     }
 }
+
+// Resource-accounting invariants named by the perf-refactor test plan:
+// allocation/release bookkeeping must balance exactly, per cluster, no
+// matter how insert/remove/squash interleave.
+proptest! {
+    /// Issue-queue entries never leak: across random insert / remove /
+    /// squash sequences on two cluster queues, allocated − released
+    /// equals in-flight for each cluster, and per-thread counters agree
+    /// with a replayed model.
+    #[test]
+    fn issue_queue_entries_never_leak(
+        ops in prop::collection::vec((0u8..4, 0u8..2, 0u8..2), 1..400),
+    ) {
+        let mut queues = [IssueQueue::new(24), IssueQueue::new(24)];
+        let mut allocated = [0usize; 2];
+        let mut released = [0usize; 2];
+        let mut live: Vec<(u32, ThreadId, usize)> = Vec::new();
+        let mut next_id = 0u32;
+        for (op, t, c) in ops {
+            let t = ThreadId(t);
+            let c = c as usize;
+            match op {
+                // Insert into cluster c.
+                0 | 1 => {
+                    if queues[c].insert(next_id, t) {
+                        allocated[c] += 1;
+                        live.push((next_id, t, c));
+                    }
+                    next_id += 1;
+                }
+                // Remove the oldest live entry (issue).
+                2 => {
+                    if !live.is_empty() {
+                        let (id, _, qc) = live.remove(0);
+                        prop_assert!(queues[qc].remove(id));
+                        released[qc] += 1;
+                    }
+                }
+                // Squash: drop thread t's entries in cluster c above the
+                // median live id (a "younger than the branch" predicate).
+                _ => {
+                    let cut = next_id / 2;
+                    let removed = queues[c].squash(t, |id| id >= cut);
+                    released[c] += removed.len();
+                    live.retain(|&(id, lt, lc)| {
+                        !(lc == c && lt == t && id >= cut)
+                    });
+                    // Everything squash returned was tracked live.
+                    prop_assert_eq!(
+                        allocated[c] - released[c],
+                        queues[c].len(),
+                        "cluster {} leaked after squash", c
+                    );
+                }
+            }
+            for (qc, q) in queues.iter().enumerate() {
+                // The headline invariant: allocated − released = in-flight.
+                prop_assert_eq!(allocated[qc] - released[qc], q.len());
+                let model_t0 = live.iter().filter(|&&(_, t, lc)| lc == qc && t.0 == 0).count();
+                let model_t1 = live.iter().filter(|&&(_, t, lc)| lc == qc && t.0 == 1).count();
+                prop_assert_eq!(q.thread_occupancy(ThreadId(0)), model_t0);
+                prop_assert_eq!(q.thread_occupancy(ThreadId(1)), model_t1);
+            }
+        }
+    }
+
+    /// Register free-list conservation: on a bounded file,
+    /// free + used == capacity after every operation, and a release
+    /// always makes the register immediately re-allocatable.
+    #[test]
+    fn regfile_free_list_is_conserved(
+        cap in 1usize..48,
+        ops in prop::collection::vec((any::<bool>(), 0u8..2), 1..400),
+    ) {
+        let mut rf = RegFile::new(cap);
+        let mut held: Vec<(ThreadId, csmt_types::PhysReg)> = Vec::new();
+        for (alloc, t) in ops {
+            let t = ThreadId(t);
+            if alloc {
+                match rf.alloc(t) {
+                    Some(r) => held.push((t, r)),
+                    None => prop_assert_eq!(rf.free_count(), 0, "alloc failed with free regs"),
+                }
+            } else if let Some((t, r)) = held.pop() {
+                rf.release(t, r);
+                prop_assert!(rf.has_free(), "released register not re-allocatable");
+            }
+            // The conservation law.
+            prop_assert_eq!(rf.free_count() + rf.used_total(), cap);
+            prop_assert_eq!(
+                rf.used_by(ThreadId(0)) + rf.used_by(ThreadId(1)),
+                rf.used_total()
+            );
+        }
+        // Drain completely: the file must return to its pristine state.
+        while let Some((t, r)) = held.pop() {
+            rf.release(t, r);
+        }
+        prop_assert_eq!(rf.free_count(), cap);
+        prop_assert_eq!(rf.used_total(), 0);
+    }
+}

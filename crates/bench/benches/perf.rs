@@ -1,0 +1,18 @@
+//! The perf-trajectory measurements, exposed as criterion benches.
+//!
+//! These run exactly the measurements behind `csmt-experiments bench`
+//! (the harness that seeds `BENCH_3.json`), so `cargo bench --bench perf`
+//! and the CLI agree on what "the fig2 slice" and "the cycle loop" mean.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csmt_experiments::bench::{run, QUICK_SCALE};
+use std::hint::black_box;
+
+fn perf_harness(c: &mut Criterion) {
+    c.bench_function("bench_quick_harness", |b| {
+        b.iter(|| black_box(run(QUICK_SCALE, true, false)))
+    });
+}
+
+criterion_group!(perf, perf_harness);
+criterion_main!(perf);

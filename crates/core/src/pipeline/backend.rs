@@ -1,7 +1,9 @@
 //! Issue (wakeup/select, ports) and execution completion (FUs, links,
 //! memory, branch resolution).
 
-use super::{Simulator, UopState};
+use super::{
+    meta_class, Simulator, UopState, META_HINT_CAP, META_HINT_HARD, META_HINT_SHIFT, META_LOW_MASK,
+};
 use csmt_backend::PortScheduler;
 use csmt_mem::LoadCheck;
 use csmt_types::{ImbalanceKind, OpClass, ThreadId, NUM_CLUSTERS};
@@ -9,46 +11,139 @@ use csmt_types::{ImbalanceKind, OpClass, ThreadId, NUM_CLUSTERS};
 impl Simulator {
     /// Issue stage: per cluster, scan the issue queue oldest-first, claim
     /// ports for ready uops, and record Figure-5 imbalance events for ready
-    /// uops that found no port.
+    /// uops that found no port. The ready scan runs entirely on the
+    /// queue's packed metadata (class + source registers); the uop slab is
+    /// only touched for the uops that actually issue.
     pub(crate) fn issue(&mut self) {
+        let now = self.now;
         let mut ports = [PortScheduler::new(), PortScheduler::new()];
         // Ready-but-portless uop kinds per cluster.
         let mut failed: [[bool; ImbalanceKind::COUNT]; NUM_CLUSTERS] =
             [[false; ImbalanceKind::COUNT]; NUM_CLUSTERS];
         let mut issued_any = false;
+        let mut to_issue = std::mem::take(&mut self.issue_buf);
 
         for c in 0..NUM_CLUSTERS {
-            let mut to_issue: Vec<(u32, usize)> = Vec::new();
-            for id in self.iqs[c].iter() {
-                let e = self.slab.get(id);
-                debug_assert_eq!(e.state, UopState::InIq);
-                // Stores issue on their *address* operand alone (split
-                // store-address/store-data, as the P4-era decomposition the
-                // front-end models would produce): the data operand is
-                // awaited during execution, so younger loads are not
-                // serialized behind the store's data chain.
-                let ready = if e.uop.class == OpClass::Store {
-                    e.srcs[0].is_none_or(|s| {
-                        self.scoreboard
-                            .is_ready(e.cluster, s.class, s.phys, self.now)
-                    })
-                } else {
-                    e.srcs.iter().flatten().all(|s| {
-                        self.scoreboard
-                            .is_ready(e.cluster, s.class, s.phys, self.now)
-                    })
-                };
-                if !ready {
+            // While `now` is below the earliest timed hint seen by the
+            // previous scan, and nothing was inserted (resets the bound to
+            // 0) or woken (sets the dirty flag), no entry can be ready:
+            // skip the cluster without touching its queue at all.
+            let dirty = std::mem::take(&mut self.scoreboard.scan_dirty[c]);
+            if !dirty && self.iq_next_scan[c] > now {
+                continue;
+            }
+            let mut next_scan = u64::MAX;
+            to_issue.clear();
+            // Split borrows: readiness tables are read while the park/
+            // rewake structures are written, all per cluster.
+            let super::Scoreboard {
+                ready,
+                waiters,
+                rewake,
+                ..
+            } = &mut self.scoreboard;
+            let sb = &ready[c];
+            let rw = &mut rewake[c];
+            // Earliest cycle a packed source slot (see `pack_iq_meta`) can
+            // be ready: 0 for absent sources, the scoreboard cycle for
+            // written-back or scheduled values, `u64::MAX` for values whose
+            // producer has not scheduled its wakeup yet.
+            let slot_bound = |slot: u64| -> u64 {
+                if slot & 1 == 0 {
+                    return 0;
+                }
+                sb[(slot as usize >> 1) & 1]
+                    .get((slot >> 2) as usize & 0xffff)
+                    .copied()
+                    .unwrap_or(u64::MAX)
+            };
+            let (ids, metas) = self.iqs[c].entries_and_meta_mut();
+            for i in 0..ids.len() {
+                let meta = metas[i];
+                // Cached wakeup hint in the spare upper bits (see
+                // `META_HINT_HARD`). Source ready-cycles never move
+                // *earlier* while a consumer waits in the queue, so a
+                // future hint of either kind skips the entry without
+                // touching the scoreboard; a hard hint additionally records
+                // the exact ready cycle, so an entry past a hard hint goes
+                // straight to port selection — the steady-state scan reads
+                // nothing but the meta word (plus one rewake-bitmap word
+                // for parked entries).
+                let cyc = (meta >> META_HINT_SHIFT) & META_HINT_CAP;
+                if meta & META_HINT_HARD == 0 && cyc == META_HINT_CAP {
+                    // Parked: a producer has not scheduled its wakeup.
+                    // Stay parked until `set_ready_at` flags this id.
+                    let w = ids[i] as usize >> 6;
+                    let bit = 1u64 << (ids[i] & 63);
+                    match rw.get_mut(w) {
+                        Some(word) if *word & bit != 0 => *word &= !bit,
+                        _ => continue,
+                    }
+                } else if cyc > now {
+                    next_scan = next_scan.min(cyc);
                     continue;
                 }
-                if let Some(port) = ports[c].claim(e.uop.class) {
-                    to_issue.push((id, port));
+                if meta & META_HINT_HARD == 0 {
+                    // Fresh entry, woken parked entry, or expired saturated
+                    // hint: derive the readiness bound from the scoreboard.
+                    debug_assert_eq!(self.slab.get(ids[i]).state, UopState::InIq);
+                    // Stores issue on their *address* operand alone (split
+                    // store-address/store-data, as the P4-era decomposition
+                    // the front-end models would produce): the data operand
+                    // is awaited during execution, so younger loads are not
+                    // serialized behind the store's data chain.
+                    let s0 = (meta >> 8) & 0x3_ffff;
+                    let s1 = if meta_class(meta) == OpClass::Store {
+                        0
+                    } else {
+                        meta >> 26
+                    };
+                    let (b0, b1) = (slot_bound(s0), slot_bound(s1));
+                    let raw = b0.max(b1);
+                    if raw == u64::MAX {
+                        // Park on the first still-pending source; when it
+                        // wakes, re-derive (and possibly park on the other).
+                        let slot = if b0 == u64::MAX { s0 } else { s1 };
+                        let per_phys = &mut waiters[c][(slot as usize >> 1) & 1];
+                        let p = (slot >> 2) as usize & 0xffff;
+                        if per_phys.len() <= p {
+                            per_phys.resize_with(p + 1, Vec::new);
+                        }
+                        per_phys[p].push(ids[i]);
+                        metas[i] = (meta & META_LOW_MASK) | (META_HINT_CAP << META_HINT_SHIFT);
+                        continue;
+                    }
+                    // `max(1)` keeps a computed hint distinguishable from
+                    // the fresh-entry 0 (entries are first scanned the
+                    // cycle after dispatch, so `now >= 1` whenever it
+                    // matters); finite bounds past the hint width saturate
+                    // one below the parked marker and are re-derived once
+                    // `now` catches up.
+                    let (hard, bound) = if raw >= META_HINT_CAP {
+                        (0, META_HINT_CAP - 1)
+                    } else {
+                        (META_HINT_HARD, raw.max(1))
+                    };
+                    metas[i] = (meta & META_LOW_MASK) | hard | (bound << META_HINT_SHIFT);
+                    if bound > now {
+                        next_scan = next_scan.min(bound);
+                        continue;
+                    }
+                }
+                let class = meta_class(meta);
+                if let Some(port) = ports[c].claim(class) {
+                    to_issue.push((ids[i], port));
                 } else {
-                    failed[c][e.uop.class.imbalance_kind().idx()] = true;
+                    // Ready but portless: retry next cycle.
+                    next_scan = next_scan.min(now + 1);
+                    failed[c][class.imbalance_kind().idx()] = true;
                 }
             }
-            for (id, port) in to_issue {
-                self.iqs[c].remove(id);
+            self.iq_next_scan[c] = next_scan;
+            // The pick list is in queue (age) order: one compaction pass
+            // removes all of them.
+            self.iqs[c].remove_in_order(to_issue.iter().map(|&(id, _)| id));
+            for &(id, port) in &to_issue {
                 self.start_execution(id);
                 self.stats.issued[c] += 1;
                 self.stats.issued_by_port[c][port] += 1;
@@ -64,7 +159,7 @@ impl Simulator {
                 }
             }
         }
-
+        self.issue_buf = to_issue;
         if issued_any {
             self.stats.cycles_with_issue += 1;
         }
@@ -124,22 +219,30 @@ impl Simulator {
         e.exec_done_at = done_at;
         e.addr_set = false;
         let _ = cluster;
-        self.executing.push(id);
+        self.executing.push(id, done_at);
     }
 
-    /// Completion stage: repeatedly pick any executing uop whose time has
-    /// come. Handlers may squash other in-flight uops (branch resolution,
-    /// Flush+), which mutates the executing list — hence the rescan loop
-    /// instead of index iteration. Every handler either removes the uop or
-    /// pushes its deadline past `now`, so the loop terminates.
+    /// Completion stage: repeatedly pick the first executing uop (in list
+    /// position order) whose time has come. Handlers may squash other
+    /// in-flight uops (branch resolution, Flush+), which reshuffles the
+    /// executing list — the scan restarts from the front whenever that
+    /// happens (generation change). Otherwise a handler only touches its
+    /// own position (removal or a deadline pushed past `now`), and since
+    /// no handler ever *lowers* another entry's deadline, entries already
+    /// scanned past cannot become due — so the scan position is kept,
+    /// matching the historical rescan-from-start semantics at O(n) instead
+    /// of O(n·completions). Every handler either removes the uop or pushes
+    /// its deadline past `now`, so the loop terminates.
     pub(crate) fn complete_execution(&mut self) {
         let now = self.now;
-        while let Some(pos) = self
-            .executing
-            .iter()
-            .position(|&id| self.slab.get(id).exec_done_at <= now)
-        {
-            let id = self.executing[pos];
+        if self.executing.min_due() > now {
+            return;
+        }
+        let mut pos = 0;
+        while let Some(p) = self.executing.next_due_from(pos, now) {
+            pos = p;
+            let id = self.executing.id_at(pos);
+            let generation = self.executing.generation();
             let (class, addr_set) = {
                 let e = self.slab.get(id);
                 (e.uop.class, e.addr_set)
@@ -148,7 +251,7 @@ impl Simulator {
                 OpClass::Load if !addr_set => {
                     // Address phase: stays in the executing list with a
                     // later deadline (retry, forward or cache latency).
-                    self.load_address_phase(id);
+                    self.load_address_phase(id, pos);
                 }
                 OpClass::Store if !addr_set => {
                     // Address half: resolve the address in the MOB so
@@ -172,7 +275,12 @@ impl Simulator {
                     self.finish_uop(id);
                 }
             }
+            if self.executing.generation() != generation {
+                // A squash reshuffled the list; restart from the front.
+                pos = 0;
+            }
         }
+        self.executing.recompute_min();
     }
 
     /// Store data half: mark the store's data forwardable and complete it
@@ -192,13 +300,14 @@ impl Simulator {
             self.finish_uop(id);
         } else {
             self.slab.get_mut(id).exec_done_at = now + 1;
+            self.executing.set_due(pos, now + 1);
         }
     }
 
     /// Load address phase: register the address with the MOB and decide
     /// between forwarding, waiting, or going to the cache. The uop always
     /// remains in the executing list with a deadline after `now`.
-    fn load_address_phase(&mut self, id: u32) {
+    fn load_address_phase(&mut self, id: u32, pos: usize) {
         let now = self.now;
         let (mob, mem, thread, cluster, dest, wrong_path, seq) = {
             let e = self.slab.get(id);
@@ -219,6 +328,7 @@ impl Simulator {
             LoadCheck::WaitOlderStore => {
                 // Address stays registered; retry next cycle.
                 self.slab.get_mut(id).exec_done_at = now + 1;
+                self.executing.set_due(pos, now + 1);
             }
             LoadCheck::Forward => {
                 let ready = now + 1;
@@ -229,6 +339,7 @@ impl Simulator {
                 let e = self.slab.get_mut(id);
                 e.addr_set = true;
                 e.exec_done_at = ready;
+                self.executing.set_due(pos, ready);
             }
             LoadCheck::Cache => {
                 let r = self.mem.load(now, m.addr);
@@ -242,6 +353,9 @@ impl Simulator {
                     e.addr_set = true;
                     e.exec_done_at = ready;
                 }
+                // Mirror the deadline *before* any flush below reshuffles
+                // the list (`pos` is only valid until then).
+                self.executing.set_due(pos, ready);
                 let _ = cluster;
                 if r.l2_miss && !wrong_path {
                     self.note_l2_miss(id, thread, seq, now, ready);

@@ -7,8 +7,8 @@
 //! register-file limits, and dispatched together with any inter-cluster
 //! copy uops its operands require.
 
-use super::{DestInfo, InFlight, Simulator, SrcInfo, UopState};
-use crate::schemes::SchedView;
+use super::{pack_iq_meta, DestInfo, InFlight, Simulator, SrcInfo, UopState};
+use crate::schemes::{RfView, SchedView};
 use crate::steering::steer;
 use csmt_frontend::FetchedUop;
 use csmt_types::uop::RegOperand;
@@ -27,35 +27,47 @@ enum Veto {
 }
 
 impl Simulator {
-    /// Dispatch stage entry point.
+    /// Dispatch stage entry point. The scheduler and register-file views
+    /// are built once and updated incrementally as uops dispatch, instead
+    /// of being rebuilt from the queues and register files for every uop.
     pub(crate) fn dispatch(&mut self) {
-        let view = self.sched_view();
-        let Some(t) = self.iq_scheme.select_rename_thread(&view) else {
-            return;
-        };
-        let ti = t.idx();
-        for _ in 0..self.cfg.rename_width {
-            let Some(fu) = self.threads[ti].fetchq.peek().copied() else {
-                break;
-            };
-            if self.try_dispatch(t, &fu) {
-                self.threads[ti].fetchq.pop();
-            } else {
-                self.stats.rename_blocked += 1;
-                break;
+        let mut view = self.sched_view();
+        let mut rf_view = self.rf_view();
+        if let Some(t) = self.iq_scheme.select_rename_thread(&view) {
+            let ti = t.idx();
+            for _ in 0..self.cfg.rename_width {
+                let Some(fu) = self.threads[ti].fetchq.peek().copied() else {
+                    break;
+                };
+                if self.try_dispatch(t, &fu, &mut view, &mut rf_view) {
+                    self.threads[ti].fetchq.pop();
+                    view.fetchq_len[ti] -= 1;
+                } else {
+                    self.stats.rename_blocked += 1;
+                    break;
+                }
             }
         }
+        // Hand the maintained register-file view to `step` for the
+        // schemes' end-of-cycle hook (no later stage touches the files).
+        self.rf_view_cycle = rf_view;
     }
 
     /// Attempt to rename+dispatch one uop; returns success.
-    fn try_dispatch(&mut self, t: ThreadId, fu: &FetchedUop) -> bool {
+    fn try_dispatch(
+        &mut self,
+        t: ThreadId,
+        fu: &FetchedUop,
+        view: &mut SchedView,
+        rf_view: &mut RfView,
+    ) -> bool {
         let u = &fu.uop;
-        let view = self.sched_view();
 
         // Source presence per cluster, from the thread's rename table.
-        let srcs: Vec<RegOperand> = u.srcs.iter().flatten().copied().collect();
-        let mut presence: Vec<[bool; NUM_CLUSTERS]> = Vec::with_capacity(srcs.len());
-        for s in &srcs {
+        let mut srcs_buf = [RegOperand::int(0); 2];
+        let mut presence_buf = [[false; NUM_CLUSTERS]; 2];
+        let mut nsrc = 0usize;
+        for s in u.srcs.iter().flatten() {
             let m = self.threads[t.idx()].rename.get(s.class, s.reg);
             debug_assert!(
                 m.any_cluster().is_some(),
@@ -63,12 +75,16 @@ impl Simulator {
                 s,
                 u.pc
             );
-            presence.push(m.present_mask());
+            srcs_buf[nsrc] = *s;
+            presence_buf[nsrc] = m.present_mask();
+            nsrc += 1;
         }
+        let srcs = &srcs_buf[..nsrc];
+        let presence = &presence_buf[..nsrc];
 
         let forced = self.iq_scheme.forced_cluster(t);
         let decision = steer(
-            &presence,
+            presence,
             [self.iqs[0].len(), self.iqs[1].len()],
             self.cfg.steer_imbalance_threshold,
             forced,
@@ -81,14 +97,14 @@ impl Simulator {
         };
 
         for (i, &c) in candidates.iter().enumerate() {
-            match self.check_cluster(t, u, &srcs, &presence, c, &view) {
+            match self.check_cluster(t, u, srcs, presence, c, view, rf_view) {
                 Ok(()) => {
                     if i > 0 {
                         // Redirected away from the preferred cluster —
                         // Figure 4 counts this as an issue-queue stall.
                         self.stats.iq_stall_events += 1;
                     }
-                    self.do_dispatch(t, fu, &srcs, c);
+                    self.do_dispatch(t, fu, srcs, c, view, rf_view);
                     return true;
                 }
                 Err(veto) => {
@@ -107,6 +123,7 @@ impl Simulator {
 
     /// Check whether uop `u` of thread `t` can be dispatched to cluster `c`
     /// right now, including all the copy uops its operands would need.
+    #[allow(clippy::too_many_arguments)]
     fn check_cluster(
         &self,
         t: ThreadId,
@@ -115,6 +132,7 @@ impl Simulator {
         presence: &[[bool; NUM_CLUSTERS]],
         c: ClusterId,
         view: &SchedView,
+        rf_view: &RfView,
     ) -> Result<(), Veto> {
         // Scheme occupancy cap and hard capacity of the target queue.
         if self.iq_scheme.headroom(t, c, view) < 1 || self.iqs[c.idx()].is_full() {
@@ -143,7 +161,7 @@ impl Simulator {
 
         // Destination register: scheme permission + hard capacity.
         if let Some(d) = u.dest {
-            if !self.rf_scheme.allows(t, d.class, c, &self.rf_view()) {
+            if !self.rf_scheme.allows(t, d.class, c, rf_view) {
                 return Err(Veto::RegFile(d.class));
             }
             regs_needed[d.class.idx()] += 1;
@@ -170,8 +188,18 @@ impl Simulator {
         Ok(())
     }
 
-    /// Perform the dispatch planned by `check_cluster` (must succeed).
-    fn do_dispatch(&mut self, t: ThreadId, fu: &FetchedUop, srcs: &[RegOperand], c: ClusterId) {
+    /// Perform the dispatch planned by `check_cluster` (must succeed),
+    /// mirroring every queue insertion and register allocation into the
+    /// incrementally-maintained views.
+    fn do_dispatch(
+        &mut self,
+        t: ThreadId,
+        fu: &FetchedUop,
+        srcs: &[RegOperand],
+        c: ClusterId,
+        view: &mut SchedView,
+        rf_view: &mut RfView,
+    ) {
         let u = fu.uop;
         let ti = t.idx();
 
@@ -193,6 +221,7 @@ impl Simulator {
             let dest_phys = self.regfiles[c.idx()][s.class.idx()]
                 .alloc(t)
                 .expect("checked free register for copy");
+            rf_view.used[ti][s.class.idx()][c.idx()] += 1;
             let prev = self.threads[ti]
                 .rename
                 .add_location(s.class, s.reg, c.idx(), dest_phys);
@@ -212,6 +241,13 @@ impl Simulator {
                 code_block: u32::MAX,
                 is_mrom: false,
             };
+            let copy_srcs = [
+                Some(SrcInfo {
+                    class: s.class,
+                    phys: src_phys,
+                }),
+                None,
+            ];
             let id = self.slab.alloc(InFlight {
                 uop: copy_uop,
                 thread: t,
@@ -229,21 +265,22 @@ impl Simulator {
                     prev,
                     is_copy_mapping: true,
                 }),
-                srcs: [
-                    Some(SrcInfo {
-                        class: s.class,
-                        phys: src_phys,
-                    }),
-                    None,
-                ],
+                srcs: copy_srcs,
                 mob: None,
                 exec_done_at: 0,
                 addr_set: false,
                 l2_outstanding: false,
                 live: true,
             });
-            let ok = self.iqs[producer.idx()].insert(id, t);
+            let ok = self.iqs[producer.idx()].insert_with_meta(
+                id,
+                t,
+                pack_iq_meta(OpClass::Copy, &copy_srcs),
+            );
             debug_assert!(ok, "checked copy IQ capacity");
+            self.iq_next_scan[producer.idx()] = 0;
+            view.iq_occ[ti][producer.idx()] += 1;
+            view.rename_to_issue[ti] += 1;
             let ok = self.threads[ti].rob.push(id);
             debug_assert!(ok, "checked copy ROB capacity");
             self.stats.dispatched[producer.idx()] += 1;
@@ -261,6 +298,7 @@ impl Simulator {
             let phys = self.regfiles[c.idx()][d.class.idx()]
                 .alloc(t)
                 .expect("checked free destination register");
+            rf_view.used[ti][d.class.idx()][c.idx()] += 1;
             let prev = self.threads[ti]
                 .rename
                 .define(d.class, d.reg, c.idx(), phys);
@@ -306,8 +344,11 @@ impl Simulator {
             l2_outstanding: false,
             live: true,
         });
-        let ok = self.iqs[c.idx()].insert(id, t);
+        let ok = self.iqs[c.idx()].insert_with_meta(id, t, pack_iq_meta(u.class, &resolved));
         debug_assert!(ok, "checked IQ capacity");
+        self.iq_next_scan[c.idx()] = 0;
+        view.iq_occ[ti][c.idx()] += 1;
+        view.rename_to_issue[ti] += 1;
         let ok = self.threads[ti].rob.push(id);
         debug_assert!(ok, "checked ROB capacity");
         self.stats.dispatched[c.idx()] += 1;
@@ -318,5 +359,7 @@ impl Simulator {
             debug_assert!(self.threads[ti].unresolved_mispredict.is_none());
             self.threads[ti].unresolved_mispredict = Some(id);
         }
+        let th = &self.threads[ti];
+        view.wrong_path[ti] = th.wrong_path_mode && th.unresolved_mispredict.is_some();
     }
 }

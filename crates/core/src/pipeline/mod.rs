@@ -28,8 +28,8 @@ use csmt_mem::{MemHierarchy, Mob, MobIdx, Tlb};
 use csmt_trace::suite::{TraceSpec, Workload};
 use csmt_trace::{ThreadTrace, WrongPathSource};
 use csmt_types::{
-    ClusterId, MachineConfig, MicroOp, PhysReg, RegClass, RegFileSchemeKind, SchemeKind, ThreadId,
-    NUM_CLUSTERS,
+    ClusterId, MachineConfig, MicroOp, OpClass, PhysReg, RegClass, RegFileSchemeKind, SchemeKind,
+    ThreadId, NUM_CLUSTERS,
 };
 use std::collections::VecDeque;
 
@@ -138,10 +138,166 @@ impl Slab {
     }
 }
 
+/// Executing-uop list with a parallel due-cycle vector: the completion
+/// stage's "any uop due?" scan reads a dense `u64` array instead of
+/// chasing slab pointers. The due entry mirrors the uop's
+/// `exec_done_at`; every site that changes one changes the other.
+#[derive(Debug, Default)]
+pub(crate) struct ExecList {
+    ids: Vec<u32>,
+    due: Vec<u64>,
+    /// Lower bound on every entry's due cycle: lets the completion stage
+    /// skip its scan entirely on cycles where nothing can be due.
+    min_due: u64,
+    /// Bumped on every order-disturbing removal (squash). The completion
+    /// stage's scan can keep its position across events as long as this is
+    /// stable, and restarts from the front when it changes.
+    generation: u64,
+}
+
+impl ExecList {
+    pub fn push(&mut self, id: u32, due: u64) {
+        self.ids.push(id);
+        self.due.push(due);
+        self.min_due = self.min_due.min(due);
+    }
+
+    /// Position of the first entry at or after `pos` due at `now`, in list
+    /// order.
+    #[inline]
+    pub fn next_due_from(&self, pos: usize, now: u64) -> Option<usize> {
+        self.due[pos..]
+            .iter()
+            .position(|&d| d <= now)
+            .map(|i| pos + i)
+    }
+
+    #[inline]
+    pub fn id_at(&self, pos: usize) -> u32 {
+        self.ids[pos]
+    }
+
+    pub fn set_due(&mut self, pos: usize, due: u64) {
+        self.due[pos] = due;
+        self.min_due = self.min_due.min(due);
+    }
+
+    pub fn swap_remove(&mut self, pos: usize) {
+        self.ids.swap_remove(pos);
+        self.due.swap_remove(pos);
+    }
+
+    /// Remove `id` preserving list order (squash path).
+    pub fn remove_id(&mut self, id: u32) {
+        if let Some(pos) = self.ids.iter().position(|&x| x == id) {
+            self.ids.remove(pos);
+            self.due.remove(pos);
+            self.generation += 1;
+        }
+    }
+
+    #[inline]
+    pub fn min_due(&self) -> u64 {
+        self.min_due
+    }
+
+    /// Tighten `min_due` to the exact minimum (after a completion sweep;
+    /// removals only ever raise the true minimum, so the cached bound
+    /// stays conservative between sweeps).
+    pub fn recompute_min(&mut self) {
+        self.min_due = self.due.iter().copied().min().unwrap_or(u64::MAX);
+    }
+
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn iter_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+}
+
+/// Pack a uop's wakeup-relevant fields into the issue queue's per-entry
+/// metadata word, so the select loop's ready scan reads one dense `u64`
+/// per entry instead of dereferencing the uop slab.
+///
+/// Layout: bits 0..8 hold the [`OpClass`] discriminant; source slot `i`
+/// occupies bits `8+18*i .. 26+18*i` as `present(1) | reg class(1) |
+/// physical register(16)`. The issuing cluster is not encoded — it always
+/// equals the queue's cluster (checked by `check_invariants`). Bits
+/// 44..64 are a scratch wakeup hint maintained by the select loop: the
+/// entry is known not to be ready before that (saturated) cycle.
+pub(crate) fn pack_iq_meta(class: OpClass, srcs: &[Option<SrcInfo>; 2]) -> u64 {
+    let mut m = class.as_u8() as u64;
+    for (i, s) in srcs.iter().enumerate() {
+        if let Some(s) = s {
+            let slot = 1u64 | ((s.class.idx() as u64) << 1) | ((s.phys.0 as u64) << 2);
+            m |= slot << (8 + 18 * i);
+        }
+    }
+    m
+}
+
+/// First bit of the select loop's wakeup hint: 19 bits of absolute cycle
+/// plus the [`META_HINT_HARD`] flag on top.
+pub(crate) const META_HINT_SHIFT: u32 = 44;
+/// Maximum hint cycle value (19 bits of absolute cycle). The top value is
+/// the *parked* marker (see [`Scoreboard::park`]); finite bounds saturate
+/// one below it and are re-derived once `now` catches up.
+pub(crate) const META_HINT_CAP: u64 = (1 << 19) - 1;
+/// "Hard" hint flag (bit 63 of the meta word). A hard hint records the
+/// *exact* cycle the entry becomes ready — every source had a finite
+/// scheduled ready-cycle when it was computed, and those never change
+/// while the consumer lives — so the select loop trusts it in both
+/// directions and never re-reads the scoreboard for the entry. A soft
+/// hint (flag clear) only means "cannot be ready before this cycle"; some
+/// producer had not scheduled its wakeup yet, so the entry is re-derived
+/// once the hint expires.
+pub(crate) const META_HINT_HARD: u64 = 1 << (META_HINT_SHIFT + 19);
+/// Mask selecting everything below the hint.
+pub(crate) const META_LOW_MASK: u64 = (1 << META_HINT_SHIFT) - 1;
+
+/// Operation class packed by [`pack_iq_meta`].
+#[inline]
+pub(crate) fn meta_class(meta: u64) -> OpClass {
+    OpClass::from_u8((meta & 0xff) as u8)
+}
+
+/// Source operand `i` packed by [`pack_iq_meta`], if present.
+#[inline]
+pub(crate) fn meta_src(meta: u64, i: usize) -> Option<(RegClass, PhysReg)> {
+    let slot = (meta >> (8 + 18 * i)) & 0x3_ffff;
+    if slot & 1 == 0 {
+        None
+    } else {
+        let class = if slot & 2 == 0 {
+            RegClass::Int
+        } else {
+            RegClass::FpSimd
+        };
+        Some((class, PhysReg((slot >> 2) as u16)))
+    }
+}
+
 /// Per-(cluster, class) readiness scoreboard over physical registers.
 #[derive(Debug, Default)]
 pub(crate) struct Scoreboard {
     ready: [[Vec<u64>; RegClass::COUNT]; NUM_CLUSTERS],
+    /// Issue-queue entries parked on a source whose producer has not
+    /// scheduled its wakeup yet, per (cluster, class, phys reg). A pending
+    /// source can only gain a finite ready-cycle through `set_ready_at`,
+    /// so the select loop parks such entries here instead of re-deriving
+    /// their readiness every cycle; `set_ready_at` drains the list into
+    /// the `rewake` bitmap. Stale ids (issued or squashed while parked)
+    /// are harmless: a spurious rewake bit just triggers one re-check.
+    waiters: [[Vec<Vec<u32>>; RegClass::COUNT]; NUM_CLUSTERS],
+    /// Per-cluster bitmap over uop ids: parked entries whose awaited
+    /// wakeup has arrived since the entry parked.
+    rewake: [Vec<u64>; NUM_CLUSTERS],
+    /// Set when a wakeup drained at least one parked waiter in the
+    /// cluster: the next issue scan must run even if no timed hint is due.
+    scan_dirty: [bool; NUM_CLUSTERS],
 }
 
 impl Scoreboard {
@@ -158,9 +314,30 @@ impl Scoreboard {
         *self.slot(c, k, p) = u64::MAX;
     }
 
-    /// Set the cycle at which the register's value becomes usable.
+    /// Set the cycle at which the register's value becomes usable, waking
+    /// any issue-queue entries parked on this register.
     pub fn set_ready_at(&mut self, c: ClusterId, k: RegClass, p: PhysReg, cycle: u64) {
+        if let Some(list) = self.waiters[c.idx()][k.idx()].get_mut(p.idx()) {
+            if !list.is_empty() {
+                self.scan_dirty[c.idx()] = true;
+            }
+            let rw = &mut self.rewake[c.idx()];
+            for id in list.drain(..) {
+                let w = id as usize >> 6;
+                if rw.len() <= w {
+                    rw.resize(w + 1, 0);
+                }
+                rw[w] |= 1 << (id & 63);
+            }
+        }
         *self.slot(c, k, p) = cycle;
+    }
+
+    /// Whether a wakeup for parked entry `id` has arrived (test only).
+    pub fn rewake_pending(&self, c: usize, id: u32) -> bool {
+        self.rewake[c]
+            .get(id as usize >> 6)
+            .is_some_and(|w| w & (1 << (id & 63)) != 0)
     }
 
     #[inline]
@@ -243,8 +420,22 @@ pub struct Simulator {
     pub(crate) mem: MemHierarchy,
     pub(crate) slab: Slab,
     pub(crate) scoreboard: Scoreboard,
+    /// Per-cluster earliest cycle at which an issue scan could find a
+    /// ready entry, derived from the timed hints seen in the previous
+    /// scan. Issue skips a cluster outright while `now` is below it and
+    /// no insert or parked-entry wakeup has dirtied the queue (inserts
+    /// reset it to 0; wakeups set `Scoreboard::scan_dirty`).
+    pub(crate) iq_next_scan: [u64; NUM_CLUSTERS],
     /// Uops currently executing (issued, not yet complete).
-    pub(crate) executing: Vec<u32>,
+    pub(crate) executing: ExecList,
+    /// Reusable issue-stage pick buffer (`(uop id, port)`), drained every
+    /// cluster scan; lives here so the hot loop never reallocates it.
+    pub(crate) issue_buf: Vec<(u32, usize)>,
+    /// Register-file view maintained incrementally by the dispatch stage.
+    /// Dispatch is the last stage of a cycle to touch the register files,
+    /// so after it runs this equals a fresh [`Self::rf_view`] rebuild and
+    /// feeds `end_cycle` without another O(threads·classes·clusters) scan.
+    pub(crate) rf_view_cycle: RfView,
     pub(crate) now: u64,
     pub(crate) stats: SimStats,
     /// Commit priority alternates between threads each cycle.
@@ -330,7 +521,10 @@ impl Simulator {
             mem: MemHierarchy::new(&cfg),
             slab: Slab::default(),
             scoreboard: Scoreboard::default(),
-            executing: Vec::new(),
+            iq_next_scan: [0; NUM_CLUSTERS],
+            executing: ExecList::default(),
+            issue_buf: Vec::new(),
+            rf_view_cycle: RfView::default(),
             now: 0,
             stats: SimStats::default(),
             commit_rr: 0,
@@ -439,9 +633,11 @@ impl Simulator {
         self.issue();
         self.dispatch();
         self.fetch();
-        // CDPRF per-cycle hook (Figure 7).
-        let rf_view = self.rf_view();
-        self.rf_scheme.end_cycle(&rf_view, &self.rf_starved);
+        // CDPRF per-cycle hook (Figure 7). Dispatch maintained the
+        // register-file view incrementally; nothing after it touches the
+        // register files, so the view is current.
+        self.rf_scheme
+            .end_cycle(&self.rf_view_cycle, &self.rf_starved);
         self.now += 1;
     }
 
@@ -501,6 +697,27 @@ impl Simulator {
         self.now
     }
 
+    /// Non-copy issue-queue entries per thread in cluster `c` (the
+    /// population the schemes' occupancy caps govern; see
+    /// [`crate::probe::MachineSnapshot::iq_steered`]).
+    pub(crate) fn iq_noncopy_occupancy(&self, c: usize) -> [(ThreadId, usize); 2] {
+        let mut out = [(ThreadId(0), 0usize), (ThreadId(1), 0usize)];
+        for id in self.iqs[c].iter() {
+            let e = self.slab.get(id);
+            if !e.is_copy {
+                out[e.thread.idx()].1 += 1;
+            }
+        }
+        out
+    }
+
+    /// Total useful uops committed by all threads since construction.
+    /// Unlike [`Self::stats`] (which covers the measured region of a
+    /// `run_with_warmup`), this is valid for raw `step()` loops.
+    pub fn committed_total(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
     /// Cross-structure consistency checks, used by tests and property
     /// harnesses. Panics on violation.
     pub fn check_invariants(&self) {
@@ -508,10 +725,51 @@ impl Simulator {
         // per-thread occupancies add up.
         for c in 0..NUM_CLUSTERS {
             let mut per_thread = [0usize; 2];
-            for id in self.iqs[c].iter() {
+            for (id, meta) in self.iqs[c].iter_with_meta() {
                 let e = self.slab.get(id);
                 assert_eq!(e.state, UopState::InIq, "IQ holds non-InIq uop {id}");
                 assert_eq!(e.cluster.idx(), c, "uop {id} in wrong cluster queue");
+                assert_eq!(meta_class(meta), e.uop.class, "meta class drift on {id}");
+                for i in 0..2 {
+                    assert_eq!(
+                        meta_src(meta, i),
+                        e.srcs[i].map(|s| (s.class, s.phys)),
+                        "meta src {i} drift on uop {id}"
+                    );
+                }
+                // A future wakeup hint (either kind) claims the entry is
+                // not ready yet — a hint that outlived an actually-ready
+                // entry would stall it forever. A *hard* hint additionally
+                // records the exact ready cycle: once it passes, the entry
+                // is skipped past the scoreboard on every later scan, so it
+                // must genuinely be ready (finite source ready-cycles never
+                // change while the consumer lives).
+                let cyc = (meta >> META_HINT_SHIFT) & META_HINT_CAP;
+                let gating = if e.uop.class == OpClass::Store { 1 } else { 2 };
+                if meta & META_HINT_HARD == 0 && cyc == META_HINT_CAP {
+                    // Parked entries are only woken by `set_ready_at`; if
+                    // every source already has a scheduled ready-cycle and
+                    // no wakeup is pending, the entry would sleep forever.
+                    let some_pending = e.srcs[..gating].iter().flatten().any(|s| {
+                        self.scoreboard.ready[e.cluster.idx()][s.class.idx()]
+                            .get(s.phys.idx())
+                            .is_none_or(|&r| r == u64::MAX)
+                    });
+                    assert!(
+                        some_pending || self.scoreboard.rewake_pending(c, id),
+                        "parked uop {id} with every source scheduled and no rewake"
+                    );
+                } else if cyc != 0 && cyc < META_HINT_CAP {
+                    let ready = e.srcs[..gating].iter().flatten().all(|s| {
+                        self.scoreboard
+                            .is_ready(e.cluster, s.class, s.phys, self.now)
+                    });
+                    if cyc > self.now {
+                        assert!(!ready, "stale wakeup hint on ready uop {id}");
+                    } else if meta & META_HINT_HARD != 0 {
+                        assert!(ready, "hard-ready hint on non-ready uop {id}");
+                    }
+                }
                 per_thread[e.thread.idx()] += 1;
             }
             for (ti, th) in self.threads.iter().enumerate() {
@@ -536,9 +794,14 @@ impl Simulator {
                 prev = Some(e.seq);
             }
         }
-        // Executing list consistency.
-        for &id in &self.executing {
-            assert_eq!(self.slab.get(id).state, UopState::Executing);
+        // Executing list consistency, including the mirrored due cycles.
+        for (pos, id) in self.executing.iter_ids().enumerate() {
+            let e = self.slab.get(id);
+            assert_eq!(e.state, UopState::Executing);
+            assert_eq!(
+                self.executing.due[pos], e.exec_done_at,
+                "due-cycle mirror drifted for uop {id}"
+            );
         }
         // MOB occupancy equals live memory uops holding an entry.
         let mem_uops = self

@@ -136,7 +136,7 @@ impl Simulator {
                     debug_assert!(removed);
                 }
                 UopState::Executing => {
-                    self.executing.retain(|&x| x != back);
+                    self.executing.remove_id(back);
                 }
                 UopState::Done => {}
             }

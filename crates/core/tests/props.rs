@@ -279,3 +279,45 @@ mod injection_fuzz {
         }
     }
 }
+
+// CSSP's contract in the *running pipeline* (not just the policy
+// algebra): a thread may never hold more than half of any cluster's
+// issue queue with *steered* uops, which is exactly what guarantees the
+// other thread its reserved half. (Rename-generated copy uops bypass the
+// caps by design — "redirects only incur extra copies" — so the capped
+// population is `iq_steered`, not raw occupancy.) Random suite
+// workloads, observed via snapshots.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cssp_guarantee_never_violated_in_pipeline(
+        widx in 0usize..120,
+        iq_size in prop::sample::select(vec![16usize, 32, 64]),
+        rf_idx in 0usize..4,
+    ) {
+        let workloads = csmt_trace::suite::suite();
+        let w = &workloads[widx % workloads.len()];
+        let rf = RegFileSchemeKind::all()[rf_idx];
+        let cfg = MachineConfig::iq_study(iq_size);
+        let cap = iq_size / 2;
+        let mut sim = Simulator::new(cfg, SchemeKind::Cssp, rf, &w.traces);
+        for cycle in 0..2500u64 {
+            sim.step();
+            if cycle % 50 == 0 {
+                let s = sim.snapshot();
+                for t in 0..2 {
+                    for c in 0..2 {
+                        prop_assert!(
+                            s.iq_steered[t][c] <= cap,
+                            "cycle {}: thread {} holds {} steered uops of cluster {}'s \
+                             {}-entry queue (cap {}), guarantee violated",
+                            sim.cycles(), t, s.iq_steered[t][c], c, iq_size, cap
+                        );
+                        prop_assert!(s.iq_steered[t][c] <= s.iq[t][c]);
+                    }
+                }
+            }
+        }
+    }
+}

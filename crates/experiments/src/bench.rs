@@ -1,0 +1,369 @@
+//! `csmt-experiments bench` — reproducible perf harness for the cycle loop.
+//!
+//! Two fixed measurements seed the perf trajectory (`BENCH_3.json` at the
+//! repo root):
+//!
+//! * **fig2-slice** — a deterministic 16-run slice of the Figure 2 grid
+//!   (4 suite workloads × 4 scheme/IQ-size combos), timed end to end.
+//! * **cycle-loop** — `Simulator::step()` in a tight loop on one workload
+//!   with CSSP + CDPRF active, isolating the per-cycle cost from run
+//!   setup and metrics finalization.
+//!
+//! Both report wall time, simulated cycles/sec and committed uops/sec.
+//! The workloads, schemes and iteration counts are fixed constants so two
+//! runs on the same machine measure the same work; each measurement is
+//! repeated and the best repetition kept, which filters scheduler noise
+//! on loaded hosts.
+
+use csmt_core::Simulator;
+use csmt_trace::suite::{suite, Workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Bump when measurement definitions change incompatibly; compared runs
+/// must agree on it.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// Workloads of the fig2 slice — one per suite region, stable names.
+pub const SLICE_WORKLOADS: [&str; 4] = [
+    "DH/ilp.2.1",
+    "multimedia/mix.2.1",
+    "ISPEC-FSPEC/mix.2.1",
+    "mixes/mix.2.3",
+];
+
+/// Scheme/IQ-size combos of the fig2 slice (all with the shared RF, as in
+/// Figure 2's IQ study).
+pub const SLICE_COMBOS: [(SchemeKind, usize); 4] = [
+    (SchemeKind::Icount, 32),
+    (SchemeKind::FlushPlus, 32),
+    (SchemeKind::Cssp, 32),
+    (SchemeKind::Cssp, 64),
+];
+
+/// Workload driving the raw cycle loop.
+pub const LOOP_WORKLOAD: &str = "mixes/mix.2.1";
+
+/// How the two modes scale the fixed work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchScale {
+    /// Committed uops per thread per fig2-slice run.
+    pub slice_target: u64,
+    /// `step()` calls in the raw cycle loop.
+    pub loop_steps: u64,
+    /// Repetitions per measurement (best kept).
+    pub reps: u32,
+}
+
+/// Full scale: stable numbers for `BENCH_3.json`.
+pub const FULL_SCALE: BenchScale = BenchScale {
+    slice_target: 8_000,
+    loop_steps: 400_000,
+    reps: 3,
+};
+
+/// Quick scale: CI smoke gate, a few seconds total.
+pub const QUICK_SCALE: BenchScale = BenchScale {
+    slice_target: 2_000,
+    loop_steps: 120_000,
+    reps: 2,
+};
+
+/// One timed measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchMeasurement {
+    pub name: String,
+    /// Best-rep wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles covered by the measurement.
+    pub cycles: u64,
+    /// Useful (non-copy) uops committed.
+    pub uops: u64,
+    pub cycles_per_sec: f64,
+    pub uops_per_sec: f64,
+}
+
+/// A full harness run: what `--out` writes and the CI gate compares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub schema: u32,
+    /// "quick" or "full".
+    pub mode: String,
+    pub reps: u32,
+    pub measurements: Vec<BenchMeasurement>,
+}
+
+/// Before/after pair committed as `BENCH_3.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfBaseline {
+    pub schema: u32,
+    /// The command that regenerates each half.
+    pub command: String,
+    pub before: BenchReport,
+    pub after: BenchReport,
+    pub speedup: Vec<SpeedupEntry>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupEntry {
+    pub name: String,
+    /// after.cycles_per_sec / before.cycles_per_sec.
+    pub ratio: f64,
+}
+
+fn find_workload(name: &str) -> Workload {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("bench workload {name} not in suite"))
+}
+
+/// Time the fixed fig2 slice: 16 full runs (no warm-up, so simulated
+/// cycles equal measured cycles), summed.
+fn measure_slice(scale: BenchScale) -> BenchMeasurement {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| find_workload(n)).collect();
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..scale.reps {
+        let mut cycles = 0u64;
+        let mut uops = 0u64;
+        let t0 = Instant::now();
+        for w in &workloads {
+            for &(iq, size) in &SLICE_COMBOS {
+                let mut sim = Simulator::new(
+                    MachineConfig::iq_study(size),
+                    iq,
+                    RegFileSchemeKind::Shared,
+                    &w.traces,
+                );
+                let r = sim.run(scale.slice_target, 10_000_000);
+                cycles += r.stats.cycles;
+                uops += r.stats.committed.iter().sum::<u64>();
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        if best.is_none() || wall < best.unwrap().0 {
+            best = Some((wall, cycles, uops));
+        }
+    }
+    finish("fig2-slice", best.unwrap())
+}
+
+/// Time `step()` in a tight loop: CSSP + CDPRF on a bounded register file,
+/// so both schemes' per-cycle bookkeeping is on the measured path.
+fn measure_cycle_loop(scale: BenchScale) -> BenchMeasurement {
+    let w = find_workload(LOOP_WORKLOAD);
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..scale.reps {
+        let mut sim = Simulator::new(
+            MachineConfig::rf_study(64),
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Cdprf,
+            &w.traces,
+        );
+        let t0 = Instant::now();
+        for _ in 0..scale.loop_steps {
+            sim.step();
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let uops = sim.committed_total();
+        if best.is_none() || wall < best.unwrap().0 {
+            best = Some((wall, scale.loop_steps, uops));
+        }
+    }
+    finish("cycle-loop", best.unwrap())
+}
+
+fn finish(name: &str, (wall_ms, cycles, uops): (f64, u64, u64)) -> BenchMeasurement {
+    let secs = wall_ms / 1e3;
+    BenchMeasurement {
+        name: name.to_string(),
+        wall_ms,
+        cycles,
+        uops,
+        cycles_per_sec: cycles as f64 / secs,
+        uops_per_sec: uops as f64 / secs,
+    }
+}
+
+/// Run the full harness at the given scale.
+pub fn run(scale: BenchScale, quick: bool, verbose: bool) -> BenchReport {
+    let mut measurements = Vec::new();
+    for (label, f) in [
+        (
+            "fig2-slice",
+            measure_slice as fn(BenchScale) -> BenchMeasurement,
+        ),
+        ("cycle-loop", measure_cycle_loop),
+    ] {
+        if verbose {
+            eprintln!("bench: measuring {label} ({} reps)...", scale.reps);
+        }
+        measurements.push(f(scale));
+    }
+    BenchReport {
+        schema: BENCH_SCHEMA,
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        reps: scale.reps,
+        measurements,
+    }
+}
+
+/// Render the report as an aligned text table.
+pub fn render(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench ({} mode, best of {} reps)\n\
+         {:<12} {:>10} {:>12} {:>12} {:>14} {:>14}\n",
+        report.mode, report.reps, "bench", "wall_ms", "cycles", "uops", "cycles/sec", "uops/sec"
+    ));
+    for m in &report.measurements {
+        out.push_str(&format!(
+            "{:<12} {:>10.1} {:>12} {:>12} {:>14.0} {:>14.0}\n",
+            m.name, m.wall_ms, m.cycles, m.uops, m.cycles_per_sec, m.uops_per_sec
+        ));
+    }
+    out
+}
+
+/// Compare a fresh report against a committed baseline file.
+///
+/// The baseline may be either a plain [`BenchReport`] or a
+/// [`PerfBaseline`] (`BENCH_3.json`), in which case its `after` half is
+/// the reference. Returns human-readable failure lines for every
+/// measurement whose cycles/sec fell more than `max_regression`
+/// (fraction, e.g. 0.20) below the baseline; `Ok(vec![])` means the gate
+/// passes.
+pub fn check_against_baseline(
+    current: &BenchReport,
+    baseline_text: &str,
+    max_regression: f64,
+) -> Result<Vec<String>, String> {
+    let baseline: BenchReport =
+        if let Ok(perf) = serde_json::from_str::<PerfBaseline>(baseline_text) {
+            perf.after
+        } else {
+            serde_json::from_str(baseline_text)
+                .map_err(|e| format!("baseline is neither BENCH_3.json nor a bench report: {e}"))?
+        };
+    if baseline.schema != current.schema {
+        return Err(format!(
+            "baseline schema {} != current schema {}",
+            baseline.schema, current.schema
+        ));
+    }
+    let mut failures = Vec::new();
+    for b in &baseline.measurements {
+        let Some(c) = current.measurements.iter().find(|m| m.name == b.name) else {
+            failures.push(format!("measurement {} missing from current run", b.name));
+            continue;
+        };
+        let floor = b.cycles_per_sec * (1.0 - max_regression);
+        if c.cycles_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} cycles/sec is {:.1}% below baseline {:.0} (allowed {:.0}%)",
+                b.name,
+                c.cycles_per_sec,
+                (1.0 - c.cycles_per_sec / b.cycles_per_sec) * 100.0,
+                b.cycles_per_sec,
+                max_regression * 100.0,
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// Build the committed `BENCH_3.json` payload from a before/after pair.
+pub fn perf_baseline(before: BenchReport, after: BenchReport) -> PerfBaseline {
+    let speedup = after
+        .measurements
+        .iter()
+        .filter_map(|a| {
+            before
+                .measurements
+                .iter()
+                .find(|b| b.name == a.name)
+                .map(|b| SpeedupEntry {
+                    name: a.name.clone(),
+                    ratio: a.cycles_per_sec / b.cycles_per_sec,
+                })
+        })
+        .collect();
+    PerfBaseline {
+        schema: BENCH_SCHEMA,
+        command: "cargo run -p csmt-experiments --release -- bench --out <half>.json".to_string(),
+        before,
+        after,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cps: f64) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA,
+            mode: "quick".into(),
+            reps: 1,
+            measurements: vec![BenchMeasurement {
+                name: "cycle-loop".into(),
+                wall_ms: 100.0,
+                cycles: 1000,
+                uops: 2000,
+                cycles_per_sec: cps,
+                uops_per_sec: 2.0 * cps,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(425_000.0);
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = serde_json::to_string(&report(100_000.0)).unwrap();
+        assert!(check_against_baseline(&report(85_000.0), &base, 0.20)
+            .unwrap()
+            .is_empty());
+        let fails = check_against_baseline(&report(70_000.0), &base, 0.20).unwrap();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("cycle-loop"), "{}", fails[0]);
+    }
+
+    #[test]
+    fn gate_accepts_bench3_shaped_baseline() {
+        let perf = perf_baseline(report(80_000.0), report(100_000.0));
+        assert!((perf.speedup[0].ratio - 1.25).abs() < 1e-12);
+        let text = serde_json::to_string_pretty(&perf).unwrap();
+        // Gate compares against the `after` half.
+        let fails = check_against_baseline(&report(95_000.0), &text, 0.20).unwrap();
+        assert!(fails.is_empty());
+        let fails = check_against_baseline(&report(50_000.0), &text, 0.20).unwrap();
+        assert_eq!(fails.len(), 1);
+    }
+
+    #[test]
+    fn gate_flags_missing_measurements_and_schema_drift() {
+        let base = serde_json::to_string(&report(100_000.0)).unwrap();
+        let mut cur = report(100_000.0);
+        cur.measurements[0].name = "renamed".into();
+        let fails = check_against_baseline(&cur, &base, 0.20).unwrap();
+        assert!(fails[0].contains("missing"), "{}", fails[0]);
+        cur.schema = BENCH_SCHEMA + 1;
+        assert!(check_against_baseline(&cur, &base, 0.20).is_err());
+    }
+
+    #[test]
+    fn slice_constants_name_real_workloads() {
+        for name in SLICE_WORKLOADS.iter().chain([LOOP_WORKLOAD].iter()) {
+            find_workload(name);
+        }
+    }
+}

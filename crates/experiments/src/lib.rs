@@ -20,6 +20,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
+pub mod bench;
 pub mod figures;
 pub mod report;
 pub mod runner;

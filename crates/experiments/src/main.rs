@@ -5,6 +5,7 @@
 //!                                [--store DIR | --no-store] [--resume] [--bars]
 //! csmt-experiments all [--target N]
 //! csmt-experiments compare <a.json> <b.json> [tolerance]
+//! csmt-experiments bench [--quick] [--out FILE] [--baseline FILE] [--max-regression PCT]
 //! ```
 //!
 //! Results persist in a content-addressed store (`results/store` by
@@ -50,7 +51,9 @@ fn usage() -> String {
          \x20 --no-store     disable the persistent store and journal\n\
          \x20 --resume       skip artifacts completed by an interrupted previous run\n\
          \n\
-         csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)",
+         csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)\n\
+         csmt-experiments bench [--quick] [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
+         \x20                                                       (perf harness; gate vs baseline)",
         ALL_ARTIFACTS.join(" "),
         ABLATIONS.join(" "),
     )
@@ -153,6 +156,11 @@ fn main() {
         compare(&args[1..]);
         return;
     }
+    // `bench` is a standalone subcommand: perf harness, no store.
+    if args.first().map(String::as_str) == Some("bench") {
+        bench_cmd(&args[1..]);
+        return;
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(e) => fail(&e),
@@ -234,6 +242,78 @@ fn main() {
         });
     }
     eprint!("{}", render_store_summary(&sweeps.counters()));
+}
+
+/// `bench [--quick] [--out FILE] [--baseline FILE] [--max-regression PCT]`:
+/// run the fixed perf harness, optionally write the JSON report and gate
+/// against a committed baseline (exit 1 on regression).
+fn bench_cmd(args: &[String]) {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut max_regression = 0.20f64;
+    let mut verbose = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--quiet" => verbose = false,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => fail("--out needs a file"),
+            },
+            "--baseline" => match it.next() {
+                Some(v) => baseline = Some(v.clone()),
+                None => fail("--baseline needs a file"),
+            },
+            "--max-regression" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-regression needs a percentage"));
+                match v.parse::<f64>() {
+                    Ok(pct) if pct > 0.0 && pct < 100.0 => max_regression = pct / 100.0,
+                    _ => fail(&format!(
+                        "--max-regression needs a percentage in (0, 100), got '{v}'"
+                    )),
+                }
+            }
+            other => fail(&format!("unknown bench flag: {other}")),
+        }
+    }
+    let scale = if quick {
+        csmt_experiments::bench::QUICK_SCALE
+    } else {
+        csmt_experiments::bench::FULL_SCALE
+    };
+    let report = csmt_experiments::bench::run(scale, quick, verbose);
+    print!("{}", csmt_experiments::bench::render(&report));
+    if let Some(path) = &out {
+        let text = serde_json::to_string_pretty(&report).expect("bench report serializes");
+        if let Err(e) = std::fs::write(path, text + "\n") {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {path}: {e}")));
+        match csmt_experiments::bench::check_against_baseline(&report, &text, max_regression) {
+            Ok(failures) if failures.is_empty() => {
+                println!(
+                    "OK: within {:.0}% of baseline {path}",
+                    max_regression * 100.0
+                );
+            }
+            Ok(failures) => {
+                println!("perf regression vs baseline {path}:");
+                for f in &failures {
+                    println!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => fail(&format!("cannot compare against {path}: {e}")),
+        }
+    }
 }
 
 /// `compare <a.json> <b.json> [tolerance]`: artifact drift check.

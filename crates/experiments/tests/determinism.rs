@@ -1,0 +1,108 @@
+//! Determinism tests: the simulator and the parallel sweep runner must be
+//! bit-reproducible. Any nondeterminism (iteration over unordered maps,
+//! worker-count-dependent results, time-dependent seeding) breaks the
+//! paper reproduction, so these assert *byte equality* of serialized
+//! metrics, not approximate closeness.
+
+use csmt_core::Simulator;
+use csmt_experiments::bench::SLICE_WORKLOADS;
+use csmt_experiments::figures::fig2;
+use csmt_experiments::runner::{CfgKind, ExpOptions, Sweeps};
+use csmt_trace::suite::{suite, Workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+
+fn workload(name: &str) -> Workload {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("{name} not in suite"))
+}
+
+/// Same (workload, scheme, config) twice in-process → byte-identical
+/// serialized metrics. Covers a plain IQ-study run and a bounded-RF
+/// CDPRF run (the scheme with the most per-cycle state).
+#[test]
+fn same_run_twice_is_byte_identical() {
+    let cases = [
+        (
+            "ISPEC-FSPEC/mix.2.1",
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Shared,
+            MachineConfig::iq_study(32),
+        ),
+        (
+            "mixes/mix.2.3",
+            SchemeKind::Cssp,
+            RegFileSchemeKind::Cdprf,
+            MachineConfig::rf_study(64),
+        ),
+    ];
+    for (name, iq, rf, cfg) in cases {
+        let w = workload(name);
+        let run = || {
+            let mut sim = Simulator::new(cfg.clone(), iq, rf, &w.traces);
+            let r = sim.run_with_warmup(500, 2_000, 10_000_000);
+            serde_json::to_string(&r).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{name}/{iq}: two in-process runs diverged");
+    }
+}
+
+/// The fig2 AVG-row computation over the bench slice workloads must not
+/// depend on the worker count: `--workers 1` and `--workers 4` must give
+/// byte-identical results for every run in the grid and for the AVG row
+/// itself. Catches work-stealing/scheduling nondeterminism in the
+/// parallel sweep runner.
+#[test]
+fn fig2_avg_row_identical_across_worker_counts() {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| workload(n)).collect();
+    let grid: Vec<_> = fig2::combos()
+        .into_iter()
+        .map(|(s, iq)| (s, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq }))
+        .collect();
+
+    let sweep = |workers: usize| {
+        let sweeps = Sweeps::new(ExpOptions {
+            commit_target: 1_500,
+            warmup: 300,
+            max_cycles: 5_000_000,
+            workers,
+            verbose: false,
+        });
+        sweeps.smt_batch(&workloads, &grid);
+        // Serialize every result in grid order, then compute the AVG row
+        // exactly as fig2 does (mean of per-workload speedups vs
+        // Icount@32).
+        let mut blob = String::new();
+        let mut avg_row: Vec<f64> = Vec::new();
+        for &(s, rf, cfg) in &grid {
+            let mut mean = 0.0;
+            for w in &workloads {
+                let base = sweeps.get(&Sweeps::smt_key(
+                    w,
+                    SchemeKind::Icount,
+                    RegFileSchemeKind::Shared,
+                    CfgKind::IqStudy { iq: 32 },
+                ));
+                let r = sweeps.get(&Sweeps::smt_key(w, s, rf, cfg));
+                blob.push_str(&serde_json::to_string(&r).unwrap());
+                blob.push('\n');
+                mean += r.throughput() / base.throughput().max(1e-9);
+            }
+            avg_row.push(mean / workloads.len() as f64);
+        }
+        (blob, avg_row)
+    };
+
+    let (blob1, avg1) = sweep(1);
+    let (blob4, avg4) = sweep(4);
+    // Bit-exact, not approximately equal: f64 summation order must match.
+    assert_eq!(
+        avg1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        avg4.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "fig2 AVG row differs between --workers 1 and --workers 4"
+    );
+    assert_eq!(blob1, blob4, "per-run results differ across worker counts");
+}

@@ -54,6 +54,12 @@ pub struct Mob {
     free: Vec<u32>,
     /// Program-ordered (oldest first) entry indices per thread.
     order: [VecDeque<u32>; 2],
+    /// Program-ordered (oldest first) *store* entry indices per thread —
+    /// the subset `check_load` scans. Kept separately so a load's check is
+    /// O(older stores) instead of O(all in-flight memory ops): `seq` is
+    /// increasing along each deque, so the older/younger boundary is a
+    /// binary search away.
+    stores: [VecDeque<u32>; 2],
 }
 
 impl Mob {
@@ -63,6 +69,7 @@ impl Mob {
             entries: vec![DEAD; capacity],
             free: (0..capacity as u32).rev().collect(),
             order: [VecDeque::new(), VecDeque::new()],
+            stores: [VecDeque::new(), VecDeque::new()],
         }
     }
 
@@ -95,6 +102,9 @@ impl Mob {
             valid: true,
         };
         self.order[thread.idx()].push_back(idx);
+        if is_store {
+            self.stores[thread.idx()].push_back(idx);
+        }
         Some(MobIdx(idx))
     }
 
@@ -120,13 +130,15 @@ impl Mob {
             Some(a) => a,
             None => return LoadCheck::WaitOlderStore, // address not ready
         };
-        // Scan older same-thread stores from youngest to oldest.
+        // Scan older same-thread stores from youngest to oldest. The store
+        // deque is seq-ordered, so the older/younger boundary is found by
+        // binary search and only genuinely older stores are visited.
+        let stores = &self.stores[load.thread.idx()];
+        let n_older = stores.partition_point(|&i| self.entries[i as usize].seq < load.seq);
         let mut verdict = LoadCheck::Cache;
-        for &i in self.order[load.thread.idx()].iter().rev() {
-            let e = &self.entries[i as usize];
-            if e.seq >= load.seq || !e.is_store {
-                continue;
-            }
+        for k in (0..n_older).rev() {
+            let e = &self.entries[stores[k] as usize];
+            debug_assert!(e.valid && e.is_store && e.seq < load.seq);
             match e.addr {
                 None => return LoadCheck::WaitOlderStore,
                 Some((saddr, ssize)) => {
@@ -154,8 +166,14 @@ impl Mob {
         debug_assert!(e.valid, "double release of MOB entry {idx:?}");
         e.valid = false;
         let t = e.thread.idx();
+        let is_store = e.is_store;
         if let Some(pos) = self.order[t].iter().position(|&i| i == idx.0) {
             self.order[t].remove(pos);
+        }
+        if is_store {
+            if let Some(pos) = self.stores[t].iter().position(|&i| i == idx.0) {
+                self.stores[t].remove(pos);
+            }
         }
         self.free.push(idx.0);
     }

@@ -136,12 +136,18 @@ impl Journal {
     }
 
     /// Parse a journal file. Unparseable lines (e.g. a torn final line
-    /// after a crash) are skipped.
+    /// after a crash) are skipped. The file is read as raw bytes and each
+    /// line decoded independently: a crash mid-write can tear a multi-byte
+    /// UTF-8 sequence (or leave arbitrary garbage), and one bad line must
+    /// not discard the whole journal the way a failed
+    /// `read_to_string` would.
     pub fn read(path: impl AsRef<Path>) -> Vec<Event> {
-        let Ok(text) = fs::read_to_string(path) else {
+        let Ok(bytes) = fs::read(path) else {
             return Vec::new();
         };
-        text.lines()
+        bytes
+            .split(|&b| b == b'\n')
+            .filter_map(|l| std::str::from_utf8(l).ok())
             .filter_map(|l| serde_json::from_str::<Event>(l).ok())
             .collect()
     }
@@ -243,6 +249,78 @@ mod tests {
         // And the next run still gets a fresh id.
         let j = Journal::open(&dir).unwrap();
         assert_eq!(j.run_id(), 2);
+    }
+
+    #[test]
+    fn torn_line_with_invalid_utf8_does_not_lose_the_journal() {
+        // A kill -9 mid-write can truncate the final line anywhere —
+        // including inside a multi-byte UTF-8 sequence. Earlier journal
+        // events must survive such a tail byte-for-byte.
+        let dir = tmp("torn-utf8");
+        let j = Journal::open(&dir).unwrap();
+        j.log(EventKind::RunStart {
+            artifacts: vec!["fig2".into()],
+        });
+        j.log(EventKind::ArtifactEnd {
+            artifact: "fig2".into(),
+        });
+        drop(j);
+        let path = dir.join("journal.jsonl");
+        let mut bytes = fs::read(&path).unwrap();
+        // Torn line ending in the first byte of a two-byte sequence ('é').
+        bytes.extend_from_slice(
+            b"{\"run_id\":1,\"seq\":9,\"kind\":{\"JobPanic\":{\"error\":\"caf\xc3",
+        );
+        fs::write(&path, &bytes).unwrap();
+        let events = Journal::read(&path);
+        assert_eq!(events.len(), 2, "valid prefix must survive a torn tail");
+        assert_eq!(
+            Journal::resumable_artifacts(&path),
+            Some(vec!["fig2".to_string()]),
+            "resume set must come from the surviving events"
+        );
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.run_id(), 2, "run ids must keep increasing");
+    }
+
+    #[test]
+    fn truncation_drill_at_every_byte_boundary() {
+        // Chop the journal after every possible byte count and require the
+        // reader to recover exactly the fully-written lines.
+        let dir = tmp("drill");
+        let j = Journal::open(&dir).unwrap();
+        j.log(EventKind::RunStart {
+            artifacts: vec!["fig2".into()],
+        });
+        j.log(EventKind::JobOk {
+            job: job(),
+            wall_ms: 12,
+        });
+        j.log(EventKind::RunEnd { artifacts: 1 });
+        drop(j);
+        let path = dir.join("journal.jsonl");
+        let bytes = fs::read(&path).unwrap();
+        let full = Journal::read(&path);
+        assert_eq!(full.len(), 3);
+        let cut = dir.join("cut.jsonl");
+        for n in 0..=bytes.len() {
+            fs::write(&cut, &bytes[..n]).unwrap();
+            let got = Journal::read(&cut);
+            // Everything recovered must be a prefix of the real history —
+            // at least the newline-terminated lines (a cut between a line
+            // and its newline may legitimately recover one more).
+            let complete = bytes[..n].iter().filter(|&&b| b == b'\n').count();
+            assert!(
+                got.len() >= complete,
+                "cut at byte {n}: lost a fully-written line ({} < {complete})",
+                got.len()
+            );
+            assert_eq!(
+                got[..],
+                full[..got.len()],
+                "cut at byte {n}: recovered events must be a prefix of the history"
+            );
+        }
     }
 
     #[test]

@@ -142,6 +142,7 @@ impl std::fmt::Display for RegClass {
 /// [`crate::config::PortCaps`]), its base execution latency, and which
 /// register file its destination lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
 pub enum OpClass {
     /// Integer ALU operation (add, logic, shifts, address arithmetic).
     Int,
@@ -165,6 +166,32 @@ pub enum OpClass {
 }
 
 impl OpClass {
+    /// Number of distinct classes (dense `as_u8` range).
+    pub const COUNT: usize = 9;
+
+    /// Dense discriminant, for packing into bitfields.
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`OpClass::as_u8`]. Panics on out-of-range values.
+    #[inline]
+    pub fn from_u8(v: u8) -> OpClass {
+        match v {
+            0 => OpClass::Int,
+            1 => OpClass::IntMul,
+            2 => OpClass::FpSimd,
+            3 => OpClass::FpDiv,
+            4 => OpClass::Load,
+            5 => OpClass::Store,
+            6 => OpClass::Branch,
+            7 => OpClass::BranchIndirect,
+            8 => OpClass::Copy,
+            _ => panic!("invalid OpClass discriminant {v}"),
+        }
+    }
+
     /// Register class of the destination this uop writes (if any).
     #[inline]
     pub fn dest_class(self) -> RegClass {
@@ -276,6 +303,14 @@ mod tests {
             assert_eq!(c, c.other().other());
         }
         assert_eq!(ClusterId::all().count(), NUM_CLUSTERS);
+    }
+
+    #[test]
+    fn op_class_u8_round_trips() {
+        for v in 0..OpClass::COUNT as u8 {
+            assert_eq!(OpClass::from_u8(v).as_u8(), v);
+        }
+        assert_eq!(OpClass::Copy.as_u8(), OpClass::COUNT as u8 - 1);
     }
 
     #[test]

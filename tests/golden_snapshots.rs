@@ -1,0 +1,198 @@
+//! Golden snapshot tests: exact-integer fixtures locking the simulator's
+//! observable behaviour across refactors.
+//!
+//! Two fixtures live in `tests/golden/`:
+//!
+//! * `sim_stats.json` — full [`SimStats`] for six fixed runs spanning the
+//!   IQ and RF schemes. Any change to event ordering, resource accounting
+//!   or the cycle loop shows up here as a byte-level diff.
+//! * `fig_headline.json` — the fig2 (throughput speedup vs Icount@32) and
+//!   fig3 (copies per retired uop) headline values over the bench slice
+//!   workloads, i.e. a reduced-scale AVG row of the paper's figures. This
+//!   is what keeps the EXPERIMENTS.md claims (CSSP ×1.126, CDPRF ×1.125)
+//!   from silently drifting: a simulator change that alters the figures
+//!   at any scale alters these bytes.
+//!
+//! Regenerate intentionally with `CSMT_BLESS=1 cargo test --test
+//! golden_snapshots` and review the diff like any other code change.
+
+use clustered_smt::experiments::bench::{SLICE_COMBOS, SLICE_WORKLOADS};
+use clustered_smt::prelude::*;
+use serde::{Deserialize, Serialize};
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the committed fixture, or rewrite it when
+/// blessing. The assert is on whole strings so a mismatch shows both
+/// sides in full.
+fn assert_matches_fixture(name: &str, actual: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("CSMT_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read fixture {} ({e}); run with CSMT_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "simulator output drifted from fixture {name}; if intentional, \
+         re-bless with CSMT_BLESS=1 and review the diff"
+    );
+}
+
+fn workload(name: &str) -> Workload {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("{name} not in suite"))
+}
+
+#[derive(Serialize, Deserialize)]
+struct StatsRow {
+    workload: String,
+    iq: String,
+    rf: String,
+    config: String,
+    stats: clustered_smt::core::metrics::SimStats,
+}
+
+/// The six fixed runs of the `sim_stats.json` fixture.
+fn stats_fixture_runs() -> Vec<(String, SchemeKind, RegFileSchemeKind, MachineConfig, String)> {
+    use RegFileSchemeKind as RF;
+    use SchemeKind as IQ;
+    vec![
+        (
+            "DH/ilp.2.1",
+            IQ::Icount,
+            RF::Shared,
+            MachineConfig::iq_study(32),
+            "iq32",
+        ),
+        (
+            "multimedia/mix.2.1",
+            IQ::FlushPlus,
+            RF::Shared,
+            MachineConfig::iq_study(32),
+            "iq32",
+        ),
+        (
+            "ISPEC-FSPEC/mix.2.1",
+            IQ::Cssp,
+            RF::Shared,
+            MachineConfig::iq_study(64),
+            "iq64",
+        ),
+        (
+            "mixes/mix.2.3",
+            IQ::Cssp,
+            RF::Cdprf,
+            MachineConfig::rf_study(64),
+            "rf64",
+        ),
+        (
+            "mixes/mix.2.1",
+            IQ::Cisp,
+            RF::Shared,
+            MachineConfig::iq_study(32),
+            "iq32",
+        ),
+        (
+            "ISPEC-FSPEC/ilp.2.1",
+            IQ::Cspsp,
+            RF::Cssprf,
+            MachineConfig::rf_study(128),
+            "rf128",
+        ),
+    ]
+    .into_iter()
+    .map(|(w, iq, rf, cfg, label)| (w.to_string(), iq, rf, cfg, label.to_string()))
+    .collect()
+}
+
+#[test]
+fn sim_stats_match_golden_fixture() {
+    let rows: Vec<StatsRow> = stats_fixture_runs()
+        .into_iter()
+        .map(|(name, iq, rf, cfg, label)| {
+            let w = workload(&name);
+            let mut sim = Simulator::new(cfg, iq, rf, &w.traces);
+            let r = sim.run_with_warmup(1_000, 3_000, 10_000_000);
+            StatsRow {
+                workload: name,
+                iq: iq.to_string(),
+                rf: format!("{rf:?}"),
+                config: label,
+                stats: r.stats,
+            }
+        })
+        .collect();
+    let actual = serde_json::to_string_pretty(&rows).unwrap() + "\n";
+    assert_matches_fixture("sim_stats.json", &actual);
+}
+
+#[derive(Serialize, Deserialize)]
+struct HeadlineRow {
+    combo: String,
+    /// Mean throughput speedup vs Icount@32 over the slice workloads
+    /// (the fig2 AVG-row value at reduced scale).
+    fig2_speedup: f64,
+    /// Mean inter-cluster copies per retired uop (fig3's metric).
+    fig3_copies: f64,
+}
+
+#[test]
+fn fig2_fig3_headline_rows_match_golden_fixture() {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| workload(n)).collect();
+    // All 14 fig2 combos, not just the timed slice combos, so every IQ
+    // scheme's behaviour is pinned.
+    let mut combos: Vec<(SchemeKind, usize)> = Vec::new();
+    for s in SchemeKind::all() {
+        for iq in [32usize, 64] {
+            combos.push((s, iq));
+        }
+    }
+    assert!(SLICE_COMBOS.iter().all(|c| combos.contains(c)));
+
+    let run = |w: &Workload, s: SchemeKind, iq: usize| {
+        let mut sim = Simulator::new(
+            MachineConfig::iq_study(iq),
+            s,
+            RegFileSchemeKind::Shared,
+            &w.traces,
+        );
+        sim.run_with_warmup(500, 2_000, 10_000_000)
+    };
+    let bases: Vec<SimResult> = workloads
+        .iter()
+        .map(|w| run(w, SchemeKind::Icount, 32))
+        .collect();
+    let rows: Vec<HeadlineRow> = combos
+        .iter()
+        .map(|&(s, iq)| {
+            let mut speedup = 0.0;
+            let mut copies = 0.0;
+            for (w, base) in workloads.iter().zip(&bases) {
+                let r = run(w, s, iq);
+                speedup += r.throughput() / base.throughput().max(1e-9);
+                copies += r.copies_per_retired();
+            }
+            HeadlineRow {
+                combo: format!("{s}/{iq}"),
+                fig2_speedup: speedup / workloads.len() as f64,
+                fig3_copies: copies / workloads.len() as f64,
+            }
+        })
+        .collect();
+    let actual = serde_json::to_string_pretty(&rows).unwrap() + "\n";
+    assert_matches_fixture("fig_headline.json", &actual);
+}
