@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 fn perf_harness(c: &mut Criterion) {
     c.bench_function("bench_quick_harness", |b| {
-        b.iter(|| black_box(run(QUICK_SCALE, true, false)))
+        b.iter(|| black_box(run(QUICK_SCALE, true, false, 1)))
     });
 }
 

@@ -1,20 +1,29 @@
-//! `csmt-experiments bench` — reproducible perf harness for the cycle loop.
+//! `csmt-experiments bench` — reproducible perf harness for the cycle loop
+//! and the sweep executor.
 //!
-//! Two fixed measurements seed the perf trajectory (`BENCH_3.json` at the
-//! repo root):
+//! Three fixed measurements seed the perf trajectory (`BENCH_3.json` /
+//! `BENCH_4.json` at the repo root):
 //!
 //! * **fig2-slice** — a deterministic 16-run slice of the Figure 2 grid
-//!   (4 suite workloads × 4 scheme/IQ-size combos), timed end to end.
+//!   (4 suite workloads × 4 scheme/IQ-size combos), timed end to end on
+//!   one thread.
 //! * **cycle-loop** — `Simulator::step()` in a tight loop on one workload
 //!   with CSSP + CDPRF active, isolating the per-cycle cost from run
 //!   setup and metrics finalization.
+//! * **fig2-sweep** — the same 16-run slice executed through the real
+//!   [`Sweeps`] harness (orchestrator isolation + work-stealing
+//!   executor) at a configurable `--jobs` count. `fig2-sweep` at
+//!   `--jobs 1` vs `--jobs N` is the wall-clock speedup headline of the
+//!   parallel executor; the results themselves are bit-identical either
+//!   way (see `crates/experiments/tests/determinism.rs`).
 //!
-//! Both report wall time, simulated cycles/sec and committed uops/sec.
+//! All report wall time, simulated cycles/sec and committed uops/sec.
 //! The workloads, schemes and iteration counts are fixed constants so two
 //! runs on the same machine measure the same work; each measurement is
 //! repeated and the best repetition kept, which filters scheduler noise
 //! on loaded hosts.
 
+use crate::runner::{CfgKind, ExpOptions, Sweeps};
 use csmt_core::Simulator;
 use csmt_trace::suite::{suite, Workload};
 use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
@@ -174,6 +183,44 @@ fn measure_cycle_loop(scale: BenchScale) -> BenchMeasurement {
     finish("cycle-loop", best.unwrap())
 }
 
+/// Time the fig2 slice through the full [`Sweeps`] harness with `jobs`
+/// sweep workers (0 = `min(cores, 8)`). A fresh `Sweeps` per repetition:
+/// memoization would otherwise turn every rep after the first into a
+/// no-op.
+fn measure_sweep(scale: BenchScale, jobs: usize) -> BenchMeasurement {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| find_workload(n)).collect();
+    let combos: Vec<_> = SLICE_COMBOS
+        .iter()
+        .map(|&(s, iq)| (s, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq }))
+        .collect();
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..scale.reps {
+        let sweeps = Sweeps::new(ExpOptions {
+            commit_target: scale.slice_target,
+            warmup: 0,
+            max_cycles: 10_000_000,
+            jobs,
+            verbose: false,
+        });
+        let t0 = Instant::now();
+        sweeps.smt_batch(&workloads, &combos);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let mut cycles = 0u64;
+        let mut uops = 0u64;
+        for w in &workloads {
+            for &(s, rf, cfg) in &combos {
+                let r = sweeps.get(&Sweeps::smt_key(w, s, rf, cfg));
+                cycles += r.stats.cycles;
+                uops += r.stats.committed.iter().sum::<u64>();
+            }
+        }
+        if best.is_none() || wall < best.unwrap().0 {
+            best = Some((wall, cycles, uops));
+        }
+    }
+    finish("fig2-sweep", best.unwrap())
+}
+
 fn finish(name: &str, (wall_ms, cycles, uops): (f64, u64, u64)) -> BenchMeasurement {
     let secs = wall_ms / 1e3;
     BenchMeasurement {
@@ -186,8 +233,10 @@ fn finish(name: &str, (wall_ms, cycles, uops): (f64, u64, u64)) -> BenchMeasurem
     }
 }
 
-/// Run the full harness at the given scale.
-pub fn run(scale: BenchScale, quick: bool, verbose: bool) -> BenchReport {
+/// Run the full harness at the given scale. `jobs` is the sweep worker
+/// count of the `fig2-sweep` measurement (0 = `min(cores, 8)`); the
+/// other measurements are single-threaded by construction.
+pub fn run(scale: BenchScale, quick: bool, verbose: bool, jobs: usize) -> BenchReport {
     let mut measurements = Vec::new();
     for (label, f) in [
         (
@@ -201,6 +250,18 @@ pub fn run(scale: BenchScale, quick: bool, verbose: bool) -> BenchReport {
         }
         measurements.push(f(scale));
     }
+    if verbose {
+        eprintln!(
+            "bench: measuring fig2-sweep ({} reps, --jobs {})...",
+            scale.reps,
+            if jobs == 0 {
+                csmt_store::default_jobs()
+            } else {
+                jobs
+            }
+        );
+    }
+    measurements.push(measure_sweep(scale, jobs));
     BenchReport {
         schema: BENCH_SCHEMA,
         mode: if quick { "quick" } else { "full" }.to_string(),

@@ -65,7 +65,7 @@ mod tests {
             commit_target: 400,
             warmup: 100,
             max_cycles: 2_000_000,
-            workers: 0,
+            jobs: 0,
             verbose: false,
         });
         let t = run(&sweeps, "DH/ilp.2.1").expect("known workload");

@@ -1,11 +1,12 @@
 //! Command-line driver: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! csmt-experiments <artifact>... [--target N] [--workers N] [--csv DIR] [--quiet]
+//! csmt-experiments <artifact>... [--target N] [--jobs N] [--csv DIR] [--quiet]
 //!                                [--store DIR | --no-store] [--resume] [--bars]
 //! csmt-experiments all [--target N]
 //! csmt-experiments compare <a.json> <b.json> [tolerance]
-//! csmt-experiments bench [--quick] [--out FILE] [--baseline FILE] [--max-regression PCT]
+//! csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE]
+//!                        [--max-regression PCT]
 //! ```
 //!
 //! Results persist in a content-addressed store (`results/store` by
@@ -43,7 +44,9 @@ fn usage() -> String {
          options:\n\
          \x20 --target N     committed uops per thread per run (positive integer)\n\
          \x20 --warmup N     warm-up uops per thread before measuring (default: 10000)\n\
-         \x20 --workers N    worker threads, N >= 1 (default: all cores)\n\
+         \x20 --jobs N       sweep worker threads, N >= 1 (default: min(cores, 8);\n\
+         \x20                --jobs 1 runs serially; results are bit-identical for any N)\n\
+         \x20 --workers N    deprecated alias for --jobs\n\
          \x20 --csv DIR      also write <artifact>.csv and .json under DIR\n\
          \x20 --bars         render ASCII bar charts per column\n\
          \x20 --quiet        no progress dots\n\
@@ -52,7 +55,7 @@ fn usage() -> String {
          \x20 --resume       skip artifacts completed by an interrupted previous run\n\
          \n\
          csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)\n\
-         csmt-experiments bench [--quick] [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
+         csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
          \x20                                                       (perf harness; gate vs baseline)",
         ALL_ARTIFACTS.join(" "),
         ABLATIONS.join(" "),
@@ -87,17 +90,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|_| format!("--warmup needs a non-negative integer, got '{v}'"))?;
             }
-            "--workers" => {
-                let v = it.next().ok_or("--workers needs a value")?;
+            "--jobs" | "--workers" => {
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 let n = v
                     .parse::<usize>()
-                    .map_err(|_| format!("--workers needs an integer, got '{v}'"))?;
+                    .map_err(|_| format!("{a} needs an integer, got '{v}'"))?;
                 if n == 0 {
-                    return Err(
-                        "--workers must be at least 1 (omit the flag to use all cores)".into(),
-                    );
+                    return Err(format!(
+                        "{a} must be at least 1 (omit the flag for min(cores, 8))"
+                    ));
                 }
-                cli.opts.workers = n;
+                cli.opts.jobs = n;
             }
             "--csv" => {
                 cli.csv_dir = Some(it.next().ok_or("--csv needs a directory")?.clone());
@@ -244,20 +247,31 @@ fn main() {
     eprint!("{}", render_store_summary(&sweeps.counters()));
 }
 
-/// `bench [--quick] [--out FILE] [--baseline FILE] [--max-regression PCT]`:
-/// run the fixed perf harness, optionally write the JSON report and gate
-/// against a committed baseline (exit 1 on regression).
+/// `bench [--quick] [--jobs N] [--out FILE] [--baseline FILE]
+/// [--max-regression PCT]`: run the fixed perf harness, optionally write
+/// the JSON report and gate against a committed baseline (exit 1 on
+/// regression). `--jobs` sets the worker count of the `fig2-sweep`
+/// measurement (0/omitted = min(cores, 8)); the other measurements are
+/// single-threaded by construction.
 fn bench_cmd(args: &[String]) {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut max_regression = 0.20f64;
     let mut verbose = true;
+    let mut jobs = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--quiet" => verbose = false,
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| fail("--jobs needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => fail(&format!("--jobs needs an integer >= 1, got '{v}'")),
+                }
+            }
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => fail("--out needs a file"),
@@ -285,7 +299,7 @@ fn bench_cmd(args: &[String]) {
     } else {
         csmt_experiments::bench::FULL_SCALE
     };
-    let report = csmt_experiments::bench::run(scale, quick, verbose);
+    let report = csmt_experiments::bench::run(scale, quick, verbose, jobs);
     print!("{}", csmt_experiments::bench::render(&report));
     if let Some(path) = &out {
         let text = serde_json::to_string_pretty(&report).expect("bench report serializes");
@@ -365,6 +379,23 @@ mod tests {
     fn rejects_zero_workers() {
         let e = parse(&["fig2", "--workers", "0"]).unwrap_err();
         assert!(e.contains("--workers"), "{e}");
+        let e = parse(&["fig2", "--jobs", "0"]).unwrap_err();
+        assert!(e.contains("--jobs"), "{e}");
+    }
+
+    #[test]
+    fn jobs_flag_and_workers_alias_set_the_same_option() {
+        assert_eq!(parse(&["fig2", "--jobs", "4"]).unwrap().opts.jobs, 4);
+        assert_eq!(parse(&["fig2", "--workers", "4"]).unwrap().opts.jobs, 4);
+        assert_eq!(parse(&["fig2", "--jobs", "1"]).unwrap().opts.jobs, 1);
+        assert_eq!(
+            parse(&["fig2"]).unwrap().opts.jobs,
+            0,
+            "default resolves to min(cores, 8) in the executor"
+        );
+        assert!(parse(&["fig2", "--jobs", "two"])
+            .unwrap_err()
+            .contains("'two'"));
     }
 
     #[test]
@@ -412,10 +443,10 @@ mod tests {
 
     #[test]
     fn expands_artifact_groups_and_accepts_valid_flags() {
-        let cli = parse(&["all", "--target", "5000", "--workers", "2", "--quiet"]).unwrap();
+        let cli = parse(&["all", "--target", "5000", "--jobs", "2", "--quiet"]).unwrap();
         assert_eq!(cli.artifacts.len(), ALL_ARTIFACTS.len());
         assert_eq!(cli.opts.commit_target, 5000);
-        assert_eq!(cli.opts.workers, 2);
+        assert_eq!(cli.opts.jobs, 2);
         assert!(!cli.opts.verbose);
         let cli = parse(&["ablations", "detail:mixes/mix.2.1"]).unwrap();
         assert_eq!(cli.artifacts.len(), ABLATIONS.len() + 1);

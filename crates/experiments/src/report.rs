@@ -32,6 +32,14 @@ pub fn render_store_summary(c: &SweepCounters) -> String {
         c.orch.completed, c.orch.retries, c.orch.failures
     )
     .unwrap();
+    if c.exec.executed > 0 {
+        writeln!(
+            out,
+            "exec:  {} workers, {} jobs executed, {} stolen",
+            c.exec.workers, c.exec.executed, c.exec.steals
+        )
+        .unwrap();
+    }
     out
 }
 

@@ -2,9 +2,13 @@
 //!
 //! A [`Sweeps`] store maps [`RunKey`]s (workload × scheme × configuration)
 //! to [`SimResult`]s. Figures request batches of keys; the store simulates
-//! missing ones across worker threads (crossbeam scoped threads, one per
-//! available core) and memoizes, so e.g. the Icount@32 baseline shared by
-//! Figures 2, 3, 4 and 5 is simulated exactly once per process.
+//! missing ones across a work-stealing [`csmt_store::Executor`]
+//! (`--jobs N` worker threads, default `min(cores, 8)`; `--jobs 1` is a
+//! true serial path) and memoizes, so e.g. the Icount@32 baseline shared
+//! by Figures 2, 3, 4 and 5 is simulated exactly once per process.
+//! Results are aggregated **in batch order**, not completion order, so
+//! every figure, CSV and store record is byte-identical whatever the
+//! worker count or interleaving.
 //!
 //! With [`Sweeps::with_store`], memoization extends **across processes**:
 //! each run's identity (key + full [`MachineConfig`] + run options) is
@@ -18,15 +22,21 @@
 use csmt_core::metrics::{SimResult, SimStats};
 use csmt_core::Simulator;
 use csmt_store::{
-    EventKind, JobDesc, Journal, Lookup, OrchCounters, Orchestrator, ResultStore, RetryPolicy,
-    StoreCounters, StoreKey, SCHEMA_VERSION,
+    EventKind, ExecCounters, Executor, JobDesc, Journal, Lookup, OrchCounters, Orchestrator,
+    ResultStore, RetryPolicy, StoreCounters, StoreKey, SCHEMA_VERSION,
 };
 use csmt_trace::suite::{TraceSpec, Workload};
 use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Test-only fault injection for sweep jobs; see
+/// [`csmt_store::fault_injection`]. Re-exported here because the hook
+/// fires inside [`Sweeps`] jobs and the harness tests arm it through this
+/// path.
+#[doc(hidden)]
+pub use csmt_store::fault_injection;
 
 /// Machine configuration variants used by the paper's studies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -118,8 +128,9 @@ pub struct ExpOptions {
     pub warmup: u64,
     /// Hard cycle cap per run.
     pub max_cycles: u64,
-    /// Worker threads (0 = all available cores).
-    pub workers: usize,
+    /// Sweep worker threads (`--jobs`): 0 = `min(cores, 8)`, 1 = serial
+    /// on the caller's thread, N = that many work-stealing workers.
+    pub jobs: usize,
     /// Print progress dots.
     pub verbose: bool,
 }
@@ -130,7 +141,7 @@ impl Default for ExpOptions {
             commit_target: 20_000,
             warmup: 10_000,
             max_cycles: 30_000_000,
-            workers: 0,
+            jobs: 0,
             verbose: true,
         }
     }
@@ -143,6 +154,8 @@ pub struct SweepCounters {
     pub store: Option<StoreCounters>,
     /// Simulation outcomes (completed / retried / failed jobs).
     pub orch: OrchCounters,
+    /// Work-stealing executor traffic (workers used, jobs run, steals).
+    pub exec: ExecCounters,
 }
 
 /// Memoizing run store.
@@ -152,6 +165,7 @@ pub struct Sweeps {
     store: Option<Arc<ResultStore>>,
     journal: Option<Arc<Journal>>,
     orch: Orchestrator,
+    exec: Executor,
 }
 
 impl Sweeps {
@@ -164,6 +178,7 @@ impl Sweeps {
             store: None,
             journal: None,
             orch: Orchestrator::new(RetryPolicy::default(), None),
+            exec: Executor::new(opts.jobs),
         }
     }
 
@@ -179,7 +194,13 @@ impl Sweeps {
             store: Some(store),
             journal: Some(journal),
             orch,
+            exec: Executor::new(opts.jobs),
         })
+    }
+
+    /// Resolved sweep worker count.
+    pub fn jobs(&self) -> usize {
+        self.exec.jobs()
     }
 
     /// The persistent store, if any.
@@ -197,6 +218,7 @@ impl Sweeps {
         SweepCounters {
             store: self.store.as_ref().map(|s| s.counters()),
             orch: self.orch.counters(),
+            exec: self.exec.counters(),
         }
     }
 
@@ -276,49 +298,39 @@ impl Sweeps {
         if todo.is_empty() {
             return;
         }
-        let workers = if self.opts.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.opts.workers
-        }
-        .min(todo.len());
-        let next = AtomicUsize::new(0);
         let total = todo.len();
-        crossbeam::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let (key, input) = &todo[i];
-                    let desc = job_desc(key);
-                    let outcome = self.orch.run_job(&desc, || run_one(key, input, &self.opts));
-                    let result = match outcome {
-                        Some(result) => {
-                            if let Some(store) = &self.store {
-                                if let Err(e) = store.put(&self.store_key(key), &result) {
-                                    eprintln!("store write failed for {desc}: {e}");
-                                }
-                            }
-                            result
+        // Simulate the misses across the work-stealing executor. The job
+        // closure is self-contained (orchestrator isolation + store put);
+        // results come back in `todo` order, so what follows — map
+        // inserts, figure tables, CSVs — is independent of scheduling.
+        let results = self.exec.run(&todo, |_, (key, input)| {
+            let desc = job_desc(key);
+            let outcome = self.orch.run_job(&desc, || run_one(key, input, &self.opts));
+            let result = match outcome {
+                Some(result) => {
+                    if let Some(store) = &self.store {
+                        if let Err(e) = store.put(&self.store_key(key), &result) {
+                            eprintln!("store write failed for {desc}: {e}");
                         }
-                        // Every attempt panicked: record a zeroed result so
-                        // dependent figures render (as zeros) instead of
-                        // panicking; the journal and counters carry the
-                        // failure.
-                        None => failed_placeholder(input, &self.opts),
-                    };
-                    if self.opts.verbose {
-                        eprint!(".");
                     }
-                    self.results.lock().insert(key.clone(), result);
-                });
+                    result
+                }
+                // Every attempt panicked: record a zeroed result so
+                // dependent figures render (as zeros) instead of
+                // panicking; the journal and counters carry the
+                // failure.
+                None => failed_placeholder(input, &self.opts),
+            };
+            if self.opts.verbose {
+                eprint!(".");
             }
-        })
-        .expect("worker panicked");
+            result
+        });
+        let mut map = self.results.lock();
+        for ((key, _), result) in todo.into_iter().zip(results) {
+            map.insert(key, result);
+        }
+        drop(map);
         if self.opts.verbose {
             eprintln!(" [{total} runs]");
         }
@@ -410,47 +422,6 @@ fn run_one(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
     sim.run_with_warmup(opts.warmup, opts.commit_target, opts.max_cycles)
 }
 
-/// Test-only fault injection: arm a number of simulated-run panics for
-/// workload labels containing a substring, to exercise the retry and
-/// failure paths end-to-end. Disarmed it costs one uncontended mutex
-/// check per run — noise next to a simulation. Not part of the public
-/// API.
-#[doc(hidden)]
-pub mod fault_injection {
-    use std::sync::Mutex;
-
-    struct Injection {
-        label_contains: String,
-        remaining: u32,
-    }
-
-    static ARMED: Mutex<Option<Injection>> = Mutex::new(None);
-
-    /// Arm `times` panics for runs whose label contains `label_contains`.
-    pub fn arm(label_contains: &str, times: u32) {
-        *ARMED.lock().unwrap() = Some(Injection {
-            label_contains: label_contains.to_string(),
-            remaining: times,
-        });
-    }
-
-    /// Disarm and return how many armed panics were left unused.
-    pub fn disarm() -> u32 {
-        ARMED.lock().unwrap().take().map_or(0, |i| i.remaining)
-    }
-
-    pub(crate) fn maybe_panic(label: &str) {
-        let mut guard = ARMED.lock().unwrap();
-        if let Some(inj) = guard.as_mut() {
-            if inj.remaining > 0 && label.contains(&inj.label_contains) {
-                inj.remaining -= 1;
-                drop(guard);
-                panic!("injected fault for test ({label})");
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,7 +432,7 @@ mod tests {
             commit_target: 800,
             warmup: 200,
             max_cycles: 2_000_000,
-            workers: 0,
+            jobs: 0,
             verbose: false,
         }
     }
@@ -588,7 +559,7 @@ mod tests {
         fault_injection::arm(&ws[0].name, 1);
         let sweeps = Sweeps::with_store(
             ExpOptions {
-                workers: 1,
+                jobs: 1,
                 ..tiny_opts()
             },
             &dir,
@@ -634,7 +605,7 @@ mod tests {
         fault_injection::arm(&ws[0].name, u32::MAX); // outlasts every retry
         let sweeps = Sweeps::with_store(
             ExpOptions {
-                workers: 1,
+                jobs: 1,
                 ..tiny_opts()
             },
             &dir,
@@ -664,12 +635,12 @@ mod tests {
             CfgKind::IqStudy { iq: 32 },
         )];
         let a = Sweeps::new(ExpOptions {
-            workers: 1,
+            jobs: 1,
             ..tiny_opts()
         });
         a.smt_batch(&ws, &combos);
         let b = Sweeps::new(ExpOptions {
-            workers: 3,
+            jobs: 3,
             ..tiny_opts()
         });
         b.smt_batch(&ws, &combos);

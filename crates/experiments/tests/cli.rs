@@ -127,6 +127,88 @@ fn resume_skips_artifacts_completed_by_an_interrupted_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The determinism guarantee at the CLI boundary: the rendered artifact
+/// (stdout) is byte-identical whatever `--jobs` says. Any scheduling
+/// dependence that sneaks past the in-process determinism tests would
+/// surface here as a table diff.
+#[test]
+fn jobs_counts_render_byte_identical_tables() {
+    let serial = run(&[&[ARTIFACT, "--no-store", "--jobs", "1"], FAST].concat());
+    let parallel = run(&[&[ARTIFACT, "--no-store", "--jobs", "2"], FAST].concat());
+    assert!(serial.status.success(), "{}", stderr(&serial));
+    assert!(parallel.status.success(), "{}", stderr(&parallel));
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "--jobs 1 and --jobs 2 rendered different tables"
+    );
+}
+
+/// The resume drill under parallelism: a `--jobs 4` sweep dies mid-flight
+/// (simulated by truncating the journal after the first artifact's
+/// ArtifactEnd and leaving a torn half-written line behind, exactly what
+/// a kill -9 during an append leaves). `--resume --jobs 4` must skip the
+/// completed artifact, serve the rest from the store, and simulate
+/// nothing.
+#[test]
+fn resume_completes_a_killed_parallel_sweep_from_the_store() {
+    let dir = tmp("parresume");
+    let store = dir.to_str().unwrap();
+    const SECOND: &str = "detail:DH/ilp.2.2";
+
+    // Cold parallel run of both artifacts: populates the store fully and
+    // journals a clean run.
+    let cold = run(&[&[ARTIFACT, SECOND, "--store", store, "--jobs", "4"], FAST].concat());
+    assert!(cold.status.success(), "cold run failed: {}", stderr(&cold));
+    assert!(stderr(&cold).contains("14 simulated"), "{}", stderr(&cold));
+
+    // Kill the run retroactively: drop everything after the first
+    // artifact completed, then append a torn fragment with no newline.
+    let journal_path = dir.join("journal.jsonl");
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    let end = text
+        .lines()
+        .position(|l| l.contains("ArtifactEnd"))
+        .expect("first artifact completion is journaled");
+    let mut truncated: String = text
+        .lines()
+        .take(end + 1)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    truncated.push_str("{\"seq\":9999,\"run_id\":1,\"kind\":{\"JobOk\":{\"jo");
+    std::fs::write(&journal_path, truncated).unwrap();
+
+    // Resume with the same parallelism: the finished artifact is skipped,
+    // the interrupted one is served entirely from the store.
+    let resumed = run(&[
+        &[
+            ARTIFACT, SECOND, "--store", store, "--resume", "--jobs", "4",
+        ],
+        FAST,
+    ]
+    .concat());
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let e = stderr(&resumed);
+    assert!(e.contains(&format!("resume: skipping {ARTIFACT}")), "{e}");
+    assert!(e.contains("7 hits / 0 misses (100.0% warm)"), "{e}");
+    assert!(e.contains("0 simulated"), "{e}");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(!stdout.contains("DH/ilp.2.1"), "skipped artifact rendered");
+    assert!(
+        stdout.contains("DH/ilp.2.2"),
+        "resumed artifact must render"
+    );
+
+    // The resumed run closed cleanly: a further --resume has nothing to do.
+    let again = run(&[&[ARTIFACT, SECOND, "--store", store, "--resume"], FAST].concat());
+    assert!(
+        stderr(&again).contains("resume: no interrupted run found"),
+        "{}",
+        stderr(&again)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn no_store_disables_persistence() {
     let dir = tmp("nostore");

@@ -13,7 +13,6 @@ use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identity of one simulation job inside an event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -75,11 +74,24 @@ pub struct Event {
 }
 
 /// Appending journal writer for one run.
+///
+/// The writer is safe to share across sweep workers: `seq` is assigned
+/// **under the same lock** as the file append, so the on-disk line order
+/// always matches the sequence order — event `seq = k` is the `k`-th line
+/// this run wrote, however many threads are logging. (A separate atomic
+/// counter would let a worker grab `seq = 4`, lose the CPU, and have
+/// `seq = 5` hit the disk first — a torn tail after a crash would then
+/// eat the wrong event.)
 pub struct Journal {
     path: PathBuf,
     run_id: u64,
-    seq: AtomicU64,
-    file: Mutex<fs::File>,
+    writer: Mutex<Writer>,
+}
+
+/// Sequence counter + file handle, advanced together under one lock.
+struct Writer {
+    seq: u64,
+    file: fs::File,
 }
 
 impl Journal {
@@ -103,8 +115,7 @@ impl Journal {
         Ok(Journal {
             path,
             run_id,
-            seq: AtomicU64::new(0),
-            file: Mutex::new(file),
+            writer: Mutex::new(Writer { seq: 0, file }),
         })
     }
 
@@ -118,20 +129,22 @@ impl Journal {
         &self.path
     }
 
-    /// Append one event, assigning the next sequence number. Flushed
+    /// Append one event, assigning the next sequence number under the
+    /// writer lock (see the type docs: seq order == file order). Flushed
     /// immediately; write errors are swallowed (the journal is telemetry —
     /// it must never take a sweep down).
     pub fn log(&self, kind: EventKind) {
+        let mut w = self.writer.lock();
         let event = Event {
             run_id: self.run_id,
-            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            seq: w.seq,
             kind,
         };
+        w.seq += 1;
         if let Ok(line) = serde_json::to_string(&event) {
-            let mut f = self.file.lock();
-            let _ = f.write_all(line.as_bytes());
-            let _ = f.write_all(b"\n");
-            let _ = f.flush();
+            let _ = w.file.write_all(line.as_bytes());
+            let _ = w.file.write_all(b"\n");
+            let _ = w.file.flush();
         }
     }
 
@@ -222,6 +235,46 @@ mod tests {
             EventKind::CacheMiss { job: job() },
             "identity fields must round-trip"
         );
+    }
+
+    #[test]
+    fn concurrent_writers_keep_file_order_equal_to_seq_order() {
+        // Eight threads log concurrently; the journal must come back with
+        // seq 0..n in file order — the invariant sweep workers rely on
+        // when a torn tail is dropped after a crash.
+        let dir = tmp("concurrent");
+        let j = Journal::open(&dir).unwrap();
+        let threads = 8;
+        let per_thread = 50u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let j = &j;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        j.log(EventKind::JobOk {
+                            job: job(),
+                            wall_ms: t * 1000 + i,
+                        });
+                    }
+                });
+            }
+        });
+        let events = Journal::read(j.path());
+        assert_eq!(events.len(), (threads * per_thread) as usize);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "file order must equal seq order");
+            assert_eq!(e.run_id, 1);
+        }
+        // Nothing torn or interleaved: every thread's 50 events arrived.
+        for t in 0..threads {
+            let n = events
+                .iter()
+                .filter(
+                    |e| matches!(e.kind, EventKind::JobOk { wall_ms, .. } if wall_ms / 1000 == t),
+                )
+                .count();
+            assert_eq!(n, per_thread as usize, "thread {t} lost events");
+        }
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! * [`Orchestrator`] wraps each simulation in `catch_unwind` with a
 //!   bounded retry budget: one poisoned run is recorded as a failed job
 //!   and the rest of the sweep completes.
+//! * [`Executor`] runs a fixed bag of jobs across `--jobs N`
+//!   work-stealing worker threads (per-worker deques, steal-from-the-back
+//!   when dry) and hands results back **in item order**, so sweep
+//!   aggregation is byte-identical whatever the interleaving; `jobs = 1`
+//!   is a true serial path on the caller's thread.
 //!
 //! ## On-disk layout
 //!
@@ -34,12 +39,16 @@
 //!   quarantine/<hash>.json corrupt records, moved aside for post-mortem
 //! ```
 
+pub mod executor;
 pub mod journal;
 pub mod key;
 pub mod orchestrator;
 pub mod store;
 
+pub use executor::{default_jobs, ExecCounters, Executor};
 pub use journal::{Event, EventKind, JobDesc, Journal};
 pub use key::{fnv1a, StoreKey, SCHEMA_VERSION};
+#[doc(hidden)]
+pub use orchestrator::fault_injection;
 pub use orchestrator::{OrchCounters, Orchestrator, RetryPolicy};
 pub use store::{Lookup, ResultStore, StoreCounters};

@@ -114,6 +114,67 @@ impl Orchestrator {
     }
 }
 
+/// Test-only fault injection: arm a number of simulated-job panics for
+/// job labels containing a substring, to exercise the retry and failure
+/// paths end-to-end (the sweep runner checks [`fault_injection::maybe_panic`]
+/// at the top of every job).
+///
+/// Safe under concurrent sweep workers and concurrent tests: the armed
+/// state is a list of independent injections — arming for one label never
+/// clobbers another label's countdown — and matching + decrement happen
+/// under a single lock, so exactly `times` panics fire however many
+/// workers race through `maybe_panic`. Disarmed it costs one uncontended
+/// mutex check per job — noise next to a simulation. Not part of the
+/// public API.
+#[doc(hidden)]
+pub mod fault_injection {
+    use std::sync::Mutex;
+
+    struct Injection {
+        label_contains: String,
+        remaining: u32,
+    }
+
+    static ARMED: Mutex<Vec<Injection>> = Mutex::new(Vec::new());
+
+    /// Arm `times` panics for jobs whose label contains `label_contains`.
+    /// Independent of any other armed label.
+    pub fn arm(label_contains: &str, times: u32) {
+        ARMED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Injection {
+                label_contains: label_contains.to_string(),
+                remaining: times,
+            });
+    }
+
+    /// Disarm every injection and return how many armed panics were left
+    /// unused in total.
+    pub fn disarm() -> u32 {
+        ARMED
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .map(|i| i.remaining)
+            .sum()
+    }
+
+    /// Panic iff an armed injection matches `label` and has shots left.
+    /// The decrement happens before the panic, under the lock.
+    pub fn maybe_panic(label: &str) {
+        let mut guard = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = guard
+            .iter_mut()
+            .find(|inj| inj.remaining > 0 && label.contains(&inj.label_contains));
+        if let Some(inj) = hit {
+            inj.remaining -= 1;
+            drop(guard);
+            panic!("injected fault for test ({label})");
+        }
+    }
+}
+
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {

@@ -93,6 +93,8 @@ pub struct ResultStore {
     root: PathBuf,
     /// hash → record file name. The in-memory warm index.
     index: Mutex<HashMap<u64, String>>,
+    /// Distinguishes concurrent temp files (see [`ResultStore::put`]).
+    tmp_seq: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
@@ -126,7 +128,14 @@ impl ResultStore {
         // authoritative; index.jsonl is an accelerator.
         let mut on_disk: HashMap<u64, String> = HashMap::new();
         for dirent in fs::read_dir(root.join("records"))? {
-            let name = dirent?.file_name().to_string_lossy().into_owned();
+            let dirent = dirent?;
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                // Orphan from a crash mid-`put`; the rename never happened
+                // so it carries no committed data.
+                let _ = fs::remove_file(dirent.path());
+                continue;
+            }
             if let Some(stem) = name.strip_suffix(".json") {
                 if let Ok(h) = u64::from_str_radix(stem, 16) {
                     on_disk.insert(h, name);
@@ -141,6 +150,7 @@ impl ResultStore {
         Ok(ResultStore {
             root,
             index: Mutex::new(index),
+            tmp_seq: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             puts: AtomicU64::new(0),
@@ -244,7 +254,16 @@ impl ResultStore {
         .expect("header serializes");
 
         let records = self.root.join("records");
-        let tmp = records.join(format!(".tmp-{stem}"));
+        // The temp name carries the pid and a per-store sequence number,
+        // not just the content hash: two workers putting the *same* key
+        // concurrently must not write through one temp file (interleaved
+        // writes would tear it). Each writes its own temp and the renames
+        // commit whole records in either order — same bytes either way.
+        let tmp = records.join(format!(
+            ".tmp-{}-{}-{stem}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(header.as_bytes())?;
@@ -397,6 +416,23 @@ mod tests {
         k2.commit_target = 2000;
         store.put(&k1, &result(1)).unwrap();
         assert!(matches!(store.get(&k2), Lookup::Miss));
+    }
+
+    #[test]
+    fn orphaned_temp_files_are_swept_on_open() {
+        let dir = tmp("orphan");
+        let k = key("w7");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put(&k, &result(4)).unwrap();
+        }
+        // Simulate a crash mid-put: a temp file that never got renamed.
+        let stale = dir.join("records").join(".tmp-999-0-deadbeef");
+        fs::write(&stale, b"half a record").unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!stale.exists(), "orphaned temp must be removed");
+        assert_eq!(store.len(), 1, "committed records are untouched");
+        assert!(matches!(store.get(&k), Lookup::Hit(_)));
     }
 
     #[test]

@@ -10,7 +10,7 @@ fn tiny() -> Sweeps {
         commit_target: 400,
         warmup: 100,
         max_cycles: 2_000_000,
-        workers: 0,
+        jobs: 0,
         verbose: false,
     })
 }

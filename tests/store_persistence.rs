@@ -11,7 +11,7 @@ fn opts() -> ExpOptions {
         commit_target: 400,
         warmup: 100,
         max_cycles: 2_000_000,
-        workers: 0,
+        jobs: 0,
         verbose: false,
     }
 }
