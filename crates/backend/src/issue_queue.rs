@@ -83,6 +83,25 @@ impl IssueQueue {
         self.entries.iter().copied().zip(self.meta.iter().copied())
     }
 
+    /// Iterate `(uop id, owning thread)` pairs oldest-first (introspection
+    /// for the invariant checker).
+    pub fn iter_with_owner(&self) -> impl Iterator<Item = (u32, ThreadId)> + '_ {
+        self.entries
+            .iter()
+            .copied()
+            .zip(self.owners.iter().copied())
+    }
+
+    /// Occupancy conservation: the per-thread counters add up to the entry
+    /// count and match the owner list.
+    pub fn conserves_occupancy(&self) -> bool {
+        let mut counted = [0usize; 2];
+        for t in &self.owners {
+            counted[t.idx()] += 1;
+        }
+        counted == self.per_thread && self.entries.len() == self.owners.len()
+    }
+
     /// The entry ids and their metadata words, age-ordered, with the
     /// metadata mutable: the select loop caches per-entry wakeup hints in
     /// spare metadata bits while it scans.

@@ -63,6 +63,21 @@ impl RegFile {
         }
     }
 
+    /// Actual free-list length, even for unbounded files (introspection
+    /// for the invariant checker; prefer [`Self::free_count`] for
+    /// allocation decisions).
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Free-list conservation: for a bounded file, every register is
+    /// either free or accounted to a thread. Unbounded files only require
+    /// that no thread count underflowed (enforced at release). The checker
+    /// crates call this instead of reimplementing the arithmetic.
+    pub fn conserves_registers(&self) -> bool {
+        self.unbounded || self.free.len() + self.used_total() == self.capacity
+    }
+
     /// Whether an allocation would succeed against the *hard* capacity
     /// (schemes impose their own softer limits on top).
     pub fn has_free(&self) -> bool {

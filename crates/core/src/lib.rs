@@ -37,6 +37,7 @@
 
 #![allow(clippy::needless_range_loop)]
 
+pub mod check;
 pub mod metrics;
 pub mod pipeline;
 pub mod probe;
@@ -44,9 +45,12 @@ pub mod schemes;
 pub mod steering;
 pub mod tracelog;
 
+pub use check::{CheckSuite, UopView, Validator, Violation};
 pub use metrics::{fairness, FigureRow, SimResult, SimStats};
 pub use pipeline::{SimBuilder, Simulator};
 pub use probe::MachineSnapshot;
-pub use schemes::{make_iq_scheme, make_rf_scheme, IqScheme, RfScheme, RfView, SchedView};
+pub use schemes::{
+    make_iq_scheme, make_rf_scheme, IqScheme, RfScheme, RfView, SchedView, SteeredCaps,
+};
 pub use steering::{steer, SteerDecision};
 pub use tracelog::{EventLog, UopRecord};

@@ -23,7 +23,11 @@ impl Simulator {
         let mut issued_any = false;
         let mut to_issue = std::mem::take(&mut self.issue_buf);
 
-        for c in 0..NUM_CLUSTERS {
+        // Clusters are scanned in orientation order: shared resources
+        // booked during issue (inter-cluster links) then go to mirrored
+        // clusters under a mirrored workload.
+        for cscan in 0..NUM_CLUSTERS {
+            let c = cscan ^ self.orient as usize;
             // While `now` is below the earliest timed hint seen by the
             // previous scan, and nothing was inserted (resets the bound to
             // 0) or woken (sets the dirty flag), no entry can be ready:
@@ -157,6 +161,7 @@ impl Simulator {
                         log.on_issue(t, seq, self.now);
                     }
                 }
+                self.check_event(|ck, sim| ck.on_issue(sim, id));
             }
         }
         self.issue_buf = to_issue;
@@ -406,6 +411,7 @@ impl Simulator {
                 log.on_complete(thread, seq, now);
             }
         }
+        self.check_event(|ck, sim| ck.on_complete(sim, id));
         if mispredicted && !wrong_path {
             self.resolve_mispredict(thread, id, now);
         }

@@ -88,6 +88,7 @@ impl Simulator {
             [self.iqs[0].len(), self.iqs[1].len()],
             self.cfg.steer_imbalance_threshold,
             forced,
+            self.orient,
         );
         let preferred = decision.preferred;
         let candidates: &[ClusterId] = if forced.is_some() {
@@ -287,6 +288,7 @@ impl Simulator {
             if let Some(log) = self.event_log.as_mut() {
                 log.on_dispatch(t, seq, 0, OpClass::Copy, true, self.now);
             }
+            self.check_event(|ck, sim| ck.on_dispatch(sim, id));
             resolved[si] = Some(SrcInfo {
                 class: s.class,
                 phys: dest_phys,
@@ -355,6 +357,7 @@ impl Simulator {
         if let Some(log) = self.event_log.as_mut() {
             log.on_dispatch(t, seq, u.pc, u.class, false, self.now);
         }
+        self.check_event(|ck, sim| ck.on_dispatch(sim, id));
         if fu.mispredicted {
             debug_assert!(self.threads[ti].unresolved_mispredict.is_none());
             self.threads[ti].unresolved_mispredict = Some(id);

@@ -19,9 +19,10 @@ impl Simulator {
     pub(crate) fn fetch(&mut self) {
         let mut best: Option<(usize, usize)> = None;
         let n = self.threads.len();
-        // Alternate scan order each cycle so ties don't favor thread 0.
+        // Alternate scan order each cycle (phased by the orientation bit)
+        // so ties don't structurally favor either thread.
         for k in 0..n {
-            let i = (k + (self.now & 1) as usize) % n;
+            let i = (k + ((self.now & 1) as usize ^ self.orient as usize)) % n;
             let th = &self.threads[i];
             if th.fetch_resume_at > self.now || th.fetchq.room() == 0 {
                 continue;

@@ -444,6 +444,17 @@ pub struct Simulator {
     pub(crate) rf_starved: [[bool; RegClass::COUNT]; 2],
     /// Opt-in per-uop event log (None = zero overhead).
     pub(crate) event_log: Option<crate::tracelog::EventLog>,
+    /// Orientation bit for every scheduling tie-break (fetch/rename/commit
+    /// alternation phase, steering ties, cluster scan order). Always 0 in
+    /// the historical mode; with [`MachineConfig::symmetric_sched`] it is
+    /// derived from the thread *programs* so that swapping the two threads'
+    /// programs yields an exactly mirrored execution.
+    pub(crate) orient: u8,
+    /// The trace specs this simulator was built from (oracle replay).
+    pub(crate) specs: Vec<TraceSpec>,
+    /// Opt-in architectural invariant checker (None = zero overhead).
+    /// Debug builds arm the standard validators by default.
+    pub(crate) checker: Option<crate::check::CheckSuite>,
 }
 
 impl Simulator {
@@ -456,6 +467,29 @@ impl Simulator {
     ) -> Self {
         cfg.validate().expect("invalid machine configuration");
         assert!(!traces.is_empty() && traces.len() <= 2, "1 or 2 threads");
+        // Program-derived orientation (symmetric-scheduling mode): hash
+        // each thread's (profile, seed) identity and orient every
+        // tie-break by which hash is larger. Swapping the two programs
+        // flips the bit, which mirrors every structural tie-break.
+        let orient = if cfg.symmetric_sched && traces.len() == 2 {
+            let h = |s: &TraceSpec| {
+                let mut x: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut eat = |b: u8| {
+                    x ^= b as u64;
+                    x = x.wrapping_mul(0x0000_0100_0000_01b3);
+                };
+                for b in s.profile.name.bytes() {
+                    eat(b);
+                }
+                for b in s.seed.to_le_bytes() {
+                    eat(b);
+                }
+                x
+            };
+            (h(&traces[0]) > h(&traces[1])) as u8
+        } else {
+            0
+        };
         let make_rf = |cluster_regs: usize| {
             if cfg.unbounded_regs {
                 RegFile::unbounded()
@@ -527,9 +561,16 @@ impl Simulator {
             rf_view_cycle: RfView::default(),
             now: 0,
             stats: SimStats::default(),
-            commit_rr: 0,
+            commit_rr: orient,
             rf_starved: [[false; RegClass::COUNT]; 2],
             event_log: None,
+            orient,
+            specs: traces.to_vec(),
+            checker: if cfg!(debug_assertions) {
+                Some(crate::check::CheckSuite::standard())
+            } else {
+                None
+            },
             threads,
             cfg,
         };
@@ -545,8 +586,12 @@ impl Simulator {
     /// keep missing, as they should.
     fn warm_caches(&mut self) {
         let l2_lines = (self.cfg.l2_size / self.cfg.l1_line) as u64;
-        let per_thread = l2_lines / (2 * self.threads.len().max(1) as u64);
-        for th in &self.threads {
+        let n = self.threads.len().max(1);
+        let per_thread = l2_lines / (2 * n as u64);
+        // Warm in orientation order so mirrored workloads contend for the
+        // shared warm-up budget in the mirrored order.
+        for i in 0..self.threads.len() {
+            let th = &self.threads[(i + self.orient as usize) % n];
             let mut budget = per_thread;
             for (i, (start, len)) in th.trace.program().warm_ranges().into_iter().enumerate() {
                 // Range 0 is the hot region: L1-resident.
@@ -582,11 +627,26 @@ impl Simulator {
         }
     }
 
+    /// Run a checker callback with the suite temporarily taken out of
+    /// `self`, so validators can inspect the whole simulator immutably.
+    /// No-op (one branch) when no checker is armed.
+    #[inline]
+    pub(crate) fn check_event(
+        &mut self,
+        f: impl FnOnce(&mut crate::check::CheckSuite, &Simulator),
+    ) {
+        if self.checker.is_some() {
+            let mut ck = self.checker.take().unwrap();
+            f(&mut ck, self);
+            self.checker = Some(ck);
+        }
+    }
+
     /// Current scheduler view (built fresh each cycle; cheap).
     pub(crate) fn sched_view(&self) -> SchedView {
         let mut v = SchedView {
             iq_capacity: self.cfg.iq_per_cluster,
-            cycle_parity: (self.now & 1) as usize,
+            cycle_parity: ((self.now & 1) as usize) ^ self.orient as usize,
             ..Default::default()
         };
         for (i, th) in self.threads.iter().enumerate() {
@@ -638,6 +698,13 @@ impl Simulator {
         // register files, so the view is current.
         self.rf_scheme
             .end_cycle(&self.rf_view_cycle, &self.rf_starved);
+        // Per-cycle invariant sweep (after the RF scheme's own end-cycle
+        // update so budget mirrors observe the same inputs it consumed).
+        if self.checker.is_some() {
+            let mut ck = self.checker.take().unwrap();
+            ck.end_cycle(self);
+            self.checker = Some(ck);
+        }
         self.now += 1;
     }
 
@@ -840,12 +907,91 @@ impl Simulator {
         self.event_log.as_ref()
     }
 
+    /// Arm the standard architectural validators (conservation, scheme
+    /// caps, copy locality, ROB FIFO, CDPRF budget mirror). Debug builds
+    /// arm them at construction; release builds pay nothing until this is
+    /// called. Idempotent — an armed suite is kept, not replaced.
+    pub fn enable_validation(&mut self) {
+        if self.checker.is_none() {
+            self.checker = Some(crate::check::CheckSuite::standard());
+        }
+    }
+
+    /// Drop the checker entirely (also drops any recorded violations).
+    pub fn disable_validation(&mut self) {
+        self.checker = None;
+    }
+
+    /// Whether any validator suite is armed.
+    pub fn validation_enabled(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// Arm the differential oracle: an in-order replay of each thread's
+    /// program cross-checked against the committed-uop stream. Not armed
+    /// by default even in debug builds — harnesses that inject synthetic
+    /// uops (e.g. [`Self::debug_inject`]) would falsely diverge. Arms the
+    /// standard suite too if nothing is armed yet.
+    pub fn enable_oracle(&mut self) {
+        self.enable_validation();
+        let specs = self.specs.clone();
+        self.checker.as_mut().unwrap().add_oracle(&specs);
+    }
+
+    /// Add a custom validator (arms an empty suite first if none is
+    /// armed, so only the added validator runs).
+    pub fn add_validator(&mut self, v: Box<dyn crate::check::Validator>) {
+        if self.checker.is_none() {
+            self.checker = Some(crate::check::CheckSuite::empty());
+        }
+        self.checker.as_mut().unwrap().add(v);
+    }
+
+    /// Read-only view of a live uop by slab id (external-validator
+    /// support: the slab itself is crate-private).
+    pub fn uop_view(&self, id: u32) -> crate::check::UopView {
+        let e = self.slab.get(id);
+        crate::check::UopView {
+            thread: e.thread,
+            seq: e.seq,
+            pc: e.uop.pc,
+            class: e.uop.class,
+            is_copy: e.is_copy,
+            wrong_path: e.wrong_path,
+            cluster: e.cluster,
+        }
+    }
+
+    /// Collect violations instead of panicking on the first one
+    /// (mutation-testing support). Fail-fast is the default.
+    pub fn set_validation_fail_fast(&mut self, fail_fast: bool) {
+        if let Some(ck) = self.checker.as_mut() {
+            ck.set_fail_fast(fail_fast);
+        }
+    }
+
+    /// Drain the violations recorded so far (empty in fail-fast mode,
+    /// which panics instead).
+    pub fn take_violations(&mut self) -> Vec<crate::check::Violation> {
+        self.checker
+            .as_mut()
+            .map(|ck| ck.take_violations())
+            .unwrap_or_default()
+    }
+
     /// Test/debug: suppress fetch on every thread (injection harnesses).
     #[doc(hidden)]
     pub fn debug_disable_fetch(&mut self) {
         for th in self.threads.iter_mut() {
             th.fetch_resume_at = u64::MAX;
         }
+    }
+
+    /// Test/debug: suppress fetch on one thread only (single-thread
+    /// equivalence harnesses leave the other thread's context idle).
+    #[doc(hidden)]
+    pub fn debug_disable_fetch_thread(&mut self, t: usize) {
+        self.threads[t].fetch_resume_at = u64::MAX;
     }
 
     /// Test/debug: inject a uop into a thread's fetch queue.

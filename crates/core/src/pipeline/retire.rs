@@ -75,6 +75,9 @@ impl Simulator {
                 log.on_commit(t, seq, now);
             }
         }
+        // Retire hook runs before the slab entry is released so validators
+        // (FIFO order, oracle replay) can still read the uop.
+        self.check_event(|ck, sim| ck.on_retire(sim, id));
         self.slab.release(id);
     }
 
@@ -83,19 +86,25 @@ impl Simulator {
     /// and hold fetch until the miss returns.
     pub(crate) fn flush_thread(&mut self, t: ThreadId, boundary_seq: u64, resume_at: u64) {
         self.stats.flushes += 1;
-        self.squash_younger(t, boundary_seq);
-        let th = &mut self.threads[t.idx()];
         // Refetch correct-path uops that were still waiting in the fetch
-        // queue; drop wrong-path garbage.
-        let mut refetch = Vec::with_capacity(th.fetchq.len());
-        while let Some(fu) = th.fetchq.pop() {
-            if !fu.wrong_path {
-                refetch.push(fu.uop);
+        // queue; drop wrong-path garbage. This must happen before the ROB
+        // squash: fetch-queue uops are *younger* than anything renamed, so
+        // the squash walk prepends its uops in front of them, restoring
+        // program order in the replay buffer.
+        {
+            let th = &mut self.threads[t.idx()];
+            let mut refetch = Vec::with_capacity(th.fetchq.len());
+            while let Some(fu) = th.fetchq.pop() {
+                if !fu.wrong_path {
+                    refetch.push(fu.uop);
+                }
+            }
+            for u in refetch.into_iter().rev() {
+                th.replay.push_front(u);
             }
         }
-        for u in refetch.into_iter().rev() {
-            th.replay.push_front(u);
-        }
+        self.squash_younger(t, boundary_seq);
+        let th = &mut self.threads[t.idx()];
         // If the unresolved mispredicted branch was squashed or refetched,
         // the thread is no longer on a wrong path.
         if th.unresolved_mispredict.is_none() {

@@ -94,6 +94,13 @@ impl IqScheme for Cisp {
     fn total_headroom(&self, t: ThreadId, view: &SchedView) -> usize {
         self.total_cap.saturating_sub(view.total_occ(t))
     }
+
+    fn steered_caps(&self) -> super::SteeredCaps {
+        super::SteeredCaps {
+            total: Some(self.total_cap),
+            ..Default::default()
+        }
+    }
 }
 
 /// CSSP — Cluster-Sensitive Static Partitioning: a thread may hold at most
@@ -118,6 +125,13 @@ impl IqScheme for Cssp {
     fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
         self.per_cluster_cap
             .saturating_sub(view.iq_occ[t.idx()][c.idx()])
+    }
+
+    fn steered_caps(&self) -> super::SteeredCaps {
+        super::SteeredCaps {
+            per_cluster: Some(self.per_cluster_cap),
+            ..Default::default()
+        }
     }
 }
 

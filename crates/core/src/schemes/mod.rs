@@ -157,6 +157,24 @@ pub trait IqScheme: Send {
     fn should_flush_on_l2_miss(&self, _t: ThreadId, _view: &SchedView) -> bool {
         false
     }
+
+    /// Static occupancy caps this scheme guarantees over *steered*
+    /// (non-copy) uops, for the invariant checker. `None` fields mean the
+    /// scheme imposes no such static bound.
+    fn steered_caps(&self) -> SteeredCaps {
+        SteeredCaps::default()
+    }
+}
+
+/// Static per-thread occupancy caps a scheme promises never to exceed with
+/// steered (non-copy) uops — what [`IqScheme::steered_caps`] reports and
+/// the `check` module enforces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SteeredCaps {
+    /// Cap per thread *per cluster* (CSSP).
+    pub per_cluster: Option<usize>,
+    /// Cap per thread across both clusters (CISP).
+    pub total: Option<usize>,
 }
 
 /// Register-file assignment scheme (Table 4, §5.2).
@@ -172,6 +190,13 @@ pub trait RfScheme: Send {
     /// Per-cycle hook (Figure 7): `starved[t][class]` is set when thread
     /// `t` was denied a `class` register this cycle.
     fn end_cycle(&mut self, _view: &RfView, _starved: &[[bool; RegClass::COUNT]; MAX_THREADS]) {}
+
+    /// Downcast for the CDPRF budget-mirror validator, which cross-checks
+    /// the scheme's RFOC/starvation counters against an independent
+    /// replica. `None` for every other scheme.
+    fn as_cdprf(&self) -> Option<&Cdprf> {
+        None
+    }
 }
 
 /// Instantiate an issue-queue scheme.

@@ -98,11 +98,30 @@ impl Cdprf {
     pub fn starvation(&self, t: ThreadId, class: RegClass) -> u64 {
         self.starvation[t.idx()][class.idx()]
     }
+
+    /// Accumulated RFOC of the current interval (test/diagnostic access).
+    pub fn rfoc(&self, t: ThreadId, class: RegClass) -> u64 {
+        self.rfoc[t.idx()][class.idx()]
+    }
+
+    /// Position within the adaptation interval (test/diagnostic access).
+    pub fn cycle_in_interval(&self) -> u64 {
+        self.cycle_in_interval
+    }
+
+    /// The configured adaptation interval.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
 }
 
 impl RfScheme for Cdprf {
     fn kind(&self) -> RegFileSchemeKind {
         RegFileSchemeKind::Cdprf
+    }
+
+    fn as_cdprf(&self) -> Option<&Cdprf> {
+        Some(self)
     }
 
     fn allows(&self, t: ThreadId, class: RegClass, _c: ClusterId, view: &RfView) -> bool {

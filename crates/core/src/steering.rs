@@ -27,11 +27,15 @@ pub struct SteerDecision {
 /// * `imbalance_threshold` — when `|load\[0\] − load\[1\]|` exceeds this, the
 ///   less-loaded cluster is preferred regardless of operand residence.
 /// * `forced` — static binding (Private Clusters), which wins outright.
+/// * `orient` — cluster preferred on an *exact* load tie (0 historically;
+///   the symmetric-scheduling mode derives it from the thread programs so
+///   mirrored workloads steer mirrored).
 pub fn steer(
     src_presence: &[[bool; NUM_CLUSTERS]],
     load: [usize; NUM_CLUSTERS],
     imbalance_threshold: usize,
     forced: Option<ClusterId>,
+    orient: u8,
 ) -> SteerDecision {
     if let Some(c) = forced {
         return SteerDecision {
@@ -39,7 +43,9 @@ pub fn steer(
             dep_based: false,
         };
     }
-    let lighter = if load[1] < load[0] {
+    let lighter = if load[0] == load[1] {
+        ClusterId(orient)
+    } else if load[1] < load[0] {
         ClusterId(1)
     } else {
         ClusterId(0)
@@ -85,47 +91,60 @@ mod tests {
     #[test]
     fn follows_operand_residence() {
         // Both sources in cluster 1.
-        let d = steer(&[[false, true], [false, true]], [0, 0], 12, None);
+        let d = steer(&[[false, true], [false, true]], [0, 0], 12, None, 0);
         assert_eq!(d.preferred, C1);
         assert!(d.dep_based);
         // Majority in cluster 0 (one source in both).
-        let d = steer(&[[true, true], [true, false]], [0, 0], 12, None);
+        let d = steer(&[[true, true], [true, false]], [0, 0], 12, None, 0);
         assert_eq!(d.preferred, C0);
         assert!(d.dep_based);
     }
 
     #[test]
     fn tie_goes_to_lighter_cluster() {
-        let d = steer(&[[true, true]], [10, 4], 12, None);
+        let d = steer(&[[true, true]], [10, 4], 12, None, 0);
         assert_eq!(d.preferred, C1);
         assert!(!d.dep_based);
         // No sources at all → lighter cluster.
-        let d = steer(&[], [3, 9], 12, None);
+        let d = steer(&[], [3, 9], 12, None, 0);
         assert_eq!(d.preferred, C0);
     }
 
     #[test]
     fn imbalance_overrides_dependences() {
         // Sources favor C0, but C0 is overloaded past the threshold.
-        let d = steer(&[[true, false], [true, false]], [30, 2], 12, None);
+        let d = steer(&[[true, false], [true, false]], [30, 2], 12, None, 0);
         assert_eq!(d.preferred, C1);
         assert!(!d.dep_based);
         // Below the threshold, dependences win.
-        let d = steer(&[[true, false], [true, false]], [13, 2], 12, None);
+        let d = steer(&[[true, false], [true, false]], [13, 2], 12, None, 0);
         assert_eq!(d.preferred, C0);
         assert!(d.dep_based);
     }
 
     #[test]
     fn forced_binding_wins() {
-        let d = steer(&[[true, false]], [100, 0], 1, Some(C0));
+        let d = steer(&[[true, false]], [100, 0], 1, Some(C0), 0);
         assert_eq!(d.preferred, C0);
         assert!(!d.dep_based);
     }
 
     #[test]
     fn equal_load_tie_prefers_cluster0() {
-        let d = steer(&[], [5, 5], 12, None);
+        let d = steer(&[], [5, 5], 12, None, 0);
         assert_eq!(d.preferred, C0);
+    }
+
+    #[test]
+    fn equal_load_tie_follows_orientation() {
+        let d = steer(&[], [5, 5], 12, None, 1);
+        assert_eq!(d.preferred, C1);
+        // Orientation only matters on exact ties.
+        let d = steer(&[], [3, 9], 12, None, 1);
+        assert_eq!(d.preferred, C0);
+        // Dep-based decisions ignore orientation.
+        let d = steer(&[[true, false], [true, false]], [5, 5], 12, None, 1);
+        assert_eq!(d.preferred, C0);
+        assert!(d.dep_based);
     }
 }

@@ -114,17 +114,27 @@ impl EventLog {
         self.records.iter().filter(|r| r.commit > 0)
     }
 
-    /// Render a pipeline-view window: one lane per committed uop whose
+    /// Render a pipeline-view window: one lane per finished uop whose
     /// dispatch falls in `[from, to)`, stages as D (dispatch→issue wait),
-    /// X (execute), W (await commit), C (commit).
+    /// X (execute), W (await commit), C (commit). Squashed uops render the
+    /// stages they reached, ending in S; inter-cluster copies are marked
+    /// with a `+` before the class. Uops still in flight are omitted.
     pub fn render_window(&self, from: u64, to: u64) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for r in self.committed() {
-            if r.dispatch < from || r.dispatch >= to {
+        for r in self.records.iter() {
+            if r.dispatch < from || r.dispatch >= to || r.dispatch == 0 {
                 continue;
             }
+            if r.commit == 0 && !r.squashed {
+                continue; // still in flight
+            }
             let class = r.class.map(|c| c.to_string()).unwrap_or_default();
+            let class = if r.is_copy {
+                format!("+{class}")
+            } else {
+                class
+            };
             write!(
                 out,
                 "T{} #{:<5} {:<5} D@{:<6} I@{:<6} X@{:<6} C@{:<6} ",
@@ -134,15 +144,29 @@ impl EventLog {
             // Lane, anchored at the window start.
             let lane_start = (r.dispatch - from) as usize;
             out.push_str(&" ".repeat(lane_start.min(120)));
-            let d = r.issue.saturating_sub(r.dispatch) as usize;
-            let x = r.complete.saturating_sub(r.issue) as usize;
-            let w = r.commit.saturating_sub(r.complete) as usize;
-            out.push_str(&"D".repeat(d.clamp(1, 80)));
-            out.push_str(&"X".repeat(x.clamp(1, 80)));
-            if w > 1 {
-                out.push_str(&"w".repeat((w - 1).min(80)));
+            if r.squashed {
+                // Stages actually reached before the squash.
+                out.push('D');
+                if r.issue > 0 {
+                    let d = (r.issue - r.dispatch) as usize;
+                    out.push_str(&"D".repeat(d.saturating_sub(1).min(79)));
+                    if r.complete > 0 {
+                        let x = r.complete.saturating_sub(r.issue) as usize;
+                        out.push_str(&"X".repeat(x.clamp(1, 80)));
+                    }
+                }
+                out.push('S');
+            } else {
+                let d = r.issue.saturating_sub(r.dispatch) as usize;
+                let x = r.complete.saturating_sub(r.issue) as usize;
+                let w = r.commit.saturating_sub(r.complete) as usize;
+                out.push_str(&"D".repeat(d.clamp(1, 80)));
+                out.push_str(&"X".repeat(x.clamp(1, 80)));
+                if w > 1 {
+                    out.push_str(&"w".repeat((w - 1).min(80)));
+                }
+                out.push('C');
             }
-            out.push('C');
             out.push('\n');
         }
         out
@@ -219,5 +243,63 @@ mod tests {
         assert!(view.contains("DDXXXXXXXXC"), "{view}");
         // Outside the window: empty.
         assert!(log.render_window(0, 50).is_empty());
+    }
+
+    #[test]
+    fn window_render_marks_squashed_uops() {
+        let mut log = EventLog::new(16);
+        // Squashed while waiting in the issue queue: lone D then S.
+        log.on_dispatch(T0, 1, 0x40, OpClass::Int, false, 100);
+        log.on_squash(T0, 1);
+        // Squashed after issue, before completion: DDS.
+        log.on_dispatch(T0, 2, 0x44, OpClass::IntMul, false, 100);
+        log.on_issue(T0, 2, 102);
+        log.on_squash(T0, 2);
+        // Squashed after completing execution: DXXS.
+        log.on_dispatch(T0, 3, 0x48, OpClass::Load, false, 100);
+        log.on_issue(T0, 3, 101);
+        log.on_complete(T0, 3, 103);
+        log.on_squash(T0, 3);
+        let view = log.render_window(95, 120);
+        let lines: Vec<&str> = view.lines().collect();
+        assert_eq!(lines.len(), 3, "{view}");
+        assert!(lines[0].ends_with("DS"), "{view}");
+        let lane = lines[0].rsplit(' ').next().unwrap();
+        assert!(!lane.contains('C'), "squashed uop must not commit: {view}");
+        assert!(lines[1].ends_with("DDS"), "{view}");
+        assert!(lines[2].ends_with("DXXS"), "{view}");
+    }
+
+    #[test]
+    fn window_render_marks_copy_uops() {
+        let mut log = EventLog::new(16);
+        log.on_dispatch(T0, 7, 0, OpClass::Copy, true, 10);
+        log.on_issue(T0, 7, 11);
+        log.on_complete(T0, 7, 12);
+        log.on_commit(T0, 7, 13);
+        // A plain uop for contrast.
+        log.on_dispatch(T0, 8, 0x50, OpClass::Int, false, 10);
+        log.on_issue(T0, 8, 11);
+        log.on_complete(T0, 8, 12);
+        log.on_commit(T0, 8, 13);
+        let view = log.render_window(0, 20);
+        let lines: Vec<&str> = view.lines().collect();
+        assert_eq!(lines.len(), 2, "{view}");
+        assert!(lines[0].contains("+copy"), "{view}");
+        assert!(lines[0].ends_with("DXC"), "{view}");
+        assert!(!lines[1].contains('+'), "{view}");
+    }
+
+    #[test]
+    fn window_render_omits_in_flight_uops() {
+        let mut log = EventLog::new(16);
+        // Dispatched and issued, neither committed nor squashed.
+        log.on_dispatch(T0, 1, 0x40, OpClass::Int, false, 100);
+        log.on_issue(T0, 1, 101);
+        assert!(log.render_window(95, 120).is_empty());
+        // Once it commits it appears.
+        log.on_complete(T0, 1, 102);
+        log.on_commit(T0, 1, 103);
+        assert_eq!(log.render_window(95, 120).lines().count(), 1);
     }
 }

@@ -201,6 +201,7 @@ fn measure_sweep(scale: BenchScale, jobs: usize) -> BenchMeasurement {
             max_cycles: 10_000_000,
             jobs,
             verbose: false,
+            validate: false,
         });
         let t0 = Instant::now();
         sweeps.smt_batch(&workloads, &combos);

@@ -67,6 +67,7 @@ mod tests {
             max_cycles: 2_000_000,
             jobs: 0,
             verbose: false,
+            validate: false,
         });
         let t = run(&sweeps, "DH/ilp.2.1").expect("known workload");
         assert_eq!(t.rows.len(), 7, "one row per scheme");

@@ -22,6 +22,7 @@
 
 pub mod bench;
 pub mod figures;
+pub mod fuzz;
 pub mod report;
 pub mod runner;
 

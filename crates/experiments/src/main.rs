@@ -7,6 +7,8 @@
 //! csmt-experiments compare <a.json> <b.json> [tolerance]
 //! csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE]
 //!                        [--max-regression PCT]
+//! csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--no-validate]
+//!                       [--out DIR] [--repro FILE]
 //! ```
 //!
 //! Results persist in a content-addressed store (`results/store` by
@@ -15,6 +17,7 @@
 //! run had already completed, using the store's JSONL journal.
 
 use csmt_experiments::figures::{run_named, ABLATIONS, ALL_ARTIFACTS};
+use csmt_experiments::fuzz::{self, FuzzCase, FuzzOptions};
 use csmt_experiments::report::render_store_summary;
 use csmt_experiments::runner::{ExpOptions, Sweeps};
 use csmt_store::{EventKind, Journal};
@@ -53,10 +56,14 @@ fn usage() -> String {
          \x20 --store DIR    persistent result store (default: {DEFAULT_STORE_DIR})\n\
          \x20 --no-store     disable the persistent store and journal\n\
          \x20 --resume       skip artifacts completed by an interrupted previous run\n\
+         \x20 --validate     arm the invariant suite + differential oracle on every run\n\
+         \x20                (read-only checks; implies --no-store)\n\
          \n\
          csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)\n\
          csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
-         \x20                                                       (perf harness; gate vs baseline)",
+         \x20                                                       (perf harness; gate vs baseline)\n\
+         csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--no-validate] [--out DIR] [--repro FILE]\n\
+         \x20                                                       (randomized scheme fuzzing; shrunk repros)",
         ALL_ARTIFACTS.join(" "),
         ABLATIONS.join(" "),
     )
@@ -110,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--no-store" => cli.no_store = true,
             "--resume" => cli.resume = true,
+            "--validate" => cli.opts.validate = true,
             "--quiet" => cli.opts.verbose = false,
             "--bars" => cli.bars = true,
             "all" => cli
@@ -129,6 +137,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     }
     if cli.no_store && cli.resume {
         return Err("--resume needs the store's journal; drop --no-store".into());
+    }
+    if cli.opts.validate {
+        // Validated runs can panic on a violation; a retried/failed
+        // placeholder must never be memoized as a real result, so the
+        // persistent store is off for them.
+        if cli.store_dir.is_some() || cli.resume {
+            return Err(
+                "--validate implies --no-store (incompatible with --store/--resume)".into(),
+            );
+        }
+        cli.no_store = true;
     }
     // Validate artifact names up front so a typo fails before hours of
     // simulation, not after.
@@ -162,6 +181,11 @@ fn main() {
     // `bench` is a standalone subcommand: perf harness, no store.
     if args.first().map(String::as_str) == Some("bench") {
         bench_cmd(&args[1..]);
+        return;
+    }
+    // `fuzz` is a standalone subcommand: randomized invariant fuzzing.
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_cmd(&args[1..]);
         return;
     }
     let cli = match parse_args(&args) {
@@ -328,6 +352,123 @@ fn bench_cmd(args: &[String]) {
             Err(e) => fail(&format!("cannot compare against {path}: {e}")),
         }
     }
+}
+
+/// `fuzz [--seeds N] [--seed S] [--jobs N] [--no-validate] [--out DIR]
+/// [--repro FILE]`: run a seeded corpus of random config × scheme ×
+/// trace cases with the invariant suite and differential oracle armed.
+/// Failing cases are shrunk and written as replayable JSON repros under
+/// `--out` (default `results/fuzz`). Exit 0 clean, 1 on failures. Output
+/// and artifacts are byte-identical at any `--jobs` count.
+fn fuzz_cmd(args: &[String]) {
+    let mut opts = FuzzOptions::default();
+    let mut out_dir = "results/fuzz".to_string();
+    let mut repro: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = it.next().unwrap_or_else(|| fail("--seeds needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.seeds = n,
+                    _ => fail(&format!("--seeds needs an integer >= 1, got '{v}'")),
+                }
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| fail("--seed needs a value"));
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse::<u64>());
+                match parsed {
+                    Ok(s) => opts.master = s,
+                    Err(_) => fail(&format!(
+                        "--seed needs an integer (decimal or 0x hex), got '{v}'"
+                    )),
+                }
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_else(|| fail("--jobs needs a value"));
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.jobs = n,
+                    _ => fail(&format!("--jobs needs an integer >= 1, got '{v}'")),
+                }
+            }
+            // Validation defaults ON for fuzzing (that is the point of
+            // the harness); accept the explicit form too.
+            "--validate" => opts.validate = true,
+            "--no-validate" => opts.validate = false,
+            "--out" => match it.next() {
+                Some(v) => out_dir = v.clone(),
+                None => fail("--out needs a directory"),
+            },
+            "--repro" => match it.next() {
+                Some(v) => repro = Some(v.clone()),
+                None => fail("--repro needs a JSON case file"),
+            },
+            other => fail(&format!("unknown fuzz flag: {other}")),
+        }
+    }
+
+    // Replay a single shrunk case from disk.
+    if let Some(path) = repro {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let case: FuzzCase = serde_json::from_str(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        println!("repro {}", fuzz::describe(&case));
+        match fuzz::run_case(&case, opts.validate) {
+            Ok(()) => println!("PASS: case no longer fails"),
+            Err(e) => {
+                println!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "fuzz: {} cases, master seed 0x{:016x}, validators {}",
+        opts.seeds,
+        opts.master,
+        if opts.validate { "armed" } else { "off" }
+    );
+    let report = fuzz::fuzz(&opts);
+    if report.failures.is_empty() {
+        println!("ok: {} cases, no failures", report.cases);
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        fail(&format!("cannot create {out_dir}: {e}"));
+    }
+    let mut lines = String::new();
+    for (case, msg) in &report.failures {
+        let path = format!(
+            "{out_dir}/case-{:016x}-{}.json",
+            case.master_seed, case.index
+        );
+        let json = serde_json::to_string_pretty(case).expect("fuzz case serializes");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        let line = format!(
+            "FAIL {}\n  {msg}\n  repro: fuzz --repro {path}",
+            fuzz::describe(case)
+        );
+        println!("{line}");
+        lines.push_str(&line);
+        lines.push('\n');
+    }
+    let summary = format!("{out_dir}/failures.txt");
+    if let Err(e) = std::fs::write(&summary, &lines) {
+        fail(&format!("cannot write {summary}: {e}"));
+    }
+    println!(
+        "{} of {} cases failed; shrunk repros under {out_dir}/",
+        report.failures.len(),
+        report.cases
+    );
+    std::process::exit(1);
 }
 
 /// `compare <a.json> <b.json> [tolerance]`: artifact drift check.

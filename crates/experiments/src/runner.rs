@@ -133,6 +133,12 @@ pub struct ExpOptions {
     pub jobs: usize,
     /// Print progress dots.
     pub verbose: bool,
+    /// Arm the architectural invariant suite + differential oracle on
+    /// every run (`--validate`). Validators are read-only observers, so
+    /// results are unchanged — but a violation panics the run, so
+    /// validated sweeps skip the persistent store (a retried/failed
+    /// placeholder must never be memoized as a real result).
+    pub validate: bool,
 }
 
 impl Default for ExpOptions {
@@ -143,6 +149,7 @@ impl Default for ExpOptions {
             max_cycles: 30_000_000,
             jobs: 0,
             verbose: true,
+            validate: false,
         }
     }
 }
@@ -419,6 +426,11 @@ fn run_one(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
         RunInput::Single(s) => vec![(**s).clone()],
     };
     let mut sim = Simulator::new(cfg, key.iq, key.rf, &traces);
+    if opts.validate {
+        // Invariant suite + differential oracle, fail-fast: a violation
+        // panics the run, which the orchestrator journals and retries.
+        sim.enable_oracle();
+    }
     sim.run_with_warmup(opts.warmup, opts.commit_target, opts.max_cycles)
 }
 
@@ -434,6 +446,7 @@ mod tests {
             max_cycles: 2_000_000,
             jobs: 0,
             verbose: false,
+            validate: false,
         }
     }
 

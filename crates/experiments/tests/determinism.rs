@@ -70,6 +70,7 @@ fn fig2_avg_row_identical_across_worker_counts() {
             max_cycles: 5_000_000,
             jobs,
             verbose: false,
+            validate: false,
         });
         sweeps.smt_batch(&workloads, &grid);
         // Serialize every result in grid order, then compute the AVG row
@@ -122,6 +123,7 @@ fn fig2_slice_table(jobs: usize) -> csmt_experiments::report::Table {
         max_cycles: 10_000_000,
         jobs,
         verbose: false,
+        validate: false,
     });
     sweeps.smt_batch(&workloads, &grid);
     let columns: Vec<String> = fig2::combos()
@@ -211,6 +213,7 @@ fn jobs8_sweep_reproduces_golden_headline_speedups() {
         max_cycles: 10_000_000,
         jobs: 8,
         verbose: false,
+        validate: false,
     });
     sweeps.smt_batch(&workloads, &grid);
 

@@ -87,6 +87,7 @@ proptest! {
             max_cycles: 500_000,
             jobs,
             verbose: false,
+            validate: false,
         });
         let combos = [(
             SchemeKind::Icount,

@@ -24,6 +24,7 @@
 
 pub mod gen;
 pub mod io;
+pub mod oracle;
 pub mod profile;
 pub mod program;
 pub mod stats;
@@ -31,6 +32,7 @@ pub mod suite;
 
 pub use gen::{ThreadTrace, WrongPathSource};
 pub use io::{record_trace, TraceReader, TraceWriter};
+pub use oracle::{OracleDivergence, ThreadOracle};
 pub use profile::{TraceClass, TraceProfile};
 pub use program::Program;
 pub use stats::{characterize, characterize_trace, TraceStats};

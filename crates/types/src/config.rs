@@ -247,6 +247,17 @@ pub struct MachineConfig {
     /// CDPRF adaptation interval in cycles (§5.2: 128K cycles, a power of
     /// two so the average is a shift).
     pub cdprf_interval: u64,
+
+    // ---- validation support ----
+    /// Orient every scheduling tie-break (fetch/rename/commit alternation,
+    /// steering ties, cluster scan order, cache warm-up order) by a value
+    /// derived from the thread *programs* instead of the fixed thread /
+    /// cluster indices. With this set, swapping the two threads' programs
+    /// yields an exactly mirrored machine (threads and clusters both
+    /// swapped) — the property the metamorphic tests check. Off by default:
+    /// the default orientation reproduces the historical tie-breaking
+    /// bit-for-bit.
+    pub symmetric_sched: bool,
 }
 
 impl Default for MachineConfig {
@@ -308,6 +319,7 @@ impl MachineConfig {
             lat_agu: 2,
             steer_imbalance_threshold: 6,
             cdprf_interval: 128 * 1024,
+            symmetric_sched: false,
         }
     }
 
@@ -399,20 +411,29 @@ impl MachineConfig {
             return Err(format!("unknown prefetcher '{}'", self.prefetcher));
         }
         if !self.unbounded_regs
-            && (self.int_regs_per_cluster < NUM_LOG_REGS_MIN
-                || self.fp_regs_per_cluster < NUM_LOG_REGS_MIN)
+            && (self.int_regs_per_cluster < REGS_PER_CLUSTER_MIN
+                || self.fp_regs_per_cluster < REGS_PER_CLUSTER_MIN)
         {
             return Err(format!(
-                "register files must hold at least the {NUM_LOG_REGS_MIN} architected registers"
+                "register files need at least {REGS_PER_CLUSTER_MIN} registers per cluster \
+                 (two threads' architected state can pile into one cluster)"
             ));
         }
         Ok(())
     }
 }
 
-/// Physical registers must at least cover the architected state of both
-/// threads or renaming can deadlock.
-const NUM_LOG_REGS_MIN: usize = crate::ids::NUM_LOG_REGS;
+/// Physical-register feasibility floor per cluster and class:
+/// `2 × NUM_LOG_REGS`. Registers are only freed when a *superseding*
+/// definition commits, so once a thread's in-flight window drains its
+/// live locations equal its architected span — up to `NUM_LOG_REGS` per
+/// cluster (copies replicate a value into the other cluster; steering can
+/// concentrate every live value in one). With two threads (shared files)
+/// or half-file per-thread caps (CSSPRF), a cluster below
+/// `2 × NUM_LOG_REGS` can wedge rename permanently: nothing left to free,
+/// nothing allocatable. The paper's smallest studied file — 64 per
+/// cluster, Figure 6 — sits exactly on this floor.
+const REGS_PER_CLUSTER_MIN: usize = 2 * crate::ids::NUM_LOG_REGS;
 
 #[cfg(test)]
 mod tests {
@@ -507,6 +528,17 @@ mod tests {
         let mut c = MachineConfig::baseline();
         c.int_regs_per_cluster = 8;
         assert!(c.validate().is_err());
+
+        // Just under the two-context feasibility floor: rename can wedge.
+        let mut c = MachineConfig::baseline();
+        c.fp_regs_per_cluster = 2 * crate::ids::NUM_LOG_REGS - 1;
+        assert!(c.validate().is_err());
+        c.fp_regs_per_cluster = 2 * crate::ids::NUM_LOG_REGS;
+        c.validate().unwrap();
+        // Unbounded register files are exempt (nothing to exhaust).
+        c.fp_regs_per_cluster = 1;
+        c.unbounded_regs = true;
+        c.validate().unwrap();
     }
 
     #[test]

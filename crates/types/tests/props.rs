@@ -66,8 +66,15 @@ proptest! {
     }
 
     #[test]
-    fn rf_study_config_always_valid(regs in 32usize..=512) {
+    fn rf_study_config_always_valid(regs in 2 * csmt_types::NUM_LOG_REGS..=512) {
         MachineConfig::rf_study(regs).validate().unwrap();
+    }
+
+    #[test]
+    fn rf_study_below_two_contexts_is_rejected(regs in 1usize..2 * csmt_types::NUM_LOG_REGS) {
+        // Below two architected contexts per cluster, rename can wedge
+        // permanently (fuzzer-found livelock) — validate() must refuse.
+        prop_assert!(MachineConfig::rf_study(regs).validate().is_err());
     }
 
     #[test]

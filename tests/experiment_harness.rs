@@ -12,6 +12,7 @@ fn tiny() -> Sweeps {
         max_cycles: 2_000_000,
         jobs: 0,
         verbose: false,
+        validate: false,
     })
 }
 

@@ -126,6 +126,10 @@ fn sim_stats_match_golden_fixture() {
         .map(|(name, iq, rf, cfg, label)| {
             let w = workload(&name);
             let mut sim = Simulator::new(cfg, iq, rf, &w.traces);
+            // Differential oracle: architecturally replay each thread's
+            // program and cross-check the committed stream. Fail-fast, so
+            // any divergence panics the test.
+            sim.enable_oracle();
             let r = sim.run_with_warmup(1_000, 3_000, 10_000_000);
             StatsRow {
                 workload: name,
@@ -170,6 +174,7 @@ fn fig2_fig3_headline_rows_match_golden_fixture() {
             RegFileSchemeKind::Shared,
             &w.traces,
         );
+        sim.enable_oracle();
         sim.run_with_warmup(500, 2_000, 10_000_000)
     };
     let bases: Vec<SimResult> = workloads

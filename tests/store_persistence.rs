@@ -13,6 +13,7 @@ fn opts() -> ExpOptions {
         max_cycles: 2_000_000,
         jobs: 0,
         verbose: false,
+        validate: false,
     }
 }
 
