@@ -161,6 +161,49 @@ impl IssueQueue {
         removed
     }
 
+    /// Fused select-and-compact: visit every entry oldest-first, handing
+    /// `take` the uop id and a mutable reference to its metadata word (so
+    /// the select loop can cache wakeup hints in place). Entries for which
+    /// `take` returns `true` are removed; the rest are compacted in the
+    /// same pass, so selecting and removing the picks costs one traversal
+    /// instead of a scan plus a [`remove_in_order`](Self::remove_in_order)
+    /// pass. No copying happens until the first removal. Returns the
+    /// number removed.
+    pub fn scan_issue<F: FnMut(u32, &mut u64) -> bool>(&mut self, mut take: F) -> usize {
+        let len = self.entries.len();
+        let mut read = 0;
+        // Until something is taken, every entry stays in place.
+        while read < len {
+            if take(self.entries[read], &mut self.meta[read]) {
+                break;
+            }
+            read += 1;
+        }
+        if read == len {
+            return 0;
+        }
+        self.per_thread[self.owners[read].idx()] -= 1;
+        let mut removed = 1;
+        let mut write = read;
+        read += 1;
+        while read < len {
+            if take(self.entries[read], &mut self.meta[read]) {
+                self.per_thread[self.owners[read].idx()] -= 1;
+                removed += 1;
+            } else {
+                self.entries[write] = self.entries[read];
+                self.owners[write] = self.owners[read];
+                self.meta[write] = self.meta[read];
+                write += 1;
+            }
+            read += 1;
+        }
+        self.entries.truncate(write);
+        self.owners.truncate(write);
+        self.meta.truncate(write);
+        removed
+    }
+
     /// Remove every entry of `thread` satisfying `pred` (squash support).
     /// Returns the removed uop ids.
     pub fn squash<F: FnMut(u32) -> bool>(&mut self, thread: ThreadId, mut pred: F) -> Vec<u32> {
@@ -263,6 +306,36 @@ mod tests {
         assert_eq!(q.thread_occupancy(T1), 2);
         assert_eq!(q.remove_in_order(std::iter::empty()), 0);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn scan_issue_selects_and_compacts_in_one_pass() {
+        let mut q = IssueQueue::new(8);
+        for id in [10, 11, 12, 13, 14] {
+            q.insert_with_meta(id, if id % 2 == 0 { T0 } else { T1 }, id as u64);
+        }
+        // Take the even ids; bump metadata of the survivors in place.
+        let removed = q.scan_issue(|id, meta| {
+            if id % 2 == 0 {
+                true
+            } else {
+                *meta += 100;
+                false
+            }
+        });
+        assert_eq!(removed, 3);
+        let pairs: Vec<(u32, u64)> = q.iter_with_meta().collect();
+        assert_eq!(pairs, vec![(11, 111), (13, 113)]);
+        assert_eq!(q.thread_occupancy(T0), 0);
+        assert_eq!(q.thread_occupancy(T1), 2);
+        assert!(q.conserves_occupancy());
+        // Taking nothing leaves the queue untouched.
+        assert_eq!(q.scan_issue(|_, _| false), 0);
+        assert_eq!(q.len(), 2);
+        // Taking everything empties it.
+        assert_eq!(q.scan_issue(|_, _| true), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.scan_issue(|_, _| true), 0);
     }
 
     #[test]

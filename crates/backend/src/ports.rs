@@ -9,10 +9,27 @@
 use csmt_types::config::PortCaps;
 use csmt_types::OpClass;
 
-/// Per-cycle port availability of one cluster.
+/// Per-cycle port availability of one cluster, as a free-port bitmask:
+/// bit `p` set means port `p` is free. Claiming is one AND plus
+/// `trailing_zeros`, which walks the same preference order the old
+/// per-port loop did because each class's allowed mask puts its most
+/// restricted port in the lowest set bit.
 #[derive(Debug, Clone)]
 pub struct PortScheduler {
-    busy: [bool; PortCaps::NUM_PORTS],
+    free: u8,
+}
+
+const ALL_FREE: u8 = (1 << PortCaps::NUM_PORTS) - 1;
+
+/// Allowed-port mask per class, low bit = port 0. Memory ops only use
+/// port 2; fp ops use ports 0-1; integer-like ops use all three, and
+/// `trailing_zeros` fills port 2 last so it stays free for memory.
+const fn allowed_mask(op: OpClass) -> u8 {
+    match op {
+        OpClass::Load | OpClass::Store => 0b100,
+        OpClass::FpSimd | OpClass::FpDiv => 0b011,
+        _ => 0b111,
+    }
 }
 
 impl Default for PortScheduler {
@@ -23,47 +40,39 @@ impl Default for PortScheduler {
 
 impl PortScheduler {
     pub fn new() -> Self {
-        PortScheduler {
-            busy: [false; PortCaps::NUM_PORTS],
-        }
+        PortScheduler { free: ALL_FREE }
     }
 
     /// Reset at the start of each cycle.
     pub fn reset(&mut self) {
-        self.busy = [false; PortCaps::NUM_PORTS];
+        self.free = ALL_FREE;
     }
 
     /// Try to claim a port able to execute `op`. Prefers the most
     /// restricted suitable port (mem → port2; fp → port0/1) so flexible
     /// integer uops don't starve specialized ones.
+    #[inline]
     pub fn claim(&mut self, op: OpClass) -> Option<usize> {
-        // Candidate ports in preference order per class.
-        let order: &[usize] = match op {
-            OpClass::Load | OpClass::Store => &[2],
-            OpClass::FpSimd | OpClass::FpDiv => &[0, 1],
-            // Integer-like ops: fill port2 last so it stays free for memory.
-            _ => &[0, 1, 2],
-        };
-        for &p in order {
-            debug_assert!(PortCaps::allows(p, op));
-            if !self.busy[p] {
-                self.busy[p] = true;
-                return Some(p);
-            }
+        let avail = self.free & allowed_mask(op);
+        if avail == 0 {
+            return None;
         }
-        None
+        let p = avail.trailing_zeros() as usize;
+        debug_assert!(PortCaps::allows(p, op));
+        self.free &= !(1 << p);
+        Some(p)
     }
 
     /// Whether at least one port able to execute `op` is still free.
+    #[inline]
     pub fn has_free_for(&self, op: OpClass) -> bool {
-        (0..PortCaps::NUM_PORTS).any(|p| PortCaps::allows(p, op) && !self.busy[p])
+        self.free & allowed_mask(op) != 0
     }
 
     /// Number of free ports able to execute `op`.
+    #[inline]
     pub fn free_for(&self, op: OpClass) -> usize {
-        (0..PortCaps::NUM_PORTS)
-            .filter(|&p| PortCaps::allows(p, op) && !self.busy[p])
-            .count()
+        (self.free & allowed_mask(op)).count_ones() as usize
     }
 }
 

@@ -7,9 +7,20 @@
 use csmt_types::{PhysReg, ThreadId};
 
 /// A physical register file.
+///
+/// Allocation pops a LIFO free list — the pop order is behavior-visible
+/// (it decides which physical ids uops get, and the ids feed the
+/// scoreboard and bit-exact snapshots), so the list is the source of
+/// truth and must stay LIFO. A parallel occupancy bitmap (`u64` words,
+/// bit = register allocated) mirrors it for O(words) occupancy scans
+/// and popcount-based conservation checks — the dense occupancy view
+/// the CDPRF-style schemes and the invariant checker consume.
 #[derive(Debug, Clone)]
 pub struct RegFile {
     free: Vec<PhysReg>,
+    /// Bit `r` set ⇔ register `r` is allocated. Sized to capacity for
+    /// bounded files; grows with `next_fresh` for unbounded ones.
+    occupied: Vec<u64>,
     capacity: usize,
     used: [usize; 2],
     unbounded: bool,
@@ -21,11 +32,40 @@ impl RegFile {
     pub fn new(capacity: usize) -> Self {
         RegFile {
             free: (0..capacity as u16).rev().map(PhysReg).collect(),
+            occupied: vec![0; capacity.div_ceil(64)],
             capacity,
             used: [0, 0],
             unbounded: false,
             next_fresh: capacity as u16,
         }
+    }
+
+    #[inline]
+    fn mark(&mut self, reg: PhysReg, allocated: bool) {
+        let w = reg.idx() >> 6;
+        if self.occupied.len() <= w {
+            self.occupied.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (reg.idx() & 63);
+        if allocated {
+            debug_assert!(self.occupied[w] & bit == 0, "double-alloc of {reg:?}");
+            self.occupied[w] |= bit;
+        } else {
+            debug_assert!(self.occupied[w] & bit != 0, "double-free of {reg:?}");
+            self.occupied[w] &= !bit;
+        }
+    }
+
+    /// Allocated registers by popcount over the occupancy bitmap.
+    pub fn occupancy(&self) -> usize {
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The raw occupancy words (bit `r` of word `r / 64` = register `r`
+    /// allocated). Dense read-only view for validators and occupancy
+    /// scans.
+    pub fn occupancy_words(&self) -> &[u64] {
+        &self.occupied
     }
 
     /// An effectively infinite register file (Figure-2 study).
@@ -71,10 +111,15 @@ impl RegFile {
     }
 
     /// Free-list conservation: for a bounded file, every register is
-    /// either free or accounted to a thread. Unbounded files only require
-    /// that no thread count underflowed (enforced at release). The checker
-    /// crates call this instead of reimplementing the arithmetic.
+    /// either free or accounted to a thread, and the occupancy bitmap's
+    /// popcount agrees with the per-thread counters. Unbounded files only
+    /// require the bitmap agreement (no thread count underflowed — that
+    /// is enforced at release). The checker crates call this instead of
+    /// reimplementing the arithmetic.
     pub fn conserves_registers(&self) -> bool {
+        if self.occupancy() != self.used_total() {
+            return false;
+        }
         self.unbounded || self.free.len() + self.used_total() == self.capacity
     }
 
@@ -96,12 +141,14 @@ impl RegFile {
                     .checked_add(1)
                     .expect("unbounded RF overflow");
                 self.used[thread.idx()] += 1;
+                self.mark(r, true);
                 return Some(r);
             }
             return None;
         }
         let r = self.free.pop().unwrap();
         self.used[thread.idx()] += 1;
+        self.mark(r, true);
         Some(r)
     }
 
@@ -109,6 +156,7 @@ impl RegFile {
     pub fn release(&mut self, thread: ThreadId, reg: PhysReg) {
         debug_assert!(self.used[thread.idx()] > 0, "register over-release");
         self.used[thread.idx()] -= 1;
+        self.mark(reg, false);
         self.free.push(reg);
     }
 }

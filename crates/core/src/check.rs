@@ -379,9 +379,10 @@ impl Validator for CopyLocality {
     }
 
     fn on_dispatch(&mut self, sim: &Simulator, id: u32, out: &mut Vec<Violation>) {
-        let e = sim.slab.get(id);
-        if e.is_copy {
-            let Some(d) = e.dest else {
+        let cluster = sim.slab.cluster(id);
+        let dest = sim.slab.payload(id).dest;
+        if sim.slab.is_copy(id) {
+            let Some(d) = dest else {
                 fire(
                     out,
                     self.name(),
@@ -389,7 +390,7 @@ impl Validator for CopyLocality {
                 );
                 return;
             };
-            if d.cluster == e.cluster {
+            if d.cluster == cluster {
                 fire(
                     out,
                     self.name(),
@@ -407,14 +408,14 @@ impl Validator for CopyLocality {
                     format!("copy uop {id} would free its previous mapping at commit"),
                 );
             }
-        } else if let Some(d) = e.dest {
-            if d.cluster != e.cluster {
+        } else if let Some(d) = dest {
+            if d.cluster != cluster {
                 fire(
                     out,
                     self.name(),
                     format!(
                         "non-copy uop {id} in cluster {} writes cluster {}",
-                        e.cluster.0, d.cluster.0
+                        cluster.0, d.cluster.0
                     ),
                 );
             }
@@ -437,27 +438,28 @@ impl Validator for RobFifo {
     }
 
     fn on_retire(&mut self, sim: &Simulator, id: u32, out: &mut Vec<Violation>) {
-        let e = sim.slab.get(id);
-        if e.wrong_path {
+        let thread = sim.slab.thread(id);
+        let seq = sim.slab.seq(id);
+        if sim.slab.wrong_path(id) {
             fire(
                 out,
                 self.name(),
-                format!("wrong-path uop {id} (thread {}) retired", e.thread.0),
+                format!("wrong-path uop {id} (thread {}) retired", thread.0),
             );
         }
-        if let Some(prev) = self.last_seq[e.thread.idx()] {
-            if e.seq <= prev {
+        if let Some(prev) = self.last_seq[thread.idx()] {
+            if seq <= prev {
                 fire(
                     out,
                     self.name(),
                     format!(
-                        "thread {} retired seq {} after seq {prev} — not FIFO",
-                        e.thread.0, e.seq
+                        "thread {} retired seq {seq} after seq {prev} — not FIFO",
+                        thread.0
                     ),
                 );
             }
         }
-        self.last_seq[e.thread.idx()] = Some(e.seq);
+        self.last_seq[thread.idx()] = Some(seq);
     }
 }
 
@@ -593,24 +595,25 @@ impl Validator for OracleCheck {
     }
 
     fn on_retire(&mut self, sim: &Simulator, id: u32, out: &mut Vec<Violation>) {
-        let e = sim.slab.get(id);
-        let Some(oracle) = self.oracles.get_mut(e.thread.idx()) else {
+        let thread = sim.slab.thread(id);
+        let Some(oracle) = self.oracles.get_mut(thread.idx()) else {
             fire(
                 out,
                 ORACLE_NAME,
-                format!("thread {} retired a uop but has no oracle", e.thread.0),
+                format!("thread {} retired a uop but has no oracle", thread.0),
             );
             return;
         };
-        if let Err(d) = oracle.expect_seq(e.seq) {
-            fire(out, ORACLE_NAME, format!("thread {}: {d}", e.thread.0));
+        if let Err(d) = oracle.expect_seq(sim.slab.seq(id)) {
+            fire(out, ORACLE_NAME, format!("thread {}: {d}", thread.0));
             return;
         }
-        if e.is_copy {
+        if sim.slab.is_copy(id) {
             return;
         }
-        if let Err(d) = oracle.expect_next(e.uop.pc, e.uop.class) {
-            fire(out, ORACLE_NAME, format!("thread {}: {d}", e.thread.0));
+        let uop = sim.slab.payload(id).uop;
+        if let Err(d) = oracle.expect_next(uop.pc, uop.class) {
+            fire(out, ORACLE_NAME, format!("thread {}: {d}", thread.0));
         }
     }
 }

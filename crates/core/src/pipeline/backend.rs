@@ -61,9 +61,15 @@ impl Simulator {
                     .copied()
                     .unwrap_or(u64::MAX)
             };
-            let (ids, metas) = self.iqs[c].entries_and_meta_mut();
-            for i in 0..ids.len() {
-                let meta = metas[i];
+            let wt = &mut waiters[c];
+            let cluster_ports = &mut ports[c];
+            let cluster_failed = &mut failed[c];
+            let slab = &self.slab;
+            // Fused select-and-compact: one pass both picks the issuing
+            // uops and closes the holes they leave, instead of a scan
+            // followed by a `remove_in_order` compaction pass.
+            self.iqs[c].scan_issue(|id, meta_ref| {
+                let meta = *meta_ref;
                 // Cached wakeup hint in the spare upper bits (see
                 // `META_HINT_HARD`). Source ready-cycles never move
                 // *earlier* while a consumer waits in the queue, so a
@@ -77,20 +83,20 @@ impl Simulator {
                 if meta & META_HINT_HARD == 0 && cyc == META_HINT_CAP {
                     // Parked: a producer has not scheduled its wakeup.
                     // Stay parked until `set_ready_at` flags this id.
-                    let w = ids[i] as usize >> 6;
-                    let bit = 1u64 << (ids[i] & 63);
+                    let w = id as usize >> 6;
+                    let bit = 1u64 << (id & 63);
                     match rw.get_mut(w) {
                         Some(word) if *word & bit != 0 => *word &= !bit,
-                        _ => continue,
+                        _ => return false,
                     }
                 } else if cyc > now {
                     next_scan = next_scan.min(cyc);
-                    continue;
+                    return false;
                 }
                 if meta & META_HINT_HARD == 0 {
                     // Fresh entry, woken parked entry, or expired saturated
                     // hint: derive the readiness bound from the scoreboard.
-                    debug_assert_eq!(self.slab.get(ids[i]).state, UopState::InIq);
+                    debug_assert_eq!(slab.state(id), UopState::InIq);
                     // Stores issue on their *address* operand alone (split
                     // store-address/store-data, as the P4-era decomposition
                     // the front-end models would produce): the data operand
@@ -108,14 +114,14 @@ impl Simulator {
                         // Park on the first still-pending source; when it
                         // wakes, re-derive (and possibly park on the other).
                         let slot = if b0 == u64::MAX { s0 } else { s1 };
-                        let per_phys = &mut waiters[c][(slot as usize >> 1) & 1];
+                        let per_phys = &mut wt[(slot as usize >> 1) & 1];
                         let p = (slot >> 2) as usize & 0xffff;
                         if per_phys.len() <= p {
                             per_phys.resize_with(p + 1, Vec::new);
                         }
-                        per_phys[p].push(ids[i]);
-                        metas[i] = (meta & META_LOW_MASK) | (META_HINT_CAP << META_HINT_SHIFT);
-                        continue;
+                        per_phys[p].push(id);
+                        *meta_ref = (meta & META_LOW_MASK) | (META_HINT_CAP << META_HINT_SHIFT);
+                        return false;
                     }
                     // `max(1)` keeps a computed hint distinguishable from
                     // the fresh-entry 0 (entries are first scanned the
@@ -128,35 +134,32 @@ impl Simulator {
                     } else {
                         (META_HINT_HARD, raw.max(1))
                     };
-                    metas[i] = (meta & META_LOW_MASK) | hard | (bound << META_HINT_SHIFT);
+                    *meta_ref = (meta & META_LOW_MASK) | hard | (bound << META_HINT_SHIFT);
                     if bound > now {
                         next_scan = next_scan.min(bound);
-                        continue;
+                        return false;
                     }
                 }
                 let class = meta_class(meta);
-                if let Some(port) = ports[c].claim(class) {
-                    to_issue.push((ids[i], port));
+                if let Some(port) = cluster_ports.claim(class) {
+                    to_issue.push((id, port));
+                    true
                 } else {
                     // Ready but portless: retry next cycle.
                     next_scan = next_scan.min(now + 1);
-                    failed[c][class.imbalance_kind().idx()] = true;
+                    cluster_failed[class.imbalance_kind().idx()] = true;
+                    false
                 }
-            }
+            });
             self.iq_next_scan[c] = next_scan;
-            // The pick list is in queue (age) order: one compaction pass
-            // removes all of them.
-            self.iqs[c].remove_in_order(to_issue.iter().map(|&(id, _)| id));
             for &(id, port) in &to_issue {
                 self.start_execution(id);
                 self.stats.issued[c] += 1;
                 self.stats.issued_by_port[c][port] += 1;
                 issued_any = true;
                 if self.event_log.is_some() {
-                    let (t, seq) = {
-                        let e = self.slab.get(id);
-                        (e.thread, e.seq)
-                    };
+                    let t = self.slab.thread(id);
+                    let seq = self.slab.seq(id);
                     if let Some(log) = self.event_log.as_mut() {
                         log.on_issue(t, seq, self.now);
                     }
@@ -191,10 +194,8 @@ impl Simulator {
     /// its completion / value broadcast.
     fn start_execution(&mut self, id: u32) {
         let now = self.now;
-        let (class, cluster, dest) = {
-            let e = self.slab.get(id);
-            (e.uop.class, e.cluster, e.dest)
-        };
+        let class = self.slab.class(id);
+        let dest = self.slab.payload(id).dest;
         let lat = self.cfg.latency(class);
         let done_at = match class {
             OpClass::Copy => {
@@ -219,11 +220,9 @@ impl Simulator {
                 now + lat
             }
         };
-        let e = self.slab.get_mut(id);
-        e.state = UopState::Executing;
-        e.exec_done_at = done_at;
-        e.addr_set = false;
-        let _ = cluster;
+        self.slab.set_state(id, UopState::Executing);
+        self.slab.set_exec_done_at(id, done_at);
+        self.slab.set_addr_set(id, false);
         self.executing.push(id, done_at);
     }
 
@@ -248,10 +247,8 @@ impl Simulator {
             pos = p;
             let id = self.executing.id_at(pos);
             let generation = self.executing.generation();
-            let (class, addr_set) = {
-                let e = self.slab.get(id);
-                (e.uop.class, e.addr_set)
-            };
+            let class = self.slab.class(id);
+            let addr_set = self.slab.addr_set(id);
             match class {
                 OpClass::Load if !addr_set => {
                     // Address phase: stays in the executing list with a
@@ -262,13 +259,13 @@ impl Simulator {
                     // Address half: resolve the address in the MOB so
                     // younger loads can disambiguate immediately.
                     let (mob, mem) = {
-                        let e = self.slab.get(id);
-                        (e.mob, e.uop.mem)
+                        let p = self.slab.payload(id);
+                        (p.mob, p.uop.mem)
                     };
                     let m = mem.expect("store without address");
                     let idx = mob.expect("store without MOB entry");
                     self.mob.set_addr(idx, m.addr, m.size);
-                    self.slab.get_mut(id).addr_set = true;
+                    self.slab.set_addr_set(id, true);
                     self.try_finish_store(id, pos);
                 }
                 OpClass::Store => {
@@ -292,9 +289,10 @@ impl Simulator {
     /// once the data operand is ready; otherwise retry next cycle.
     fn try_finish_store(&mut self, id: u32, pos: usize) {
         let now = self.now;
-        let (cluster, data_src, mob) = {
-            let e = self.slab.get(id);
-            (e.cluster, e.srcs[1], e.mob)
+        let cluster = self.slab.cluster(id);
+        let (data_src, mob) = {
+            let p = self.slab.payload(id);
+            (p.srcs[1], p.mob)
         };
         let data_ready =
             data_src.is_none_or(|s| self.scoreboard.is_ready(cluster, s.class, s.phys, now));
@@ -304,7 +302,7 @@ impl Simulator {
             self.executing.swap_remove(pos);
             self.finish_uop(id);
         } else {
-            self.slab.get_mut(id).exec_done_at = now + 1;
+            self.slab.set_exec_done_at(id, now + 1);
             self.executing.set_due(pos, now + 1);
         }
     }
@@ -314,25 +312,20 @@ impl Simulator {
     /// remains in the executing list with a deadline after `now`.
     fn load_address_phase(&mut self, id: u32, pos: usize) {
         let now = self.now;
-        let (mob, mem, thread, cluster, dest, wrong_path, seq) = {
-            let e = self.slab.get(id);
-            (
-                e.mob,
-                e.uop.mem,
-                e.thread,
-                e.cluster,
-                e.dest,
-                e.wrong_path,
-                e.seq,
-            )
+        let (mob, mem, dest) = {
+            let p = self.slab.payload(id);
+            (p.mob, p.uop.mem, p.dest)
         };
+        let thread = self.slab.thread(id);
+        let wrong_path = self.slab.wrong_path(id);
+        let seq = self.slab.seq(id);
         let m = mem.expect("load without address");
         let idx = mob.expect("load without MOB entry");
         self.mob.set_addr(idx, m.addr, m.size);
         match self.mob.check_load(idx) {
             LoadCheck::WaitOlderStore => {
                 // Address stays registered; retry next cycle.
-                self.slab.get_mut(id).exec_done_at = now + 1;
+                self.slab.set_exec_done_at(id, now + 1);
                 self.executing.set_due(pos, now + 1);
             }
             LoadCheck::Forward => {
@@ -341,9 +334,8 @@ impl Simulator {
                     self.scoreboard
                         .set_ready_at(d.cluster, d.class, d.phys, ready);
                 }
-                let e = self.slab.get_mut(id);
-                e.addr_set = true;
-                e.exec_done_at = ready;
+                self.slab.set_addr_set(id, true);
+                self.slab.set_exec_done_at(id, ready);
                 self.executing.set_due(pos, ready);
             }
             LoadCheck::Cache => {
@@ -353,15 +345,11 @@ impl Simulator {
                     self.scoreboard
                         .set_ready_at(d.cluster, d.class, d.phys, ready);
                 }
-                {
-                    let e = self.slab.get_mut(id);
-                    e.addr_set = true;
-                    e.exec_done_at = ready;
-                }
+                self.slab.set_addr_set(id, true);
+                self.slab.set_exec_done_at(id, ready);
                 // Mirror the deadline *before* any flush below reshuffles
                 // the list (`pos` is only valid until then).
                 self.executing.set_due(pos, ready);
-                let _ = cluster;
                 if r.l2_miss && !wrong_path {
                     self.note_l2_miss(id, thread, seq, now, ready);
                 }
@@ -377,7 +365,7 @@ impl Simulator {
             started,
             ready_at: ready,
         });
-        self.slab.get_mut(id).l2_outstanding = true;
+        self.slab.set_l2_outstanding(id, true);
         let view = self.sched_view();
         if self.iq_scheme.should_flush_on_l2_miss(t, &view) {
             self.flush_thread(t, load_seq, ready);
@@ -387,26 +375,18 @@ impl Simulator {
     /// Final completion bookkeeping common to all classes.
     fn finish_uop(&mut self, id: u32) {
         let now = self.now;
-        let (mispredicted, wrong_path, thread, l2_outstanding, exec_done_at) = {
-            let e = self.slab.get(id);
-            (
-                e.mispredicted,
-                e.wrong_path,
-                e.thread,
-                e.l2_outstanding,
-                e.exec_done_at,
-            )
-        };
-        if l2_outstanding {
+        let mispredicted = self.slab.mispredicted(id);
+        let wrong_path = self.slab.wrong_path(id);
+        let thread = self.slab.thread(id);
+        if self.slab.l2_outstanding(id) {
             // The miss data arrived with this completion.
             let th = &mut self.threads[thread.idx()];
             th.l2_misses.retain(|mm| mm.uop != id);
-            self.slab.get_mut(id).l2_outstanding = false;
+            self.slab.set_l2_outstanding(id, false);
         }
-        let _ = exec_done_at;
-        self.slab.get_mut(id).state = UopState::Done;
+        self.slab.set_state(id, UopState::Done);
         if self.event_log.is_some() {
-            let seq = self.slab.get(id).seq;
+            let seq = self.slab.seq(id);
             if let Some(log) = self.event_log.as_mut() {
                 log.on_complete(thread, seq, now);
             }
@@ -420,7 +400,7 @@ impl Simulator {
     /// A mispredicted branch resolved: squash its wrong path and redirect
     /// fetch after the misprediction-pipeline penalty (Table 1: 14 cycles).
     fn resolve_mispredict(&mut self, t: ThreadId, branch_id: u32, now: u64) {
-        let seq = self.slab.get(branch_id).seq;
+        let seq = self.slab.seq(branch_id);
         self.squash_younger(t, seq);
         let th = &mut self.threads[t.idx()];
         // Everything in the fetch queue is wrong-path by construction.

@@ -7,7 +7,7 @@
 //! register-file limits, and dispatched together with any inter-cluster
 //! copy uops its operands require.
 
-use super::{pack_iq_meta, DestInfo, InFlight, Simulator, SrcInfo, UopState};
+use super::{pack_iq_meta, DestInfo, Simulator, SrcInfo, UopInit};
 use crate::schemes::{RfView, SchedView};
 use crate::steering::steer;
 use csmt_frontend::FetchedUop;
@@ -249,12 +249,11 @@ impl Simulator {
                 }),
                 None,
             ];
-            let id = self.slab.alloc(InFlight {
+            let id = self.slab.alloc(UopInit {
                 uop: copy_uop,
                 thread: t,
                 seq,
                 cluster: producer, // copies issue where the value lives
-                state: UopState::InIq,
                 wrong_path: fu.wrong_path,
                 mispredicted: false,
                 is_copy: true,
@@ -268,10 +267,6 @@ impl Simulator {
                 }),
                 srcs: copy_srcs,
                 mob: None,
-                exec_done_at: 0,
-                addr_set: false,
-                l2_outstanding: false,
-                live: true,
             });
             let ok = self.iqs[producer.idx()].insert_with_meta(
                 id,
@@ -282,7 +277,7 @@ impl Simulator {
             self.iq_next_scan[producer.idx()] = 0;
             view.iq_occ[ti][producer.idx()] += 1;
             view.rename_to_issue[ti] += 1;
-            let ok = self.threads[ti].rob.push(id);
+            let ok = self.threads[ti].rob.push(id, seq);
             debug_assert!(ok, "checked copy ROB capacity");
             self.stats.dispatched[producer.idx()] += 1;
             if let Some(log) = self.event_log.as_mut() {
@@ -329,29 +324,24 @@ impl Simulator {
         };
 
         // 4. Insert into the window.
-        let id = self.slab.alloc(InFlight {
+        let id = self.slab.alloc(UopInit {
             uop: u,
             thread: t,
             seq,
             cluster: c,
-            state: UopState::InIq,
             wrong_path: fu.wrong_path,
             mispredicted: fu.mispredicted,
             is_copy: false,
             dest,
             srcs: resolved,
             mob,
-            exec_done_at: 0,
-            addr_set: false,
-            l2_outstanding: false,
-            live: true,
         });
         let ok = self.iqs[c.idx()].insert_with_meta(id, t, pack_iq_meta(u.class, &resolved));
         debug_assert!(ok, "checked IQ capacity");
         self.iq_next_scan[c.idx()] = 0;
         view.iq_occ[ti][c.idx()] += 1;
         view.rename_to_issue[ti] += 1;
-        let ok = self.threads[ti].rob.push(id);
+        let ok = self.threads[ti].rob.push(id, seq);
         debug_assert!(ok, "checked ROB capacity");
         self.stats.dispatched[c.idx()] += 1;
         if let Some(log) = self.event_log.as_mut() {

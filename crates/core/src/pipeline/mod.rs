@@ -25,23 +25,26 @@ use crate::schemes::{make_iq_scheme, make_rf_scheme, IqScheme, RfScheme, RfView,
 use csmt_backend::{IssueQueue, LinkFabric, RegFile};
 use csmt_frontend::{FetchQueue, Gshare, IndirectPredictor, RenameTable, Rob, TraceCache};
 use csmt_mem::{MemHierarchy, Mob, MobIdx, Tlb};
+use csmt_trace::stream::{SharedStream, StreamReader};
 use csmt_trace::suite::{TraceSpec, Workload};
-use csmt_trace::{ThreadTrace, WrongPathSource};
+use csmt_trace::{Program, ThreadTrace, TraceProfile, WrongPathSource};
 use csmt_types::{
     ClusterId, MachineConfig, MicroOp, OpClass, PhysReg, RegClass, RegFileSchemeKind, SchemeKind,
     ThreadId, NUM_CLUSTERS,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// Execution state of an in-flight uop.
+/// Execution state of an in-flight uop (the low two bits of the slab's
+/// flags lane).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum UopState {
     /// Dispatched, waiting in an issue queue.
-    InIq,
+    InIq = 0,
     /// Issued, executing (or waiting on memory).
-    Executing,
+    Executing = 1,
     /// Completed, waiting to commit.
-    Done,
+    Done = 2,
 }
 
 /// Destination-register bookkeeping of an in-flight uop.
@@ -68,9 +71,12 @@ pub(crate) struct SrcInfo {
     pub phys: PhysReg,
 }
 
-/// One in-flight uop (slab entry).
+/// Allocation record for one in-flight uop: what dispatch knows when the
+/// uop enters the window. The slab scatters these fields into its
+/// structure-of-arrays lanes; every uop starts `InIq` with no completion
+/// cycle, no resolved address and no outstanding miss.
 #[derive(Debug, Clone)]
-pub(crate) struct InFlight {
+pub(crate) struct UopInit {
     pub uop: MicroOp,
     pub thread: ThreadId,
     /// Per-thread program-order sequence number (copies get their own,
@@ -79,7 +85,6 @@ pub(crate) struct InFlight {
     /// Cluster in which the uop *issues* (for copies: the producer
     /// cluster).
     pub cluster: ClusterId,
-    pub state: UopState,
     pub wrong_path: bool,
     /// Branch known (trace-driven) to have been mispredicted at fetch.
     pub mispredicted: bool,
@@ -88,53 +93,210 @@ pub(crate) struct InFlight {
     /// Sources in `cluster`'s register files.
     pub srcs: [Option<SrcInfo>; 2],
     pub mob: Option<MobIdx>,
-    /// Completion cycle once issued.
-    pub exec_done_at: u64,
-    /// Load phase flag: address has been sent to the MOB.
-    pub addr_set: bool,
-    /// This load's L2 miss is still outstanding (for squash accounting).
-    pub l2_outstanding: bool,
-    pub live: bool,
 }
 
-/// Slab of in-flight uops with free-list recycling.
+/// Cold per-uop fields: read at dispatch, memory phases and retire, but
+/// not by the per-cycle commit/completion polls, so they live apart from
+/// the hot lanes.
+#[derive(Debug, Clone)]
+pub(crate) struct Payload {
+    pub uop: MicroOp,
+    pub dest: Option<DestInfo>,
+    /// Sources in the issuing cluster's register files.
+    pub srcs: [Option<SrcInfo>; 2],
+    pub mob: Option<MobIdx>,
+}
+
+/// `flags` lane bit layout (bits 0..2 are the [`UopState`]).
+const F_STATE_MASK: u8 = 0b11;
+const F_LIVE: u8 = 1 << 2;
+const F_WRONG_PATH: u8 = 1 << 3;
+const F_MISPREDICTED: u8 = 1 << 4;
+const F_IS_COPY: u8 = 1 << 5;
+/// Load/store phase flag: address has been sent to the MOB.
+const F_ADDR_SET: u8 = 1 << 6;
+/// This load's L2 miss is still outstanding (for squash accounting).
+const F_L2_OUTSTANDING: u8 = 1 << 7;
+
+/// Slab of in-flight uops with free-list recycling, stored as a
+/// structure of arrays keyed by dense uop id. The per-cycle walks
+/// (commit poll, completion scan, ready checks) read the one-byte
+/// `flags` lane and the fixed-width hot lanes contiguously; the wide
+/// payload (uop, rename bookkeeping, MOB index) is only touched at
+/// dispatch, memory phases and retire. The free list is LIFO so uop ids
+/// recycle in the exact historical order (id assignment is
+/// behavior-visible through the event log and bit-exact snapshots).
 #[derive(Debug, Default)]
 pub(crate) struct Slab {
-    entries: Vec<InFlight>,
+    flags: Vec<u8>,
+    class: Vec<OpClass>,
+    thread: Vec<ThreadId>,
+    cluster: Vec<ClusterId>,
+    seq: Vec<u64>,
+    /// Completion cycle once issued.
+    exec_done_at: Vec<u64>,
+    payload: Vec<Payload>,
     free: Vec<u32>,
 }
 
 impl Slab {
-    pub fn alloc(&mut self, e: InFlight) -> u32 {
+    pub fn alloc(&mut self, e: UopInit) -> u32 {
+        let flags = F_LIVE
+            | if e.wrong_path { F_WRONG_PATH } else { 0 }
+            | if e.mispredicted { F_MISPREDICTED } else { 0 }
+            | if e.is_copy { F_IS_COPY } else { 0 };
+        let class = e.uop.class;
+        let payload = Payload {
+            uop: e.uop,
+            dest: e.dest,
+            srcs: e.srcs,
+            mob: e.mob,
+        };
         if let Some(i) = self.free.pop() {
-            self.entries[i as usize] = e;
+            let n = i as usize;
+            self.flags[n] = flags;
+            self.class[n] = class;
+            self.thread[n] = e.thread;
+            self.cluster[n] = e.cluster;
+            self.seq[n] = e.seq;
+            self.exec_done_at[n] = 0;
+            self.payload[n] = payload;
             i
         } else {
-            self.entries.push(e);
-            (self.entries.len() - 1) as u32
+            self.flags.push(flags);
+            self.class.push(class);
+            self.thread.push(e.thread);
+            self.cluster.push(e.cluster);
+            self.seq.push(e.seq);
+            self.exec_done_at.push(0);
+            self.payload.push(payload);
+            (self.flags.len() - 1) as u32
         }
     }
 
     pub fn release(&mut self, id: u32) {
-        debug_assert!(self.entries[id as usize].live);
-        self.entries[id as usize].live = false;
+        self.check_live(id);
+        self.flags[id as usize] &= !F_LIVE;
         self.free.push(id);
     }
 
     #[inline]
-    pub fn get(&self, id: u32) -> &InFlight {
-        debug_assert!(self.entries[id as usize].live, "dead uop {id}");
-        &self.entries[id as usize]
+    fn check_live(&self, id: u32) {
+        debug_assert!(self.flags[id as usize] & F_LIVE != 0, "dead uop {id}");
     }
 
     #[inline]
-    pub fn get_mut(&mut self, id: u32) -> &mut InFlight {
-        debug_assert!(self.entries[id as usize].live, "dead uop {id}");
-        &mut self.entries[id as usize]
+    fn flag(&self, id: u32, bit: u8) -> bool {
+        self.check_live(id);
+        self.flags[id as usize] & bit != 0
+    }
+
+    #[inline]
+    fn set_flag(&mut self, id: u32, bit: u8, v: bool) {
+        self.check_live(id);
+        if v {
+            self.flags[id as usize] |= bit;
+        } else {
+            self.flags[id as usize] &= !bit;
+        }
+    }
+
+    #[inline]
+    pub fn state(&self, id: u32) -> UopState {
+        self.check_live(id);
+        match self.flags[id as usize] & F_STATE_MASK {
+            0 => UopState::InIq,
+            1 => UopState::Executing,
+            _ => UopState::Done,
+        }
+    }
+
+    #[inline]
+    pub fn set_state(&mut self, id: u32, s: UopState) {
+        self.check_live(id);
+        let f = &mut self.flags[id as usize];
+        *f = (*f & !F_STATE_MASK) | s as u8;
+    }
+
+    #[inline]
+    pub fn class(&self, id: u32) -> OpClass {
+        self.check_live(id);
+        self.class[id as usize]
+    }
+
+    #[inline]
+    pub fn thread(&self, id: u32) -> ThreadId {
+        self.check_live(id);
+        self.thread[id as usize]
+    }
+
+    #[inline]
+    pub fn cluster(&self, id: u32) -> ClusterId {
+        self.check_live(id);
+        self.cluster[id as usize]
+    }
+
+    #[inline]
+    pub fn seq(&self, id: u32) -> u64 {
+        self.check_live(id);
+        self.seq[id as usize]
+    }
+
+    #[inline]
+    pub fn exec_done_at(&self, id: u32) -> u64 {
+        self.check_live(id);
+        self.exec_done_at[id as usize]
+    }
+
+    #[inline]
+    pub fn set_exec_done_at(&mut self, id: u32, cycle: u64) {
+        self.check_live(id);
+        self.exec_done_at[id as usize] = cycle;
+    }
+
+    #[inline]
+    pub fn wrong_path(&self, id: u32) -> bool {
+        self.flag(id, F_WRONG_PATH)
+    }
+
+    #[inline]
+    pub fn mispredicted(&self, id: u32) -> bool {
+        self.flag(id, F_MISPREDICTED)
+    }
+
+    #[inline]
+    pub fn is_copy(&self, id: u32) -> bool {
+        self.flag(id, F_IS_COPY)
+    }
+
+    #[inline]
+    pub fn addr_set(&self, id: u32) -> bool {
+        self.flag(id, F_ADDR_SET)
+    }
+
+    #[inline]
+    pub fn set_addr_set(&mut self, id: u32, v: bool) {
+        self.set_flag(id, F_ADDR_SET, v);
+    }
+
+    #[inline]
+    pub fn l2_outstanding(&self, id: u32) -> bool {
+        self.flag(id, F_L2_OUTSTANDING)
+    }
+
+    #[inline]
+    pub fn set_l2_outstanding(&mut self, id: u32, v: bool) {
+        self.set_flag(id, F_L2_OUTSTANDING, v);
+    }
+
+    #[inline]
+    pub fn payload(&self, id: u32) -> &Payload {
+        self.check_live(id);
+        &self.payload[id as usize]
     }
 
     pub fn live_count(&self) -> usize {
-        self.entries.len() - self.free.len()
+        self.flags.len() - self.free.len()
     }
 }
 
@@ -163,13 +325,25 @@ impl ExecList {
     }
 
     /// Position of the first entry at or after `pos` due at `now`, in list
-    /// order.
+    /// order. The scan packs 64 comparisons at a time into a `u64` lane —
+    /// the compare loop is branch-free and auto-vectorizes — and
+    /// `trailing_zeros` picks the first due position out of the lane.
     #[inline]
     pub fn next_due_from(&self, pos: usize, now: u64) -> Option<usize> {
-        self.due[pos..]
-            .iter()
-            .position(|&d| d <= now)
-            .map(|i| pos + i)
+        let due = &self.due[pos..];
+        let mut base = 0;
+        while base < due.len() {
+            let lane = &due[base..due.len().min(base + 64)];
+            let mut word = 0u64;
+            for (j, &d) in lane.iter().enumerate() {
+                word |= u64::from(d <= now) << j;
+            }
+            if word != 0 {
+                return Some(pos + base + word.trailing_zeros() as usize);
+            }
+            base += 64;
+        }
+        None
     }
 
     #[inline]
@@ -301,6 +475,20 @@ pub(crate) struct Scoreboard {
 }
 
 impl Scoreboard {
+    /// Pre-size the per-(cluster, class) tables to the configured register
+    /// capacities so the hot wakeup path never grows them (physical
+    /// registers are dense from 0 in every file). Unbounded-register
+    /// configs still grow on demand through [`Self::slot`].
+    fn reserve(&mut self, int_regs: usize, fp_regs: usize) {
+        let caps = [int_regs, fp_regs];
+        for c in 0..NUM_CLUSTERS {
+            for (k, &cap) in caps.iter().enumerate() {
+                self.ready[c][k].resize(cap, u64::MAX);
+                self.waiters[c][k].resize_with(cap, Vec::new);
+            }
+        }
+    }
+
     fn slot(&mut self, c: ClusterId, k: RegClass, p: PhysReg) -> &mut u64 {
         let v = &mut self.ready[c.idx()][k.idx()];
         if v.len() <= p.idx() {
@@ -357,10 +545,46 @@ pub(crate) struct L2Miss {
     pub ready_at: u64,
 }
 
+/// Correct-path uop source for one thread: either a private generator
+/// (per-config mode) or a reader over a shared immutable uop stream
+/// (batched sweeps, where all config points sharing a trace pair reuse
+/// one decoded stream). Both yield the identical stream — it is a pure
+/// function of `(profile, seed)`.
+pub(crate) enum TraceSource {
+    /// Boxed: the generator carries the full synthesized program and
+    /// would dominate the variant size otherwise.
+    Live(Box<ThreadTrace>),
+    Shared(StreamReader),
+}
+
+impl TraceSource {
+    #[inline]
+    pub fn next_uop(&mut self) -> MicroOp {
+        match self {
+            TraceSource::Live(t) => t.next_uop(),
+            TraceSource::Shared(r) => r.next_uop(),
+        }
+    }
+
+    pub fn profile(&self) -> &TraceProfile {
+        match self {
+            TraceSource::Live(t) => t.profile(),
+            TraceSource::Shared(r) => r.profile(),
+        }
+    }
+
+    pub fn program(&self) -> &Program {
+        match self {
+            TraceSource::Live(t) => t.program(),
+            TraceSource::Shared(r) => r.program(),
+        }
+    }
+}
+
 /// Per-thread context: trace source, private front-end state, ROB section.
 pub(crate) struct ThreadCtx {
     pub id: ThreadId,
-    pub trace: ThreadTrace,
+    pub trace: TraceSource,
     pub wrong: WrongPathSource,
     /// Replay buffer: correct-path uops refetched after a flush (FIFO,
     /// consumed before the generator).
@@ -458,12 +682,70 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Build a simulator for 1 or 2 trace specs.
+    /// Build a simulator for 1 or 2 trace specs, decoding each trace into
+    /// a private generator.
     pub fn new(
         cfg: MachineConfig,
         iq_kind: SchemeKind,
         rf_kind: RegFileSchemeKind,
         traces: &[TraceSpec],
+    ) -> Self {
+        let sources = traces
+            .iter()
+            .map(|spec| {
+                TraceSource::Live(Box::new(ThreadTrace::from_profile(
+                    &spec.profile,
+                    spec.seed,
+                )))
+            })
+            .collect();
+        Self::build(cfg, iq_kind, rf_kind, traces, sources)
+    }
+
+    /// Build a simulator whose correct-path uops come from pre-decoded
+    /// shared streams (one per thread) instead of private generators —
+    /// the batched-sweep mode, where every config point sharing a trace
+    /// pair reads the same immutable stream. Execution is bit-identical
+    /// to [`Self::new`] with the same specs: the stream is a pure
+    /// function of `(profile, seed)`, and everything config-dependent
+    /// (wrong-path injection, all back-end state) stays private.
+    pub fn new_batched(
+        cfg: MachineConfig,
+        iq_kind: SchemeKind,
+        rf_kind: RegFileSchemeKind,
+        traces: &[TraceSpec],
+        streams: &[Arc<SharedStream>],
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            traces.len(),
+            "one shared stream per trace spec"
+        );
+        for (spec, s) in traces.iter().zip(streams) {
+            assert_eq!(
+                s.profile().name,
+                spec.profile.name,
+                "shared stream built from a different profile"
+            );
+            assert_eq!(
+                s.seed(),
+                spec.seed,
+                "shared stream built from a different seed"
+            );
+        }
+        let sources = streams
+            .iter()
+            .map(|s| TraceSource::Shared(StreamReader::new(s.clone())))
+            .collect();
+        Self::build(cfg, iq_kind, rf_kind, traces, sources)
+    }
+
+    fn build(
+        cfg: MachineConfig,
+        iq_kind: SchemeKind,
+        rf_kind: RegFileSchemeKind,
+        traces: &[TraceSpec],
+        sources: Vec<TraceSource>,
     ) -> Self {
         cfg.validate().expect("invalid machine configuration");
         assert!(!traces.is_empty() && traces.len() <= 2, "1 or 2 threads");
@@ -509,9 +791,9 @@ impl Simulator {
         ];
         let threads: Vec<ThreadCtx> = traces
             .iter()
+            .zip(sources)
             .enumerate()
-            .map(|(i, spec)| {
-                let trace = ThreadTrace::from_profile(&spec.profile, spec.seed);
+            .map(|(i, (spec, trace))| {
                 let wrong = WrongPathSource::new(&spec.profile, spec.seed);
                 ThreadCtx {
                     id: ThreadId(i as u8),
@@ -574,6 +856,10 @@ impl Simulator {
             threads,
             cfg,
         };
+        if !sim.cfg.unbounded_regs {
+            sim.scoreboard
+                .reserve(sim.cfg.int_regs_per_cluster, sim.cfg.fp_regs_per_cluster);
+        }
         sim.init_architected_state();
         sim.warm_caches();
         sim
@@ -770,9 +1056,8 @@ impl Simulator {
     pub(crate) fn iq_noncopy_occupancy(&self, c: usize) -> [(ThreadId, usize); 2] {
         let mut out = [(ThreadId(0), 0usize), (ThreadId(1), 0usize)];
         for id in self.iqs[c].iter() {
-            let e = self.slab.get(id);
-            if !e.is_copy {
-                out[e.thread.idx()].1 += 1;
+            if !self.slab.is_copy(id) {
+                out[self.slab.thread(id).idx()].1 += 1;
             }
         }
         out
@@ -793,14 +1078,19 @@ impl Simulator {
         for c in 0..NUM_CLUSTERS {
             let mut per_thread = [0usize; 2];
             for (id, meta) in self.iqs[c].iter_with_meta() {
-                let e = self.slab.get(id);
-                assert_eq!(e.state, UopState::InIq, "IQ holds non-InIq uop {id}");
-                assert_eq!(e.cluster.idx(), c, "uop {id} in wrong cluster queue");
-                assert_eq!(meta_class(meta), e.uop.class, "meta class drift on {id}");
+                let p = self.slab.payload(id);
+                let cluster = self.slab.cluster(id);
+                assert_eq!(
+                    self.slab.state(id),
+                    UopState::InIq,
+                    "IQ holds non-InIq uop {id}"
+                );
+                assert_eq!(cluster.idx(), c, "uop {id} in wrong cluster queue");
+                assert_eq!(meta_class(meta), p.uop.class, "meta class drift on {id}");
                 for i in 0..2 {
                     assert_eq!(
                         meta_src(meta, i),
-                        e.srcs[i].map(|s| (s.class, s.phys)),
+                        p.srcs[i].map(|s| (s.class, s.phys)),
                         "meta src {i} drift on uop {id}"
                     );
                 }
@@ -812,13 +1102,13 @@ impl Simulator {
                 // must genuinely be ready (finite source ready-cycles never
                 // change while the consumer lives).
                 let cyc = (meta >> META_HINT_SHIFT) & META_HINT_CAP;
-                let gating = if e.uop.class == OpClass::Store { 1 } else { 2 };
+                let gating = if p.uop.class == OpClass::Store { 1 } else { 2 };
                 if meta & META_HINT_HARD == 0 && cyc == META_HINT_CAP {
                     // Parked entries are only woken by `set_ready_at`; if
                     // every source already has a scheduled ready-cycle and
                     // no wakeup is pending, the entry would sleep forever.
-                    let some_pending = e.srcs[..gating].iter().flatten().any(|s| {
-                        self.scoreboard.ready[e.cluster.idx()][s.class.idx()]
+                    let some_pending = p.srcs[..gating].iter().flatten().any(|s| {
+                        self.scoreboard.ready[cluster.idx()][s.class.idx()]
                             .get(s.phys.idx())
                             .is_none_or(|&r| r == u64::MAX)
                     });
@@ -827,17 +1117,17 @@ impl Simulator {
                         "parked uop {id} with every source scheduled and no rewake"
                     );
                 } else if cyc != 0 && cyc < META_HINT_CAP {
-                    let ready = e.srcs[..gating].iter().flatten().all(|s| {
-                        self.scoreboard
-                            .is_ready(e.cluster, s.class, s.phys, self.now)
-                    });
+                    let ready = p.srcs[..gating]
+                        .iter()
+                        .flatten()
+                        .all(|s| self.scoreboard.is_ready(cluster, s.class, s.phys, self.now));
                     if cyc > self.now {
                         assert!(!ready, "stale wakeup hint on ready uop {id}");
                     } else if meta & META_HINT_HARD != 0 {
                         assert!(ready, "hard-ready hint on non-ready uop {id}");
                     }
                 }
-                per_thread[e.thread.idx()] += 1;
+                per_thread[self.slab.thread(id).idx()] += 1;
             }
             for (ti, th) in self.threads.iter().enumerate() {
                 assert_eq!(
@@ -852,21 +1142,22 @@ impl Simulator {
         assert_eq!(self.slab.live_count(), rob_total, "slab/ROB drift");
         for th in &self.threads {
             let mut prev = None;
-            for id in th.rob.iter() {
-                let e = self.slab.get(id);
-                assert_eq!(e.thread, th.id);
+            for (id, rob_seq) in th.rob.iter_with_seq() {
+                assert_eq!(self.slab.thread(id), th.id);
+                let seq = self.slab.seq(id);
+                assert_eq!(rob_seq, seq, "ROB seq mirror drifted for uop {id}");
                 if let Some(p) = prev {
-                    assert!(e.seq > p, "ROB out of program order");
+                    assert!(seq > p, "ROB out of program order");
                 }
-                prev = Some(e.seq);
+                prev = Some(seq);
             }
         }
         // Executing list consistency, including the mirrored due cycles.
         for (pos, id) in self.executing.iter_ids().enumerate() {
-            let e = self.slab.get(id);
-            assert_eq!(e.state, UopState::Executing);
+            assert_eq!(self.slab.state(id), UopState::Executing);
             assert_eq!(
-                self.executing.due[pos], e.exec_done_at,
+                self.executing.due[pos],
+                self.slab.exec_done_at(id),
                 "due-cycle mirror drifted for uop {id}"
             );
         }
@@ -875,7 +1166,7 @@ impl Simulator {
             .threads
             .iter()
             .flat_map(|t| t.rob.iter())
-            .filter(|&id| self.slab.get(id).mob.is_some())
+            .filter(|&id| self.slab.payload(id).mob.is_some())
             .count();
         assert_eq!(self.mob.occupancy(), mem_uops, "MOB leak");
         // Outstanding-miss records reference live loads still flagged as
@@ -884,9 +1175,12 @@ impl Simulator {
         for th in &self.threads {
             for m in &th.l2_misses {
                 assert!(m.ready_at >= m.started, "miss record time-travels");
-                let e = self.slab.get(m.uop);
-                assert!(e.l2_outstanding, "stale L2 miss record");
-                assert_eq!(e.thread, th.id, "miss record on wrong thread");
+                assert!(self.slab.l2_outstanding(m.uop), "stale L2 miss record");
+                assert_eq!(
+                    self.slab.thread(m.uop),
+                    th.id,
+                    "miss record on wrong thread"
+                );
             }
         }
     }
@@ -950,15 +1244,15 @@ impl Simulator {
     /// Read-only view of a live uop by slab id (external-validator
     /// support: the slab itself is crate-private).
     pub fn uop_view(&self, id: u32) -> crate::check::UopView {
-        let e = self.slab.get(id);
+        let p = self.slab.payload(id);
         crate::check::UopView {
-            thread: e.thread,
-            seq: e.seq,
-            pc: e.uop.pc,
-            class: e.uop.class,
-            is_copy: e.is_copy,
-            wrong_path: e.wrong_path,
-            cluster: e.cluster,
+            thread: self.slab.thread(id),
+            seq: self.slab.seq(id),
+            pc: p.uop.pc,
+            class: p.uop.class,
+            is_copy: self.slab.is_copy(id),
+            wrong_path: self.slab.wrong_path(id),
+            cluster: self.slab.cluster(id),
         }
     }
 
@@ -1019,10 +1313,13 @@ impl Simulator {
             ));
         }
         for id in self.threads.iter().flat_map(|t| t.rob.iter()) {
-            let e = self.slab.get(id);
             out.push_str(&format!(
                 "{{{} {} {:?} c{} done@{}}} ",
-                id, e.uop.class, e.state, e.cluster.0, e.exec_done_at
+                id,
+                self.slab.class(id),
+                self.slab.state(id),
+                self.slab.cluster(id).0,
+                self.slab.exec_done_at(id)
             ));
         }
         out

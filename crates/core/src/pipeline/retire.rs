@@ -19,7 +19,7 @@ impl Simulator {
                 let Some(front) = self.threads[ti].rob.front() else {
                     break;
                 };
-                if self.slab.get(front).state != UopState::Done {
+                if self.slab.state(front) != UopState::Done {
                     break;
                 }
                 self.threads[ti].rob.pop_front();
@@ -32,18 +32,12 @@ impl Simulator {
     fn commit_one(&mut self, ti: usize, id: u32) {
         let now = self.now;
         let t = ThreadId(ti as u8);
-        let (dest, mob, class, mem, is_copy, wrong_path) = {
-            let e = self.slab.get(id);
-            (
-                e.dest,
-                e.mob,
-                e.uop.class,
-                e.uop.mem,
-                e.is_copy,
-                e.wrong_path,
-            )
+        let (dest, mob, class, mem) = {
+            let p = self.slab.payload(id);
+            (p.dest, p.mob, p.uop.class, p.uop.mem)
         };
-        debug_assert!(!wrong_path, "wrong-path uop reached commit");
+        let is_copy = self.slab.is_copy(id);
+        debug_assert!(!self.slab.wrong_path(id), "wrong-path uop reached commit");
         // Free the registers this definition superseded. Copy mappings
         // added a location without superseding anything — nothing to free.
         if let Some(d) = dest {
@@ -70,7 +64,7 @@ impl Simulator {
             self.threads[ti].committed += 1;
         }
         if self.event_log.is_some() {
-            let seq = self.slab.get(id).seq;
+            let seq = self.slab.seq(id);
             if let Some(log) = self.event_log.as_mut() {
                 log.on_commit(t, seq, now);
             }
@@ -123,21 +117,21 @@ impl Simulator {
         // walk sees youngest first, so collect and prepend in reverse.
         let mut replay: Vec<csmt_types::MicroOp> = Vec::new();
         while let Some(back) = self.threads[ti].rob.back() {
-            let e = self.slab.get(back);
-            if e.seq <= boundary_seq {
+            // The boundary check reads the ROB's own seq mirror, so the
+            // walk never touches the slab for entries that stay.
+            let back_seq = self.threads[ti].rob.back_seq().expect("non-empty ROB");
+            if back_seq <= boundary_seq {
                 break;
             }
-            let (state, cluster, dest, mob, wrong_path, is_copy, l2_outstanding, exec_done_at, uop) = (
-                e.state,
-                e.cluster,
-                e.dest,
-                e.mob,
-                e.wrong_path,
-                e.is_copy,
-                e.l2_outstanding,
-                e.exec_done_at,
-                e.uop,
-            );
+            let state = self.slab.state(back);
+            let cluster = self.slab.cluster(back);
+            let wrong_path = self.slab.wrong_path(back);
+            let is_copy = self.slab.is_copy(back);
+            let l2_outstanding = self.slab.l2_outstanding(back);
+            let (dest, mob, uop) = {
+                let p = self.slab.payload(back);
+                (p.dest, p.mob, p.uop)
+            };
             self.threads[ti].rob.pop_back();
             match state {
                 UopState::InIq => {
@@ -159,7 +153,6 @@ impl Simulator {
             if l2_outstanding {
                 self.threads[ti].l2_misses.retain(|m| m.uop != back);
             }
-            let _ = exec_done_at;
             if self.threads[ti].unresolved_mispredict == Some(back) {
                 self.threads[ti].unresolved_mispredict = None;
                 self.threads[ti].wrong_path_mode = false;
@@ -169,7 +162,7 @@ impl Simulator {
             }
             self.stats.squashed += 1;
             if self.event_log.is_some() {
-                let seq = self.slab.get(back).seq;
+                let seq = self.slab.seq(back);
                 if let Some(log) = self.event_log.as_mut() {
                     log.on_squash(t, seq);
                 }

@@ -153,12 +153,11 @@ fn private_clusters_never_mix() {
         // Every IQ entry of cluster c belongs to thread c.
         for c in 0..NUM_CLUSTERS {
             for id in sim.iqs[c].iter() {
-                let e = sim.slab.get(id);
                 assert_eq!(
-                    e.thread.idx(),
+                    sim.slab.thread(id).idx(),
                     c,
                     "PC leaked thread {} into cluster {c}",
-                    e.thread
+                    sim.slab.thread(id)
                 );
             }
         }
@@ -209,9 +208,8 @@ fn cssp_caps_per_cluster_occupancy() {
             // rename-generated and exempt (they only need hard slots).
             let mut steered = [0usize; 2];
             for id in sim.iqs[c].iter() {
-                let e = sim.slab.get(id);
-                if !e.is_copy {
-                    steered[e.thread.idx()] += 1;
+                if !sim.slab.is_copy(id) {
+                    steered[sim.slab.thread(id).idx()] += 1;
                 }
             }
             for (t, &n) in steered.iter().enumerate() {
@@ -235,9 +233,8 @@ fn cisp_caps_total_occupancy() {
         let mut steered = [0usize; 2];
         for c in 0..NUM_CLUSTERS {
             for id in sim.iqs[c].iter() {
-                let e = sim.slab.get(id);
-                if !e.is_copy {
-                    steered[e.thread.idx()] += 1;
+                if !sim.slab.is_copy(id) {
+                    steered[sim.slab.thread(id).idx()] += 1;
                 }
             }
         }

@@ -1,12 +1,16 @@
 //! `csmt-experiments bench` — reproducible perf harness for the cycle loop
 //! and the sweep executor.
 //!
-//! Three fixed measurements seed the perf trajectory (`BENCH_3.json` /
-//! `BENCH_4.json` at the repo root):
+//! Five fixed measurements seed the perf trajectory (`BENCH_3.json` …
+//! `BENCH_5.json` at the repo root):
 //!
 //! * **fig2-slice** — a deterministic 16-run slice of the Figure 2 grid
 //!   (4 suite workloads × 4 scheme/IQ-size combos), timed end to end on
 //!   one thread.
+//! * **fig4-slice** — an RF-bound counterpart: the same 4 workloads ×
+//!   4 register-file-scheme combos on a bounded 64-register file (the
+//!   Figure 6 RF-study grid), so the trajectory covers register-pressure
+//!   bookkeeping, not just the unbounded-RF issue-queue path.
 //! * **cycle-loop** — `Simulator::step()` in a tight loop on one workload
 //!   with CSSP + CDPRF active, isolating the per-cycle cost from run
 //!   setup and metrics finalization.
@@ -16,6 +20,12 @@
 //!   `--jobs 1` vs `--jobs N` is the wall-clock speedup headline of the
 //!   parallel executor; the results themselves are bit-identical either
 //!   way (see `crates/experiments/tests/determinism.rs`).
+//! * **fig2-sweep-batch** — the same sweep with `--batch` semantics:
+//!   each distinct trace is decoded once into a shared immutable stream
+//!   and all config points read it. Comparing `fig2-sweep-batch` (after)
+//!   against `fig2-sweep` (before) is the headline of the batched mode;
+//!   [`perf_baseline`] computes exactly that ratio when the before half
+//!   predates the measurement.
 //!
 //! All report wall time, simulated cycles/sec and committed uops/sec.
 //! The workloads, schemes and iteration counts are fixed constants so two
@@ -49,6 +59,17 @@ pub const SLICE_COMBOS: [(SchemeKind, usize); 4] = [
     (SchemeKind::FlushPlus, 32),
     (SchemeKind::Cssp, 32),
     (SchemeKind::Cssp, 64),
+];
+
+/// Register-file-scheme combos of the fig4 slice (all with CSSP issue
+/// queues on the bounded `rf_study` machine, as in the Figure 6 RF
+/// study). Every RF scheme's per-cycle accounting is on the measured
+/// path.
+pub const RF_SLICE_COMBOS: [(RegFileSchemeKind, usize); 4] = [
+    (RegFileSchemeKind::Shared, 64),
+    (RegFileSchemeKind::Cssprf, 64),
+    (RegFileSchemeKind::Cisprf, 64),
+    (RegFileSchemeKind::Cdprf, 64),
 ];
 
 /// Workload driving the raw cycle loop.
@@ -158,6 +179,36 @@ fn measure_slice(scale: BenchScale) -> BenchMeasurement {
     finish("fig2-slice", best.unwrap())
 }
 
+/// Time the RF-bound fig4 slice: same shape as the fig2 slice, but on
+/// the bounded register file with each RF scheme active in turn.
+fn measure_rf_slice(scale: BenchScale) -> BenchMeasurement {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| find_workload(n)).collect();
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..scale.reps {
+        let mut cycles = 0u64;
+        let mut uops = 0u64;
+        let t0 = Instant::now();
+        for w in &workloads {
+            for &(rf, regs) in &RF_SLICE_COMBOS {
+                let mut sim = Simulator::new(
+                    MachineConfig::rf_study(regs),
+                    SchemeKind::Cssp,
+                    rf,
+                    &w.traces,
+                );
+                let r = sim.run(scale.slice_target, 10_000_000);
+                cycles += r.stats.cycles;
+                uops += r.stats.committed.iter().sum::<u64>();
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        if best.is_none() || wall < best.unwrap().0 {
+            best = Some((wall, cycles, uops));
+        }
+    }
+    finish("fig4-slice", best.unwrap())
+}
+
 /// Time `step()` in a tight loop: CSSP + CDPRF on a bounded register file,
 /// so both schemes' per-cycle bookkeeping is on the measured path.
 fn measure_cycle_loop(scale: BenchScale) -> BenchMeasurement {
@@ -184,10 +235,11 @@ fn measure_cycle_loop(scale: BenchScale) -> BenchMeasurement {
 }
 
 /// Time the fig2 slice through the full [`Sweeps`] harness with `jobs`
-/// sweep workers (0 = `min(cores, 8)`). A fresh `Sweeps` per repetition:
-/// memoization would otherwise turn every rep after the first into a
-/// no-op.
-fn measure_sweep(scale: BenchScale, jobs: usize) -> BenchMeasurement {
+/// sweep workers (0 = `min(cores, 8)`), per-config (`batch = false`) or
+/// through the shared-stream batched path (`batch = true`). A fresh
+/// `Sweeps` per repetition: memoization would otherwise turn every rep
+/// after the first into a no-op.
+fn measure_sweep(scale: BenchScale, jobs: usize, batch: bool) -> BenchMeasurement {
     let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| find_workload(n)).collect();
     let combos: Vec<_> = SLICE_COMBOS
         .iter()
@@ -202,6 +254,7 @@ fn measure_sweep(scale: BenchScale, jobs: usize) -> BenchMeasurement {
             jobs,
             verbose: false,
             validate: false,
+            batch,
         });
         let t0 = Instant::now();
         sweeps.smt_batch(&workloads, &combos);
@@ -219,7 +272,14 @@ fn measure_sweep(scale: BenchScale, jobs: usize) -> BenchMeasurement {
             best = Some((wall, cycles, uops));
         }
     }
-    finish("fig2-sweep", best.unwrap())
+    finish(
+        if batch {
+            "fig2-sweep-batch"
+        } else {
+            "fig2-sweep"
+        },
+        best.unwrap(),
+    )
 }
 
 fn finish(name: &str, (wall_ms, cycles, uops): (f64, u64, u64)) -> BenchMeasurement {
@@ -244,6 +304,7 @@ pub fn run(scale: BenchScale, quick: bool, verbose: bool, jobs: usize) -> BenchR
             "fig2-slice",
             measure_slice as fn(BenchScale) -> BenchMeasurement,
         ),
+        ("fig4-slice", measure_rf_slice),
         ("cycle-loop", measure_cycle_loop),
     ] {
         if verbose {
@@ -251,18 +312,21 @@ pub fn run(scale: BenchScale, quick: bool, verbose: bool, jobs: usize) -> BenchR
         }
         measurements.push(f(scale));
     }
-    if verbose {
-        eprintln!(
-            "bench: measuring fig2-sweep ({} reps, --jobs {})...",
-            scale.reps,
-            if jobs == 0 {
-                csmt_store::default_jobs()
-            } else {
-                jobs
-            }
-        );
+    for batch in [false, true] {
+        if verbose {
+            eprintln!(
+                "bench: measuring fig2-sweep{} ({} reps, --jobs {})...",
+                if batch { "-batch" } else { "" },
+                scale.reps,
+                if jobs == 0 {
+                    csmt_store::default_jobs()
+                } else {
+                    jobs
+                }
+            );
+        }
+        measurements.push(measure_sweep(scale, jobs, batch));
     }
-    measurements.push(measure_sweep(scale, jobs));
     BenchReport {
         schema: BENCH_SCHEMA,
         mode: if quick { "quick" } else { "full" }.to_string(),
@@ -335,7 +399,13 @@ pub fn check_against_baseline(
     Ok(failures)
 }
 
-/// Build the committed `BENCH_3.json` payload from a before/after pair.
+/// Build the committed `BENCH_<n>.json` payload from a before/after
+/// pair.
+///
+/// Measurements pair by name. An after-measurement named `X-batch` with
+/// no match in the before half falls back to before's `X` — so when the
+/// before binary predates the batched mode, `fig2-sweep-batch` is still
+/// scored, and its ratio is exactly the batched-vs-per-config headline.
 pub fn perf_baseline(before: BenchReport, after: BenchReport) -> PerfBaseline {
     let speedup = after
         .measurements
@@ -345,6 +415,10 @@ pub fn perf_baseline(before: BenchReport, after: BenchReport) -> PerfBaseline {
                 .measurements
                 .iter()
                 .find(|b| b.name == a.name)
+                .or_else(|| {
+                    let base = a.name.strip_suffix("-batch")?;
+                    before.measurements.iter().find(|b| b.name == base)
+                })
                 .map(|b| SpeedupEntry {
                     name: a.name.clone(),
                     ratio: a.cycles_per_sec / b.cycles_per_sec,

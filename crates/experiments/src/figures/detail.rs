@@ -68,6 +68,7 @@ mod tests {
             jobs: 0,
             verbose: false,
             validate: false,
+            batch: false,
         });
         let t = run(&sweeps, "DH/ilp.2.1").expect("known workload");
         assert_eq!(t.rows.len(), 7, "one row per scheme");

@@ -16,10 +16,12 @@
 
 use csmt_core::Simulator;
 use csmt_store::Executor;
+use csmt_trace::stream::SharedStream;
 use csmt_trace::suite::{suite, TraceSpec};
 use csmt_types::{MachineConfig, Prng, RegFileSchemeKind, SchemeKind};
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
 
 /// Master seed used when `--seed` is not given. Arbitrary but fixed, so
 /// CI and local runs exercise the same corpus by default.
@@ -65,6 +67,11 @@ pub struct FuzzOptions {
     /// Arm the invariant suite + differential oracle. Off, only panics
     /// and forward-progress failures are caught.
     pub validate: bool,
+    /// Run every case through the batched front end (`--batch`): traces
+    /// feed the simulator via [`SharedStream`] readers exactly as a
+    /// `--batch` sweep would, so the validators and the oracle exercise
+    /// the shared-stream path against the SoA arenas.
+    pub batch: bool,
 }
 
 impl Default for FuzzOptions {
@@ -74,6 +81,7 @@ impl Default for FuzzOptions {
             master: DEFAULT_MASTER_SEED,
             jobs: 0,
             validate: true,
+            batch: false,
         }
     }
 }
@@ -195,12 +203,23 @@ fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
 /// Run one case. `Err` carries the one-line failure message: a validator
 /// violation (panicked via fail-fast), any other panic, or a
 /// forward-progress failure (cycle cap hit before the commit target).
-pub fn run_case(case: &FuzzCase, validate: bool) -> Result<(), String> {
+/// `batch` routes the traces through [`SharedStream`] readers (a batch
+/// of one), the exact front end a `--batch` sweep uses.
+pub fn run_case_in(case: &FuzzCase, validate: bool, batch: bool) -> Result<(), String> {
     case.config.validate().map_err(|e| format!("config: {e}"))?;
     let iq = parse_iq(&case.iq)?;
     let rf = parse_rf(&case.rf)?;
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        let mut sim = Simulator::new(case.config.clone(), iq, rf, &case.traces);
+        let mut sim = if batch {
+            let shared: Vec<Arc<SharedStream>> = case
+                .traces
+                .iter()
+                .map(|t| Arc::new(SharedStream::new(&t.profile, t.seed)))
+                .collect();
+            Simulator::new_batched(case.config.clone(), iq, rf, &case.traces, &shared)
+        } else {
+            Simulator::new(case.config.clone(), iq, rf, &case.traces)
+        };
         if validate {
             // Standard invariant suite + the differential in-order
             // oracle, fail-fast: the first violation panics.
@@ -223,6 +242,11 @@ pub fn run_case(case: &FuzzCase, validate: bool) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// [`run_case_in`] on the direct (non-batched) front end.
+pub fn run_case(case: &FuzzCase, validate: bool) -> Result<(), String> {
+    run_case_in(case, validate, false)
 }
 
 /// One named reversion toward the baseline config, tried greedily by the
@@ -280,8 +304,8 @@ const REVERTS: &[(&str, Revert)] = &[
 /// revert config field groups to the baseline, keeping each step only if
 /// the case still fails. Deterministic; leaves the schemes and traces
 /// alone (they are the subject of the repro).
-pub fn shrink(case: &FuzzCase, validate: bool) -> FuzzCase {
-    let fails = |c: &FuzzCase| run_case(c, validate).is_err();
+pub fn shrink(case: &FuzzCase, validate: bool, batch: bool) -> FuzzCase {
+    let fails = |c: &FuzzCase| run_case_in(c, validate, batch).is_err();
     let mut best = case.clone();
     loop {
         let half = best.commit_target / 2;
@@ -390,14 +414,18 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
     std::panic::set_hook(Box::new(|_| {}));
     let outcomes = exec.run(&indices, |_, &i| {
         let case = generate_case(opts.master, i);
-        run_case(&case, opts.validate).err().map(|e| (case, e))
+        run_case_in(&case, opts.validate, opts.batch)
+            .err()
+            .map(|e| (case, e))
     });
     let failures: Vec<(FuzzCase, String)> = outcomes
         .into_iter()
         .flatten()
         .map(|(case, err)| {
-            let shrunk = shrink(&case, opts.validate);
-            let msg = run_case(&shrunk, opts.validate).err().unwrap_or(err);
+            let shrunk = shrink(&case, opts.validate, opts.batch);
+            let msg = run_case_in(&shrunk, opts.validate, opts.batch)
+                .err()
+                .unwrap_or(err);
             (shrunk, msg)
         })
         .collect();
@@ -443,6 +471,20 @@ mod tests {
     }
 
     #[test]
+    fn batched_front_end_passes_validators() {
+        let report = fuzz(&FuzzOptions {
+            seeds: 3,
+            jobs: 1,
+            batch: true,
+            ..Default::default()
+        });
+        assert_eq!(report.cases, 3);
+        if let Some((case, msg)) = report.failures.first() {
+            panic!("batched: {}\n  {msg}", describe(case));
+        }
+    }
+
+    #[test]
     fn forward_progress_cap_is_reported_not_hung() {
         let mut case = generate_case(DEFAULT_MASTER_SEED, 0);
         case.max_cycles = 10; // impossible
@@ -457,7 +499,7 @@ mod tests {
         // keeps failing, so every reversion is kept.
         let mut case = generate_case(DEFAULT_MASTER_SEED, 2);
         case.max_cycles = 1;
-        let shrunk = shrink(&case, false);
+        let shrunk = shrink(&case, false, false);
         assert_eq!(shrunk.config, MachineConfig::baseline());
         assert!(shrunk.commit_target < case.commit_target);
         assert_eq!(config_diff(&shrunk.config), "");

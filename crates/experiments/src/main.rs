@@ -1,14 +1,15 @@
 //! Command-line driver: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! csmt-experiments <artifact>... [--target N] [--jobs N] [--csv DIR] [--quiet]
-//!                                [--store DIR | --no-store] [--resume] [--bars]
+//! csmt-experiments <artifact>... [--target N] [--jobs N] [--batch] [--csv DIR]
+//!                                [--quiet] [--store DIR | --no-store] [--resume]
+//!                                [--bars]
 //! csmt-experiments all [--target N]
 //! csmt-experiments compare <a.json> <b.json> [tolerance]
 //! csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE]
 //!                        [--max-regression PCT]
-//! csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--no-validate]
-//!                       [--out DIR] [--repro FILE]
+//! csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--batch]
+//!                       [--no-validate] [--out DIR] [--repro FILE]
 //! ```
 //!
 //! Results persist in a content-addressed store (`results/store` by
@@ -49,7 +50,8 @@ fn usage() -> String {
          \x20 --warmup N     warm-up uops per thread before measuring (default: 10000)\n\
          \x20 --jobs N       sweep worker threads, N >= 1 (default: min(cores, 8);\n\
          \x20                --jobs 1 runs serially; results are bit-identical for any N)\n\
-         \x20 --workers N    deprecated alias for --jobs\n\
+         \x20 --batch        decode each distinct trace once and share the stream across\n\
+         \x20                all config points (bit-identical results, faster sweeps)\n\
          \x20 --csv DIR      also write <artifact>.csv and .json under DIR\n\
          \x20 --bars         render ASCII bar charts per column\n\
          \x20 --quiet        no progress dots\n\
@@ -62,11 +64,27 @@ fn usage() -> String {
          csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)\n\
          csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
          \x20                                                       (perf harness; gate vs baseline)\n\
-         csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--no-validate] [--out DIR] [--repro FILE]\n\
+         csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--batch] [--no-validate] [--out DIR] [--repro FILE]\n\
          \x20                                                       (randomized scheme fuzzing; shrunk repros)",
         ALL_ARTIFACTS.join(" "),
         ABLATIONS.join(" "),
     )
+}
+
+/// Parse a flag's value as a positive integer (`>= 1`). The one parser
+/// behind every count-valued flag (`--target`, `--jobs`, `--seeds`, ...)
+/// so they all reject zero, negatives and junk with the same message.
+fn positive_int(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse::<u64>()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("{flag} needs a positive integer, got '{v}'"))
+}
+
+/// [`positive_int`] for subcommands that exit on bad flags.
+fn positive_int_or_die(flag: &str, value: Option<&String>) -> u64 {
+    positive_int(flag, value).unwrap_or_else(|e| fail(&e))
 }
 
 /// Parse and validate arguments. Errors are user-facing messages.
@@ -84,12 +102,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--target" => {
-                let v = it.next().ok_or("--target needs a value")?;
-                cli.opts.commit_target = v
-                    .parse::<u64>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("--target needs a positive integer, got '{v}'"))?;
+                cli.opts.commit_target = positive_int("--target", it.next())?;
             }
             "--warmup" => {
                 let v = it.next().ok_or("--warmup needs a value")?;
@@ -97,18 +110,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|_| format!("--warmup needs a non-negative integer, got '{v}'"))?;
             }
-            "--jobs" | "--workers" => {
-                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
-                let n = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("{a} needs an integer, got '{v}'"))?;
-                if n == 0 {
-                    return Err(format!(
-                        "{a} must be at least 1 (omit the flag for min(cores, 8))"
-                    ));
-                }
-                cli.opts.jobs = n;
+            "--jobs" => {
+                cli.opts.jobs = positive_int("--jobs", it.next())? as usize;
             }
+            "--workers" => {
+                return Err("--workers was removed; use --jobs N".into());
+            }
+            "--batch" => cli.opts.batch = true,
             "--csv" => {
                 cli.csv_dir = Some(it.next().ok_or("--csv needs a directory")?.clone());
             }
@@ -289,13 +297,7 @@ fn bench_cmd(args: &[String]) {
         match a.as_str() {
             "--quick" => quick = true,
             "--quiet" => verbose = false,
-            "--jobs" => {
-                let v = it.next().unwrap_or_else(|| fail("--jobs needs a value"));
-                match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => jobs = n,
-                    _ => fail(&format!("--jobs needs an integer >= 1, got '{v}'")),
-                }
-            }
+            "--jobs" => jobs = positive_int_or_die("--jobs", it.next()) as usize,
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => fail("--out needs a file"),
@@ -354,9 +356,10 @@ fn bench_cmd(args: &[String]) {
     }
 }
 
-/// `fuzz [--seeds N] [--seed S] [--jobs N] [--no-validate] [--out DIR]
-/// [--repro FILE]`: run a seeded corpus of random config × scheme ×
-/// trace cases with the invariant suite and differential oracle armed.
+/// `fuzz [--seeds N] [--seed S] [--jobs N] [--batch] [--no-validate]
+/// [--out DIR] [--repro FILE]`: run a seeded corpus of random config ×
+/// scheme × trace cases with the invariant suite and differential oracle
+/// armed. `--batch` feeds every case through the shared-stream front end.
 /// Failing cases are shrunk and written as replayable JSON repros under
 /// `--out` (default `results/fuzz`). Exit 0 clean, 1 on failures. Output
 /// and artifacts are byte-identical at any `--jobs` count.
@@ -367,13 +370,7 @@ fn fuzz_cmd(args: &[String]) {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seeds" => {
-                let v = it.next().unwrap_or_else(|| fail("--seeds needs a value"));
-                match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => opts.seeds = n,
-                    _ => fail(&format!("--seeds needs an integer >= 1, got '{v}'")),
-                }
-            }
+            "--seeds" => opts.seeds = positive_int_or_die("--seeds", it.next()) as usize,
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| fail("--seed needs a value"));
                 let parsed = v
@@ -387,17 +384,12 @@ fn fuzz_cmd(args: &[String]) {
                     )),
                 }
             }
-            "--jobs" => {
-                let v = it.next().unwrap_or_else(|| fail("--jobs needs a value"));
-                match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => opts.jobs = n,
-                    _ => fail(&format!("--jobs needs an integer >= 1, got '{v}'")),
-                }
-            }
+            "--jobs" => opts.jobs = positive_int_or_die("--jobs", it.next()) as usize,
             // Validation defaults ON for fuzzing (that is the point of
             // the harness); accept the explicit form too.
             "--validate" => opts.validate = true,
             "--no-validate" => opts.validate = false,
+            "--batch" => opts.batch = true,
             "--out" => match it.next() {
                 Some(v) => out_dir = v.clone(),
                 None => fail("--out needs a directory"),
@@ -417,7 +409,7 @@ fn fuzz_cmd(args: &[String]) {
         let case: FuzzCase = serde_json::from_str(&text)
             .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
         println!("repro {}", fuzz::describe(&case));
-        match fuzz::run_case(&case, opts.validate) {
+        match fuzz::run_case_in(&case, opts.validate, opts.batch) {
             Ok(()) => println!("PASS: case no longer fails"),
             Err(e) => {
                 println!("FAIL: {e}");
@@ -428,10 +420,11 @@ fn fuzz_cmd(args: &[String]) {
     }
 
     println!(
-        "fuzz: {} cases, master seed 0x{:016x}, validators {}",
+        "fuzz: {} cases, master seed 0x{:016x}, validators {}, {} front end",
         opts.seeds,
         opts.master,
-        if opts.validate { "armed" } else { "off" }
+        if opts.validate { "armed" } else { "off" },
+        if opts.batch { "batched" } else { "direct" }
     );
     let report = fuzz::fuzz(&opts);
     if report.failures.is_empty() {
@@ -517,17 +510,29 @@ mod tests {
     }
 
     #[test]
-    fn rejects_zero_workers() {
-        let e = parse(&["fig2", "--workers", "0"]).unwrap_err();
-        assert!(e.contains("--workers"), "{e}");
+    fn rejects_zero_jobs() {
         let e = parse(&["fig2", "--jobs", "0"]).unwrap_err();
         assert!(e.contains("--jobs"), "{e}");
     }
 
     #[test]
-    fn jobs_flag_and_workers_alias_set_the_same_option() {
+    fn removed_workers_alias_is_a_hard_error() {
+        // Whatever follows the flag — even a valid count — the answer is
+        // the same pointer at --jobs.
+        for args in [
+            &["fig2", "--workers", "4"][..],
+            &["fig2", "--workers", "0"],
+            &["fig2", "--workers"],
+        ] {
+            let e = parse(args).unwrap_err();
+            assert!(e.contains("removed"), "{e}");
+            assert!(e.contains("--jobs"), "{e}");
+        }
+    }
+
+    #[test]
+    fn jobs_flag_sets_the_worker_count() {
         assert_eq!(parse(&["fig2", "--jobs", "4"]).unwrap().opts.jobs, 4);
-        assert_eq!(parse(&["fig2", "--workers", "4"]).unwrap().opts.jobs, 4);
         assert_eq!(parse(&["fig2", "--jobs", "1"]).unwrap().opts.jobs, 1);
         assert_eq!(
             parse(&["fig2"]).unwrap().opts.jobs,
@@ -540,7 +545,13 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_numeric_target_and_workers() {
+    fn batch_flag_sets_batched_mode() {
+        assert!(parse(&["fig2", "--batch"]).unwrap().opts.batch);
+        assert!(!parse(&["fig2"]).unwrap().opts.batch);
+    }
+
+    #[test]
+    fn rejects_non_numeric_target_and_jobs() {
         assert!(parse(&["fig2", "--target", "lots"])
             .unwrap_err()
             .contains("'lots'"));
@@ -550,9 +561,9 @@ mod tests {
         assert!(parse(&["fig2", "--target", "0"])
             .unwrap_err()
             .contains("'0'"));
-        assert!(parse(&["fig2", "--workers", "two"])
+        assert!(parse(&["fig2", "--jobs", "-1"])
             .unwrap_err()
-            .contains("'two'"));
+            .contains("'-1'"));
         assert!(parse(&["fig2", "--target"])
             .unwrap_err()
             .contains("--target"));

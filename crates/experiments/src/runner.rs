@@ -25,6 +25,7 @@ use csmt_store::{
     EventKind, ExecCounters, Executor, JobDesc, Journal, Lookup, OrchCounters, Orchestrator,
     ResultStore, RetryPolicy, StoreCounters, StoreKey, SCHEMA_VERSION,
 };
+use csmt_trace::stream::SharedStream;
 use csmt_trace::suite::{TraceSpec, Workload};
 use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
 use parking_lot::Mutex;
@@ -139,6 +140,13 @@ pub struct ExpOptions {
     /// validated sweeps skip the persistent store (a retried/failed
     /// placeholder must never be memoized as a real result).
     pub validate: bool,
+    /// Batched sweep mode (`--batch`): decode each distinct trace once
+    /// into a [`SharedStream`] and run every config point sharing it
+    /// against that stream, instead of re-decoding per config. Results
+    /// are bit-identical (the stream is a pure function of the trace
+    /// spec; see `tests/batch_determinism.rs`), so batched and
+    /// per-config runs share store records.
+    pub batch: bool,
 }
 
 impl Default for ExpOptions {
@@ -150,6 +158,7 @@ impl Default for ExpOptions {
             jobs: 0,
             verbose: true,
             validate: false,
+            batch: false,
         }
     }
 }
@@ -165,6 +174,12 @@ pub struct SweepCounters {
     pub exec: ExecCounters,
 }
 
+/// Decoded-trace cache for batched sweeps, keyed by the full serialized
+/// profile plus seed (the exact identity the stream is a pure function
+/// of — two profiles that differ anywhere get distinct streams even if
+/// they share a name).
+type StreamCache = Mutex<HashMap<(String, u64), Arc<SharedStream>>>;
+
 /// Memoizing run store.
 pub struct Sweeps {
     pub opts: ExpOptions,
@@ -173,6 +188,8 @@ pub struct Sweeps {
     journal: Option<Arc<Journal>>,
     orch: Orchestrator,
     exec: Executor,
+    /// Shared decoded streams (batch mode only; empty otherwise).
+    streams: StreamCache,
 }
 
 impl Sweeps {
@@ -186,6 +203,7 @@ impl Sweeps {
             journal: None,
             orch: Orchestrator::new(RetryPolicy::default(), None),
             exec: Executor::new(opts.jobs),
+            streams: Mutex::new(HashMap::new()),
         }
     }
 
@@ -202,6 +220,7 @@ impl Sweeps {
             journal: Some(journal),
             orch,
             exec: Executor::new(opts.jobs),
+            streams: Mutex::new(HashMap::new()),
         })
     }
 
@@ -310,9 +329,16 @@ impl Sweeps {
         // closure is self-contained (orchestrator isolation + store put);
         // results come back in `todo` order, so what follows — map
         // inserts, figure tables, CSVs — is independent of scheduling.
+        let streams = if self.opts.batch {
+            Some(&self.streams)
+        } else {
+            None
+        };
         let results = self.exec.run(&todo, |_, (key, input)| {
             let desc = job_desc(key);
-            let outcome = self.orch.run_job(&desc, || run_one(key, input, &self.opts));
+            let outcome = self
+                .orch
+                .run_job(&desc, || run_one(key, input, &self.opts, streams));
             let result = match outcome {
                 Some(result) => {
                     if let Some(store) = &self.store {
@@ -418,14 +444,41 @@ fn failed_placeholder(input: &RunInput, opts: &ExpOptions) -> SimResult {
     }
 }
 
-fn run_one(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
+/// Fetch or build the shared decoded stream for one trace spec. The
+/// build runs under the cache lock: concurrent workers wanting the same
+/// trace wait for one decode instead of racing on duplicates.
+fn stream_for(cache: &StreamCache, spec: &TraceSpec) -> Arc<SharedStream> {
+    let key = (
+        serde_json::to_string(&spec.profile).expect("profile serializes"),
+        spec.seed,
+    );
+    cache
+        .lock()
+        .entry(key)
+        .or_insert_with(|| Arc::new(SharedStream::new(&spec.profile, spec.seed)))
+        .clone()
+}
+
+fn run_one(
+    key: &RunKey,
+    input: &RunInput,
+    opts: &ExpOptions,
+    streams: Option<&StreamCache>,
+) -> SimResult {
     fault_injection::maybe_panic(&key.label);
     let cfg = key.cfg.build();
     let traces: Vec<TraceSpec> = match input {
         RunInput::Smt(w) => w.traces.to_vec(),
         RunInput::Single(s) => vec![(**s).clone()],
     };
-    let mut sim = Simulator::new(cfg, key.iq, key.rf, &traces);
+    let mut sim = match streams {
+        Some(cache) => {
+            let shared: Vec<Arc<SharedStream>> =
+                traces.iter().map(|t| stream_for(cache, t)).collect();
+            Simulator::new_batched(cfg, key.iq, key.rf, &traces, &shared)
+        }
+        None => Simulator::new(cfg, key.iq, key.rf, &traces),
+    };
     if opts.validate {
         // Invariant suite + differential oracle, fail-fast: a violation
         // panics the run, which the orchestrator journals and retries.
@@ -447,6 +500,7 @@ mod tests {
             jobs: 0,
             verbose: false,
             validate: false,
+            batch: false,
         }
     }
 

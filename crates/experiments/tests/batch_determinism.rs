@@ -1,0 +1,197 @@
+//! Batch-vs-serial equivalence: `--batch` sweeps (shared decoded
+//! streams, per-config SoA arenas) must reproduce the per-config path
+//! **byte for byte** — serialized metrics, rendered CSV/JSON tables and
+//! persistent store records. The stream is a pure function of
+//! `(profile, seed)`, so any divergence here is a bug in the shared
+//! front end, not tolerance-worthy noise.
+
+use csmt_experiments::report::Table;
+use csmt_experiments::runner::{CfgKind, ExpOptions, RunKey, Sweeps};
+use csmt_trace::suite::{suite, Workload};
+use csmt_types::{RegFileSchemeKind, SchemeKind};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn workload(name: &str) -> Workload {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("{name} not in suite"))
+}
+
+/// Every scheme family on one grid: all 7 IQ schemes (shared RF,
+/// 32-entry IQ study) plus the CSSP IQ scheme with every bounded RF
+/// scheme (64-register RF study).
+fn family_grid() -> Vec<(SchemeKind, RegFileSchemeKind, CfgKind)> {
+    let mut grid: Vec<_> = SchemeKind::all()
+        .into_iter()
+        .map(|s| (s, RegFileSchemeKind::Shared, CfgKind::IqStudy { iq: 32 }))
+        .collect();
+    for rf in [
+        RegFileSchemeKind::Cssprf,
+        RegFileSchemeKind::Cisprf,
+        RegFileSchemeKind::Cdprf,
+    ] {
+        grid.push((SchemeKind::Cssp, rf, CfgKind::RfStudy { regs: 64 }));
+    }
+    grid
+}
+
+fn opts(batch: bool, jobs: usize) -> ExpOptions {
+    ExpOptions {
+        commit_target: 600,
+        warmup: 150,
+        max_cycles: 4_000_000,
+        jobs,
+        verbose: false,
+        validate: false,
+        batch,
+    }
+}
+
+/// Serialized results for `grid` × `workloads` through a fresh sweep.
+fn result_blob(
+    workloads: &[Workload],
+    grid: &[(SchemeKind, RegFileSchemeKind, CfgKind)],
+    sweeps: &Sweeps,
+) -> Vec<(RunKey, String)> {
+    sweeps.smt_batch(workloads, grid);
+    let mut out = Vec::new();
+    for w in workloads {
+        for &(s, rf, cfg) in grid {
+            let key = Sweeps::smt_key(w, s, rf, cfg);
+            let json = serde_json::to_string(&sweeps.get(&key)).unwrap();
+            out.push((key, json));
+        }
+    }
+    out
+}
+
+/// Headline equivalence: every scheme family, batched vs per-config,
+/// byte-identical serialized metrics for every run.
+#[test]
+fn every_scheme_family_is_byte_identical_batched_vs_serial() {
+    let workloads = [workload("mixes/mix.2.3"), workload("DH/ilp.2.1")];
+    let grid = family_grid();
+    let serial = result_blob(&workloads, &grid, &Sweeps::new(opts(false, 1)));
+    let batched = result_blob(&workloads, &grid, &Sweeps::new(opts(true, 2)));
+    assert_eq!(serial.len(), batched.len());
+    for ((key, a), (_, b)) in serial.iter().zip(&batched) {
+        assert_eq!(a, b, "batched result diverged for {key:?}");
+    }
+}
+
+/// Rendered artifacts: the same grid rendered as a speedup table must
+/// produce byte-identical CSV and JSON whether the sweep was batched.
+#[test]
+fn batched_sweep_renders_identical_csv_and_json() {
+    let workloads = [workload("multimedia/mix.2.1"), workload("mixes/mix.2.3")];
+    let grid = family_grid();
+    let render = |sweeps: &Sweeps| {
+        sweeps.smt_batch(&workloads, &grid);
+        let columns: Vec<String> = grid
+            .iter()
+            .map(|&(s, rf, cfg)| format!("{s}/{}/{}", rf.name(), cfg.label()))
+            .collect();
+        let mut t = Table::new("batch-equiv", "workload", columns);
+        for w in &workloads {
+            let base = sweeps.get(&Sweeps::smt_key(
+                w,
+                SchemeKind::Icount,
+                RegFileSchemeKind::Shared,
+                CfgKind::IqStudy { iq: 32 },
+            ));
+            let row: Vec<f64> = grid
+                .iter()
+                .map(|&(s, rf, cfg)| {
+                    sweeps.get(&Sweeps::smt_key(w, s, rf, cfg)).throughput()
+                        / base.throughput().max(1e-9)
+                })
+                .collect();
+            t.push(&w.name, row);
+        }
+        t.push_average("AVG");
+        (t.to_csv(), t.to_json())
+    };
+    let (csv_a, json_a) = render(&Sweeps::new(opts(false, 1)));
+    let (csv_b, json_b) = render(&Sweeps::new(opts(true, 3)));
+    assert_eq!(csv_a, csv_b, "CSV differs between per-config and --batch");
+    assert_eq!(
+        json_a, json_b,
+        "JSON differs between per-config and --batch"
+    );
+}
+
+/// Store records: a batched sweep persists records a per-config sweep
+/// reads back warm (same keys, same content), and the results served
+/// from those records are byte-identical to a per-config simulation.
+#[test]
+fn batched_sweep_shares_store_records_with_per_config_runs() {
+    let dir = std::env::temp_dir().join(format!("csmt-batch-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workloads = [workload("ISPEC-FSPEC/mix.2.1")];
+    let grid = family_grid();
+
+    // Batched cold pass: simulates and persists everything.
+    let batched = {
+        let sweeps = Sweeps::with_store(opts(true, 2), &dir).unwrap();
+        let blob = result_blob(&workloads, &grid, &sweeps);
+        let c = sweeps.counters();
+        assert_eq!(c.store.unwrap().puts as usize, grid.len());
+        blob
+    };
+    // Per-config warm pass over the same store: zero simulations, every
+    // record served from what the batched pass wrote.
+    let sweeps = Sweeps::with_store(opts(false, 1), &dir).unwrap();
+    let warm = result_blob(&workloads, &grid, &sweeps);
+    let c = sweeps.counters();
+    assert_eq!(
+        c.store.unwrap().hits as usize,
+        grid.len(),
+        "per-config run must read the batched run's records"
+    );
+    assert_eq!(c.orch.completed, 0, "warm pass must not simulate");
+    // And a from-scratch per-config simulation agrees byte for byte.
+    let fresh = result_blob(&workloads, &grid, &Sweeps::new(opts(false, 1)));
+    for (((key, a), (_, b)), (_, c)) in batched.iter().zip(&warm).zip(&fresh) {
+        assert_eq!(a, b, "stored record differs for {key:?}");
+        assert_eq!(a, c, "fresh per-config run differs for {key:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Serial per-config reference results, computed once for the proptest.
+fn serial_reference() -> &'static Vec<(RunKey, String)> {
+    static REF: OnceLock<Vec<(RunKey, String)>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let workloads = [workload("mixes/mix.2.1")];
+        result_blob(&workloads, &family_grid(), &Sweeps::new(opts(false, 1)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any subset of the config grid, batched in any order, reproduces
+    /// the serial per-config results for exactly the keys it covers.
+    #[test]
+    fn random_config_subsets_batched_in_random_order_match_serial(
+        subset in proptest::sample::subsequence(
+            (0..family_grid().len()).collect::<Vec<_>>(),
+            1..=family_grid().len(),
+        ).prop_shuffle(),
+    ) {
+        let workloads = [workload("mixes/mix.2.1")];
+        let all = family_grid();
+        let grid: Vec<_> = subset.iter().map(|&i| all[i]).collect();
+        let batched = result_blob(&workloads, &grid, &Sweeps::new(opts(true, 2)));
+        let reference = serial_reference();
+        for (key, json) in &batched {
+            let (_, want) = reference
+                .iter()
+                .find(|(k, _)| k == key)
+                .expect("subset key present in the full serial reference");
+            prop_assert_eq!(json, want, "batched subset diverged for {:?}", key);
+        }
+    }
+}

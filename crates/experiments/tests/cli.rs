@@ -226,9 +226,10 @@ fn no_store_disables_persistence() {
 fn bad_flags_fail_fast_with_usage() {
     for (args, needle) in [
         (
-            vec!["fig2", "--workers", "0"],
-            "--workers must be at least 1",
+            vec!["fig2", "--workers", "4"],
+            "--workers was removed; use --jobs",
         ),
+        (vec!["fig2", "--jobs", "0"], "positive integer"),
         (vec!["fig2", "--target", "lots"], "positive integer"),
         (vec!["fig2", "--target", "0"], "positive integer"),
         (vec!["fig99"], "unknown artifact: fig99"),

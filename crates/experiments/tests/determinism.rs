@@ -71,6 +71,7 @@ fn fig2_avg_row_identical_across_worker_counts() {
             jobs,
             verbose: false,
             validate: false,
+            batch: false,
         });
         sweeps.smt_batch(&workloads, &grid);
         // Serialize every result in grid order, then compute the AVG row
@@ -124,6 +125,7 @@ fn fig2_slice_table(jobs: usize) -> csmt_experiments::report::Table {
         jobs,
         verbose: false,
         validate: false,
+        batch: false,
     });
     sweeps.smt_batch(&workloads, &grid);
     let columns: Vec<String> = fig2::combos()
@@ -214,6 +216,7 @@ fn jobs8_sweep_reproduces_golden_headline_speedups() {
         jobs: 8,
         verbose: false,
         validate: false,
+        batch: false,
     });
     sweeps.smt_batch(&workloads, &grid);
 

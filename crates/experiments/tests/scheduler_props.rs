@@ -88,6 +88,7 @@ proptest! {
             jobs,
             verbose: false,
             validate: false,
+            batch: false,
         });
         let combos = [(
             SchemeKind::Icount,

@@ -7,10 +7,14 @@
 
 use std::collections::VecDeque;
 
-/// One thread's reorder buffer section.
+/// One thread's reorder buffer section. Stored as parallel deques (uop
+/// id and program-order sequence number) so the squash walk's boundary
+/// checks and commit-order validation read a dense sequence lane
+/// instead of chasing the uop slab.
 #[derive(Debug, Clone)]
 pub struct Rob {
     q: VecDeque<u32>,
+    seqs: VecDeque<u64>,
     capacity: usize,
     unbounded: bool,
 }
@@ -19,6 +23,7 @@ impl Rob {
     pub fn new(capacity: usize) -> Self {
         Rob {
             q: VecDeque::with_capacity(capacity),
+            seqs: VecDeque::with_capacity(capacity),
             capacity,
             unbounded: false,
         }
@@ -27,6 +32,7 @@ impl Rob {
     pub fn unbounded() -> Self {
         Rob {
             q: VecDeque::new(),
+            seqs: VecDeque::new(),
             capacity: usize::MAX,
             unbounded: true,
         }
@@ -45,11 +51,12 @@ impl Rob {
     }
 
     /// Allocate at the tail (program order). Returns `false` when full.
-    pub fn push(&mut self, uop_id: u32) -> bool {
+    pub fn push(&mut self, uop_id: u32, seq: u64) -> bool {
         if self.is_full() {
             return false;
         }
         self.q.push_back(uop_id);
+        self.seqs.push_back(seq);
         true
     }
 
@@ -63,19 +70,32 @@ impl Rob {
         self.q.back().copied()
     }
 
+    /// Sequence number of the youngest in-flight uop (squash boundary
+    /// checks read this lane, not the uop store).
+    pub fn back_seq(&self) -> Option<u64> {
+        self.seqs.back().copied()
+    }
+
     /// Commit the oldest uop.
     pub fn pop_front(&mut self) -> Option<u32> {
+        self.seqs.pop_front();
         self.q.pop_front()
     }
 
     /// Squash the youngest uop.
     pub fn pop_back(&mut self) -> Option<u32> {
+        self.seqs.pop_back();
         self.q.pop_back()
     }
 
     /// Iterate uop ids oldest → youngest.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.q.iter().copied()
+    }
+
+    /// Iterate (uop id, seq) pairs oldest → youngest.
+    pub fn iter_with_seq(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.q.iter().copied().zip(self.seqs.iter().copied())
     }
 }
 
@@ -87,24 +107,25 @@ mod tests {
     fn program_order_commit() {
         let mut r = Rob::new(4);
         for i in 0..4 {
-            assert!(r.push(i));
+            assert!(r.push(i, i as u64));
         }
         assert!(r.is_full());
-        assert!(!r.push(4));
+        assert!(!r.push(4, 4));
         assert_eq!(r.pop_front(), Some(0));
         assert_eq!(r.front(), Some(1));
-        assert!(r.push(4));
+        assert!(r.push(4, 4));
     }
 
     #[test]
     fn squash_from_back() {
         let mut r = Rob::new(8);
         for i in 0..5 {
-            r.push(i);
+            r.push(i, i as u64);
         }
         assert_eq!(r.pop_back(), Some(4));
         assert_eq!(r.pop_back(), Some(3));
         assert_eq!(r.back(), Some(2));
+        assert_eq!(r.back_seq(), Some(2));
         assert_eq!(r.len(), 3);
     }
 
@@ -112,7 +133,7 @@ mod tests {
     fn unbounded_never_fills() {
         let mut r = Rob::unbounded();
         for i in 0..100_000 {
-            assert!(r.push(i));
+            assert!(r.push(i, i as u64));
         }
         assert!(!r.is_full());
         assert_eq!(r.len(), 100_000);
@@ -121,9 +142,13 @@ mod tests {
     #[test]
     fn iteration_is_oldest_first() {
         let mut r = Rob::new(8);
-        for i in [3u32, 1, 4, 1] {
-            r.push(i);
+        for (n, i) in [3u32, 1, 4, 1].into_iter().enumerate() {
+            r.push(i, n as u64);
         }
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 1, 4, 1]);
+        assert_eq!(
+            r.iter_with_seq().collect::<Vec<_>>(),
+            vec![(3, 0), (1, 1), (4, 2), (1, 3)]
+        );
     }
 }

@@ -26,6 +26,9 @@ pub struct TcLookup {
 pub struct TraceCache {
     cache: SetAssocCache,
     line_uops: usize,
+    /// `log2(line_uops)` when it is a power of two: the per-lookup chunk
+    /// division becomes a shift.
+    line_shift: Option<u32>,
     full_width: usize,
     mite_width: usize,
     mrom_penalty: u64,
@@ -41,6 +44,10 @@ impl TraceCache {
         TraceCache {
             cache: SetAssocCache::with_entries(lines, cfg.trace_cache_assoc),
             line_uops: cfg.trace_cache_line_uops,
+            line_shift: cfg
+                .trace_cache_line_uops
+                .is_power_of_two()
+                .then(|| cfg.trace_cache_line_uops.trailing_zeros()),
             full_width: cfg.fetch_width,
             mite_width: cfg.mite_width,
             mrom_penalty: cfg.mrom_penalty,
@@ -60,7 +67,10 @@ impl TraceCache {
         has_mrom: bool,
     ) -> TcLookup {
         self.lookups += 1;
-        let chunk = uop_in_block as u64 / self.line_uops as u64;
+        let chunk = match self.line_shift {
+            Some(s) => (uop_in_block >> s) as u64,
+            None => uop_in_block as u64 / self.line_uops as u64,
+        };
         // Threads run different programs: the tag must include the thread.
         let key = ((thread.idx() as u64) << 56) | ((code_block as u64) << 16) | chunk;
         if self.cache.access(key) {

@@ -72,8 +72,8 @@ proptest! {
     #[test]
     fn rob_round_trips_in_order(ids in prop::collection::vec(any::<u32>(), 1..128)) {
         let mut r = Rob::new(128);
-        for &id in &ids {
-            prop_assert!(r.push(id));
+        for (seq, &id) in ids.iter().enumerate() {
+            prop_assert!(r.push(id, seq as u64));
         }
         let drained: Vec<u32> = std::iter::from_fn(|| r.pop_front()).collect();
         prop_assert_eq!(drained, ids);

@@ -12,6 +12,9 @@ pub struct SetAssocCache {
     /// LRU stamps parallel to `tags`; larger = more recently used.
     stamps: Vec<u64>,
     num_sets: usize,
+    /// `num_sets - 1` when `num_sets` is a power of two (the common case for
+    /// every modelled structure); lets `set_and_tag` mask instead of divide.
+    set_mask: Option<u64>,
     assoc: usize,
     line_shift: u32,
     clock: u64,
@@ -35,6 +38,7 @@ impl SetAssocCache {
             tags: vec![INVALID; num_sets * assoc],
             stamps: vec![0; num_sets * assoc],
             num_sets,
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             assoc,
             line_shift: line.trailing_zeros(),
             clock: 0,
@@ -50,10 +54,12 @@ impl SetAssocCache {
             entries.is_multiple_of(assoc),
             "entries not divisible by assoc"
         );
+        let num_sets = entries / assoc;
         SetAssocCache {
             tags: vec![INVALID; entries],
             stamps: vec![0; entries],
-            num_sets: entries / assoc,
+            num_sets,
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             assoc,
             line_shift: 0,
             clock: 0,
@@ -65,7 +71,11 @@ impl SetAssocCache {
     #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line % self.num_sets as u64) as usize, line)
+        let set = match self.set_mask {
+            Some(mask) => line & mask,
+            None => line % self.num_sets as u64,
+        };
+        (set as usize, line)
     }
 
     /// Probe without fill or LRU update. Returns hit.

@@ -43,6 +43,9 @@ pub struct MemHierarchy {
     l2: SetAssocCache,
     dtlb: Tlb,
     line: u64,
+    /// `log2(line)` — line sizes are powers of two (asserted by the cache
+    /// constructor), so per-access line math shifts instead of dividing.
+    line_shift: u32,
     l1_latency: u64,
     l2_latency: u64,
     mem_latency: u64,
@@ -71,6 +74,7 @@ impl MemHierarchy {
             l2: SetAssocCache::new(cfg.l2_size, cfg.l2_assoc, cfg.l1_line),
             dtlb: Tlb::new(cfg.dtlb_entries, cfg.dtlb_assoc, cfg.tlb_miss_penalty),
             line: cfg.l1_line as u64,
+            line_shift: (cfg.l1_line as u64).trailing_zeros(),
             l1_latency: cfg.l1_latency,
             l2_latency: cfg.l2_latency,
             mem_latency: cfg.mem_latency,
@@ -141,7 +145,7 @@ impl MemHierarchy {
         self.prune(now);
         let tlb_extra = self.dtlb.translate(addr);
         let tlb_miss = tlb_extra > 0;
-        let line = addr / self.line;
+        let line = addr >> self.line_shift;
 
         // Merge with an in-flight fill of the same line (MSHR hit): the
         // access completes when the fill returns.

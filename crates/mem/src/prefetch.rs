@@ -74,8 +74,10 @@ impl Prefetcher {
                 vec![line + 1]
             }
             PrefetchKind::Stride => {
-                // Region-hashed entry: nearby misses share a detector.
-                let idx = ((line >> 6) % self.table.len() as u64) as usize;
+                // Region-hashed entry: nearby misses share a detector. The
+                // table length is a power of two, so the hash is a mask.
+                debug_assert!(self.table.len().is_power_of_two());
+                let idx = ((line >> 6) & (self.table.len() as u64 - 1)) as usize;
                 let e = &mut self.table[idx];
                 let stride = line as i64 - e.last_line as i64;
                 if stride != 0 && stride == e.stride {

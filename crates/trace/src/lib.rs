@@ -28,6 +28,7 @@ pub mod oracle;
 pub mod profile;
 pub mod program;
 pub mod stats;
+pub mod stream;
 pub mod suite;
 
 pub use gen::{ThreadTrace, WrongPathSource};
@@ -36,4 +37,5 @@ pub use oracle::{OracleDivergence, ThreadOracle};
 pub use profile::{TraceClass, TraceProfile};
 pub use program::Program;
 pub use stats::{characterize, characterize_trace, TraceStats};
+pub use stream::{SharedStream, StreamReader};
 pub use suite::{suite, Category, Workload, WorkloadKind};

@@ -13,6 +13,7 @@ fn tiny() -> Sweeps {
         jobs: 0,
         verbose: false,
         validate: false,
+        batch: false,
     })
 }
 

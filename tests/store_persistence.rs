@@ -14,6 +14,7 @@ fn opts() -> ExpOptions {
         jobs: 0,
         verbose: false,
         validate: false,
+        batch: false,
     }
 }
 

@@ -65,6 +65,29 @@ pub trait Strategy {
     {
         Map { source: self, f }
     }
+
+    /// Randomly permute a generated `Vec` (Fisher-Yates).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle(self)
+    }
+}
+
+pub struct Shuffle<S>(S);
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.0.generate(rng);
+        for i in (1..v.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
 }
 
 pub struct Map<S, F> {
@@ -411,6 +434,45 @@ pub mod sample {
             self.0[rng.below(self.0.len() as u64) as usize].clone()
         }
     }
+
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        min: usize,
+        max: usize,
+    }
+
+    /// An order-preserving random subsequence of `values`, with a length
+    /// drawn uniformly from `sizes`.
+    pub fn subsequence<T: Clone>(
+        values: Vec<T>,
+        sizes: std::ops::RangeInclusive<usize>,
+    ) -> Subsequence<T> {
+        let (min, max) = (*sizes.start(), *sizes.end());
+        assert!(min <= max, "empty size range");
+        assert!(
+            max <= values.len(),
+            "subsequence size exceeds the value count"
+        );
+        Subsequence { values, min, max }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let k = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            // Partial Fisher-Yates picks k distinct indices; sorting them
+            // restores the source order.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..k {
+                let j = i + rng.below((idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
 }
 
 // ---- runner ----
@@ -619,6 +681,19 @@ mod tests {
             prop_assert!(opt.is_none() || opt.unwrap() < 3);
             prop_assert_eq!(mapped % 2, 0);
             prop_assert_ne!(mapped, 19);
+        }
+
+        #[test]
+        fn subsequences_preserve_order_and_shuffles_permute(
+            sub in prop::sample::subsequence((0..8).collect::<Vec<i32>>(), 1..=8),
+            mix in prop::sample::subsequence((0..8).collect::<Vec<i32>>(), 3..=8).prop_shuffle(),
+        ) {
+            prop_assert!(!sub.is_empty() && sub.len() <= 8);
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]), "subsequence keeps order");
+            let mut sorted = mix.clone();
+            sorted.sort_unstable();
+            prop_assert!(sorted.windows(2).all(|w| w[0] < w[1]), "shuffle keeps distinctness");
+            prop_assert!(sorted.len() >= 3 && sorted.len() <= 8);
         }
     }
 
