@@ -1,8 +1,8 @@
-//! `csmt-experiments bench` — reproducible perf harness for the cycle loop
-//! and the sweep executor.
+//! `csmt-experiments bench` — reproducible perf harness for the cycle loop,
+//! the sweep executor, and the sweep-service daemon.
 //!
-//! Five fixed measurements seed the perf trajectory (`BENCH_3.json` …
-//! `BENCH_5.json` at the repo root):
+//! Seven fixed measurements seed the perf trajectory (`BENCH_3.json` …
+//! `BENCH_6.json` at the repo root):
 //!
 //! * **fig2-slice** — a deterministic 16-run slice of the Figure 2 grid
 //!   (4 suite workloads × 4 scheme/IQ-size combos), timed end to end on
@@ -26,6 +26,15 @@
 //!   against `fig2-sweep` (before) is the headline of the batched mode;
 //!   [`perf_baseline`] computes exactly that ratio when the before half
 //!   predates the measurement.
+//! * **batch-cold** — cold batch-CLI startup: spawn this very binary on
+//!   one detail artifact with no store, end to end (process start, trace
+//!   decode, 7 simulations, render).
+//! * **serve-warm** — the same artifact as one `csmt-serve` round trip
+//!   against a pre-filled store: connect, submit, stream events, render.
+//!   Nothing simulates, so `serve-warm` vs `batch-cold` is the daemon's
+//!   warm-request headline; [`perf_baseline`] computes that ratio from
+//!   the after half alone (the pair shares its reference cycle count, so
+//!   the cycles/sec ratio is exactly the wall-clock ratio).
 //!
 //! All report wall time, simulated cycles/sec and committed uops/sec.
 //! The workloads, schemes and iteration counts are fixed constants so two
@@ -33,12 +42,19 @@
 //! repeated and the best repetition kept, which filters scheduler noise
 //! on loaded hosts.
 
+use crate::client::{run_on, ClientConfig, Outcome};
+use crate::proto::{read_response, write_line, Request};
 use crate::runner::{CfgKind, ExpOptions, Sweeps};
+use crate::spec::JobSpec;
 use csmt_core::Simulator;
 use csmt_trace::suite::{suite, Workload};
 use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 /// Bump when measurement definitions change incompatibly; compared runs
 /// must agree on it.
@@ -74,6 +90,18 @@ pub const RF_SLICE_COMBOS: [(RegFileSchemeKind, usize); 4] = [
 
 /// Workload driving the raw cycle loop.
 pub const LOOP_WORKLOAD: &str = "mixes/mix.2.1";
+
+/// Artifact driving the serve-latency pair: one detail sweep, 7 RunKeys.
+pub const SERVE_ARTIFACT: &str = "detail:DH/ilp.2.1";
+
+/// Warm round trips averaged per repetition: one socket round trip is a
+/// few milliseconds, so single-shot timing would be all scheduler noise.
+const WARM_ITERS: u32 = 10;
+
+/// Measurements that time wall-clock latency rather than simulation
+/// throughput; [`check_against_baseline`] compares them only when the
+/// baseline and current run used the same mode.
+pub const LATENCY_MEASUREMENTS: [&str; 2] = ["batch-cold", "serve-warm"];
 
 /// How the two modes scale the fixed work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -282,6 +310,157 @@ fn measure_sweep(scale: BenchScale, jobs: usize, batch: bool) -> BenchMeasuremen
     )
 }
 
+/// The serve artifact's simulated work, measured in-process once. Both
+/// halves of the latency pair report these same cycles/uops, so their
+/// cycles-per-second ratio is exactly the wall-clock ratio.
+fn serve_reference(scale: BenchScale) -> (u64, u64) {
+    let w = find_workload("DH/ilp.2.1");
+    let mut cycles = 0u64;
+    let mut uops = 0u64;
+    for s in SchemeKind::all() {
+        let mut sim = Simulator::new(
+            MachineConfig::iq_study(32),
+            s,
+            RegFileSchemeKind::Shared,
+            &w.traces,
+        );
+        let r = sim.run(scale.slice_target, 10_000_000);
+        cycles += r.stats.cycles;
+        uops += r.stats.committed.iter().sum::<u64>();
+    }
+    (cycles, uops)
+}
+
+/// Find a binary built into the same target directory as this one
+/// (`target/<profile>/` directly, or its parent when running under the
+/// test harness from `deps/`).
+fn sibling_binary(name: &str) -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+    let dir = exe.parent()?;
+    let candidates = [Some(dir.join(&file)), dir.parent().map(|d| d.join(&file))];
+    candidates.into_iter().flatten().find(|c| c.is_file())
+}
+
+/// Cold batch-CLI startup: spawn this very binary on the serve artifact,
+/// fresh process, no store — what a warm daemon request is up against.
+fn measure_batch_cold(scale: BenchScale, reference: (u64, u64)) -> BenchMeasurement {
+    let exe = std::env::current_exe().expect("current exe");
+    let target = scale.slice_target.to_string();
+    let mut best: Option<f64> = None;
+    for _ in 0..scale.reps {
+        let t0 = Instant::now();
+        let status = Command::new(&exe)
+            .args([
+                SERVE_ARTIFACT,
+                "--no-store",
+                "--jobs",
+                "1",
+                "--target",
+                &target,
+                "--warmup",
+                "0",
+                "--quiet",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status()
+            .expect("spawn batch CLI");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(status.success(), "batch CLI bench run failed");
+        if best.is_none() || wall < best.unwrap() {
+            best = Some(wall);
+        }
+    }
+    let (cycles, uops) = reference;
+    finish("batch-cold", (best.unwrap(), cycles, uops))
+}
+
+/// One full client round trip: connect, submit, stream to `Finished`,
+/// render — the user-visible latency of a daemon request.
+fn serve_roundtrip(socket: &Path, spec: &JobSpec) {
+    let stream = UnixStream::connect(socket).expect("connect to bench daemon");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    let cfg = ClientConfig {
+        spec: spec.clone(),
+        csv_dir: None,
+        bars: false,
+        quiet: true,
+    };
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let outcome =
+        run_on(&mut reader, &mut writer, &cfg, &mut out, &mut err).expect("bench conversation");
+    assert_eq!(outcome, Outcome::Done, "bench job must finish");
+}
+
+/// Warm daemon round trip: a `csmt-serve` instance on a pre-filled
+/// temporary store, timed over [`WARM_ITERS`]-request repetitions.
+/// Requires the `csmt-serve` binary next to this one.
+fn measure_serve_warm(scale: BenchScale, reference: (u64, u64)) -> BenchMeasurement {
+    let serve = sibling_binary("csmt-serve").unwrap_or_else(|| {
+        panic!(
+            "csmt-serve binary not found next to csmt-experiments; \
+             build it first: cargo build -p csmt-serve --release"
+        )
+    });
+    let base = std::env::temp_dir().join(format!("csmt-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("create bench dir");
+    let socket = base.join("serve.sock");
+    let store = base.join("store");
+    let mut daemon = Command::new(&serve)
+        .args([
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--jobs",
+            "1",
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn csmt-serve");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "csmt-serve did not come up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let spec = JobSpec {
+        artifacts: vec![SERVE_ARTIFACT.to_string()],
+        target: scale.slice_target,
+        warmup: 0,
+        max_cycles: 10_000_000,
+        batch: false,
+    };
+    // Untimed cold fill: afterwards every RunKey is in the store.
+    serve_roundtrip(&socket, &spec);
+    let mut best: Option<f64> = None;
+    for _ in 0..scale.reps {
+        let t0 = Instant::now();
+        for _ in 0..WARM_ITERS {
+            serve_roundtrip(&socket, &spec);
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3 / f64::from(WARM_ITERS);
+        if best.is_none() || wall < best.unwrap() {
+            best = Some(wall);
+        }
+    }
+    // Drain the daemon and reap it.
+    let stream = UnixStream::connect(&socket).expect("connect for shutdown");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    write_line(&mut writer, &Request::Shutdown).expect("send shutdown");
+    let _ = read_response(&mut reader);
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&base);
+    let (cycles, uops) = reference;
+    finish("serve-warm", (best.unwrap(), cycles, uops))
+}
+
 fn finish(name: &str, (wall_ms, cycles, uops): (f64, u64, u64)) -> BenchMeasurement {
     let secs = wall_ms / 1e3;
     BenchMeasurement {
@@ -327,6 +506,18 @@ pub fn run(scale: BenchScale, quick: bool, verbose: bool, jobs: usize) -> BenchR
         }
         measurements.push(measure_sweep(scale, jobs, batch));
     }
+    let reference = serve_reference(scale);
+    if verbose {
+        eprintln!("bench: measuring batch-cold ({} reps)...", scale.reps);
+    }
+    measurements.push(measure_batch_cold(scale, reference));
+    if verbose {
+        eprintln!(
+            "bench: measuring serve-warm ({} reps, {WARM_ITERS} round trips each)...",
+            scale.reps
+        );
+    }
+    measurements.push(measure_serve_warm(scale, reference));
     BenchReport {
         schema: BENCH_SCHEMA,
         mode: if quick { "quick" } else { "full" }.to_string(),
@@ -365,13 +556,7 @@ pub fn check_against_baseline(
     baseline_text: &str,
     max_regression: f64,
 ) -> Result<Vec<String>, String> {
-    let baseline: BenchReport =
-        if let Ok(perf) = serde_json::from_str::<PerfBaseline>(baseline_text) {
-            perf.after
-        } else {
-            serde_json::from_str(baseline_text)
-                .map_err(|e| format!("baseline is neither BENCH_3.json nor a bench report: {e}"))?
-        };
+    let baseline = parse_report(baseline_text)?;
     if baseline.schema != current.schema {
         return Err(format!(
             "baseline schema {} != current schema {}",
@@ -384,6 +569,13 @@ pub fn check_against_baseline(
             failures.push(format!("measurement {} missing from current run", b.name));
             continue;
         };
+        // The serve-latency pair is wall-clock, not throughput: a warm
+        // round trip costs the same at any commit target, so its
+        // cycles/sec moves with the mode's reference work. Gate it only
+        // against a baseline of the same mode.
+        if LATENCY_MEASUREMENTS.contains(&b.name.as_str()) && baseline.mode != current.mode {
+            continue;
+        }
         let floor = b.cycles_per_sec * (1.0 - max_regression);
         if c.cycles_per_sec < floor {
             failures.push(format!(
@@ -406,8 +598,18 @@ pub fn check_against_baseline(
 /// no match in the before half falls back to before's `X` — so when the
 /// before binary predates the batched mode, `fig2-sweep-batch` is still
 /// scored, and its ratio is exactly the batched-vs-per-config headline.
+/// Parse a committed baseline file: either a bare [`BenchReport`] or a
+/// [`PerfBaseline`] (in which case its `after` half is the reference).
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    if let Ok(perf) = serde_json::from_str::<PerfBaseline>(text) {
+        return Ok(perf.after);
+    }
+    serde_json::from_str(text)
+        .map_err(|e| format!("baseline is neither a perf baseline nor a bench report: {e}"))
+}
+
 pub fn perf_baseline(before: BenchReport, after: BenchReport) -> PerfBaseline {
-    let speedup = after
+    let mut speedup: Vec<SpeedupEntry> = after
         .measurements
         .iter()
         .filter_map(|a| {
@@ -425,6 +627,18 @@ pub fn perf_baseline(before: BenchReport, after: BenchReport) -> PerfBaseline {
                 })
         })
         .collect();
+    // The serve headline is intra-after: a warm daemon round trip vs a
+    // cold batch-CLI spawn over the same simulated work (the pair shares
+    // its reference cycle count, so this is the wall-clock ratio).
+    if let (Some(w), Some(c)) = (
+        after.measurements.iter().find(|m| m.name == "serve-warm"),
+        after.measurements.iter().find(|m| m.name == "batch-cold"),
+    ) {
+        speedup.push(SpeedupEntry {
+            name: "serve-warm-vs-batch-cold".to_string(),
+            ratio: w.cycles_per_sec / c.cycles_per_sec,
+        });
+    }
     PerfBaseline {
         schema: BENCH_SCHEMA,
         command: "cargo run -p csmt-experiments --release -- bench --out <half>.json".to_string(),
@@ -494,6 +708,65 @@ mod tests {
         assert!(fails[0].contains("missing"), "{}", fails[0]);
         cur.schema = BENCH_SCHEMA + 1;
         assert!(check_against_baseline(&cur, &base, 0.20).is_err());
+    }
+
+    #[test]
+    fn latency_pair_gates_only_against_its_own_mode() {
+        let measurement = |cps: f64| BenchMeasurement {
+            name: "serve-warm".into(),
+            wall_ms: 10.0,
+            cycles: 1000,
+            uops: 2000,
+            cycles_per_sec: cps,
+            uops_per_sec: 2.0 * cps,
+        };
+        let mut base = report(100_000.0);
+        base.mode = "full".into();
+        base.measurements = vec![measurement(100_000.0)];
+        let text = serde_json::to_string(&base).unwrap();
+        // Quick current run, far below the full baseline: skipped.
+        let mut quick = report(100_000.0);
+        quick.measurements = vec![measurement(10_000.0)];
+        assert!(check_against_baseline(&quick, &text, 0.20)
+            .unwrap()
+            .is_empty());
+        // Same mode: gated as usual.
+        let mut full = quick.clone();
+        full.mode = "full".into();
+        let fails = check_against_baseline(&full, &text, 0.20).unwrap();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("serve-warm"), "{}", fails[0]);
+        // Missing from the current run still fails regardless of mode.
+        quick.measurements.clear();
+        let fails = check_against_baseline(&quick, &text, 0.20).unwrap();
+        assert!(fails[0].contains("missing"), "{}", fails[0]);
+    }
+
+    #[test]
+    fn serve_headline_is_computed_from_the_after_half() {
+        fn named(name: &str, cps: f64) -> BenchMeasurement {
+            BenchMeasurement {
+                name: name.into(),
+                wall_ms: 1000.0 * 1000.0 / cps,
+                cycles: 1000,
+                uops: 2000,
+                cycles_per_sec: cps,
+                uops_per_sec: 2.0 * cps,
+            }
+        }
+        let mut after = report(100_000.0);
+        after.measurements.push(named("batch-cold", 2_000.0));
+        after.measurements.push(named("serve-warm", 200_000.0));
+        let perf = perf_baseline(report(100_000.0), after);
+        let entry = perf
+            .speedup
+            .iter()
+            .find(|s| s.name == "serve-warm-vs-batch-cold")
+            .expect("serve headline present");
+        assert!((entry.ratio - 100.0).abs() < 1e-9, "{}", entry.ratio);
+        // Absent when the pair is not measured.
+        let perf = perf_baseline(report(100_000.0), report(100_000.0));
+        assert!(!perf.speedup.iter().any(|s| s.name.starts_with("serve")));
     }
 
     #[test]

@@ -21,9 +21,13 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod bench;
+pub mod client;
 pub mod figures;
 pub mod fuzz;
+pub mod proto;
 pub mod report;
 pub mod runner;
+pub mod spec;
 
 pub use runner::{ExpOptions, RunKey, SweepCounters, Sweeps};
+pub use spec::JobSpec;

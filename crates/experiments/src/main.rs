@@ -17,10 +17,12 @@
 //! from disk. `--resume` additionally skips artifacts a killed previous
 //! run had already completed, using the store's JSONL journal.
 
+use csmt_experiments::client;
 use csmt_experiments::figures::{run_named, ABLATIONS, ALL_ARTIFACTS};
 use csmt_experiments::fuzz::{self, FuzzCase, FuzzOptions};
 use csmt_experiments::report::render_store_summary;
 use csmt_experiments::runner::{ExpOptions, Sweeps};
+use csmt_experiments::spec::JobSpec;
 use csmt_store::{EventKind, Journal};
 
 /// Default persistent store location (relative to the working directory).
@@ -63,9 +65,13 @@ fn usage() -> String {
          \n\
          csmt-experiments compare <a.json> <b.json> [tolerance]  (artifact drift check)\n\
          csmt-experiments bench [--quick] [--jobs N] [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
+         \x20                      [--pair-before FILE --pair-out FILE] (needs the csmt-serve binary built)\n\
          \x20                                                       (perf harness; gate vs baseline)\n\
          csmt-experiments fuzz [--seeds N] [--seed S] [--jobs N] [--batch] [--no-validate] [--out DIR] [--repro FILE]\n\
-         \x20                                                       (randomized scheme fuzzing; shrunk repros)",
+         \x20                                                       (randomized scheme fuzzing; shrunk repros)\n\
+         csmt-experiments client (--socket PATH | --connect HOST:PORT) <artifact>... [--target N]\n\
+         \x20                      [--warmup N] [--batch] [--csv DIR] [--bars] [--quiet]\n\
+         \x20                                                       (submit to a running csmt-serve daemon)",
         ALL_ARTIFACTS.join(" "),
         ABLATIONS.join(" "),
     )
@@ -196,6 +202,12 @@ fn main() {
         fuzz_cmd(&args[1..]);
         return;
     }
+    // `client` talks to a running csmt-serve daemon instead of
+    // simulating locally.
+    if args.first().map(String::as_str) == Some("client") {
+        client_cmd(&args[1..]);
+        return;
+    }
     let cli = match parse_args(&args) {
         Ok(cli) => cli,
         Err(e) => fail(&e),
@@ -280,15 +292,20 @@ fn main() {
 }
 
 /// `bench [--quick] [--jobs N] [--out FILE] [--baseline FILE]
-/// [--max-regression PCT]`: run the fixed perf harness, optionally write
-/// the JSON report and gate against a committed baseline (exit 1 on
-/// regression). `--jobs` sets the worker count of the `fig2-sweep`
-/// measurement (0/omitted = min(cores, 8)); the other measurements are
-/// single-threaded by construction.
+/// [--max-regression PCT] [--pair-before FILE --pair-out FILE]`: run the
+/// fixed perf harness, optionally write the JSON report and gate against
+/// a committed baseline (exit 1 on regression). `--jobs` sets the worker
+/// count of the `fig2-sweep` measurement (0/omitted = min(cores, 8));
+/// the other measurements are single-threaded by construction.
+/// `--pair-before`/`--pair-out` write a committed `BENCH_<n>.json`
+/// payload: the given baseline file as the before half, this run as the
+/// after half, speedups computed per measurement.
 fn bench_cmd(args: &[String]) {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut pair_before: Option<String> = None;
+    let mut pair_out: Option<String> = None;
     let mut max_regression = 0.20f64;
     let mut verbose = true;
     let mut jobs = 0usize;
@@ -301,6 +318,14 @@ fn bench_cmd(args: &[String]) {
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => fail("--out needs a file"),
+            },
+            "--pair-before" => match it.next() {
+                Some(v) => pair_before = Some(v.clone()),
+                None => fail("--pair-before needs a file"),
+            },
+            "--pair-out" => match it.next() {
+                Some(v) => pair_out = Some(v.clone()),
+                None => fail("--pair-out needs a file"),
             },
             "--baseline" => match it.next() {
                 Some(v) => baseline = Some(v.clone()),
@@ -333,6 +358,22 @@ fn bench_cmd(args: &[String]) {
             fail(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote {path}");
+    }
+    match (&pair_before, &pair_out) {
+        (Some(bpath), Some(opath)) => {
+            let text = std::fs::read_to_string(bpath)
+                .unwrap_or_else(|e| fail(&format!("cannot read {bpath}: {e}")));
+            let before = csmt_experiments::bench::parse_report(&text)
+                .unwrap_or_else(|e| fail(&format!("cannot parse {bpath}: {e}")));
+            let pair = csmt_experiments::bench::perf_baseline(before, report.clone());
+            let text = serde_json::to_string_pretty(&pair).expect("perf baseline serializes");
+            if let Err(e) = std::fs::write(opath, text + "\n") {
+                fail(&format!("cannot write {opath}: {e}"));
+            }
+            eprintln!("wrote {opath}");
+        }
+        (None, None) => {}
+        _ => fail("--pair-before and --pair-out go together"),
     }
     if let Some(path) = &baseline {
         let text = std::fs::read_to_string(path)
@@ -462,6 +503,75 @@ fn fuzz_cmd(args: &[String]) {
         report.cases
     );
     std::process::exit(1);
+}
+
+/// `client (--socket PATH | --connect HOST:PORT) <artifact>...
+/// [--target N] [--warmup N] [--batch] [--csv DIR] [--bars] [--quiet]`:
+/// submit the artifacts to a running `csmt-serve` daemon, stream its
+/// events, and render the tables byte-identically to the batch path.
+/// Exit 0 on success, 3 on backpressure (retry later), 1 otherwise.
+fn client_cmd(args: &[String]) {
+    let mut socket: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut opts = ExpOptions::default();
+    let mut csv_dir: Option<String> = None;
+    let mut bars = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(v) => socket = Some(v.clone()),
+                None => fail("--socket needs a path"),
+            },
+            "--connect" => match it.next() {
+                Some(v) => connect = Some(v.clone()),
+                None => fail("--connect needs HOST:PORT"),
+            },
+            "--target" => opts.commit_target = positive_int_or_die("--target", it.next()),
+            "--warmup" => {
+                let v = it.next().unwrap_or_else(|| fail("--warmup needs a value"));
+                opts.warmup = v.parse::<u64>().unwrap_or_else(|_| {
+                    fail(&format!("--warmup needs a non-negative integer, got '{v}'"))
+                });
+            }
+            "--batch" => opts.batch = true,
+            "--csv" => match it.next() {
+                Some(v) => csv_dir = Some(v.clone()),
+                None => fail("--csv needs a directory"),
+            },
+            "--bars" => bars = true,
+            "--quiet" => quiet = true,
+            "all" => artifacts.extend(ALL_ARTIFACTS.iter().map(|s| s.to_string())),
+            "ablations" => artifacts.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other if other.starts_with("--") => fail(&format!("unknown client flag: {other}")),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    let endpoint = match (socket, connect) {
+        (Some(path), None) => client::Endpoint::Unix(path.into()),
+        (None, Some(addr)) => client::Endpoint::Tcp(addr),
+        (Some(_), Some(_)) => fail("--socket and --connect are mutually exclusive"),
+        (None, None) => fail("client needs --socket PATH or --connect HOST:PORT"),
+    };
+    let spec = JobSpec::new(artifacts, &opts);
+    if let Err(e) = spec.validate() {
+        fail(&e);
+    }
+    let cfg = client::ClientConfig {
+        spec,
+        csv_dir,
+        bars,
+        quiet,
+    };
+    match client::run(&endpoint, &cfg) {
+        Ok(outcome) => std::process::exit(outcome.exit_code()),
+        Err(e) => {
+            eprintln!("client error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `compare <a.json> <b.json> [tolerance]`: artifact drift check.

@@ -40,6 +40,16 @@ pub fn render_store_summary(c: &SweepCounters) -> String {
         )
         .unwrap();
     }
+    // Only the sweep service wires a flight table, so the batch CLI's
+    // summary is unchanged byte-for-byte.
+    if let Some(f) = &c.flight {
+        writeln!(
+            out,
+            "flight: {} led, {} coalesced (duplicate in-flight simulations avoided)",
+            f.led, f.coalesced
+        )
+        .unwrap();
+    }
     out
 }
 

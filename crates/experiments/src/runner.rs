@@ -22,8 +22,8 @@
 use csmt_core::metrics::{SimResult, SimStats};
 use csmt_core::Simulator;
 use csmt_store::{
-    EventKind, ExecCounters, Executor, JobDesc, Journal, Lookup, OrchCounters, Orchestrator,
-    ResultStore, RetryPolicy, StoreCounters, StoreKey, SCHEMA_VERSION,
+    EventKind, ExecCounters, Executor, FlightCounters, JobDesc, Journal, Lookup, OrchCounters,
+    Orchestrator, ResultStore, RetryPolicy, SingleFlight, StoreCounters, StoreKey, SCHEMA_VERSION,
 };
 use csmt_trace::stream::SharedStream;
 use csmt_trace::suite::{TraceSpec, Workload};
@@ -172,6 +172,9 @@ pub struct SweepCounters {
     pub orch: OrchCounters,
     /// Work-stealing executor traffic (workers used, jobs run, steals).
     pub exec: ExecCounters,
+    /// Single-flight coalescing traffic; `None` unless this store shares
+    /// in-flight work with others ([`Sweeps::with_shared_store`]).
+    pub flight: Option<FlightCounters>,
 }
 
 /// Decoded-trace cache for batched sweeps, keyed by the full serialized
@@ -190,6 +193,10 @@ pub struct Sweeps {
     exec: Executor,
     /// Shared decoded streams (batch mode only; empty otherwise).
     streams: StreamCache,
+    /// Cross-store in-flight coalescing (the sweep service hands every
+    /// `Sweeps` the same flight table so concurrent jobs hammering
+    /// overlapping keys simulate each key once); `None` in batch-CLI use.
+    flight: Option<Arc<SingleFlight<SimResult>>>,
 }
 
 impl Sweeps {
@@ -204,6 +211,7 @@ impl Sweeps {
             orch: Orchestrator::new(RetryPolicy::default(), None),
             exec: Executor::new(opts.jobs),
             streams: Mutex::new(HashMap::new()),
+            flight: None,
         }
     }
 
@@ -221,7 +229,32 @@ impl Sweeps {
             orch,
             exec: Executor::new(opts.jobs),
             streams: Mutex::new(HashMap::new()),
+            flight: None,
         })
+    }
+
+    /// Memoization sharing an already-open store, journal and
+    /// single-flight table with other `Sweeps` instances — the sweep
+    /// service's constructor. Concurrent stores racing on the same
+    /// content hash coalesce: one simulates and persists, the rest
+    /// receive the leader's result.
+    pub fn with_shared_store(
+        opts: ExpOptions,
+        store: Arc<ResultStore>,
+        journal: Arc<Journal>,
+        flight: Arc<SingleFlight<SimResult>>,
+    ) -> Self {
+        let orch = Orchestrator::new(RetryPolicy::default(), Some(journal.clone()));
+        Sweeps {
+            opts,
+            results: Mutex::new(HashMap::new()),
+            store: Some(store),
+            journal: Some(journal),
+            orch,
+            exec: Executor::new(opts.jobs),
+            streams: Mutex::new(HashMap::new()),
+            flight: Some(flight),
+        }
     }
 
     /// Resolved sweep worker count.
@@ -245,6 +278,7 @@ impl Sweeps {
             store: self.store.as_ref().map(|s| s.counters()),
             orch: self.orch.counters(),
             exec: self.exec.counters(),
+            flight: self.flight.as_ref().map(|f| f.counters()),
         }
     }
 
@@ -336,23 +370,34 @@ impl Sweeps {
         };
         let results = self.exec.run(&todo, |_, (key, input)| {
             let desc = job_desc(key);
-            let outcome = self
-                .orch
-                .run_job(&desc, || run_one(key, input, &self.opts, streams));
-            let result = match outcome {
-                Some(result) => {
-                    if let Some(store) = &self.store {
-                        if let Err(e) = store.put(&self.store_key(key), &result) {
-                            eprintln!("store write failed for {desc}: {e}");
+            // The full simulate-and-persist step for one key. With a
+            // shared flight table, a concurrent store simulating the
+            // same content hash runs this once: the leader simulates
+            // and persists *before* publishing, so a coalesced result
+            // is already durable when a follower receives it.
+            let compute = || {
+                let outcome = self
+                    .orch
+                    .run_job(&desc, || run_one(key, input, &self.opts, streams));
+                match outcome {
+                    Some(result) => {
+                        if let Some(store) = &self.store {
+                            if let Err(e) = store.put(&self.store_key(key), &result) {
+                                eprintln!("store write failed for {desc}: {e}");
+                            }
                         }
+                        result
                     }
-                    result
+                    // Every attempt panicked: record a zeroed result so
+                    // dependent figures render (as zeros) instead of
+                    // panicking; the journal and counters carry the
+                    // failure.
+                    None => failed_placeholder(input, &self.opts),
                 }
-                // Every attempt panicked: record a zeroed result so
-                // dependent figures render (as zeros) instead of
-                // panicking; the journal and counters carry the
-                // failure.
-                None => failed_placeholder(input, &self.opts),
+            };
+            let result = match &self.flight {
+                Some(flight) => flight.run(self.store_key(key).content_hash(), compute).0,
+                None => compute(),
             };
             if self.opts.verbose {
                 eprint!(".");

@@ -1,0 +1,221 @@
+//! Crash recovery: rebuild the job ledger from the store journal.
+//!
+//! The daemon journals every job's lifecycle (`ServeSubmit` with the
+//! canonical spec, then `ServeStart` / `ServeDone` / `ServeFailed` /
+//! `ServeCancelled`) into the same append-only JSONL journal the sweep
+//! runner uses. A daemon that dies — SIGTERM, SIGKILL, power loss —
+//! leaves submitted-but-unfinished jobs as `ServeSubmit` lines with no
+//! terminal event. On start, the next daemon replays the journal:
+//! unfinished jobs are re-queued (keeping their ids, without
+//! re-journaling the submission) and re-run — any simulations the dead
+//! daemon already persisted are store hits, so the re-run completes the
+//! remainder instead of repeating work. Terminal jobs are remembered so
+//! `status` keeps answering for them.
+
+use crate::engine::JobState;
+use csmt_store::{Event, EventKind};
+
+/// What the journal says about past serve jobs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recovered {
+    /// Submitted jobs with no terminal event, in submission (id) order:
+    /// these must be re-run. Each entry is `(job id, canonical spec)`.
+    pub unfinished: Vec<(u64, String)>,
+    /// Jobs that reached a terminal state, with that state.
+    pub terminal: Vec<(u64, JobState)>,
+}
+
+/// Replay journal events into a recovery ledger.
+pub fn recover(events: &[Event]) -> Recovered {
+    // Submission specs by id, then the *last* terminal event wins (a
+    // recovered-and-rerun job appends a second terminal line under a
+    // later daemon; replay order keeps the final word).
+    let mut submitted: Vec<(u64, String)> = Vec::new();
+    let mut terminal: Vec<(u64, JobState)> = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::ServeSubmit { job_id, spec }
+                if !submitted.iter().any(|(id, _)| id == job_id) =>
+            {
+                submitted.push((*job_id, spec.clone()));
+            }
+            EventKind::ServeDone { job_id } => set_terminal(&mut terminal, *job_id, JobState::Done),
+            EventKind::ServeFailed { job_id, .. } => {
+                set_terminal(&mut terminal, *job_id, JobState::Failed)
+            }
+            EventKind::ServeCancelled { job_id } => {
+                set_terminal(&mut terminal, *job_id, JobState::Cancelled)
+            }
+            _ => {}
+        }
+    }
+    let mut unfinished: Vec<(u64, String)> = submitted
+        .into_iter()
+        .filter(|(id, _)| !terminal.iter().any(|(t, _)| t == id))
+        .collect();
+    unfinished.sort_by_key(|(id, _)| *id);
+    Recovered {
+        unfinished,
+        terminal,
+    }
+}
+
+fn set_terminal(terminal: &mut Vec<(u64, JobState)>, id: u64, state: JobState) {
+    match terminal.iter_mut().find(|(t, _)| *t == id) {
+        Some(entry) => entry.1 = state,
+        None => terminal.push((id, state)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            run_id: 1,
+            seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn unfinished_jobs_are_submissions_without_terminal_events() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::ServeSubmit {
+                    job_id: 1,
+                    spec: "a".into(),
+                },
+            ),
+            ev(1, EventKind::ServeStart { job_id: 1 }),
+            ev(
+                2,
+                EventKind::ServeSubmit {
+                    job_id: 2,
+                    spec: "b".into(),
+                },
+            ),
+            ev(3, EventKind::ServeDone { job_id: 1 }),
+            // Job 2 never finished: the daemon died.
+        ];
+        let r = recover(&events);
+        assert_eq!(r.unfinished, vec![(2, "b".to_string())]);
+        assert_eq!(r.terminal, vec![(1, JobState::Done)]);
+    }
+
+    #[test]
+    fn every_terminal_kind_closes_a_job() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::ServeSubmit {
+                    job_id: 1,
+                    spec: "a".into(),
+                },
+            ),
+            ev(
+                1,
+                EventKind::ServeSubmit {
+                    job_id: 2,
+                    spec: "b".into(),
+                },
+            ),
+            ev(
+                2,
+                EventKind::ServeSubmit {
+                    job_id: 3,
+                    spec: "c".into(),
+                },
+            ),
+            ev(
+                3,
+                EventKind::ServeFailed {
+                    job_id: 1,
+                    error: "boom".into(),
+                },
+            ),
+            ev(4, EventKind::ServeCancelled { job_id: 2 }),
+            ev(5, EventKind::ServeDone { job_id: 3 }),
+        ];
+        let r = recover(&events);
+        assert!(r.unfinished.is_empty());
+        assert_eq!(
+            r.terminal,
+            vec![
+                (1, JobState::Failed),
+                (2, JobState::Cancelled),
+                (3, JobState::Done),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_rerun_under_a_later_daemon_keeps_the_final_word() {
+        // Daemon 1 submits job 5 and dies; daemon 2 recovers and
+        // completes it. Daemon 3's recovery must see it as done.
+        let events = vec![
+            ev(
+                0,
+                EventKind::ServeSubmit {
+                    job_id: 5,
+                    spec: "a".into(),
+                },
+            ),
+            // daemon 2 (new run id, no re-submit):
+            Event {
+                run_id: 2,
+                seq: 0,
+                kind: EventKind::ServeStart { job_id: 5 },
+            },
+            Event {
+                run_id: 2,
+                seq: 1,
+                kind: EventKind::ServeDone { job_id: 5 },
+            },
+        ];
+        let r = recover(&events);
+        assert!(r.unfinished.is_empty());
+        assert_eq!(r.terminal, vec![(5, JobState::Done)]);
+    }
+
+    #[test]
+    fn sweep_runner_events_are_ignored() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::RunStart {
+                    artifacts: vec!["fig2".into()],
+                },
+            ),
+            ev(1, EventKind::RunEnd { artifacts: 1 }),
+        ];
+        assert_eq!(recover(&events), Recovered::default());
+    }
+
+    #[test]
+    fn unfinished_jobs_come_back_in_submission_order() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::ServeSubmit {
+                    job_id: 3,
+                    spec: "c".into(),
+                },
+            ),
+            ev(
+                1,
+                EventKind::ServeSubmit {
+                    job_id: 1,
+                    spec: "a".into(),
+                },
+            ),
+        ];
+        let r = recover(&events);
+        assert_eq!(
+            r.unfinished,
+            vec![(1, "a".to_string()), (3, "c".to_string())]
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Kill-the-daemon-mid-sweep drill against the real `csmt-serve` binary.
+//!
+//! Submits a job, SIGKILLs the daemon once the store holds partial
+//! progress, restarts it, and checks the journal-driven recovery
+//! completes the job without losing or duplicating records.
+
+use csmt_experiments::client::{run_on, ClientConfig, Outcome};
+use csmt_experiments::proto::{read_response, write_line, Request, Response};
+use csmt_experiments::runner::ExpOptions;
+use csmt_experiments::spec::JobSpec;
+use csmt_experiments::{figures, Sweeps};
+use csmt_store::{EventKind, Journal, ResultStore};
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const ARTIFACTS: [&str; 2] = ["detail:DH/ilp.2.1", "detail:DH/mix.2.1"];
+
+fn opts() -> ExpOptions {
+    ExpOptions {
+        commit_target: 1500,
+        warmup: 100,
+        max_cycles: 2_000_000,
+        jobs: 1,
+        verbose: false,
+        validate: false,
+        batch: false,
+    }
+}
+
+fn job_spec() -> JobSpec {
+    JobSpec::new(ARTIFACTS.iter().map(|s| s.to_string()).collect(), &opts())
+}
+
+fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_csmt-serve"))
+        .args([
+            "--socket",
+            socket.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--max-running",
+            "1",
+            "--jobs",
+            "1",
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn csmt-serve")
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, timeout: Duration, mut ready: F) {
+    let deadline = Instant::now() + timeout;
+    while !ready() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn connect(socket: &Path) -> (BufReader<UnixStream>, UnixStream) {
+    let s = UnixStream::connect(socket).expect("connect to daemon");
+    (BufReader::new(s.try_clone().expect("clone stream")), s)
+}
+
+fn store_records(store: &Path) -> usize {
+    ResultStore::open(store).expect("reopen store").len()
+}
+
+fn journal_events(store: &Path) -> Vec<EventKind> {
+    Journal::read(store.join("journal.jsonl"))
+        .into_iter()
+        .map(|e| e.kind)
+        .collect()
+}
+
+#[test]
+fn killed_daemon_recovers_and_completes_from_the_journal() {
+    let base = std::env::temp_dir().join(format!("csmt-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let socket: PathBuf = base.join("serve.sock");
+    let store: PathBuf = base.join("store");
+
+    // Daemon 1: accept the job, then die mid-sweep.
+    let mut daemon = spawn_daemon(&socket, &store);
+    wait_for("daemon 1 socket", Duration::from_secs(30), || {
+        socket.exists()
+    });
+    let (mut reader, mut writer) = connect(&socket);
+    write_line(&mut writer, &Request::Submit { spec: job_spec() }).unwrap();
+    let submitted = read_response(&mut reader).unwrap().unwrap();
+    let Response::Submitted {
+        job,
+        attached: false,
+    } = submitted
+    else {
+        panic!("expected fresh submission, got {submitted:?}");
+    };
+    // Let real progress land on disk, then SIGKILL: no drain, no
+    // graceful anything.
+    wait_for("first persisted record", Duration::from_secs(120), || {
+        store_records(&store) >= 1
+    });
+    daemon.kill().expect("SIGKILL daemon 1");
+    daemon.wait().expect("reap daemon 1");
+
+    let after_crash = journal_events(&store);
+    assert!(
+        after_crash
+            .iter()
+            .any(|k| matches!(k, EventKind::ServeSubmit { job_id, .. } if *job_id == job)),
+        "submission must be journaled before the crash"
+    );
+    assert!(
+        !after_crash
+            .iter()
+            .any(|k| matches!(k, EventKind::ServeDone { job_id } if *job_id == job)),
+        "job must still be open at the crash"
+    );
+    let records_at_crash = store_records(&store);
+
+    // Daemon 2: recovery re-runs the job to completion on its own — no
+    // client involved.
+    let mut daemon = spawn_daemon(&socket, &store);
+    wait_for("recovered job to finish", Duration::from_secs(300), || {
+        journal_events(&store)
+            .iter()
+            .any(|k| matches!(k, EventKind::ServeDone { job_id } if *job_id == job))
+    });
+
+    // Exactly one submission and one completion across both daemon
+    // lifetimes: recovery neither re-submits nor double-finishes.
+    let events = journal_events(&store);
+    let submits = events
+        .iter()
+        .filter(|k| matches!(k, EventKind::ServeSubmit { .. }))
+        .count();
+    let dones = events
+        .iter()
+        .filter(|k| matches!(k, EventKind::ServeDone { .. }))
+        .count();
+    assert_eq!(submits, 1, "recovery must not re-journal the submission");
+    assert_eq!(dones, 1, "recovery must finish the job exactly once");
+
+    // No lost or duplicated records: 7 schemes × 2 workloads, the crash
+    // survivors plus exactly the remainder.
+    let records = store_records(&store);
+    assert_eq!(records, 14, "all RunKeys persisted exactly once");
+    assert!(
+        records >= records_at_crash,
+        "recovery must keep the crash survivors"
+    );
+
+    // A client resubmitting the same spec is served warm — and renders
+    // byte-identically to the batch path on a fresh local store.
+    let (mut reader, mut writer) = connect(&socket);
+    write_line(&mut writer, &Request::Stats).unwrap();
+    let Some(Response::Stats { stats: before }) = read_response(&mut reader).unwrap() else {
+        panic!("stats request failed");
+    };
+    let cfg = ClientConfig {
+        spec: job_spec(),
+        csv_dir: None,
+        bars: false,
+        quiet: true,
+    };
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let outcome = run_on(&mut reader, &mut writer, &cfg, &mut out, &mut err).unwrap();
+    assert_eq!(outcome, Outcome::Done);
+    let sweeps = Sweeps::new(opts());
+    let expected: String = ARTIFACTS
+        .iter()
+        .map(|name| {
+            format!(
+                "{}\n",
+                figures::run_named(name, &sweeps)
+                    .expect("known artifact")
+                    .render()
+            )
+        })
+        .collect();
+    assert_eq!(
+        String::from_utf8(out).unwrap(),
+        expected,
+        "recovered daemon serves byte-identical artifacts"
+    );
+    write_line(&mut writer, &Request::Stats).unwrap();
+    let Some(Response::Stats { stats: after }) = read_response(&mut reader).unwrap() else {
+        panic!("stats request failed");
+    };
+    assert_eq!(
+        after.sims_completed, before.sims_completed,
+        "warm resubmission simulates nothing"
+    );
+    assert_eq!(store_records(&store), 14, "warm job writes no new records");
+
+    // Drain daemon 2 and let it exit cleanly.
+    write_line(&mut writer, &Request::Shutdown).unwrap();
+    assert_eq!(
+        read_response(&mut reader).unwrap().unwrap(),
+        Response::ShuttingDown
+    );
+    wait_for("daemon 2 exit", Duration::from_secs(60), || {
+        daemon.try_wait().expect("poll daemon 2").is_some()
+    });
+    let _ = std::fs::remove_dir_all(&base);
+}

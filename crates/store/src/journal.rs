@@ -63,6 +63,18 @@ pub enum EventKind {
     JobFailed { job: JobDesc, attempts: u32 },
     /// The sweep process finished cleanly.
     RunEnd { artifacts: usize },
+    /// The sweep service accepted a job submission. `spec` is the
+    /// canonical JSON of the submitted spec, so a restarted daemon can
+    /// re-run the job without the client resubmitting.
+    ServeSubmit { job_id: u64, spec: String },
+    /// A serve job left the queue and began executing.
+    ServeStart { job_id: u64 },
+    /// A serve job completed successfully.
+    ServeDone { job_id: u64 },
+    /// A serve job failed terminally.
+    ServeFailed { job_id: u64, error: String },
+    /// A serve job was cancelled before it started running.
+    ServeCancelled { job_id: u64 },
 }
 
 /// One journal line.

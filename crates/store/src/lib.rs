@@ -43,6 +43,7 @@ pub mod executor;
 pub mod journal;
 pub mod key;
 pub mod orchestrator;
+pub mod single_flight;
 pub mod store;
 
 pub use executor::{default_jobs, ExecCounters, Executor};
@@ -51,4 +52,5 @@ pub use key::{fnv1a, StoreKey, SCHEMA_VERSION};
 #[doc(hidden)]
 pub use orchestrator::fault_injection;
 pub use orchestrator::{OrchCounters, Orchestrator, RetryPolicy};
+pub use single_flight::{FlightCounters, SingleFlight};
 pub use store::{Lookup, ResultStore, StoreCounters};

@@ -1,0 +1,262 @@
+//! In-flight request coalescing ("single-flight").
+//!
+//! Many clients hammering a sweep service submit overlapping work: two
+//! concurrent requests whose sweeps share a run must not simulate that
+//! run twice. The persistent store dedupes *completed* work, but there is
+//! a window between "first request starts simulating key K" and "K's
+//! record lands on disk" in which a second request would miss the store
+//! and start a duplicate simulation. [`SingleFlight`] closes that window:
+//! the first caller for a key becomes the **leader** and computes; every
+//! concurrent caller for the same key **follows** — it blocks until the
+//! leader finishes and receives a clone of the leader's result.
+//!
+//! Completed flights are forgotten immediately: coalescing applies only
+//! while a computation is in flight. Durable memoization is the job of
+//! the in-process result map and the on-disk store, both of which are
+//! consulted *before* a flight starts.
+//!
+//! Panic safety: if a leader unwinds out of its closure, the flight is
+//! marked abandoned and every follower wakes and retries — one of them
+//! becomes the new leader. (In the sweep runner the closure contains the
+//! orchestrator's `catch_unwind`, so an abandoned flight means something
+//! panicked *outside* a simulation attempt; the followers' retry keeps
+//! the service making progress either way.)
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a finished flight left behind for its followers.
+enum FlightState<V> {
+    /// The leader is still computing.
+    Running,
+    /// The leader finished; followers clone this.
+    Done(V),
+    /// The leader unwound without producing a value; followers retry.
+    Abandoned,
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    done: Condvar,
+}
+
+/// Traffic counters, cheap to snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightCounters {
+    /// Computations led (the closure actually ran).
+    pub led: u64,
+    /// Calls that received a concurrent leader's result instead of
+    /// computing — each one is a duplicate simulation that did not run.
+    pub coalesced: u64,
+}
+
+/// Coalesces concurrent computations of the same `u64` key.
+///
+/// The key is expected to be a content hash covering the *full* identity
+/// of the computation (the sweep runner uses [`crate::StoreKey`]'s
+/// content hash, which spans workload, schemes, machine config and run
+/// options) — two different computations must never share a key.
+pub struct SingleFlight<V> {
+    flights: Mutex<HashMap<u64, Arc<Flight<V>>>>,
+    led: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<V: Clone> Default for SingleFlight<V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+impl<V: Clone> SingleFlight<V> {
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+            led: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> FlightCounters {
+        FlightCounters {
+            led: self.led.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compute `f()` for `key`, coalescing with any concurrent call for
+    /// the same key. Returns the value and whether this call **led** the
+    /// computation (`false` = a concurrent leader's result was shared).
+    pub fn run<F: FnOnce() -> V>(&self, key: u64, f: F) -> (V, bool) {
+        loop {
+            let flight = {
+                let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+                match flights.get(&key) {
+                    Some(existing) => Some(existing.clone()),
+                    None => {
+                        flights.insert(
+                            key,
+                            Arc::new(Flight {
+                                state: Mutex::new(FlightState::Running),
+                                done: Condvar::new(),
+                            }),
+                        );
+                        None
+                    }
+                }
+            };
+            match flight {
+                None => return (self.lead(key, f), true),
+                Some(flight) => {
+                    let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        match &*state {
+                            FlightState::Running => {
+                                state = flight.done.wait(state).unwrap_or_else(|e| e.into_inner());
+                            }
+                            FlightState::Done(v) => {
+                                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                                return (v.clone(), false);
+                            }
+                            // Leader died before producing a value: retry
+                            // from the top; this caller may now lead.
+                            FlightState::Abandoned => break,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the closure as the leader of `key`'s flight, publishing the
+    /// result (or abandonment, if the closure unwinds) to followers.
+    fn lead<F: FnOnce() -> V>(&self, key: u64, f: F) -> V {
+        // The guard publishes `Abandoned` if `f` unwinds; `disarm`
+        // switches it to publishing the computed value.
+        struct Guard<'a, V: Clone> {
+            owner: &'a SingleFlight<V>,
+            key: u64,
+            value: Option<V>,
+        }
+        impl<V: Clone> Drop for Guard<'_, V> {
+            fn drop(&mut self) {
+                let flight = {
+                    let mut flights = self.owner.flights.lock().unwrap_or_else(|e| e.into_inner());
+                    flights.remove(&self.key)
+                };
+                if let Some(flight) = flight {
+                    let mut state = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+                    *state = match self.value.take() {
+                        Some(v) => FlightState::Done(v),
+                        None => FlightState::Abandoned,
+                    };
+                    drop(state);
+                    flight.done.notify_all();
+                }
+            }
+        }
+        let mut guard = Guard {
+            owner: self,
+            key,
+            value: None,
+        };
+        let value = f();
+        self.led.fetch_add(1, Ordering::Relaxed);
+        guard.value = Some(value.clone());
+        drop(guard);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        assert_eq!(sf.run(1, || 10), (10, true));
+        assert_eq!(sf.run(1, || 20), (20, true), "finished flights forget");
+        let c = sf.counters();
+        assert_eq!((c.led, c.coalesced), (2, 0));
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let computed = AtomicU32::new(0);
+        let barrier = Barrier::new(8);
+        let leaders: u32 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let (v, led) = sf.run(7, || {
+                            // Give followers time to pile up on the flight.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            99
+                        });
+                        assert_eq!(v, 99);
+                        led as u32
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(leaders, 1, "exactly one caller leads");
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "closure runs once");
+        let c = sf.counters();
+        assert_eq!((c.led, c.coalesced), (1, 7));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let sf: SingleFlight<u64> = SingleFlight::new();
+        std::thread::scope(|s| {
+            for k in 0..4u64 {
+                let sf = &sf;
+                s.spawn(move || {
+                    let (v, led) = sf.run(k, || k * 2);
+                    assert_eq!(v, k * 2);
+                    assert!(led);
+                });
+            }
+        });
+        assert_eq!(sf.counters().led, 4);
+    }
+
+    #[test]
+    fn abandoned_flight_wakes_followers_who_retry() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    sf.run(3, || {
+                        barrier.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("leader dies");
+                    })
+                }));
+                assert!(result.is_err());
+            });
+            let follower = s.spawn(|| {
+                barrier.wait();
+                // Joins the doomed flight, then retries and leads.
+                let (v, _led) = sf.run(3, || 42);
+                assert_eq!(v, 42);
+            });
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            leader.join().unwrap();
+            follower.join().unwrap();
+            std::panic::set_hook(hook);
+        });
+        assert_eq!(sf.counters().led, 1, "only the retry produced a value");
+    }
+}
