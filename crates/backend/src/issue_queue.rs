@@ -5,7 +5,7 @@
 //! about. The queue itself enforces only its hard capacity; per-thread
 //! limits are the schemes' job.
 
-use csmt_types::ThreadId;
+use csmt_types::{ThreadId, MAX_THREADS};
 
 /// An age-ordered issue queue of uop ids.
 #[derive(Debug, Clone)]
@@ -20,7 +20,7 @@ pub struct IssueQueue {
     /// uop's window entry; the queue itself never interprets it.
     meta: Vec<u64>,
     capacity: usize,
-    per_thread: [usize; 2],
+    per_thread: [usize; MAX_THREADS],
 }
 
 impl IssueQueue {
@@ -30,7 +30,7 @@ impl IssueQueue {
             owners: Vec::with_capacity(capacity),
             meta: Vec::with_capacity(capacity),
             capacity,
-            per_thread: [0, 0],
+            per_thread: [0; MAX_THREADS],
         }
     }
 
@@ -95,7 +95,7 @@ impl IssueQueue {
     /// Occupancy conservation: the per-thread counters add up to the entry
     /// count and match the owner list.
     pub fn conserves_occupancy(&self) -> bool {
-        let mut counted = [0usize; 2];
+        let mut counted = [0usize; MAX_THREADS];
         for t in &self.owners {
             counted[t.idx()] += 1;
         }

@@ -4,7 +4,7 @@
 //! the quantity the CSSPRF / CISPRF / CDPRF schemes reason about — and
 //! supports the "unbounded" mode of the Figure-2 issue-queue study.
 
-use csmt_types::{PhysReg, ThreadId};
+use csmt_types::{PhysReg, ThreadId, MAX_THREADS};
 
 /// A physical register file.
 ///
@@ -22,7 +22,7 @@ pub struct RegFile {
     /// bounded files; grows with `next_fresh` for unbounded ones.
     occupied: Vec<u64>,
     capacity: usize,
-    used: [usize; 2],
+    used: [usize; MAX_THREADS],
     unbounded: bool,
     /// Next fresh register id when growing an unbounded file.
     next_fresh: u16,
@@ -34,7 +34,7 @@ impl RegFile {
             free: (0..capacity as u16).rev().map(PhysReg).collect(),
             occupied: vec![0; capacity.div_ceil(64)],
             capacity,
-            used: [0, 0],
+            used: [0; MAX_THREADS],
             unbounded: false,
             next_fresh: capacity as u16,
         }
@@ -86,7 +86,7 @@ impl RegFile {
 
     /// Registers currently allocated in total.
     pub fn used_total(&self) -> usize {
-        self.used[0] + self.used[1]
+        self.used.iter().sum()
     }
 
     /// Registers currently allocated by `thread`.

@@ -19,8 +19,8 @@
 //!   (non-copy) uops, and a Private-Clusters binding is never violated.
 //! * **Copy locality** — copy uops exist only for cross-cluster
 //!   dependences: a copy issues in the producer cluster and writes a
-//!   register in the *other* cluster; a non-copy uop's destination lives
-//!   in its own cluster.
+//!   register in a *different* cluster; a non-copy uop's destination
+//!   lives in its own cluster.
 //! * **ROB FIFO** — per-thread retirement is in strictly increasing
 //!   program order and never retires a wrong-path uop.
 //! * **CDPRF mirror** — an independent replica of the CDPRF budget
@@ -36,7 +36,7 @@
 use crate::pipeline::Simulator;
 use csmt_trace::oracle::ThreadOracle;
 use csmt_trace::suite::TraceSpec;
-use csmt_types::{ClusterId, OpClass, RegClass, ThreadId, NUM_CLUSTERS};
+use csmt_types::{ClusterId, OpClass, RegClass, ThreadId};
 
 const MAX_THREADS: usize = csmt_types::MAX_THREADS;
 
@@ -219,7 +219,7 @@ impl Validator for Conservation {
 
     fn end_cycle(&mut self, sim: &Simulator, out: &mut Vec<Violation>) {
         let cfg = &sim.cfg;
-        for c in 0..NUM_CLUSTERS {
+        for c in 0..cfg.num_clusters {
             let iq = &sim.iqs[c];
             if !iq.conserves_occupancy() {
                 fire(
@@ -320,7 +320,7 @@ impl Validator for SchemeCaps {
     fn end_cycle(&mut self, sim: &Simulator, out: &mut Vec<Violation>) {
         let caps = sim.iq_scheme.steered_caps();
         let mut totals = [0usize; MAX_THREADS];
-        for c in 0..NUM_CLUSTERS {
+        for c in 0..sim.cfg.num_clusters {
             for (t, n) in sim.iq_noncopy_occupancy(c) {
                 totals[t.idx()] += n;
                 if let Some(cap) = caps.per_cluster {
@@ -525,8 +525,8 @@ impl Validator for CdprfMirror {
             for t in 0..MAX_THREADS {
                 for (k, class) in RegClass::all().into_iter().enumerate() {
                     let avg = (self.rfoc[t][k] >> shift) as usize;
-                    let half = view.total_capacity(class) / 2;
-                    self.threshold[t][k] = avg.min(half);
+                    let share = view.total_capacity(class) / view.num_threads;
+                    self.threshold[t][k] = avg.min(share);
                     self.rfoc[t][k] = 0;
                 }
             }

@@ -46,7 +46,7 @@ pub mod steering;
 pub mod tracelog;
 
 pub use check::{CheckSuite, UopView, Validator, Violation};
-pub use metrics::{fairness, FigureRow, SimResult, SimStats};
+pub use metrics::{fairness, fairness_n, FigureRow, SimResult, SimStats};
 pub use pipeline::{SimBuilder, Simulator};
 pub use probe::MachineSnapshot;
 pub use schemes::{

@@ -11,10 +11,11 @@ pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
     /// Committed correct-path uops per thread (copies excluded — they are
-    /// overhead, not useful work).
-    pub committed: [u64; 2],
+    /// overhead, not useful work). One entry per thread of the machine
+    /// shape (see [`SimStats::sized`]).
+    pub committed: Vec<u64>,
     /// Cycle at which each thread reached its commit target (0 = never).
-    pub finish_cycle: [u64; 2],
+    pub finish_cycle: Vec<u64>,
     /// Copy micro-ops that committed.
     pub copies_retired: u64,
     /// Figure-4 events: a uop could not go to its *preferred* cluster
@@ -24,25 +25,25 @@ pub struct SimStats {
     /// Events where the redirect also failed and rename truly blocked.
     pub rename_blocked: u64,
     /// Events where a register-file denial blocked dispatch, per thread.
-    pub rf_blocked: [u64; 2],
+    pub rf_blocked: Vec<u64>,
     /// Dispatched uops per cluster (workload distribution).
-    pub dispatched: [u64; 2],
+    pub dispatched: Vec<u64>,
     /// Issued uops per cluster.
-    pub issued: [u64; 2],
+    pub issued: Vec<u64>,
     /// Issued uops per cluster per port (`[cluster][port]`): port
     /// utilization, the denominator of the Figure-5 analysis.
-    pub issued_by_port: [[u64; 3]; 2],
+    pub issued_by_port: Vec<[u64; 3]>,
     /// Cycles in which at least one uop issued (Figure-5 denominator).
     pub cycles_with_issue: u64,
     /// `imbalance[kind][avail]`: cycles in which a ready uop of `kind`
-    /// failed to issue in some cluster while the *other* cluster had
+    /// failed to issue in some cluster while *another* cluster had
     /// `avail` (0 = none, 1 = ≥1) free compatible ports (Figure 5).
     pub imbalance: [[u64; 2]; ImbalanceKind::COUNT],
     /// Branch statistics.
     pub branches: u64,
     pub mispredicts: u64,
     /// L2 misses observed by loads, per thread.
-    pub l2_misses: [u64; 2],
+    pub l2_misses: Vec<u64>,
     /// Flush+ thread flushes performed.
     pub flushes: u64,
     /// Squashed uops (wrong-path + flushes).
@@ -52,6 +53,24 @@ pub struct SimStats {
     /// L1 / L2 miss ratios at end of run.
     pub l1_miss_ratio: f64,
     pub l2_miss_ratio: f64,
+}
+
+impl SimStats {
+    /// Zeroed counters with the per-thread and per-cluster vectors sized
+    /// for the machine shape. (`Default` produces empty vectors — fine for
+    /// deserialization, but a running simulator must use this.)
+    pub fn sized(num_threads: usize, num_clusters: usize) -> Self {
+        SimStats {
+            committed: vec![0; num_threads],
+            finish_cycle: vec![0; num_threads],
+            rf_blocked: vec![0; num_threads],
+            l2_misses: vec![0; num_threads],
+            dispatched: vec![0; num_clusters],
+            issued: vec![0; num_clusters],
+            issued_by_port: vec![[0; 3]; num_clusters],
+            ..Default::default()
+        }
+    }
 }
 
 /// Result of one simulation run.
@@ -70,15 +89,17 @@ impl SimResult {
     /// count (lower bound on their slowdown).
     pub fn ipc(&self, t: ThreadId) -> f64 {
         let i = t.idx();
-        let cycles = if self.stats.finish_cycle[i] > 0 {
-            self.stats.finish_cycle[i]
+        let finish = self.stats.finish_cycle.get(i).copied().unwrap_or(0);
+        let cycles = if finish > 0 {
+            finish
         } else {
             self.stats.cycles
         };
+        let committed = self.stats.committed.get(i).copied().unwrap_or(0);
         if cycles == 0 {
             0.0
         } else {
-            self.stats.committed[i].min(self.commit_target) as f64 / cycles as f64
+            committed.min(self.commit_target) as f64 / cycles as f64
         }
     }
 
@@ -131,15 +152,19 @@ impl SimResult {
 
     /// Port utilization: fraction of issue slots used per cluster per
     /// port over the measured cycles.
-    pub fn port_utilization(&self) -> [[f64; 3]; 2] {
+    pub fn port_utilization(&self) -> Vec<[f64; 3]> {
         let cycles = self.stats.cycles.max(1) as f64;
-        let mut out = [[0.0; 3]; 2];
-        for c in 0..2 {
-            for p in 0..3 {
-                out[c][p] = self.stats.issued_by_port[c][p] as f64 / cycles;
-            }
-        }
-        out
+        self.stats
+            .issued_by_port
+            .iter()
+            .map(|ports| {
+                let mut row = [0.0; 3];
+                for (o, &n) in row.iter_mut().zip(ports.iter()) {
+                    *o = n as f64 / cycles;
+                }
+                row
+            })
+            .collect()
     }
 
     /// Branch misprediction ratio.
@@ -160,12 +185,29 @@ impl SimResult {
 /// IPC running alone on the same machine. Returns a value in `(0, 1]`
 /// where 1 means both threads were slowed down equally.
 pub fn fairness(smt_ipc: [f64; 2], alone_ipc: [f64; 2]) -> f64 {
-    let sd0 = smt_ipc[0] / alone_ipc[0];
-    let sd1 = smt_ipc[1] / alone_ipc[1];
-    if sd0 <= 0.0 || sd1 <= 0.0 || !sd0.is_finite() || !sd1.is_finite() {
-        return 0.0;
+    fairness_n(&smt_ipc, &alone_ipc)
+}
+
+/// N-thread generalization of [`fairness`]: the minimum over thread pairs
+/// of the ratio of relative slowdowns, which reduces to the smallest
+/// slowdown divided by the largest. 1.0 for a single thread (every thread
+/// pair agrees trivially), 0.0 on degenerate inputs.
+pub fn fairness_n(smt_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    debug_assert_eq!(smt_ipc.len(), alone_ipc.len());
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for (&smt, &alone) in smt_ipc.iter().zip(alone_ipc.iter()) {
+        let sd = smt / alone;
+        if sd <= 0.0 || !sd.is_finite() {
+            return 0.0;
+        }
+        lo = lo.min(sd);
+        hi = hi.max(sd);
     }
-    (sd0 / sd1).min(sd1 / sd0)
+    if hi == 0.0 {
+        return 0.0; // empty input
+    }
+    lo / hi
 }
 
 /// One labeled data point of a reproduced figure (scheme × category ×
@@ -189,9 +231,9 @@ mod tests {
             commit_target: 1000,
             stats: SimStats {
                 cycles,
-                committed,
-                finish_cycle: finish,
-                ..Default::default()
+                committed: committed.to_vec(),
+                finish_cycle: finish.to_vec(),
+                ..SimStats::sized(2, 2)
             },
         }
     }
@@ -258,6 +300,17 @@ mod tests {
             let f = fairness(smt, alone);
             assert!(f > 0.0 && f <= 1.0 + 1e-12, "f={f}");
         }
+    }
+
+    #[test]
+    fn fairness_n_matches_pairwise_minimum() {
+        // Four threads slowed to 0.9/0.6/0.3/0.6 → min pair ratio 0.3/0.9.
+        let f = fairness_n(&[0.9, 0.6, 0.3, 0.6], &[1.0; 4]);
+        assert!((f - 1.0 / 3.0).abs() < 1e-9);
+        // One thread: trivially fair.
+        assert!((fairness_n(&[0.4], &[0.8]) - 1.0).abs() < 1e-12);
+        // Degenerate member poisons the whole metric.
+        assert_eq!(fairness_n(&[0.5, 0.0, 0.5], &[1.0; 3]), 0.0);
     }
 
     #[test]

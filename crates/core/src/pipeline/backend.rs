@@ -6,7 +6,7 @@ use super::{
 };
 use csmt_backend::PortScheduler;
 use csmt_mem::LoadCheck;
-use csmt_types::{ImbalanceKind, OpClass, ThreadId, NUM_CLUSTERS};
+use csmt_types::{ImbalanceKind, OpClass, ThreadId, MAX_CLUSTERS};
 
 impl Simulator {
     /// Issue stage: per cluster, scan the issue queue oldest-first, claim
@@ -16,18 +16,28 @@ impl Simulator {
     /// only touched for the uops that actually issue.
     pub(crate) fn issue(&mut self) {
         let now = self.now;
-        let mut ports = [PortScheduler::new(), PortScheduler::new()];
+        let mut ports: [PortScheduler; MAX_CLUSTERS] =
+            std::array::from_fn(|_| PortScheduler::new());
         // Ready-but-portless uop kinds per cluster.
-        let mut failed: [[bool; ImbalanceKind::COUNT]; NUM_CLUSTERS] =
-            [[false; ImbalanceKind::COUNT]; NUM_CLUSTERS];
+        let mut failed: [[bool; ImbalanceKind::COUNT]; MAX_CLUSTERS] =
+            [[false; ImbalanceKind::COUNT]; MAX_CLUSTERS];
         let mut issued_any = false;
         let mut to_issue = std::mem::take(&mut self.issue_buf);
 
         // Clusters are scanned in orientation order: shared resources
         // booked during issue (inter-cluster links) then go to mirrored
         // clusters under a mirrored workload.
-        for cscan in 0..NUM_CLUSTERS {
-            let c = cscan ^ self.orient as usize;
+        let num_clusters = self.cfg.num_clusters;
+        // Wrap-around increment instead of a per-iteration `% num_clusters`:
+        // the divisor is a runtime value, so the modulo is a real division
+        // in the hottest loop of the simulator.
+        let mut cnext = (self.orient as usize) % num_clusters;
+        for _ in 0..num_clusters {
+            let c = cnext;
+            cnext += 1;
+            if cnext == num_clusters {
+                cnext = 0;
+            }
             // While `now` is below the earliest timed hint seen by the
             // previous scan, and nothing was inserted (resets the bound to
             // 0) or woken (sets the dirty flag), no entry can be ready:
@@ -172,8 +182,8 @@ impl Simulator {
             self.stats.cycles_with_issue += 1;
         }
         // Figure-5 accounting: for each kind that failed in some cluster,
-        // did the *other* cluster still have a compatible free port?
-        for c in 0..NUM_CLUSTERS {
+        // did *another* cluster still have a compatible free port?
+        for c in 0..num_clusters {
             for kind in ImbalanceKind::all() {
                 if !failed[c][kind.idx()] {
                     continue;
@@ -183,9 +193,8 @@ impl Simulator {
                     ImbalanceKind::FpSimd => OpClass::FpSimd,
                     ImbalanceKind::Mem => OpClass::Load,
                 };
-                let other = 1 - c;
-                let avail = usize::from(ports[other].free_for(probe) > 0);
-                self.stats.imbalance[kind.idx()][avail] += 1;
+                let elsewhere = (0..num_clusters).any(|o| o != c && ports[o].free_for(probe) > 0);
+                self.stats.imbalance[kind.idx()][usize::from(elsewhere)] += 1;
             }
         }
     }

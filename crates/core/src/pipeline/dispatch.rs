@@ -12,7 +12,7 @@ use crate::schemes::{RfView, SchedView};
 use crate::steering::steer;
 use csmt_frontend::FetchedUop;
 use csmt_types::uop::RegOperand;
-use csmt_types::{ClusterId, MicroOp, OpClass, RegClass, ThreadId, NUM_CLUSTERS};
+use csmt_types::{ClusterId, MicroOp, OpClass, RegClass, ThreadId, MAX_CLUSTERS};
 
 /// Why a cluster was rejected for a uop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +65,7 @@ impl Simulator {
 
         // Source presence per cluster, from the thread's rename table.
         let mut srcs_buf = [RegOperand::int(0); 2];
-        let mut presence_buf = [[false; NUM_CLUSTERS]; 2];
+        let mut presence_buf = [[false; MAX_CLUSTERS]; 2];
         let mut nsrc = 0usize;
         for s in u.srcs.iter().flatten() {
             let m = self.threads[t.idx()].rename.get(s.class, s.reg);
@@ -82,20 +82,33 @@ impl Simulator {
         let srcs = &srcs_buf[..nsrc];
         let presence = &presence_buf[..nsrc];
 
+        let m = self.cfg.num_clusters;
+        let mut load = [0usize; MAX_CLUSTERS];
+        for (l, iq) in load.iter_mut().zip(self.iqs.iter()).take(m) {
+            *l = iq.len();
+        }
         let forced = self.iq_scheme.forced_cluster(t);
         let decision = steer(
             presence,
-            [self.iqs[0].len(), self.iqs[1].len()],
+            &load[..m],
             self.cfg.steer_imbalance_threshold,
             forced,
             self.orient,
         );
         let preferred = decision.preferred;
-        let candidates: &[ClusterId] = if forced.is_some() {
-            &[preferred]
-        } else {
-            &[preferred, preferred.other()]
-        };
+        // Redirect candidates: the preferred cluster first, then the rest
+        // in ascending cluster order (a forced binding admits no redirect).
+        let mut cand_buf = [preferred; MAX_CLUSTERS];
+        let mut ncand = 1usize;
+        if forced.is_none() {
+            for c in 0..m {
+                if c != preferred.idx() {
+                    cand_buf[ncand] = ClusterId(c as u8);
+                    ncand += 1;
+                }
+            }
+        }
+        let candidates = &cand_buf[..ncand];
 
         for (i, &c) in candidates.iter().enumerate() {
             match self.check_cluster(t, u, srcs, presence, c, view, rf_view) {
@@ -130,7 +143,7 @@ impl Simulator {
         t: ThreadId,
         u: &MicroOp,
         srcs: &[RegOperand],
-        presence: &[[bool; NUM_CLUSTERS]],
+        presence: &[[bool; MAX_CLUSTERS]],
         c: ClusterId,
         view: &SchedView,
         rf_view: &RfView,
@@ -140,24 +153,32 @@ impl Simulator {
             return Err(Veto::IqLimit);
         }
 
-        // Copies needed: sources with no location in `c` (they issue in the
-        // other cluster and write a fresh register of their class in `c`).
-        let other = c.other();
+        // Copies needed: sources with no location in `c` (each issues in
+        // the cluster holding the value and writes a fresh register of its
+        // class in `c`).
         let mut copies = 0usize;
+        let mut copies_per_producer = [0usize; MAX_CLUSTERS];
         let mut regs_needed = [0usize; RegClass::COUNT];
         for (s, p) in srcs.iter().zip(presence) {
             if !p[c.idx()] {
                 copies += 1;
                 regs_needed[s.class.idx()] += 1;
+                let producer = p
+                    .iter()
+                    .position(|&present| present)
+                    .expect("unmapped source");
+                copies_per_producer[producer] += 1;
             }
         }
-        if copies > 0 && self.iqs[other.idx()].len() + copies > self.iqs[other.idx()].capacity() {
-            // Copies are generated by the rename logic, not steered
-            // instructions: they bypass the scheme's occupancy caps (the
-            // paper's redirects always proceed, "only incurring extra
-            // copies") but still need hard queue slots in the producer
-            // cluster.
-            return Err(Veto::IqLimit);
+        for (producer, &need) in copies_per_producer.iter().enumerate() {
+            if need > 0 && self.iqs[producer].len() + need > self.iqs[producer].capacity() {
+                // Copies are generated by the rename logic, not steered
+                // instructions: they bypass the scheme's occupancy caps (the
+                // paper's redirects always proceed, "only incurring extra
+                // copies") but still need hard queue slots in the producer
+                // cluster.
+                return Err(Veto::IqLimit);
+            }
         }
 
         // Destination register: scheme permission + hard capacity.

@@ -19,10 +19,20 @@ impl Simulator {
     pub(crate) fn fetch(&mut self) {
         let mut best: Option<(usize, usize)> = None;
         let n = self.threads.len();
-        // Alternate scan order each cycle (phased by the orientation bit)
-        // so ties don't structurally favor either thread.
-        for k in 0..n {
-            let i = (k + ((self.now & 1) as usize ^ self.orient as usize)) % n;
+        // Rotate the scan start across all threads (phased by the
+        // orientation bit) so ties don't structurally favor the low
+        // thread ids. Reduces to cycle-parity ^ orient at 2 threads
+        // (addition mod 2 is xor), keeping the paper-shape goldens fixed.
+        let rotation = (self.now as usize + self.orient as usize) % n;
+        // Wrap-around increment rather than `(k + rotation) % n` per
+        // iteration: n is a runtime value, so the modulo is a division.
+        let mut inext = rotation;
+        for _ in 0..n {
+            let i = inext;
+            inext += 1;
+            if inext == n {
+                inext = 0;
+            }
             let th = &self.threads[i];
             if th.fetch_resume_at > self.now || th.fetchq.room() == 0 {
                 continue;

@@ -30,7 +30,7 @@ use csmt_trace::suite::{TraceSpec, Workload};
 use csmt_trace::{Program, ThreadTrace, TraceProfile, WrongPathSource};
 use csmt_types::{
     ClusterId, MachineConfig, MicroOp, OpClass, PhysReg, RegClass, RegFileSchemeKind, SchemeKind,
-    ThreadId, NUM_CLUSTERS,
+    ThreadId, MAX_CLUSTERS, MAX_THREADS,
 };
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -457,7 +457,7 @@ pub(crate) fn meta_src(meta: u64, i: usize) -> Option<(RegClass, PhysReg)> {
 /// Per-(cluster, class) readiness scoreboard over physical registers.
 #[derive(Debug, Default)]
 pub(crate) struct Scoreboard {
-    ready: [[Vec<u64>; RegClass::COUNT]; NUM_CLUSTERS],
+    ready: [[Vec<u64>; RegClass::COUNT]; MAX_CLUSTERS],
     /// Issue-queue entries parked on a source whose producer has not
     /// scheduled its wakeup yet, per (cluster, class, phys reg). A pending
     /// source can only gain a finite ready-cycle through `set_ready_at`,
@@ -465,13 +465,13 @@ pub(crate) struct Scoreboard {
     /// their readiness every cycle; `set_ready_at` drains the list into
     /// the `rewake` bitmap. Stale ids (issued or squashed while parked)
     /// are harmless: a spurious rewake bit just triggers one re-check.
-    waiters: [[Vec<Vec<u32>>; RegClass::COUNT]; NUM_CLUSTERS],
+    waiters: [[Vec<Vec<u32>>; RegClass::COUNT]; MAX_CLUSTERS],
     /// Per-cluster bitmap over uop ids: parked entries whose awaited
     /// wakeup has arrived since the entry parked.
-    rewake: [Vec<u64>; NUM_CLUSTERS],
+    rewake: [Vec<u64>; MAX_CLUSTERS],
     /// Set when a wakeup drained at least one parked waiter in the
     /// cluster: the next issue scan must run even if no timed hint is due.
-    scan_dirty: [bool; NUM_CLUSTERS],
+    scan_dirty: [bool; MAX_CLUSTERS],
 }
 
 impl Scoreboard {
@@ -481,7 +481,7 @@ impl Scoreboard {
     /// configs still grow on demand through [`Self::slot`].
     fn reserve(&mut self, int_regs: usize, fp_regs: usize) {
         let caps = [int_regs, fp_regs];
-        for c in 0..NUM_CLUSTERS {
+        for c in 0..MAX_CLUSTERS {
             for (k, &cap) in caps.iter().enumerate() {
                 self.ready[c][k].resize(cap, u64::MAX);
                 self.waiters[c][k].resize_with(cap, Vec::new);
@@ -636,9 +636,9 @@ pub struct Simulator {
     pub(crate) indirect: IndirectPredictor,
     pub(crate) itlb: Tlb,
     // back-end
-    pub(crate) iqs: [IssueQueue; NUM_CLUSTERS],
+    pub(crate) iqs: [IssueQueue; MAX_CLUSTERS],
     /// `regfiles[cluster][class]`.
-    pub(crate) regfiles: [[RegFile; RegClass::COUNT]; NUM_CLUSTERS],
+    pub(crate) regfiles: [[RegFile; RegClass::COUNT]; MAX_CLUSTERS],
     pub(crate) links: LinkFabric,
     pub(crate) mob: Mob,
     pub(crate) mem: MemHierarchy,
@@ -649,7 +649,7 @@ pub struct Simulator {
     /// scan. Issue skips a cluster outright while `now` is below it and
     /// no insert or parked-entry wakeup has dirtied the queue (inserts
     /// reset it to 0; wakeups set `Scoreboard::scan_dirty`).
-    pub(crate) iq_next_scan: [u64; NUM_CLUSTERS],
+    pub(crate) iq_next_scan: [u64; MAX_CLUSTERS],
     /// Uops currently executing (issued, not yet complete).
     pub(crate) executing: ExecList,
     /// Reusable issue-stage pick buffer (`(uop id, port)`), drained every
@@ -665,7 +665,7 @@ pub struct Simulator {
     /// Commit priority alternates between threads each cycle.
     pub(crate) commit_rr: u8,
     /// Register-file starvation flags for the current cycle (CDPRF input).
-    pub(crate) rf_starved: [[bool; RegClass::COUNT]; 2],
+    pub(crate) rf_starved: [[bool; RegClass::COUNT]; MAX_THREADS],
     /// Opt-in per-uop event log (None = zero overhead).
     pub(crate) event_log: Option<crate::tracelog::EventLog>,
     /// Orientation bit for every scheduling tie-break (fetch/rename/commit
@@ -682,8 +682,8 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Build a simulator for 1 or 2 trace specs, decoding each trace into
-    /// a private generator.
+    /// Build a simulator for 1 to `cfg.num_threads` trace specs, decoding
+    /// each trace into a private generator.
     pub fn new(
         cfg: MachineConfig,
         iq_kind: SchemeKind,
@@ -748,7 +748,12 @@ impl Simulator {
         sources: Vec<TraceSource>,
     ) -> Self {
         cfg.validate().expect("invalid machine configuration");
-        assert!(!traces.is_empty() && traces.len() <= 2, "1 or 2 threads");
+        assert!(
+            !traces.is_empty() && traces.len() <= cfg.num_threads,
+            "need 1 to num_threads ({}) trace specs, got {}",
+            cfg.num_threads,
+            traces.len()
+        );
         // Program-derived orientation (symmetric-scheduling mode): hash
         // each thread's (profile, seed) identity and orient every
         // tie-break by which hash is larger. Swapping the two programs
@@ -779,16 +784,12 @@ impl Simulator {
                 RegFile::new(cluster_regs)
             }
         };
-        let regfiles = [
+        let regfiles = std::array::from_fn(|_| {
             [
                 make_rf(cfg.int_regs_per_cluster),
                 make_rf(cfg.fp_regs_per_cluster),
-            ],
-            [
-                make_rf(cfg.int_regs_per_cluster),
-                make_rf(cfg.fp_regs_per_cluster),
-            ],
-        ];
+            ]
+        });
         let threads: Vec<ThreadCtx> = traces
             .iter()
             .zip(sources)
@@ -816,7 +817,7 @@ impl Simulator {
                     l2_misses: Vec::new(),
                     committed: 0,
                     finish_cycle: 0,
-                    home: ClusterId((i % NUM_CLUSTERS) as u8),
+                    home: ClusterId((i % cfg.num_clusters) as u8),
                 }
             })
             .collect();
@@ -827,24 +828,21 @@ impl Simulator {
             gshare: Gshare::new(cfg.gshare_entries),
             indirect: IndirectPredictor::new(cfg.indirect_entries),
             itlb: Tlb::new(cfg.itlb_entries, cfg.itlb_assoc, cfg.tlb_miss_penalty),
-            iqs: [
-                IssueQueue::new(cfg.iq_per_cluster),
-                IssueQueue::new(cfg.iq_per_cluster),
-            ],
+            iqs: std::array::from_fn(|_| IssueQueue::new(cfg.iq_per_cluster)),
             regfiles,
             links: LinkFabric::new(cfg.num_links, cfg.link_latency),
             mob: Mob::new(cfg.mob_entries),
             mem: MemHierarchy::new(&cfg),
             slab: Slab::default(),
             scoreboard: Scoreboard::default(),
-            iq_next_scan: [0; NUM_CLUSTERS],
+            iq_next_scan: [0; MAX_CLUSTERS],
             executing: ExecList::default(),
             issue_buf: Vec::new(),
             rf_view_cycle: RfView::default(),
             now: 0,
-            stats: SimStats::default(),
+            stats: SimStats::sized(cfg.num_threads, cfg.num_clusters),
             commit_rr: orient,
-            rf_starved: [[false; RegClass::COUNT]; 2],
+            rf_starved: [[false; RegClass::COUNT]; MAX_THREADS],
             event_log: None,
             orient,
             specs: traces.to_vec(),
@@ -932,7 +930,12 @@ impl Simulator {
     pub(crate) fn sched_view(&self) -> SchedView {
         let mut v = SchedView {
             iq_capacity: self.cfg.iq_per_cluster,
-            cycle_parity: ((self.now & 1) as usize) ^ self.orient as usize,
+            // Scan rotation cycling through every thread. Reduces to the
+            // cycle-parity ^ orient value on the 2-thread shape (addition
+            // mod 2 is xor), so the paper-shape goldens are unmoved.
+            scan_rotation: (self.now as usize + self.orient as usize) % self.cfg.num_threads,
+            num_threads: self.cfg.num_threads,
+            num_clusters: self.cfg.num_clusters,
             ..Default::default()
         };
         for (i, th) in self.threads.iter().enumerate() {
@@ -946,7 +949,7 @@ impl Simulator {
             v.wrong_path[i] = th.wrong_path_mode && th.unresolved_mispredict.is_some();
             v.pending_l2[i] = th.pending_l2();
             v.earliest_l2_start[i] = th.earliest_l2_start();
-            for c in 0..NUM_CLUSTERS {
+            for c in 0..self.cfg.num_clusters {
                 v.iq_occ[i][c] = self.iqs[c].thread_occupancy(th.id);
             }
             v.rename_to_issue[i] = v.iq_occ[i].iter().sum();
@@ -959,10 +962,12 @@ impl Simulator {
         let mut v = RfView {
             capacity: [self.cfg.int_regs_per_cluster, self.cfg.fp_regs_per_cluster],
             unbounded: self.cfg.unbounded_regs,
+            num_threads: self.cfg.num_threads,
+            num_clusters: self.cfg.num_clusters,
             ..Default::default()
         };
         for (i, th) in self.threads.iter().enumerate() {
-            for c in 0..NUM_CLUSTERS {
+            for c in 0..self.cfg.num_clusters {
                 for k in 0..RegClass::COUNT {
                     v.used[i][k][c] = self.regfiles[c][k].used_by(th.id);
                 }
@@ -973,7 +978,7 @@ impl Simulator {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
-        self.rf_starved = [[false; RegClass::COUNT]; 2];
+        self.rf_starved = [[false; RegClass::COUNT]; MAX_THREADS];
         self.commit();
         self.complete_execution();
         self.issue();
@@ -1010,7 +1015,7 @@ impl Simulator {
             self.step();
         }
         // Reset counters; measurement starts here.
-        self.stats = SimStats::default();
+        self.stats = SimStats::sized(self.cfg.num_threads, self.cfg.num_clusters);
         let epoch = self.now;
         let bases: Vec<u64> = self.threads.iter().map(|t| t.committed).collect();
 
@@ -1053,8 +1058,10 @@ impl Simulator {
     /// Non-copy issue-queue entries per thread in cluster `c` (the
     /// population the schemes' occupancy caps govern; see
     /// [`crate::probe::MachineSnapshot::iq_steered`]).
-    pub(crate) fn iq_noncopy_occupancy(&self, c: usize) -> [(ThreadId, usize); 2] {
-        let mut out = [(ThreadId(0), 0usize), (ThreadId(1), 0usize)];
+    pub(crate) fn iq_noncopy_occupancy(&self, c: usize) -> Vec<(ThreadId, usize)> {
+        let mut out: Vec<(ThreadId, usize)> = (0..self.cfg.num_threads)
+            .map(|t| (ThreadId(t as u8), 0usize))
+            .collect();
         for id in self.iqs[c].iter() {
             if !self.slab.is_copy(id) {
                 out[self.slab.thread(id).idx()].1 += 1;
@@ -1075,8 +1082,12 @@ impl Simulator {
     pub fn check_invariants(&self) {
         // Every issue-queue entry is a live, InIq uop of that cluster, and
         // per-thread occupancies add up.
-        for c in 0..NUM_CLUSTERS {
-            let mut per_thread = [0usize; 2];
+        for c in 0..MAX_CLUSTERS {
+            let mut per_thread = [0usize; MAX_THREADS];
+            assert!(
+                c < self.cfg.num_clusters || self.iqs[c].is_empty(),
+                "uop in cluster {c} beyond the machine shape"
+            );
             for (id, meta) in self.iqs[c].iter_with_meta() {
                 let p = self.slab.payload(id);
                 let cluster = self.slab.cluster(id);
@@ -1335,17 +1346,14 @@ impl Simulator {
         self.threads
             .iter()
             .map(|th| {
-                let mut regs = [[0usize; NUM_CLUSTERS]; RegClass::COUNT];
-                for c in 0..NUM_CLUSTERS {
+                let mut regs = [[0usize; MAX_CLUSTERS]; RegClass::COUNT];
+                for c in 0..self.cfg.num_clusters {
                     for k in 0..RegClass::COUNT {
                         regs[k][c] = self.regfiles[c][k].used_by(th.id);
                     }
                 }
                 crate::probe::ThreadView {
-                    iq: [
-                        self.iqs[0].thread_occupancy(th.id),
-                        self.iqs[1].thread_occupancy(th.id),
-                    ],
+                    iq: std::array::from_fn(|c| self.iqs[c].thread_occupancy(th.id)),
                     regs,
                     rob: th.rob.len(),
                     fetchq: th.fetchq.len(),

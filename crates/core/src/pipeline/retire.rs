@@ -12,9 +12,16 @@ impl Simulator {
         let mut budget = self.cfg.commit_width;
         let n = self.threads.len();
         let first = (self.commit_rr as usize) % n;
-        self.commit_rr ^= 1;
-        for k in 0..n {
-            let ti = (first + k) % n;
+        self.commit_rr = (self.commit_rr + 1) % n as u8;
+        // Wrap-around increment rather than `(first + k) % n` per
+        // iteration: n is a runtime value, so the modulo is a division.
+        let mut tnext = first;
+        for _ in 0..n {
+            let ti = tnext;
+            tnext += 1;
+            if tnext == n {
+                tnext = 0;
+            }
             while budget > 0 {
                 let Some(front) = self.threads[ti].rob.front() else {
                     break;

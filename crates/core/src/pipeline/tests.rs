@@ -151,7 +151,7 @@ fn private_clusters_never_mix() {
     for _ in 0..20_000 {
         sim.step();
         // Every IQ entry of cluster c belongs to thread c.
-        for c in 0..NUM_CLUSTERS {
+        for c in 0..sim.cfg.num_clusters {
             for id in sim.iqs[c].iter() {
                 assert_eq!(
                     sim.slab.thread(id).idx(),
@@ -203,7 +203,7 @@ fn cssp_caps_per_cluster_occupancy() {
     );
     for _ in 0..30_000 {
         sim.step();
-        for c in 0..NUM_CLUSTERS {
+        for c in 0..sim.cfg.num_clusters {
             // The 50% cap governs steered instructions; copies are
             // rename-generated and exempt (they only need hard slots).
             let mut steered = [0usize; 2];
@@ -231,7 +231,7 @@ fn cisp_caps_total_occupancy() {
     for _ in 0..30_000 {
         sim.step();
         let mut steered = [0usize; 2];
-        for c in 0..NUM_CLUSTERS {
+        for c in 0..sim.cfg.num_clusters {
             for id in sim.iqs[c].iter() {
                 if !sim.slab.is_copy(id) {
                     steered[sim.slab.thread(id).idx()] += 1;
@@ -645,8 +645,9 @@ mod microtests {
             .rename
             .get(RegClass::Int, LogReg(9))
             .present_mask();
+        let bi = [true, true, false, false];
         assert!(
-            r0 == [true, true] || r9 == [true, true],
+            r0 == bi || r9 == bi,
             "copied operand must be bi-resident: r0 {r0:?}, r9 {r9:?}"
         );
     }

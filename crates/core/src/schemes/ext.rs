@@ -13,7 +13,7 @@
 //! [`SimBuilder::iq_scheme_custom`](crate::SimBuilder::iq_scheme_custom).
 
 use super::{IqScheme, SchedView, MAX_THREADS};
-use csmt_types::{ClusterId, MachineConfig, SchemeKind, ThreadId};
+use csmt_types::{ClusterId, MachineConfig, SchemeKind, ThreadId, MAX_CLUSTERS};
 
 /// Hill-climbing issue-queue partitioning.
 ///
@@ -24,7 +24,7 @@ use csmt_types::{ClusterId, MachineConfig, SchemeKind, ThreadId};
 /// given dispatch rate); if the last perturbation made things worse, it is
 /// reverted and the next candidate direction is tried.
 pub struct HillClimb {
-    caps: [[usize; 2]; MAX_THREADS],
+    caps: [[usize; MAX_CLUSTERS]; MAX_THREADS],
     capacity: usize,
     epoch: u64,
     tick: u64,
@@ -41,7 +41,7 @@ impl HillClimb {
     pub fn new(cfg: &MachineConfig) -> Self {
         let half = cfg.iq_per_cluster / 2;
         HillClimb {
-            caps: [[half; 2]; MAX_THREADS],
+            caps: [[half; MAX_CLUSTERS]; MAX_THREADS],
             capacity: cfg.iq_per_cluster,
             epoch: 2048,
             tick: 0,
@@ -55,12 +55,12 @@ impl HillClimb {
 
     fn perturb(&mut self) {
         // Candidate moves cycle over (thread, cluster) pairs: grow that
-        // thread's cap by `step`, shrinking the other thread's cap in the
+        // thread's cap by `step`, shrinking the next thread's cap in the
         // same cluster to keep the sum ≤ capacity.
         let t = self.rr % MAX_THREADS;
-        let c = (self.rr / MAX_THREADS) % 2;
+        let c = (self.rr / MAX_THREADS) % MAX_CLUSTERS;
         self.rr += 1;
-        let other = 1 - t;
+        let other = (t + 1) % MAX_THREADS;
         let step = self.step;
         if self.caps[other][c] >= step + 4 {
             self.caps[t][c] = (self.caps[t][c] + step).min(self.capacity);
@@ -73,7 +73,7 @@ impl HillClimb {
 
     fn revert(&mut self) {
         if let Some((t, c, step)) = self.last_move.take() {
-            let other = 1 - t;
+            let other = (t + 1) % MAX_THREADS;
             self.caps[t][c] = (self.caps[t][c] as isize - step) as usize;
             self.caps[other][c] = (self.caps[other][c] as isize + step) as usize;
         }
@@ -95,7 +95,9 @@ impl IqScheme for HillClimb {
     fn select_rename_thread(&mut self, view: &SchedView) -> Option<ThreadId> {
         // Epoch accounting piggybacks on the once-per-cycle selection call.
         self.tick += 1;
-        self.acc += (view.total_occ(ThreadId(0)) + view.total_occ(ThreadId(1))) as u64;
+        self.acc += (0..view.num_threads)
+            .map(|t| view.total_occ(ThreadId(t as u8)))
+            .sum::<usize>() as u64;
         if self.tick.is_multiple_of(self.epoch) {
             let score = self.acc as f64 / self.epoch as f64;
             self.acc = 0;
@@ -108,7 +110,7 @@ impl IqScheme for HillClimb {
         // Icount-style selection under the current caps.
         let mut best: Option<(usize, ThreadId)> = None;
         for k in 0..MAX_THREADS {
-            let i = (k + view.cycle_parity) % MAX_THREADS;
+            let i = (k + view.scan_rotation) % MAX_THREADS;
             if !view.active[i] || view.fetchq_len[i] == 0 {
                 continue;
             }
@@ -165,15 +167,18 @@ mod tests {
     use super::*;
 
     fn view(occ: [[usize; 2]; 2], fq: [usize; 2]) -> SchedView {
-        SchedView {
-            iq_occ: occ,
+        let mut v = SchedView {
             iq_capacity: 32,
-            rename_to_issue: [occ[0][0] + occ[0][1], occ[1][0] + occ[1][1]],
-            fetchq_len: fq,
-            active: [true, true],
-            earliest_l2_start: [u64::MAX; 2],
+            earliest_l2_start: [u64::MAX; MAX_THREADS],
             ..Default::default()
+        };
+        for t in 0..2 {
+            v.iq_occ[t][..2].copy_from_slice(&occ[t]);
+            v.rename_to_issue[t] = occ[t][0] + occ[t][1];
+            v.fetchq_len[t] = fq[t];
+            v.active[t] = true;
         }
+        v
     }
 
     #[test]
@@ -262,7 +267,7 @@ impl IqScheme for Dcra {
     }
 
     fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
-        let other_active = view.active[t.other().idx()];
+        let other_active = (0..view.num_threads).any(|o| o != t.idx() && view.active[o]);
         let cap = if !other_active {
             self.capacity
         } else if Self::is_slow(t, view) {
@@ -279,16 +284,19 @@ mod dcra_tests {
     use super::*;
 
     fn view(occ: [[usize; 2]; 2], l2: [u32; 2]) -> SchedView {
-        SchedView {
-            iq_occ: occ,
+        let mut v = SchedView {
             iq_capacity: 32,
-            rename_to_issue: [occ[0][0] + occ[0][1], occ[1][0] + occ[1][1]],
-            pending_l2: l2,
-            fetchq_len: [1, 1],
-            active: [true, true],
-            earliest_l2_start: [u64::MAX; 2],
+            earliest_l2_start: [u64::MAX; MAX_THREADS],
             ..Default::default()
+        };
+        for t in 0..2 {
+            v.iq_occ[t][..2].copy_from_slice(&occ[t]);
+            v.rename_to_issue[t] = occ[t][0] + occ[t][1];
+            v.pending_l2[t] = l2[t];
+            v.fetchq_len[t] = 1;
+            v.active[t] = true;
         }
+        v
     }
 
     #[test]
@@ -352,20 +360,23 @@ mod gate_tests {
     use super::*;
 
     fn view() -> SchedView {
-        SchedView {
+        let mut v = SchedView {
             iq_capacity: 32,
-            active: [true, true],
-            fetchq_len: [4, 4],
-            earliest_l2_start: [u64::MAX; 2],
+            earliest_l2_start: [u64::MAX; MAX_THREADS],
             ..Default::default()
+        };
+        for t in 0..2 {
+            v.active[t] = true;
+            v.fetchq_len[t] = 4;
         }
+        v
     }
 
     #[test]
     fn gates_wrong_path_thread() {
         let g = BranchGate;
         let mut v = view();
-        v.wrong_path = [true, false];
+        v.wrong_path[0] = true;
         assert!(g.thread_stalled(ThreadId(0), &v));
         assert!(!g.thread_stalled(ThreadId(1), &v));
     }
@@ -374,12 +385,12 @@ mod gate_tests {
     fn selection_skips_wrong_path_thread() {
         let mut g = BranchGate;
         let mut v = view();
-        v.wrong_path = [true, false];
-        v.rename_to_issue = [0, 20];
-        v.iq_occ = [[0, 0], [20, 0]];
+        v.wrong_path[0] = true;
+        v.rename_to_issue[1] = 20;
+        v.iq_occ[1][0] = 20;
         // Thread 0 has the lower count but is on a wrong path → skip.
         assert_eq!(g.select_rename_thread(&v), Some(ThreadId(1)));
-        v.wrong_path = [false, false];
+        v.wrong_path[0] = false;
         assert_eq!(g.select_rename_thread(&v), Some(ThreadId(0)));
     }
 

@@ -45,31 +45,39 @@ impl IqScheme for FlushPlus {
         if view.pending_l2[t.idx()] == 0 {
             return false;
         }
-        // Stalled unless this thread is the earliest misser while the other
+        // Stalled unless this thread is the earliest misser while another
         // thread is also missing (then it is allowed to continue).
-        let other = t.other();
-        let other_missing = view.pending_l2[other.idx()] > 0;
-        !(other_missing && me <= view.earliest_l2_start[other.idx()])
+        match earliest_other_miss(t, view) {
+            Some(other_start) => me > other_start,
+            None => true,
+        }
     }
 
     fn should_flush_on_l2_miss(&self, t: ThreadId, view: &SchedView) -> bool {
-        // Flush the thread unless the other thread already has an
-        // outstanding miss that started earlier (this thread would then be
-        // the one "allowed to continue" is the FIRST misser; a later misser
-        // is flushed; if this thread missed first, flush it only when the
-        // other thread is clean — i.e. the plain Flush behaviour).
-        let other = t.other();
-        if view.pending_l2[other.idx()] == 0 {
-            return true; // only thread missing → release its resources
+        // The FIRST misser is allowed to continue while others are also
+        // missing; a later misser is flushed. When this thread is the only
+        // one missing, it is flushed — the plain Flush behaviour of
+        // releasing the missing thread's resources.
+        match earliest_other_miss(t, view) {
+            None => true, // only thread missing → release its resources
+            // Several missing: flush only if this thread missed later.
+            Some(other_start) => view.earliest_l2_start[t.idx()] > other_start,
         }
-        // Both missing: flush only if this thread missed later.
-        view.earliest_l2_start[t.idx()] > view.earliest_l2_start[other.idx()]
     }
 }
 
+/// Earliest outstanding-miss start cycle among the *other* threads, `None`
+/// when no other thread has a miss outstanding.
+fn earliest_other_miss(t: ThreadId, view: &SchedView) -> Option<u64> {
+    (0..view.num_threads)
+        .filter(|&o| o != t.idx() && view.pending_l2[o] > 0)
+        .map(|o| view.earliest_l2_start[o])
+        .min()
+}
+
 /// CISP — Cluster-Insensitive Static Partitioning (\[31\]-style): a thread
-/// may hold at most 50% of the *total* issue-queue entries, wherever they
-/// are.
+/// may hold at most its `1/num_threads` share of the *total* issue-queue
+/// entries, wherever they are (50% on the paper's 2-thread shape).
 pub struct Cisp {
     total_cap: usize,
 }
@@ -77,7 +85,7 @@ pub struct Cisp {
 impl Cisp {
     pub fn new(cfg: &MachineConfig) -> Self {
         Cisp {
-            total_cap: cfg.total_iq() / 2,
+            total_cap: cfg.total_iq() / cfg.num_threads,
         }
     }
 }
@@ -104,7 +112,8 @@ impl IqScheme for Cisp {
 }
 
 /// CSSP — Cluster-Sensitive Static Partitioning: a thread may hold at most
-/// 50% of *each cluster's* issue queue. The paper's best IQ scheme.
+/// its `1/num_threads` share of *each cluster's* issue queue (50% on the
+/// paper's 2-thread shape). The paper's best IQ scheme.
 pub struct Cssp {
     per_cluster_cap: usize,
 }
@@ -112,7 +121,7 @@ pub struct Cssp {
 impl Cssp {
     pub fn new(cfg: &MachineConfig) -> Self {
         Cssp {
-            per_cluster_cap: cfg.iq_per_cluster / 2,
+            per_cluster_cap: cfg.iq_per_cluster / cfg.num_threads,
         }
     }
 }
@@ -135,9 +144,9 @@ impl IqScheme for Cssp {
     }
 }
 
-/// CSPSP — Cluster-Sensitive Partial Static Partitioning: 25% of each
-/// cluster's entries are guaranteed per thread; threads compete for the
-/// rest.
+/// CSPSP — Cluster-Sensitive Partial Static Partitioning: half of each
+/// thread's static share of each cluster's entries is guaranteed (25% per
+/// thread on the paper's 2-thread shape); threads compete for the rest.
 pub struct Cspsp {
     guaranteed: usize,
     capacity: usize,
@@ -146,7 +155,7 @@ pub struct Cspsp {
 impl Cspsp {
     pub fn new(cfg: &MachineConfig) -> Self {
         Cspsp {
-            guaranteed: cfg.iq_per_cluster / 4,
+            guaranteed: cfg.iq_per_cluster / (2 * cfg.num_threads),
             capacity: cfg.iq_per_cluster,
         }
     }
@@ -160,24 +169,36 @@ impl IqScheme for Cspsp {
     fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
         let mine = view.iq_occ[t.idx()][c.idx()];
         // Beyond the guarantee the thread competes for the shared part, but
-        // the cluster must still honor the other thread's reservation.
-        let other = t.other();
-        let other_occ = if view.active[other.idx()] {
-            view.iq_occ[other.idx()][c.idx()]
-        } else {
-            self.guaranteed // inactive thread reserves nothing in practice
-        };
-        let reserved_other = self.guaranteed.saturating_sub(other_occ);
+        // the cluster must still honor every other thread's reservation
+        // (inactive threads reserve nothing in practice).
+        let reserved_others: usize = (0..view.num_threads)
+            .filter(|&o| o != t.idx() && view.active[o])
+            .map(|o| self.guaranteed.saturating_sub(view.iq_occ[o][c.idx()]))
+            .sum();
         let shared = self
             .capacity
-            .saturating_sub(view.cluster_used(c) + reserved_other);
+            .saturating_sub(view.cluster_used(c) + reserved_others);
         self.guaranteed.saturating_sub(mine).max(shared)
     }
 }
 
-/// PC — Private Clusters: thread *t* is statically bound to cluster *t*;
-/// all its uops are steered there.
-pub struct PrivateClusters;
+/// PC — Private Clusters: thread *t* is statically bound to cluster
+/// *t mod num_clusters*; all its uops are steered there.
+pub struct PrivateClusters {
+    num_clusters: usize,
+}
+
+impl PrivateClusters {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        PrivateClusters {
+            num_clusters: cfg.num_clusters,
+        }
+    }
+
+    fn home(&self, t: ThreadId) -> ClusterId {
+        ClusterId(t.0 % self.num_clusters as u8)
+    }
+}
 
 impl IqScheme for PrivateClusters {
     fn kind(&self) -> SchemeKind {
@@ -185,11 +206,11 @@ impl IqScheme for PrivateClusters {
     }
 
     fn forced_cluster(&self, t: ThreadId) -> Option<ClusterId> {
-        Some(ClusterId(t.0 % csmt_types::NUM_CLUSTERS as u8))
+        Some(self.home(t))
     }
 
     fn headroom(&self, t: ThreadId, c: ClusterId, _view: &SchedView) -> usize {
-        if c == ClusterId(t.0 % csmt_types::NUM_CLUSTERS as u8) {
+        if c == self.home(t) {
             usize::MAX
         } else {
             0
@@ -202,17 +223,36 @@ mod tests {
     use super::*;
     use crate::schemes::make_iq_scheme;
 
+    use crate::schemes::MAX_THREADS;
+    use csmt_types::MAX_CLUSTERS;
+
     const T0: ThreadId = ThreadId(0);
     const T1: ThreadId = ThreadId(1);
     const C0: ClusterId = ClusterId(0);
     const C1: ClusterId = ClusterId(1);
 
+    /// Widen a per-thread pair to the MAX_THREADS array (tail = `fill`).
+    fn wide<T: Copy>(a: T, b: T, fill: T) -> [T; MAX_THREADS] {
+        let mut out = [fill; MAX_THREADS];
+        out[0] = a;
+        out[1] = b;
+        out
+    }
+
+    /// Widen a per-cluster pair to the MAX_CLUSTERS array (tail zero).
+    fn occ2(a: usize, b: usize) -> [usize; MAX_CLUSTERS] {
+        let mut out = [0; MAX_CLUSTERS];
+        out[0] = a;
+        out[1] = b;
+        out
+    }
+
     fn view() -> SchedView {
         SchedView {
             iq_capacity: 32,
-            active: [true, true],
-            fetchq_len: [4, 4],
-            earliest_l2_start: [u64::MAX, u64::MAX],
+            active: wide(true, true, false),
+            fetchq_len: wide(4, 4, 0),
+            earliest_l2_start: [u64::MAX; MAX_THREADS],
             ..Default::default()
         }
     }
@@ -225,9 +265,9 @@ mod tests {
     fn icount_picks_lowest_count() {
         let mut s = Icount;
         let mut v = view();
-        v.rename_to_issue = [10, 3];
+        v.rename_to_issue = wide(10, 3, 0);
         assert_eq!(s.select_rename_thread(&v), Some(T1));
-        v.rename_to_issue = [2, 3];
+        v.rename_to_issue = wide(2, 3, 0);
         assert_eq!(s.select_rename_thread(&v), Some(T0));
     }
 
@@ -235,18 +275,42 @@ mod tests {
     fn icount_skips_empty_fetch_queue() {
         let mut s = Icount;
         let mut v = view();
-        v.rename_to_issue = [0, 50];
-        v.fetchq_len = [0, 4];
+        v.rename_to_issue = wide(0, 50, 0);
+        v.fetchq_len = wide(0, 4, 0);
         assert_eq!(s.select_rename_thread(&v), Some(T1));
-        v.fetchq_len = [0, 0];
+        v.fetchq_len = wide(0, 0, 0);
         assert_eq!(s.select_rename_thread(&v), None);
+    }
+
+    #[test]
+    fn icount_ties_rotate_across_all_threads() {
+        // With every count equal, the scan rotation must hand the tie to
+        // each thread in turn — a rotation stuck on {0, 1} starves the
+        // high thread ids of rename slots at scaled shapes (observed as a
+        // fuzz forward-progress failure at 6 threads × 1 cluster).
+        let mut s = Icount;
+        let mut v = view();
+        let n = 6;
+        v.num_threads = n;
+        for t in 0..n {
+            v.active[t] = true;
+            v.fetchq_len[t] = 4;
+        }
+        for rot in 0..n {
+            v.scan_rotation = rot;
+            assert_eq!(
+                s.select_rename_thread(&v),
+                Some(ThreadId(rot as u8)),
+                "tie at rotation {rot} must go to the scan-start thread"
+            );
+        }
     }
 
     #[test]
     fn icount_never_caps_occupancy() {
         let s = Icount;
         let mut v = view();
-        v.iq_occ = [[32, 32], [0, 0]];
+        v.iq_occ[0] = occ2(32, 32);
         assert!(s.allows(T0, C0, &v));
     }
 
@@ -254,10 +318,10 @@ mod tests {
     fn stall_holds_missing_thread() {
         let mut s = Stall;
         let mut v = view();
-        v.pending_l2 = [1, 0];
+        v.pending_l2 = wide(1, 0, 0);
         assert!(s.thread_stalled(T0, &v));
         assert!(!s.thread_stalled(T1, &v));
-        v.rename_to_issue = [0, 10];
+        v.rename_to_issue = wide(0, 10, 0);
         // Despite the lower icount, the stalled thread is skipped.
         assert_eq!(s.select_rename_thread(&v), Some(T1));
     }
@@ -266,7 +330,7 @@ mod tests {
     fn flush_plus_flushes_lone_misser() {
         let s = FlushPlus;
         let mut v = view();
-        v.pending_l2 = [0, 0];
+        v.pending_l2 = wide(0, 0, 0);
         v.pending_l2[0] = 1;
         v.earliest_l2_start[0] = 100;
         assert!(s.should_flush_on_l2_miss(T0, &v));
@@ -276,8 +340,8 @@ mod tests {
     fn flush_plus_lets_first_misser_continue() {
         let s = FlushPlus;
         let mut v = view();
-        v.pending_l2 = [1, 1];
-        v.earliest_l2_start = [100, 200];
+        v.pending_l2 = wide(1, 1, 0);
+        v.earliest_l2_start = wide(100, 200, u64::MAX);
         // T1 missed later → flushed; T0 missed first → not flushed, and not
         // even rename-stalled (it is "allowed to continue").
         assert!(s.should_flush_on_l2_miss(T1, &v));
@@ -290,10 +354,10 @@ mod tests {
     fn cisp_caps_total_not_per_cluster() {
         let s = Cisp::new(&cfg()); // cap = 64/2 = 32
         let mut v = view();
-        v.iq_occ[0] = [30, 1]; // total 31 < 32
+        v.iq_occ[0] = occ2(30, 1); // total 31 < 32
         assert!(s.allows(T0, C0, &v));
         assert!(s.allows(T0, C1, &v));
-        v.iq_occ[0] = [31, 1]; // total 32
+        v.iq_occ[0] = occ2(31, 1); // total 32
         assert!(!s.allows(T0, C0, &v));
         assert!(!s.allows(T0, C1, &v), "cluster-insensitive: both blocked");
     }
@@ -302,7 +366,7 @@ mod tests {
     fn cssp_caps_each_cluster_independently() {
         let s = Cssp::new(&cfg()); // cap = 16 per cluster
         let mut v = view();
-        v.iq_occ[0] = [16, 5];
+        v.iq_occ[0] = occ2(16, 5);
         assert!(!s.allows(T0, C0, &v), "at the 50% cap in C0");
         assert!(s.allows(T0, C1, &v), "C1 still open");
         assert!(s.allows(T1, C0, &v), "other thread unaffected");
@@ -313,20 +377,23 @@ mod tests {
         let s = Cspsp::new(&cfg()); // guaranteed 8, capacity 32
         let mut v = view();
         // Below guarantee: always allowed even in a nearly full cluster.
-        v.iq_occ = [[7, 0], [24, 0]];
+        v.iq_occ[0] = occ2(7, 0);
+        v.iq_occ[1] = occ2(24, 0);
         assert!(s.allows(T0, C0, &v));
         // Beyond guarantee: must leave the other thread's reservation.
         // T1 holds 2 (6 reserved); used 26 + 6 = 32 → not allowed.
-        v.iq_occ = [[24, 0], [2, 0]];
+        v.iq_occ[0] = occ2(24, 0);
+        v.iq_occ[1] = occ2(2, 0);
         assert!(!s.allows(T0, C0, &v));
         // T1 holds 8 (0 reserved); used 30 < 32 → allowed.
-        v.iq_occ = [[22, 0], [8, 0]];
+        v.iq_occ[0] = occ2(22, 0);
+        v.iq_occ[1] = occ2(8, 0);
         assert!(s.allows(T0, C0, &v));
     }
 
     #[test]
     fn pc_binds_threads_to_their_cluster() {
-        let s = PrivateClusters;
+        let s = PrivateClusters::new(&cfg());
         let v = view();
         assert_eq!(s.forced_cluster(T0), Some(C0));
         assert_eq!(s.forced_cluster(T1), Some(C1));
@@ -351,5 +418,76 @@ mod tests {
             let s = make_iq_scheme(k, &cfg());
             assert!(!s.should_flush_on_l2_miss(T0, &v), "{k}");
         }
+    }
+
+    /// Shaped config: N threads x M clusters on the baseline machine.
+    fn shaped(n: usize, m: usize) -> MachineConfig {
+        let mut c = MachineConfig::baseline();
+        c.num_threads = n;
+        c.num_clusters = m;
+        c
+    }
+
+    #[test]
+    fn caps_scale_with_thread_count() {
+        // 4 threads x 4 clusters, 32-entry queues: CISP total cap is a
+        // quarter of 128, CSSP per-cluster cap a quarter of 32.
+        let cfg = shaped(4, 4);
+        assert_eq!(Cisp::new(&cfg).steered_caps().total, Some(32));
+        assert_eq!(Cssp::new(&cfg).steered_caps().per_cluster, Some(8));
+        // CSPSP guarantees half of the static share: 32 / (2*4) = 4.
+        let s = Cspsp::new(&cfg);
+        let mut v = SchedView {
+            num_threads: 4,
+            num_clusters: 4,
+            iq_capacity: 32,
+            ..Default::default()
+        };
+        v.active = [true; MAX_THREADS];
+        assert_eq!(
+            s.headroom(T0, C0, &v),
+            32 - 3 * 4,
+            "3 others reserve 4 each"
+        );
+    }
+
+    #[test]
+    fn flush_plus_first_of_many_missers_continues() {
+        let s = FlushPlus;
+        let mut v = view();
+        v.num_threads = 4;
+        v.active = wide(true, true, true);
+        v.pending_l2 = [1, 1, 1, 0, 0, 0, 0, 0];
+        v.earliest_l2_start = [
+            200,
+            100,
+            300,
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+        ];
+        // T1 missed first → continues; T0 and T2 are flushed and stalled.
+        assert!(!s.should_flush_on_l2_miss(ThreadId(1), &v));
+        assert!(!s.thread_stalled(ThreadId(1), &v));
+        assert!(s.should_flush_on_l2_miss(T0, &v));
+        assert!(s.thread_stalled(T0, &v));
+        assert!(s.should_flush_on_l2_miss(ThreadId(2), &v));
+        // A clean thread is never stalled.
+        assert!(!s.thread_stalled(ThreadId(3), &v));
+    }
+
+    #[test]
+    fn pc_wraps_threads_across_clusters() {
+        // 4 threads on 2 clusters: thread t is bound to cluster t mod 2.
+        let s = PrivateClusters::new(&shaped(4, 2));
+        assert_eq!(s.forced_cluster(T0), Some(C0));
+        assert_eq!(s.forced_cluster(T1), Some(C1));
+        assert_eq!(s.forced_cluster(ThreadId(2)), Some(C0));
+        assert_eq!(s.forced_cluster(ThreadId(3)), Some(C1));
+        let v = view();
+        assert!(s.allows(ThreadId(2), C0, &v));
+        assert!(!s.allows(ThreadId(2), C1, &v));
     }
 }

@@ -17,16 +17,20 @@ pub use ext::{BranchGate, Dcra, HillClimb, RoundRobin};
 pub use iq::*;
 pub use rf::*;
 
-use csmt_types::{ClusterId, RegClass, SchemeKind, ThreadId, NUM_CLUSTERS};
+use csmt_types::{ClusterId, RegClass, SchemeKind, ThreadId, MAX_CLUSTERS};
 
-/// Maximum hardware threads (2-way SMT throughout the paper).
+/// Maximum hardware threads (compile-time array bound; the runtime thread
+/// count lives on `MachineConfig::num_threads`).
 pub const MAX_THREADS: usize = csmt_types::MAX_THREADS;
 
 /// Per-cycle pipeline state the IQ schemes observe.
-#[derive(Debug, Clone, Default)]
+///
+/// Arrays are sized by the compile-time bounds; slots past the machine's
+/// `num_threads`/`num_clusters` stay zero.
+#[derive(Debug, Clone)]
 pub struct SchedView {
     /// Issue-queue occupancy per thread per cluster (includes copies).
-    pub iq_occ: [[usize; NUM_CLUSTERS]; MAX_THREADS],
+    pub iq_occ: [[usize; MAX_CLUSTERS]; MAX_THREADS],
     /// Total issue-queue capacity per cluster.
     pub iq_capacity: usize,
     /// Uops between rename and issue per thread — the Icount metric.
@@ -44,9 +48,36 @@ pub struct SchedView {
     /// Thread is currently fetching down a mispredicted branch's wrong
     /// path (everything it renames will be squashed).
     pub wrong_path: [bool; MAX_THREADS],
-    /// Low bit of the cycle counter: used to alternate tie-breaking so
-    /// neither thread is structurally favored when counts are equal.
-    pub cycle_parity: usize,
+    /// Rename-scan rotation for this cycle, cycling through
+    /// `0..num_threads`: the thread index the selection scan starts from,
+    /// so no thread is structurally favored when counts are equal. (On
+    /// the paper's 2-thread shape this is the low bit of the cycle
+    /// counter; a fixed start instead hands every tie to the lowest
+    /// thread ids and starves the rest at higher thread counts.)
+    pub scan_rotation: usize,
+    /// Hardware thread contexts of the machine shape.
+    pub num_threads: usize,
+    /// Back-end clusters of the machine shape.
+    pub num_clusters: usize,
+}
+
+impl Default for SchedView {
+    /// Zero state on the paper's 2-thread × 2-cluster shape.
+    fn default() -> Self {
+        SchedView {
+            iq_occ: [[0; MAX_CLUSTERS]; MAX_THREADS],
+            iq_capacity: 0,
+            rename_to_issue: [0; MAX_THREADS],
+            pending_l2: [0; MAX_THREADS],
+            earliest_l2_start: [0; MAX_THREADS],
+            fetchq_len: [0; MAX_THREADS],
+            active: [false; MAX_THREADS],
+            wrong_path: [false; MAX_THREADS],
+            scan_rotation: 0,
+            num_threads: 2,
+            num_clusters: 2,
+        }
+    }
 }
 
 impl SchedView {
@@ -62,24 +93,41 @@ impl SchedView {
 }
 
 /// Per-cycle register-file state the RF schemes observe.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RfView {
     /// Registers used per thread, class, cluster.
-    pub used: [[[usize; NUM_CLUSTERS]; RegClass::COUNT]; MAX_THREADS],
+    pub used: [[[usize; MAX_CLUSTERS]; RegClass::COUNT]; MAX_THREADS],
     /// Hard capacity per cluster for each class.
     pub capacity: [usize; RegClass::COUNT],
     /// Register files are unbounded (Figure-2 study) — schemes must not
     /// constrain anything.
     pub unbounded: bool,
+    /// Hardware thread contexts of the machine shape.
+    pub num_threads: usize,
+    /// Back-end clusters of the machine shape.
+    pub num_clusters: usize,
+}
+
+impl Default for RfView {
+    /// Zero state on the paper's 2-thread × 2-cluster shape.
+    fn default() -> Self {
+        RfView {
+            used: [[[0; MAX_CLUSTERS]; RegClass::COUNT]; MAX_THREADS],
+            capacity: [0; RegClass::COUNT],
+            unbounded: false,
+            num_threads: 2,
+            num_clusters: 2,
+        }
+    }
 }
 
 impl RfView {
-    /// Registers of `class` used by `t` across both clusters.
+    /// Registers of `class` used by `t` across all clusters.
     pub fn used_total(&self, t: ThreadId, class: RegClass) -> usize {
         self.used[t.idx()][class.idx()].iter().sum()
     }
 
-    /// Registers of `class` used by everyone across both clusters.
+    /// Registers of `class` used by everyone across all clusters.
     pub fn used_all(&self, class: RegClass) -> usize {
         (0..MAX_THREADS)
             .map(|t| ThreadId(t as u8))
@@ -89,7 +137,7 @@ impl RfView {
 
     /// Total capacity of `class` across clusters.
     pub fn total_capacity(&self, class: RegClass) -> usize {
-        self.capacity[class.idx()] * NUM_CLUSTERS
+        self.capacity[class.idx()] * self.num_clusters
     }
 }
 
@@ -111,10 +159,10 @@ pub trait IqScheme: Send {
     /// simple policy).
     fn select_rename_thread(&mut self, view: &SchedView) -> Option<ThreadId> {
         let mut best: Option<(usize, ThreadId)> = None;
-        // Alternate the scan order every cycle so equal counts do not
-        // structurally favor thread 0.
+        // Rotate the scan start across all threads so equal counts do not
+        // structurally favor the low thread ids.
         for k in 0..MAX_THREADS {
-            let i = (k + view.cycle_parity) % MAX_THREADS;
+            let i = (k + view.scan_rotation) % MAX_THREADS;
             let t = ThreadId(i as u8);
             if !view.active[i] || view.fetchq_len[i] == 0 || self.thread_stalled(t, view) {
                 continue;
@@ -134,7 +182,7 @@ pub trait IqScheme: Send {
         usize::MAX
     }
 
-    /// Additional cap on entries taken *across both clusters* in one
+    /// Additional cap on entries taken *across all clusters* in one
     /// dispatch (cluster-insensitive schemes bound the total, so a consumer
     /// plus its copies draw from one budget).
     fn total_headroom(&self, _t: ThreadId, _view: &SchedView) -> usize {
@@ -173,7 +221,7 @@ pub trait IqScheme: Send {
 pub struct SteeredCaps {
     /// Cap per thread *per cluster* (CSSP).
     pub per_cluster: Option<usize>,
-    /// Cap per thread across both clusters (CISP).
+    /// Cap per thread across all clusters (CISP).
     pub total: Option<usize>,
 }
 
@@ -208,7 +256,7 @@ pub fn make_iq_scheme(kind: SchemeKind, cfg: &csmt_types::MachineConfig) -> Box<
         SchemeKind::Cisp => Box::new(Cisp::new(cfg)),
         SchemeKind::Cssp => Box::new(Cssp::new(cfg)),
         SchemeKind::Cspsp => Box::new(Cspsp::new(cfg)),
-        SchemeKind::Pc => Box::new(PrivateClusters),
+        SchemeKind::Pc => Box::new(PrivateClusters::new(cfg)),
     }
 }
 

@@ -14,9 +14,10 @@ impl RfScheme for SharedRf {
     }
 }
 
-/// CSSPRF: a thread may use at most half of *each cluster's* register file
-/// of each kind. Shown by the paper to always lose to CISPRF because it
-/// fights the issue-queue scheme's steering decisions.
+/// CSSPRF: a thread may use at most its `1/num_threads` share of *each
+/// cluster's* register file of each kind (half on the paper's 2-thread
+/// shape). Shown by the paper to always lose to CISPRF because it fights
+/// the issue-queue scheme's steering decisions.
 pub struct Cssprf;
 
 impl RfScheme for Cssprf {
@@ -28,12 +29,13 @@ impl RfScheme for Cssprf {
         if view.unbounded {
             return true;
         }
-        view.used[t.idx()][class.idx()][c.idx()] < view.capacity[class.idx()] / 2
+        view.used[t.idx()][class.idx()][c.idx()] < view.capacity[class.idx()] / view.num_threads
     }
 }
 
-/// CISPRF: a thread may use at most half of the *total* registers of each
-/// kind, located anywhere.
+/// CISPRF: a thread may use at most its `1/num_threads` share of the
+/// *total* registers of each kind, located anywhere (half on the paper's
+/// 2-thread shape).
 pub struct Cisprf;
 
 impl RfScheme for Cisprf {
@@ -45,7 +47,7 @@ impl RfScheme for Cisprf {
         if view.unbounded {
             return true;
         }
-        view.used_total(t, class) < view.total_capacity(class) / 2
+        view.used_total(t, class) < view.total_capacity(class) / view.num_threads
     }
 }
 
@@ -66,7 +68,7 @@ impl RfScheme for Cisprf {
 /// * `RFOC = 0`.
 ///
 /// A thread below its threshold may always allocate; beyond it, only while
-/// the file can still satisfy the other thread's remaining reservation.
+/// the file can still satisfy every other thread's remaining reservation.
 pub struct Cdprf {
     interval: u64,
     shift: u32,
@@ -132,12 +134,16 @@ impl RfScheme for Cdprf {
         if used < self.threshold[t.idx()][class.idx()] {
             return true;
         }
-        // Beyond the reservation: the allocation must leave room for the
+        // Beyond the reservation: the allocation must leave room for every
         // other thread's outstanding reservation.
-        let other = t.other();
-        let reserved_other =
-            self.threshold[other.idx()][class.idx()].saturating_sub(view.used_total(other, class));
-        view.used_all(class) + reserved_other < view.total_capacity(class)
+        let reserved_others: usize = (0..view.num_threads)
+            .filter(|&o| o != t.idx())
+            .map(|o| {
+                let other = ThreadId(o as u8);
+                self.threshold[o][class.idx()].saturating_sub(view.used_total(other, class))
+            })
+            .sum();
+        view.used_all(class) + reserved_others < view.total_capacity(class)
     }
 
     fn end_cycle(&mut self, view: &RfView, starved: &[[bool; RegClass::COUNT]; MAX_THREADS]) {
@@ -158,8 +164,11 @@ impl RfScheme for Cdprf {
             for t in 0..MAX_THREADS {
                 for (k, class) in RegClass::all().into_iter().enumerate() {
                     let avg = (self.rfoc[t][k] >> self.shift) as usize;
-                    let half = view.total_capacity(class) / 2;
-                    self.threshold[t][k] = avg.min(half);
+                    // Each thread's private region is capped at its static
+                    // share so the thresholds can never overcommit the file
+                    // (half the total on the paper's 2-thread shape).
+                    let share = view.total_capacity(class) / view.num_threads;
+                    self.threshold[t][k] = avg.min(share);
                     self.rfoc[t][k] = 0;
                 }
             }
@@ -178,6 +187,16 @@ mod tests {
     const C1: ClusterId = ClusterId(1);
     const INT: RegClass = RegClass::Int;
 
+    use csmt_types::MAX_CLUSTERS;
+
+    /// Widen a per-cluster pair to the MAX_CLUSTERS array (tail zero).
+    fn used2(a: usize, b: usize) -> [usize; MAX_CLUSTERS] {
+        let mut out = [0; MAX_CLUSTERS];
+        out[0] = a;
+        out[1] = b;
+        out
+    }
+
     fn view() -> RfView {
         RfView {
             capacity: [128, 128],
@@ -195,7 +214,7 @@ mod tests {
     fn shared_never_denies() {
         let s = SharedRf;
         let mut v = view();
-        v.used[0][0] = [128, 128];
+        v.used[0][0] = used2(128, 128);
         assert!(s.allows(T0, INT, C0, &v));
     }
 
@@ -203,7 +222,7 @@ mod tests {
     fn cssprf_caps_per_cluster() {
         let s = Cssprf;
         let mut v = view();
-        v.used[0][0] = [64, 10]; // at half of C0's 128
+        v.used[0][0] = used2(64, 10); // at half of C0's 128
         assert!(!s.allows(T0, INT, C0, &v));
         assert!(s.allows(T0, INT, C1, &v));
         assert!(s.allows(T1, INT, C0, &v));
@@ -213,9 +232,9 @@ mod tests {
     fn cisprf_caps_total() {
         let s = Cisprf;
         let mut v = view();
-        v.used[0][0] = [100, 27]; // 127 < 128 (half of 256)
+        v.used[0][0] = used2(100, 27); // 127 < 128 (half of 256)
         assert!(s.allows(T0, INT, C0, &v));
-        v.used[0][0] = [100, 28]; // 128 = half
+        v.used[0][0] = used2(100, 28); // 128 = half
         assert!(!s.allows(T0, INT, C0, &v));
         assert!(!s.allows(T0, INT, C1, &v));
         // FP file unaffected.
@@ -226,7 +245,7 @@ mod tests {
     fn unbounded_view_disables_all_caps() {
         let mut v = view();
         v.unbounded = true;
-        v.used[0][0] = [1000, 1000];
+        v.used[0][0] = used2(1000, 1000);
         for kind in RegFileSchemeKind::all() {
             let s = make_rf_scheme(kind, &small_cfg());
             assert!(s.allows(T0, INT, C0, &v), "{kind}");
@@ -237,7 +256,7 @@ mod tests {
     fn cdprf_starts_unrestricted() {
         let s = Cdprf::new(&small_cfg());
         let mut v = view();
-        v.used[0][0] = [90, 37]; // 127 of 256 used
+        v.used[0][0] = used2(90, 37); // 127 of 256 used
         assert!(s.allows(T0, INT, C0, &v), "zero thresholds reserve nothing");
     }
 
@@ -245,8 +264,8 @@ mod tests {
     fn cdprf_threshold_tracks_average_occupancy() {
         let mut s = Cdprf::new(&small_cfg()); // interval 16
         let mut v = view();
-        v.used[0][0] = [40, 0]; // thread 0 steadily uses 40 int regs
-        let starved = [[false; 2]; 2];
+        v.used[0][0] = used2(40, 0); // thread 0 steadily uses 40 int regs
+        let starved = [[false; 2]; MAX_THREADS];
         for _ in 0..16 {
             s.end_cycle(&v, &starved);
         }
@@ -259,8 +278,8 @@ mod tests {
     fn cdprf_threshold_capped_at_half() {
         let mut s = Cdprf::new(&small_cfg());
         let mut v = view();
-        v.used[0][0] = [128, 128]; // would average 256
-        let starved = [[false; 2]; 2];
+        v.used[0][0] = used2(128, 128); // would average 256
+        let starved = [[false; 2]; MAX_THREADS];
         for _ in 0..16 {
             s.end_cycle(&v, &starved);
         }
@@ -275,7 +294,7 @@ mod tests {
     fn cdprf_starvation_inflates_threshold() {
         let mut s = Cdprf::new(&small_cfg());
         let v = view(); // starved thread holds ~0 regs
-        let mut starved = [[false; 2]; 2];
+        let mut starved = [[false; 2]; MAX_THREADS];
         starved[1][0] = true; // thread 1 starved for int regs every cycle
         for _ in 0..16 {
             s.end_cycle(&v, &starved);
@@ -290,7 +309,7 @@ mod tests {
     fn cdprf_starvation_resets_when_satisfied() {
         let mut s = Cdprf::new(&small_cfg());
         let v = view();
-        let mut starved = [[false; 2]; 2];
+        let mut starved = [[false; 2]; MAX_THREADS];
         starved[0][0] = true;
         s.end_cycle(&v, &starved);
         s.end_cycle(&v, &starved);
@@ -305,18 +324,18 @@ mod tests {
         let mut s = Cdprf::new(&small_cfg());
         let mut v = view();
         // Build a 60-register threshold for thread 1.
-        v.used[1][0] = [30, 30];
-        let starved = [[false; 2]; 2];
+        v.used[1][0] = used2(30, 30);
+        let starved = [[false; 2]; MAX_THREADS];
         for _ in 0..16 {
             s.end_cycle(&v, &starved);
         }
         assert_eq!(s.threshold(T1, INT), 60);
         // Thread 1 currently holds only 10 → 50 reserved. Thread 0 (past its
         // own 0-threshold) may allocate only while used_all + 50 < 256.
-        v.used[1][0] = [10, 0];
-        v.used[0][0] = [190, 5]; // used_all = 205; 205 + 50 = 255 < 256 → ok
+        v.used[1][0] = used2(10, 0);
+        v.used[0][0] = used2(190, 5); // used_all = 205; 205 + 50 = 255 < 256 → ok
         assert!(s.allows(T0, INT, C0, &v));
-        v.used[0][0] = [190, 6]; // 206 + 50 = 256 → denied
+        v.used[0][0] = used2(190, 6); // 206 + 50 = 256 → denied
         assert!(!s.allows(T0, INT, C0, &v));
         // Thread 1 itself is under threshold → always allowed.
         assert!(s.allows(T1, INT, C1, &v));
@@ -326,14 +345,14 @@ mod tests {
     fn cdprf_interval_resets_rfoc() {
         let mut s = Cdprf::new(&small_cfg());
         let mut v = view();
-        v.used[0][0] = [40, 0];
-        let starved = [[false; 2]; 2];
+        v.used[0][0] = used2(40, 0);
+        let starved = [[false; 2]; MAX_THREADS];
         for _ in 0..16 {
             s.end_cycle(&v, &starved);
         }
         assert_eq!(s.threshold(T0, INT), 40);
         // Next interval with zero occupancy → threshold drops to 0.
-        v.used[0][0] = [0, 0];
+        v.used[0][0] = used2(0, 0);
         for _ in 0..16 {
             s.end_cycle(&v, &starved);
         }
@@ -346,5 +365,68 @@ mod tests {
             let s = make_rf_scheme(kind, &small_cfg());
             assert_eq!(s.kind(), kind);
         }
+    }
+
+    #[test]
+    fn static_rf_caps_scale_with_thread_count() {
+        let mut v = view(); // capacity 128 per cluster
+        v.num_threads = 4;
+        v.num_clusters = 4; // total 512 per class
+                            // CSSPRF: per-cluster share is 128/4 = 32.
+        let s = Cssprf;
+        v.used[0][0][0] = 31;
+        assert!(s.allows(T0, INT, C0, &v));
+        v.used[0][0][0] = 32;
+        assert!(!s.allows(T0, INT, C0, &v));
+        // CISPRF: total share is 512/4 = 128.
+        let s = Cisprf;
+        v.used[0][0] = [32, 32, 32, 31];
+        assert!(s.allows(T0, INT, C1, &v));
+        v.used[0][0] = [32, 32, 32, 32];
+        assert!(!s.allows(T0, INT, C1, &v));
+    }
+
+    #[test]
+    fn cdprf_reserves_for_all_other_threads() {
+        let mut cfg = small_cfg();
+        cfg.num_threads = 4;
+        let mut s = Cdprf::new(&cfg);
+        let mut v = view();
+        v.num_threads = 4; // total capacity stays 256 (2 clusters)
+                           // Build 30-register thresholds for threads 1, 2 and 3.
+        for t in 1..4 {
+            v.used[t][0] = used2(15, 15);
+        }
+        let starved = [[false; 2]; MAX_THREADS];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        for t in 1..4 {
+            assert_eq!(s.threshold(ThreadId(t as u8), INT), 30);
+        }
+        // Each holds 10 → 20 reserved each, 60 total. Thread 0 may push
+        // used_all + 60 up to (not including) 256.
+        for t in 1..4 {
+            v.used[t][0] = used2(10, 0);
+        }
+        v.used[0][0] = used2(160, 5); // used_all = 195; 195 + 60 = 255 → ok
+        assert!(s.allows(T0, INT, C0, &v));
+        v.used[0][0] = used2(160, 6); // 196 + 60 = 256 → denied
+        assert!(!s.allows(T0, INT, C0, &v));
+    }
+
+    #[test]
+    fn cdprf_threshold_cap_is_static_share() {
+        let mut cfg = small_cfg();
+        cfg.num_threads = 4;
+        let mut s = Cdprf::new(&cfg);
+        let mut v = view();
+        v.num_threads = 4;
+        v.used[0][0] = used2(128, 128); // would average 256
+        let starved = [[false; 2]; MAX_THREADS];
+        for _ in 0..16 {
+            s.end_cycle(&v, &starved);
+        }
+        assert_eq!(s.threshold(T0, INT), 64, "capped at 256/4");
     }
 }

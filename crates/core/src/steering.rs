@@ -8,7 +8,7 @@
 //! assignment scheme can veto the preferred cluster, in which case the uop
 //! is redirected — the event Figure 4 counts as an "issue queue stall".
 
-use csmt_types::{ClusterId, NUM_CLUSTERS};
+use csmt_types::{ClusterId, MAX_CLUSTERS};
 
 /// Outcome of the steering decision for one uop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,19 +20,42 @@ pub struct SteerDecision {
     pub dep_based: bool,
 }
 
+/// The least-loaded cluster, scanning in `(orient + i) % m` order and
+/// keeping a cluster only when *strictly* lighter — so exact ties resolve
+/// to the first cluster in orientation order. `eligible` restricts the
+/// scan (used to break dependence-score ties among only the tied
+/// clusters); pass all-true for an unrestricted scan.
+fn lighter_cluster(load: &[usize], eligible: &[bool; MAX_CLUSTERS], orient: u8) -> ClusterId {
+    let m = load.len();
+    let mut best: Option<usize> = None;
+    for i in 0..m {
+        let c = (orient as usize + i) % m;
+        if !eligible[c] {
+            continue;
+        }
+        if best.is_none_or(|b| load[c] < load[b]) {
+            best = Some(c);
+        }
+    }
+    ClusterId(best.expect("at least one eligible cluster") as u8)
+}
+
 /// Compute the preferred cluster for a uop.
 ///
-/// * `src_presence[i][c]` — source operand `i` has a copy in cluster `c`.
-/// * `load` — pending-uop count per cluster (issue-queue occupancy).
-/// * `imbalance_threshold` — when `|load\[0\] − load\[1\]|` exceeds this, the
-///   less-loaded cluster is preferred regardless of operand residence.
+/// * `src_presence[i][c]` — source operand `i` has a copy in cluster `c`
+///   (slots past `load.len()` clusters are never set).
+/// * `load` — pending-uop count per cluster (issue-queue occupancy), one
+///   entry per cluster of the machine shape.
+/// * `imbalance_threshold` — when the spread between the most- and
+///   least-loaded clusters exceeds this, the least-loaded cluster is
+///   preferred regardless of operand residence.
 /// * `forced` — static binding (Private Clusters), which wins outright.
 /// * `orient` — cluster preferred on an *exact* load tie (0 historically;
 ///   the symmetric-scheduling mode derives it from the thread programs so
 ///   mirrored workloads steer mirrored).
 pub fn steer(
-    src_presence: &[[bool; NUM_CLUSTERS]],
-    load: [usize; NUM_CLUSTERS],
+    src_presence: &[[bool; MAX_CLUSTERS]],
+    load: &[usize],
     imbalance_threshold: usize,
     forced: Option<ClusterId>,
     orient: u8,
@@ -43,39 +66,40 @@ pub fn steer(
             dep_based: false,
         };
     }
-    let lighter = if load[0] == load[1] {
-        ClusterId(orient)
-    } else if load[1] < load[0] {
-        ClusterId(1)
-    } else {
-        ClusterId(0)
-    };
-    let imbalance = load[0].abs_diff(load[1]);
+    let m = load.len();
+    let all = [true; MAX_CLUSTERS];
+    let lighter = lighter_cluster(load, &all, orient);
+    let imbalance = load[..m].iter().max().unwrap() - load[lighter.idx()];
     if imbalance > imbalance_threshold {
         return SteerDecision {
             preferred: lighter,
             dep_based: false,
         };
     }
-    let mut score = [0usize; NUM_CLUSTERS];
+    let mut score = [0usize; MAX_CLUSTERS];
     for p in src_presence {
         for (c, present) in p.iter().enumerate() {
             score[c] += *present as usize;
         }
     }
-    if score[0] > score[1] {
+    let best = *score[..m].iter().max().unwrap();
+    let mut tied = [false; MAX_CLUSTERS];
+    let mut tied_count = 0;
+    for c in 0..m {
+        tied[c] = score[c] == best;
+        tied_count += tied[c] as usize;
+    }
+    if best > 0 && tied_count == 1 {
         SteerDecision {
-            preferred: ClusterId(0),
-            dep_based: true,
-        }
-    } else if score[1] > score[0] {
-        SteerDecision {
-            preferred: ClusterId(1),
+            preferred: ClusterId(tied.iter().position(|&t| t).unwrap() as u8),
             dep_based: true,
         }
     } else {
+        // No sources anywhere (every cluster "ties" at zero → unrestricted
+        // lighter scan) or a genuine residence tie: load balance decides,
+        // restricted to the tied clusters.
         SteerDecision {
-            preferred: lighter,
+            preferred: lighter_cluster(load, &tied, orient),
             dep_based: false,
         }
     }
@@ -88,63 +112,103 @@ mod tests {
     const C0: ClusterId = ClusterId(0);
     const C1: ClusterId = ClusterId(1);
 
+    /// 2-cluster presence row.
+    fn p2(a: bool, b: bool) -> [bool; MAX_CLUSTERS] {
+        let mut p = [false; MAX_CLUSTERS];
+        p[0] = a;
+        p[1] = b;
+        p
+    }
+
     #[test]
     fn follows_operand_residence() {
         // Both sources in cluster 1.
-        let d = steer(&[[false, true], [false, true]], [0, 0], 12, None, 0);
+        let d = steer(&[p2(false, true), p2(false, true)], &[0, 0], 12, None, 0);
         assert_eq!(d.preferred, C1);
         assert!(d.dep_based);
         // Majority in cluster 0 (one source in both).
-        let d = steer(&[[true, true], [true, false]], [0, 0], 12, None, 0);
+        let d = steer(&[p2(true, true), p2(true, false)], &[0, 0], 12, None, 0);
         assert_eq!(d.preferred, C0);
         assert!(d.dep_based);
     }
 
     #[test]
     fn tie_goes_to_lighter_cluster() {
-        let d = steer(&[[true, true]], [10, 4], 12, None, 0);
+        let d = steer(&[p2(true, true)], &[10, 4], 12, None, 0);
         assert_eq!(d.preferred, C1);
         assert!(!d.dep_based);
         // No sources at all → lighter cluster.
-        let d = steer(&[], [3, 9], 12, None, 0);
+        let d = steer(&[], &[3, 9], 12, None, 0);
         assert_eq!(d.preferred, C0);
     }
 
     #[test]
     fn imbalance_overrides_dependences() {
         // Sources favor C0, but C0 is overloaded past the threshold.
-        let d = steer(&[[true, false], [true, false]], [30, 2], 12, None, 0);
+        let d = steer(&[p2(true, false), p2(true, false)], &[30, 2], 12, None, 0);
         assert_eq!(d.preferred, C1);
         assert!(!d.dep_based);
         // Below the threshold, dependences win.
-        let d = steer(&[[true, false], [true, false]], [13, 2], 12, None, 0);
+        let d = steer(&[p2(true, false), p2(true, false)], &[13, 2], 12, None, 0);
         assert_eq!(d.preferred, C0);
         assert!(d.dep_based);
     }
 
     #[test]
     fn forced_binding_wins() {
-        let d = steer(&[[true, false]], [100, 0], 1, Some(C0), 0);
+        let d = steer(&[p2(true, false)], &[100, 0], 1, Some(C0), 0);
         assert_eq!(d.preferred, C0);
         assert!(!d.dep_based);
     }
 
     #[test]
     fn equal_load_tie_prefers_cluster0() {
-        let d = steer(&[], [5, 5], 12, None, 0);
+        let d = steer(&[], &[5, 5], 12, None, 0);
         assert_eq!(d.preferred, C0);
     }
 
     #[test]
     fn equal_load_tie_follows_orientation() {
-        let d = steer(&[], [5, 5], 12, None, 1);
+        let d = steer(&[], &[5, 5], 12, None, 1);
         assert_eq!(d.preferred, C1);
         // Orientation only matters on exact ties.
-        let d = steer(&[], [3, 9], 12, None, 1);
+        let d = steer(&[], &[3, 9], 12, None, 1);
         assert_eq!(d.preferred, C0);
         // Dep-based decisions ignore orientation.
-        let d = steer(&[[true, false], [true, false]], [5, 5], 12, None, 1);
+        let d = steer(&[p2(true, false), p2(true, false)], &[5, 5], 12, None, 1);
         assert_eq!(d.preferred, C0);
         assert!(d.dep_based);
+    }
+
+    #[test]
+    fn four_cluster_residence_and_ties() {
+        // Unique residence max among four clusters wins dependence-based.
+        let d = steer(
+            &[[false, false, true, false], [false, false, true, true]],
+            &[9, 9, 9, 9],
+            12,
+            None,
+            0,
+        );
+        assert_eq!(d.preferred, ClusterId(2));
+        assert!(d.dep_based);
+        // Residence tie between C1 and C3: the lighter of the *tied*
+        // clusters wins, even though C0 is globally lightest.
+        let d = steer(&[[false, true, false, true]], &[0, 7, 1, 5], 12, None, 0);
+        assert_eq!(d.preferred, ClusterId(3));
+        assert!(!d.dep_based);
+        // Imbalance across the four-way spread overrides residence.
+        let d = steer(
+            &[[true, false, false, false]],
+            &[20, 19, 2, 19],
+            12,
+            None,
+            0,
+        );
+        assert_eq!(d.preferred, ClusterId(2));
+        assert!(!d.dep_based);
+        // Exact four-way tie follows orientation rotation.
+        let d = steer(&[], &[5, 5, 5, 5], 12, None, 3);
+        assert_eq!(d.preferred, ClusterId(3));
     }
 }

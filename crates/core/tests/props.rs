@@ -15,19 +15,25 @@ fn arb_sched_view() -> impl Strategy<Value = SchedView> {
         prop::array::uniform2(0usize..16),
         0usize..2,
     )
-        .prop_map(|(iq_occ, pending_l2, fetchq_len, parity)| SchedView {
-            iq_occ,
-            iq_capacity: 32,
-            rename_to_issue: [iq_occ[0][0] + iq_occ[0][1], iq_occ[1][0] + iq_occ[1][1]],
-            pending_l2,
-            earliest_l2_start: [
-                if pending_l2[0] > 0 { 100 } else { u64::MAX },
-                if pending_l2[1] > 0 { 200 } else { u64::MAX },
-            ],
-            fetchq_len,
-            active: [true, true],
-            wrong_path: [false, false],
-            cycle_parity: parity,
+        .prop_map(|(iq_occ, pending_l2, fetchq_len, parity)| {
+            let mut v = SchedView {
+                iq_capacity: 32,
+                scan_rotation: parity,
+                ..Default::default()
+            };
+            for t in 0..2 {
+                v.iq_occ[t][..2].copy_from_slice(&iq_occ[t]);
+                v.rename_to_issue[t] = iq_occ[t][0] + iq_occ[t][1];
+                v.pending_l2[t] = pending_l2[t];
+                v.earliest_l2_start[t] = if pending_l2[t] > 0 {
+                    100 * (t as u64 + 1)
+                } else {
+                    u64::MAX
+                };
+                v.fetchq_len[t] = fetchq_len[t];
+                v.active[t] = true;
+            }
+            v
         })
 }
 
@@ -41,7 +47,7 @@ proptest! {
         for kind in SchemeKind::all() {
             let s = make_iq_scheme(kind, &cfg);
             for t in [ThreadId(0), ThreadId(1)] {
-                for c in ClusterId::all() {
+                for c in ClusterId::first(2) {
                     let a = s.allows(t, c, &view);
                     let h = s.headroom(t, c, &view) >= 1 && s.total_headroom(t, &view) >= 1;
                     prop_assert_eq!(a, h, "{}: allows != headroom", kind);
@@ -55,7 +61,7 @@ proptest! {
         let cfg = MachineConfig::baseline(); // 32-entry queues → cap 16
         let s = make_iq_scheme(SchemeKind::Cssp, &cfg);
         for t in [ThreadId(0), ThreadId(1)] {
-            for c in ClusterId::all() {
+            for c in ClusterId::first(2) {
                 let occ = view.iq_occ[t.idx()][c.idx()];
                 let h = s.headroom(t, c, &view);
                 prop_assert!(h.saturating_add(occ) <= 16 || h == 0);
@@ -69,7 +75,7 @@ proptest! {
         let cfg = MachineConfig::baseline(); // guarantee 8
         let s = make_iq_scheme(SchemeKind::Cspsp, &cfg);
         for t in [ThreadId(0), ThreadId(1)] {
-            for c in ClusterId::all() {
+            for c in ClusterId::first(2) {
                 if view.iq_occ[t.idx()][c.idx()] < 8 {
                     prop_assert!(s.allows(t, c, &view), "guarantee violated");
                 }
@@ -102,11 +108,16 @@ proptest! {
     fn rf_schemes_never_deny_below_reservation(
         used in prop::array::uniform2(prop::array::uniform2(prop::array::uniform2(0usize..65))),
     ) {
-        let view = RfView {
-            used,
+        let mut view = RfView {
             capacity: [64, 64],
             unbounded: false,
+            ..Default::default()
         };
+        for (t, per_class) in used.iter().enumerate() {
+            for (k, per_cluster) in per_class.iter().enumerate() {
+                view.used[t][k][..2].copy_from_slice(per_cluster);
+            }
+        }
         let cfg = MachineConfig::rf_study(64);
         // CISPRF: a thread strictly below half the total is always allowed.
         let s = make_rf_scheme(RegFileSchemeKind::Cisprf, &cfg);
@@ -115,6 +126,93 @@ proptest! {
                 let mine: usize = used[t.idx()][k.idx()].iter().sum();
                 if mine < 64 {
                     prop_assert!(s.allows(t, k, ClusterId(0), &view));
+                }
+            }
+        }
+    }
+}
+
+// Scheme capacity conservation across the whole supported shape
+// envelope: at every (threads, clusters) in 1–8 × 1–4, each scheme's
+// static caps must partition the queues without oversubscription, and
+// sitting exactly on a cap must deny further entries.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn steered_caps_conserve_capacity_across_shapes(
+        iq_size in prop::sample::select(vec![16usize, 32, 48, 64]),
+        n in 1usize..=8,
+        m in 1usize..=4,
+    ) {
+        let mut cfg = MachineConfig::baseline();
+        cfg.num_threads = n;
+        cfg.num_clusters = m;
+        cfg.iq_per_cluster = iq_size;
+        cfg.unbounded_regs = true;
+        prop_assert!(cfg.validate().is_ok(), "{n}x{m} iq{iq_size} rejected");
+        let mut at_cap = SchedView {
+            iq_capacity: iq_size,
+            num_threads: n,
+            num_clusters: m,
+            ..Default::default()
+        };
+        for t in 0..n {
+            at_cap.active[t] = true;
+        }
+        for kind in SchemeKind::all() {
+            let s = make_iq_scheme(kind, &cfg);
+            let caps = s.steered_caps();
+            if let Some(cap) = caps.per_cluster {
+                // Every thread's share fits in each cluster simultaneously,
+                // and the validate() floor keeps each share dispatchable
+                // (a uop plus a same-cluster dependent).
+                prop_assert!(cap * n <= iq_size, "{kind}: {n}x{cap} > {iq_size}");
+                prop_assert!(cap >= 2, "{kind}: share starves at {n}x{m}");
+                for t in 0..n {
+                    for c in 0..m {
+                        at_cap.iq_occ[t][c] = cap;
+                    }
+                }
+                for t in 0..n {
+                    for c in 0..m {
+                        prop_assert!(
+                            !s.allows(ThreadId(t as u8), ClusterId(c as u8), &at_cap),
+                            "{kind}: thread {t} allowed past its per-cluster cap"
+                        );
+                    }
+                }
+                for c in 0..m {
+                    prop_assert!(at_cap.cluster_used(ClusterId(c as u8)) <= iq_size);
+                }
+                for t in 0..n {
+                    for c in 0..m {
+                        at_cap.iq_occ[t][c] = 0;
+                    }
+                }
+            }
+            if let Some(cap) = caps.total {
+                prop_assert!(cap * n <= iq_size * m, "{kind}: total caps oversubscribe");
+                prop_assert!(cap >= 2, "{kind}: share starves at {n}x{m}");
+                // A thread holding its whole total share (spread anywhere)
+                // is denied everywhere.
+                for c in 0..m {
+                    at_cap.iq_occ[0][c] = cap / m + usize::from(c < cap % m);
+                }
+                for c in 0..m {
+                    prop_assert!(
+                        !s.allows(ThreadId(0), ClusterId(c as u8), &at_cap),
+                        "{kind}: allowed past its total cap"
+                    );
+                }
+                for c in 0..m {
+                    at_cap.iq_occ[0][c] = 0;
+                }
+            }
+            // Forced bindings stay inside the machine shape.
+            for t in 0..n {
+                if let Some(c) = s.forced_cluster(ThreadId(t as u8)) {
+                    prop_assert!(c.idx() < m, "{kind}: bound outside the shape");
                 }
             }
         }
@@ -274,7 +372,7 @@ mod injection_fuzz {
             prop_assert_eq!(s.committed[1] as usize, ops1.len(), "{} stalled", iq.name());
             // Fully drained: no in-flight state left anywhere.
             prop_assert_eq!(s.iq_total(), 0);
-            prop_assert_eq!(s.rob, [0, 0]);
+            prop_assert_eq!(s.rob, [0usize; csmt_types::MAX_THREADS]);
             prop_assert_eq!(s.mob, 0);
         }
     }

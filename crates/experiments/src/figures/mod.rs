@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig9;
+pub mod fign;
 pub mod summary;
 pub mod tables;
 
@@ -69,6 +70,7 @@ pub fn run_named(name: &str, sweeps: &Sweeps) -> Option<Table> {
         "fig6" => fig6::run(sweeps),
         "fig9" => fig9::run(sweeps),
         "fig10" => fig10::run(sweeps),
+        "figN" => fign::run(sweeps),
         "summary" => summary::run(sweeps),
         "ablation-steering" => ablations::steering(sweeps),
         "ablation-interval" => ablations::interval(sweeps),
@@ -84,9 +86,10 @@ pub fn run_named(name: &str, sweeps: &Sweeps) -> Option<Table> {
     })
 }
 
-/// All artifact names in paper order.
-pub const ALL_ARTIFACTS: [&str; 9] = [
-    "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "summary",
+/// All artifact names in paper order. `figN` extends the paper to scaled
+/// machine shapes (4 threads × 2/4 clusters).
+pub const ALL_ARTIFACTS: [&str; 10] = [
+    "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "figN", "summary",
 ];
 
 /// Ablation artifact names (run via `csmt-experiments ablations`).

@@ -113,8 +113,15 @@ fn parse_rf(name: &str) -> Result<RegFileSchemeKind, String> {
 /// case differs from the baseline in a readable handful of fields.
 fn random_config(rng: &mut Prng) -> MachineConfig {
     let mut c = MachineConfig::baseline();
-    // Partitioned resources under study.
-    c.iq_per_cluster = (4 + rng.below(45)) as usize; // 4..=48
+    // Machine shape: half the corpus stays on the paper's 2×2; the other
+    // half draws any supported (threads, clusters) shape.
+    if rng.chance(0.5) {
+        c.num_threads = (1 + rng.below(csmt_types::MAX_THREADS as u64)) as usize;
+        c.num_clusters = (1 + rng.below(csmt_types::MAX_CLUSTERS as u64)) as usize;
+    }
+    // Partitioned resources under study (floors scale with the shape).
+    let iq_floor = 4u64.max(2 * c.num_threads as u64);
+    c.iq_per_cluster = (iq_floor + rng.below(45)) as usize;
     c.rob_per_thread = (24 + rng.below(137)) as usize; // 24..=160
     if rng.chance(0.2) {
         c.unbounded_rob = true;
@@ -122,9 +129,10 @@ fn random_config(rng: &mut Prng) -> MachineConfig {
     if rng.chance(0.2) {
         c.unbounded_regs = true;
     } else {
-        // validate() floor: two full architected contexts per cluster
-        // (below that, rename can wedge — found by this very fuzzer).
-        let floor = 2 * csmt_types::NUM_LOG_REGS as u64;
+        // validate() floor: every thread's full architected context per
+        // cluster (below that, rename can wedge — found by this very
+        // fuzzer at the 2-thread shape).
+        let floor = (c.num_threads * csmt_types::NUM_LOG_REGS) as u64;
         c.int_regs_per_cluster = (floor + rng.below(97)) as usize;
         c.fp_regs_per_cluster = (floor + rng.below(97)) as usize;
     }
@@ -168,9 +176,21 @@ pub fn generate_case(master: u64, index: u64) -> FuzzCase {
     let config = random_config(&mut rng);
     let workloads = suite();
     let w = &workloads[rng.below(workloads.len() as u64) as usize];
-    let mut traces = w.traces.to_vec();
-    // Half the corpus leaves the suite's program pair alone; the other
-    // half reseeds the generators, exploring programs no figure runs.
+    // One trace per hardware thread: the workload's pair, cycled and
+    // reseeded past two so every context runs a distinct program.
+    let mut traces: Vec<TraceSpec> = (0..config.num_threads)
+        .map(|t| {
+            let mut spec = w.traces[t % 2].clone();
+            if t >= 2 {
+                spec.seed = spec
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64));
+            }
+            spec
+        })
+        .collect();
+    // Half the corpus leaves the suite's programs alone; the other half
+    // reseeds the generators, exploring programs no figure runs.
     if rng.chance(0.5) {
         for t in &mut traces {
             t.seed = rng.next_u64();
@@ -232,7 +252,15 @@ pub fn run_case_in(case: &FuzzCase, validate: bool, batch: bool) -> Result<(), S
         sim.run(case.commit_target, case.max_cycles)
     }));
     let res = caught.map_err(panic_text)?;
-    for (t, &committed) in res.stats.committed.iter().enumerate() {
+    // Only threads with a trace behind them commit; stats lanes past
+    // `traces.len()` belong to idle contexts and stay zero by design.
+    for (t, &committed) in res
+        .stats
+        .committed
+        .iter()
+        .take(case.traces.len())
+        .enumerate()
+    {
         if committed < case.commit_target {
             return Err(format!(
                 "forward progress: thread {t} committed {committed}/{} \
@@ -300,10 +328,12 @@ const REVERTS: &[(&str, Revert)] = &[
     }),
 ];
 
-/// Shrink a failing case: bisect the commit target down, then greedily
-/// revert config field groups to the baseline, keeping each step only if
-/// the case still fails. Deterministic; leaves the schemes and traces
-/// alone (they are the subject of the repro).
+/// Shrink a failing case: bisect the commit target down, shrink the
+/// machine shape (fewer threads — truncating the trace list — then fewer
+/// clusters), then greedily revert config field groups to the baseline,
+/// keeping each step only if the case still fails. Deterministic; leaves
+/// the schemes and surviving traces alone (they are the subject of the
+/// repro).
 pub fn shrink(case: &FuzzCase, validate: bool, batch: bool) -> FuzzCase {
     let fails = |c: &FuzzCase| run_case_in(c, validate, batch).is_err();
     let mut best = case.clone();
@@ -315,6 +345,25 @@ pub fn shrink(case: &FuzzCase, validate: bool, batch: bool) -> FuzzCase {
         let mut c = best.clone();
         c.commit_target = half;
         if fails(&c) {
+            best = c;
+        } else {
+            break;
+        }
+    }
+    while best.config.num_threads > 1 {
+        let mut c = best.clone();
+        c.config.num_threads -= 1;
+        c.traces.truncate(c.config.num_threads);
+        if c.config.validate().is_ok() && fails(&c) {
+            best = c;
+        } else {
+            break;
+        }
+    }
+    while best.config.num_clusters > 1 {
+        let mut c = best.clone();
+        c.config.num_clusters -= 1;
+        if c.config.validate().is_ok() && fails(&c) {
             best = c;
         } else {
             break;
@@ -346,6 +395,8 @@ pub fn config_diff(c: &MachineConfig) -> String {
             }
         };
     }
+    d!(num_threads);
+    d!(num_clusters);
     d!(fetch_width);
     d!(rename_width);
     d!(commit_width);
@@ -449,12 +500,33 @@ mod tests {
             a.config.validate().unwrap();
             parse_iq(&a.iq).unwrap();
             parse_rf(&a.rf).unwrap();
-            assert_eq!(a.traces.len(), 2);
+            assert_eq!(a.traces.len(), a.config.num_threads);
         }
         // Different indices explore different configs.
         let a = generate_case(DEFAULT_MASTER_SEED, 0);
         let b = generate_case(DEFAULT_MASTER_SEED, 1);
         assert_ne!(a.config, b.config);
+    }
+
+    #[test]
+    fn corpus_explores_scaled_shapes() {
+        let mut shapes = std::collections::HashSet::new();
+        for i in 0..60 {
+            let c = generate_case(DEFAULT_MASTER_SEED, i).config;
+            shapes.insert((c.num_threads, c.num_clusters));
+        }
+        assert!(
+            shapes.contains(&(2, 2)),
+            "the paper's shape must stay covered"
+        );
+        assert!(
+            shapes.iter().any(|&(n, _)| n > 2) && shapes.iter().any(|&(_, m)| m > 2),
+            "corpus never leaves 2x2: {shapes:?}"
+        );
+        assert!(
+            shapes.iter().any(|&(n, m)| n == 1 || m == 1),
+            "degenerate shapes covered"
+        );
     }
 
     #[test]
@@ -493,17 +565,21 @@ mod tests {
     }
 
     #[test]
-    fn shrinker_reverts_irrelevant_fields() {
+    fn shrinker_reverts_irrelevant_fields_and_shrinks_shape() {
         // A case that always "fails" (impossible cycle cap) shrinks to
-        // the baseline config and the minimum target: every reversion
-        // keeps failing, so every reversion is kept.
+        // the minimum: every shape reduction and field reversion keeps
+        // failing, so all are kept — 1 thread × 1 cluster, one trace,
+        // everything else back at the baseline.
         let mut case = generate_case(DEFAULT_MASTER_SEED, 2);
         case.max_cycles = 1;
         let shrunk = shrink(&case, false, false);
-        assert_eq!(shrunk.config, MachineConfig::baseline());
+        let mut expected = MachineConfig::baseline();
+        expected.num_threads = 1;
+        expected.num_clusters = 1;
+        assert_eq!(shrunk.config, expected);
+        assert_eq!(shrunk.traces.len(), 1);
         assert!(shrunk.commit_target < case.commit_target);
-        assert_eq!(config_diff(&shrunk.config), "");
-        assert!(describe(&shrunk).contains("cfg: baseline"));
+        assert_eq!(config_diff(&shrunk.config), "num_threads=1 num_clusters=1");
     }
 
     #[test]

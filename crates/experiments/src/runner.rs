@@ -26,7 +26,7 @@ use csmt_store::{
     Orchestrator, ResultStore, RetryPolicy, SingleFlight, StoreCounters, StoreKey, SCHEMA_VERSION,
 };
 use csmt_trace::stream::SharedStream;
-use csmt_trace::suite::{TraceSpec, Workload};
+use csmt_trace::suite::{Bundle, TraceSpec, Workload};
 use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -60,6 +60,22 @@ pub enum CfgKind {
     /// Ablation A4: hardware prefetcher (0 none, 1 next-line, 2 stride),
     /// 32-entry IQ study.
     PrefetchAblation { kind: u8 },
+    /// Scaled-shape issue-queue study: the Figure-2 machine (unbounded
+    /// registers and ROB) at `threads × clusters` instead of the paper's
+    /// 2×2.
+    ScaledIq {
+        threads: usize,
+        clusters: usize,
+        iq: usize,
+    },
+    /// Scaled-shape register-file study: the Figure-6/10 machine at
+    /// `threads × clusters`. `regs` must satisfy the rename-deadlock
+    /// floor for the thread count (`threads × 32` per cluster).
+    ScaledRf {
+        threads: usize,
+        clusters: usize,
+        regs: usize,
+    },
 }
 
 impl CfgKind {
@@ -85,6 +101,24 @@ impl CfgKind {
                 prefetcher: ["none", "next-line", "stride"][kind as usize % 3].to_string(),
                 ..MachineConfig::iq_study(32)
             },
+            CfgKind::ScaledIq {
+                threads,
+                clusters,
+                iq,
+            } => MachineConfig {
+                num_threads: threads,
+                num_clusters: clusters,
+                ..MachineConfig::iq_study(iq)
+            },
+            CfgKind::ScaledRf {
+                threads,
+                clusters,
+                regs,
+            } => MachineConfig {
+                num_threads: threads,
+                num_clusters: clusters,
+                ..MachineConfig::rf_study(regs)
+            },
         }
     }
 
@@ -97,6 +131,16 @@ impl CfgKind {
             CfgKind::IntervalAblation { shift } => format!("interval2^{shift}"),
             CfgKind::LinkAblation { links, latency } => format!("links{links}x{latency}"),
             CfgKind::PrefetchAblation { kind } => format!("pf{kind}"),
+            CfgKind::ScaledIq {
+                threads,
+                clusters,
+                iq,
+            } => format!("iq{iq}@{threads}x{clusters}"),
+            CfgKind::ScaledRf {
+                threads,
+                clusters,
+                regs,
+            } => format!("rf{regs}@{threads}x{clusters}"),
         }
     }
 }
@@ -118,6 +162,8 @@ pub struct RunKey {
 enum RunInput {
     Smt(Box<Workload>),
     Single(Box<TraceSpec>),
+    /// An N-thread bundle for scaled machine shapes.
+    Bundle(Box<Bundle>),
 }
 
 /// Harness options.
@@ -317,6 +363,18 @@ impl Sweeps {
         }
     }
 
+    /// Key for an SMT run of an N-thread bundle. The `bundle:` prefix
+    /// keeps bundle labels disjoint from Table 2 workload names and
+    /// `single:` baselines in the store.
+    pub fn bundle_key(b: &Bundle, iq: SchemeKind, rf: RegFileSchemeKind, cfg: CfgKind) -> RunKey {
+        RunKey {
+            label: format!("bundle:{}", b.name),
+            iq,
+            rf,
+            cfg,
+        }
+    }
+
     /// Ensure all (key, input) pairs are simulated; memoized in-process
     /// and, when a store is attached, on disk.
     fn ensure(&self, batch: Vec<(RunKey, RunInput)>) {
@@ -392,7 +450,7 @@ impl Sweeps {
                     // dependent figures render (as zeros) instead of
                     // panicking; the journal and counters carry the
                     // failure.
-                    None => failed_placeholder(input, &self.opts),
+                    None => failed_placeholder(key, input, &self.opts),
                 }
             };
             let result = match &self.flight {
@@ -447,6 +505,39 @@ impl Sweeps {
         self.ensure(batch);
     }
 
+    /// Run (or fetch) a batch of SMT runs over N-thread bundles.
+    pub fn bundle_batch(
+        &self,
+        bundles: &[Bundle],
+        combos: &[(SchemeKind, RegFileSchemeKind, CfgKind)],
+    ) {
+        let mut batch = Vec::new();
+        for b in bundles {
+            for &(iq, rf, cfg) in combos {
+                batch.push((
+                    Sweeps::bundle_key(b, iq, rf, cfg),
+                    RunInput::Bundle(Box::new(b.clone())),
+                ));
+            }
+        }
+        self.ensure(batch);
+    }
+
+    /// Run (or fetch) single-thread baselines for every trace of the
+    /// bundles (solo on the same scaled machine, for fairness).
+    pub fn bundle_single_batch(&self, bundles: &[Bundle], cfg: CfgKind) {
+        let mut batch = Vec::new();
+        for b in bundles {
+            for spec in &b.traces {
+                batch.push((
+                    Sweeps::single_key(spec, cfg),
+                    RunInput::Single(Box::new(spec.clone())),
+                ));
+            }
+        }
+        self.ensure(batch);
+    }
+
     /// Fetch a memoized result (must have been ensured).
     pub fn get(&self, key: &RunKey) -> SimResult {
         self.results
@@ -477,15 +568,17 @@ fn job_desc(key: &RunKey) -> JobDesc {
 }
 
 /// Stand-in result for a job whose every attempt panicked: correct shape
-/// (thread count, target), all-zero stats.
-fn failed_placeholder(input: &RunInput, opts: &ExpOptions) -> SimResult {
+/// (thread count, target, per-shape stats lanes), all-zero stats.
+fn failed_placeholder(key: &RunKey, input: &RunInput, opts: &ExpOptions) -> SimResult {
+    let cfg = key.cfg.build();
     SimResult {
         num_threads: match input {
             RunInput::Smt(w) => w.traces.len(),
             RunInput::Single(_) => 1,
+            RunInput::Bundle(b) => b.traces.len(),
         },
         commit_target: opts.commit_target,
-        stats: SimStats::default(),
+        stats: SimStats::sized(cfg.num_threads, cfg.num_clusters),
     }
 }
 
@@ -515,6 +608,7 @@ fn run_one(
     let traces: Vec<TraceSpec> = match input {
         RunInput::Smt(w) => w.traces.to_vec(),
         RunInput::Single(s) => vec![(**s).clone()],
+        RunInput::Bundle(b) => b.traces.clone(),
     };
     let mut sim = match streams {
         Some(cache) => {

@@ -6,7 +6,7 @@
 //! here take the thread's history as input and keep one history register
 //! per thread.
 
-use csmt_types::ThreadId;
+use csmt_types::{ThreadId, MAX_THREADS};
 
 /// gshare conditional-branch direction predictor.
 #[derive(Debug, Clone)]
@@ -14,7 +14,7 @@ pub struct Gshare {
     /// 2-bit saturating counters (0..=3; taken when ≥ 2).
     table: Vec<u8>,
     /// Per-thread global history register.
-    history: [u64; 2],
+    history: [u64; MAX_THREADS],
     index_mask: u64,
     history_bits: u32,
     predictions: u64,
@@ -27,7 +27,7 @@ impl Gshare {
         assert!(entries.is_power_of_two());
         Gshare {
             table: vec![1; entries], // weakly not-taken
-            history: [0; 2],
+            history: [0; MAX_THREADS],
             index_mask: entries as u64 - 1,
             history_bits: entries.trailing_zeros(),
             predictions: 0,

@@ -8,13 +8,15 @@
 //! locations per cluster, and the copy generator adds locations as copies
 //! are renamed.
 
-use csmt_types::{LogReg, PhysReg, RegClass, NUM_CLUSTERS, NUM_LOG_REGS};
+use csmt_types::{LogReg, PhysReg, RegClass, MAX_CLUSTERS, NUM_LOG_REGS};
 
 /// Where a logical register's current value lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Mapping {
-    /// Physical location per cluster (None = not present there).
-    pub loc: [Option<PhysReg>; NUM_CLUSTERS],
+    /// Physical location per cluster (None = not present there). Sized by
+    /// the compile-time cluster bound; slots past the machine's
+    /// `num_clusters` stay `None`.
+    pub loc: [Option<PhysReg>; MAX_CLUSTERS],
 }
 
 impl Mapping {
@@ -26,8 +28,12 @@ impl Mapping {
     }
 
     /// Clusters holding the value.
-    pub fn present_mask(&self) -> [bool; NUM_CLUSTERS] {
-        [self.loc[0].is_some(), self.loc[1].is_some()]
+    pub fn present_mask(&self) -> [bool; MAX_CLUSTERS] {
+        let mut mask = [false; MAX_CLUSTERS];
+        for (m, l) in mask.iter_mut().zip(self.loc.iter()) {
+            *m = l.is_some();
+        }
+        mask
     }
 
     /// Any cluster holding the value (lowest index first).
@@ -144,7 +150,7 @@ mod tests {
         let cur = t.get(RegClass::FpSimd, R1);
         assert_eq!(cur.loc[0], Some(PhysReg(3)));
         assert_eq!(cur.loc[1], Some(PhysReg(9)));
-        assert_eq!(cur.present_mask(), [true, true]);
+        assert_eq!(cur.present_mask(), [true, true, false, false]);
     }
 
     #[test]
@@ -162,7 +168,9 @@ mod tests {
     fn mapping_helpers() {
         let m = Mapping::defined_in(1, PhysReg(7));
         assert_eq!(m.any_cluster(), Some(1));
-        assert_eq!(m.present_mask(), [false, true]);
+        assert_eq!(m.present_mask(), [false, true, false, false]);
+        let hi = Mapping::defined_in(MAX_CLUSTERS - 1, PhysReg(8));
+        assert_eq!(hi.any_cluster(), Some(MAX_CLUSTERS - 1));
         assert_eq!(Mapping::default().any_cluster(), None);
     }
 

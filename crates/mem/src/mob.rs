@@ -7,7 +7,7 @@
 //! older same-thread store has a resolved address, and any overlapping
 //! older store can forward its data.
 
-use csmt_types::ThreadId;
+use csmt_types::{ThreadId, MAX_THREADS};
 use std::collections::VecDeque;
 
 /// Handle to a MOB entry.
@@ -53,13 +53,13 @@ pub struct Mob {
     entries: Vec<Entry>,
     free: Vec<u32>,
     /// Program-ordered (oldest first) entry indices per thread.
-    order: [VecDeque<u32>; 2],
+    order: [VecDeque<u32>; MAX_THREADS],
     /// Program-ordered (oldest first) *store* entry indices per thread —
     /// the subset `check_load` scans. Kept separately so a load's check is
     /// O(older stores) instead of O(all in-flight memory ops): `seq` is
     /// increasing along each deque, so the older/younger boundary is a
     /// binary search away.
-    stores: [VecDeque<u32>; 2],
+    stores: [VecDeque<u32>; MAX_THREADS],
 }
 
 impl Mob {
@@ -68,8 +68,8 @@ impl Mob {
         Mob {
             entries: vec![DEAD; capacity],
             free: (0..capacity as u32).rev().collect(),
-            order: [VecDeque::new(), VecDeque::new()],
-            stores: [VecDeque::new(), VecDeque::new()],
+            order: std::array::from_fn(|_| VecDeque::new()),
+            stores: std::array::from_fn(|_| VecDeque::new()),
         }
     }
 

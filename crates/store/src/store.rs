@@ -334,7 +334,7 @@ mod tests {
             commit_target: 1000,
             stats: SimStats {
                 cycles,
-                committed: [1000, 1000],
+                committed: vec![1000, 1000],
                 ..Default::default()
             },
         }

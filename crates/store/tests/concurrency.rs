@@ -53,8 +53,8 @@ fn result(i: usize) -> SimResult {
         commit_target: 2_000,
         stats: SimStats {
             cycles: 10_000 + i,
-            committed: [2_000 + i, 3_000 + i],
-            finish_cycle: [5_000 + i, 10_000 + i],
+            committed: vec![2_000 + i, 3_000 + i],
+            finish_cycle: vec![5_000 + i, 10_000 + i],
             copies_retired: 7 * i,
             ..Default::default()
         },

@@ -50,8 +50,8 @@ fn make_result(cycles: u64, c0: u64, c1: u64, copies: u64) -> SimResult {
         commit_target: c0.max(1),
         stats: SimStats {
             cycles,
-            committed: [c0, c1],
-            finish_cycle: [cycles / 2, cycles],
+            committed: vec![c0, c1],
+            finish_cycle: vec![cycles / 2, cycles],
             copies_retired: copies,
             ..Default::default()
         },

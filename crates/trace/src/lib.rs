@@ -38,4 +38,4 @@ pub use profile::{TraceClass, TraceProfile};
 pub use program::Program;
 pub use stats::{characterize, characterize_trace, TraceStats};
 pub use stream::{SharedStream, StreamReader};
-pub use suite::{suite, Category, Workload, WorkloadKind};
+pub use suite::{bundles, suite, Bundle, Category, Workload, WorkloadKind};

@@ -229,6 +229,66 @@ fn mixes_workloads() -> Vec<Workload> {
     out
 }
 
+/// An N-threaded workload bundle for scaled machine shapes
+/// (`num_threads > 2`). Purely additive to the 2-thread Table 2 suite:
+/// [`Workload`] and [`suite`] are untouched; bundles reuse the same
+/// category profiles with a disjoint seed namespace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bundle {
+    /// e.g. `ISPEC00/ilp.4`.
+    pub name: String,
+    pub category: Category,
+    pub kind: WorkloadKind,
+    /// One single-thread trace per hardware thread.
+    pub traces: Vec<TraceSpec>,
+}
+
+/// Six deterministic N-thread bundles: an all-ILP, an all-MEM, and an
+/// alternating MIX bundle from each of the two register-demand-contrasting
+/// categories (ISPEC00, FSPEC00) — the shapes the scaled figures sweep.
+pub fn bundles(n: usize) -> Vec<Bundle> {
+    assert!(n >= 1, "a bundle needs at least one thread");
+    // BASE_CATEGORIES indices: 2 = ISPEC00, 1 = FSPEC00.
+    let picks: [(usize, WorkloadKind); 6] = [
+        (2, WorkloadKind::Ilp),
+        (2, WorkloadKind::Mem),
+        (2, WorkloadKind::Mix),
+        (1, WorkloadKind::Ilp),
+        (1, WorkloadKind::Mem),
+        (1, WorkloadKind::Mix),
+    ];
+    picks
+        .iter()
+        .map(|&(cat_idx, kind)| {
+            let cat = BASE_CATEGORIES[cat_idx];
+            let traces: Vec<TraceSpec> = (0..n as u32)
+                .map(|t| {
+                    let class = match kind {
+                        WorkloadKind::Ilp => TraceClass::Ilp,
+                        WorkloadKind::Mem => TraceClass::Mem,
+                        WorkloadKind::Mix => {
+                            if t % 2 == 0 {
+                                TraceClass::Ilp
+                            } else {
+                                TraceClass::Mem
+                            }
+                        }
+                    };
+                    // Instances 100+ keep bundle seeds disjoint from every
+                    // Table 2 seed (which stay below 100).
+                    spec(cat, class, 100 + t)
+                })
+                .collect();
+            Bundle {
+                name: format!("{cat}/{kind}.{n}"),
+                category: Category::Base(cat_idx),
+                kind,
+                traces,
+            }
+        })
+        .collect()
+}
+
 /// The full 120-workload suite of Table 2.
 pub fn suite() -> Vec<Workload> {
     let mut out = Vec::with_capacity(120);
@@ -377,6 +437,62 @@ mod tests {
             pairs.insert((a, b));
         }
         assert!(pairs.len() >= 24, "only {} distinct pairs", pairs.len());
+    }
+
+    #[test]
+    fn bundles_scale_with_thread_count() {
+        for n in 1..=8usize {
+            let bs = bundles(n);
+            assert_eq!(bs.len(), 6);
+            for b in &bs {
+                assert_eq!(b.traces.len(), n, "{}", b.name);
+                for t in &b.traces {
+                    t.profile.validate().unwrap();
+                }
+            }
+            let mut names: Vec<&str> = bs.iter().map(|b| b.name.as_str()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), 6);
+        }
+    }
+
+    #[test]
+    fn bundles_are_deterministic_and_seed_disjoint_from_suite() {
+        assert_eq!(bundles(4), bundles(4));
+        let suite_seeds: std::collections::HashSet<u64> = suite()
+            .iter()
+            .flat_map(|w| w.traces.iter().map(|t| t.seed))
+            .collect();
+        for b in bundles(8) {
+            let mut seen = std::collections::HashSet::new();
+            for t in &b.traces {
+                assert!(
+                    !suite_seeds.contains(&t.seed),
+                    "{}: seed collides with Table 2",
+                    b.name
+                );
+                assert!(
+                    seen.insert((t.seed, t.profile.name.clone())),
+                    "{}: duplicate trace within bundle",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mix_bundles_alternate_classes() {
+        for b in bundles(4) {
+            if b.kind == WorkloadKind::Mix {
+                let mem: Vec<bool> = b
+                    .traces
+                    .iter()
+                    .map(|t| t.profile.name.ends_with("-mem"))
+                    .collect();
+                assert_eq!(mem, vec![false, true, false, true], "{}", b.name);
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Machine configuration mirroring Table 1 of the paper, plus the scheme
 //! selectors of Tables 3 and 4.
 
-use crate::ids::{OpClass, NUM_CLUSTERS};
+use crate::ids::{OpClass, MAX_CLUSTERS, MAX_THREADS, NUM_LOG_REGS};
 use serde::{Deserialize, Serialize};
 
 /// Issue-port capabilities of one cluster.
@@ -142,6 +142,13 @@ impl std::fmt::Display for RegFileSchemeKind {
 /// Full machine configuration. Field defaults reproduce Table 1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineConfig {
+    // ---- machine shape ----
+    /// Hardware thread contexts (1–[`MAX_THREADS`]). The paper fixes 2;
+    /// larger shapes reproduce its claims at scales it never measured.
+    pub num_threads: usize,
+    /// Back-end execution clusters (1–[`MAX_CLUSTERS`]). The paper fixes 2.
+    pub num_clusters: usize,
+
     // ---- front end ----
     /// Fetch width in uops per cycle (Table 1: 6).
     pub fetch_width: usize,
@@ -271,6 +278,8 @@ impl MachineConfig {
     /// 128-register files per cluster (the defaults used by §5.2 onwards).
     pub fn baseline() -> Self {
         MachineConfig {
+            num_threads: 2,
+            num_clusters: 2,
             fetch_width: 6,
             rename_width: 6,
             commit_width: 6,
@@ -364,7 +373,22 @@ impl MachineConfig {
 
     /// Total issue-queue entries across clusters.
     pub fn total_iq(&self) -> usize {
-        self.iq_per_cluster * NUM_CLUSTERS
+        self.iq_per_cluster * self.num_clusters
+    }
+
+    /// Physical-register feasibility floor per cluster and class for this
+    /// shape: `num_threads × NUM_LOG_REGS`. Registers are only freed when a
+    /// *superseding* definition commits, so once a thread's in-flight window
+    /// drains its live locations equal its architected span — up to
+    /// `NUM_LOG_REGS` per cluster (copies replicate a value into other
+    /// clusters; steering can concentrate every live value in one). With
+    /// every thread's architected state piled into one cluster, a file below
+    /// this floor can wedge rename permanently: nothing left to free,
+    /// nothing allocatable. At the paper's 2-thread shape this is the PR 5
+    /// floor of 64; the paper's smallest studied file (64 per cluster,
+    /// Figure 6) sits exactly on it.
+    pub fn regs_per_cluster_min(&self) -> usize {
+        self.num_threads * NUM_LOG_REGS
     }
 
     /// Execution latency of an op class (excluding memory-hierarchy time,
@@ -386,11 +410,32 @@ impl MachineConfig {
         fn pow2(x: usize) -> bool {
             x != 0 && x & (x - 1) == 0
         }
+        if self.num_threads == 0 || self.num_threads > MAX_THREADS {
+            return Err(format!(
+                "unsupported shape: num_threads = {} (supported envelope: 1–{MAX_THREADS} \
+                 threads × 1–{MAX_CLUSTERS} clusters)",
+                self.num_threads
+            ));
+        }
+        if self.num_clusters == 0 || self.num_clusters > MAX_CLUSTERS {
+            return Err(format!(
+                "unsupported shape: num_clusters = {} (supported envelope: 1–{MAX_THREADS} \
+                 threads × 1–{MAX_CLUSTERS} clusters)",
+                self.num_clusters
+            ));
+        }
         if self.fetch_width == 0 || self.rename_width == 0 || self.commit_width == 0 {
             return Err("pipeline widths must be non-zero".into());
         }
-        if self.iq_per_cluster < 4 {
-            return Err("issue queues need at least 4 entries".into());
+        let iq_floor = 4usize.max(2 * self.num_threads);
+        if self.iq_per_cluster < iq_floor {
+            // Below 2 entries per thread the partitioned schemes' static
+            // shares (CSSP's per-cluster `iq / N`) round to < 2, which can
+            // wedge a two-source uop behind its own guarantee.
+            return Err(format!(
+                "issue queues need at least {iq_floor} entries for {} threads",
+                self.num_threads
+            ));
         }
         if !pow2(self.l1_line) {
             return Err("L1 line size must be a power of two".into());
@@ -410,30 +455,19 @@ impl MachineConfig {
         if !matches!(self.prefetcher.as_str(), "none" | "next-line" | "stride") {
             return Err(format!("unknown prefetcher '{}'", self.prefetcher));
         }
+        let regs_floor = self.regs_per_cluster_min();
         if !self.unbounded_regs
-            && (self.int_regs_per_cluster < REGS_PER_CLUSTER_MIN
-                || self.fp_regs_per_cluster < REGS_PER_CLUSTER_MIN)
+            && (self.int_regs_per_cluster < regs_floor || self.fp_regs_per_cluster < regs_floor)
         {
             return Err(format!(
-                "register files need at least {REGS_PER_CLUSTER_MIN} registers per cluster \
-                 (two threads' architected state can pile into one cluster)"
+                "register files need at least {regs_floor} registers per cluster \
+                 ({} threads' architected state can pile into one cluster)",
+                self.num_threads
             ));
         }
         Ok(())
     }
 }
-
-/// Physical-register feasibility floor per cluster and class:
-/// `2 × NUM_LOG_REGS`. Registers are only freed when a *superseding*
-/// definition commits, so once a thread's in-flight window drains its
-/// live locations equal its architected span — up to `NUM_LOG_REGS` per
-/// cluster (copies replicate a value into the other cluster; steering can
-/// concentrate every live value in one). With two threads (shared files)
-/// or half-file per-thread caps (CSSPRF), a cluster below
-/// `2 × NUM_LOG_REGS` can wedge rename permanently: nothing left to free,
-/// nothing allocatable. The paper's smallest studied file — 64 per
-/// cluster, Figure 6 — sits exactly on this floor.
-const REGS_PER_CLUSTER_MIN: usize = 2 * crate::ids::NUM_LOG_REGS;
 
 #[cfg(test)]
 mod tests {
@@ -531,14 +565,87 @@ mod tests {
 
         // Just under the two-context feasibility floor: rename can wedge.
         let mut c = MachineConfig::baseline();
-        c.fp_regs_per_cluster = 2 * crate::ids::NUM_LOG_REGS - 1;
+        c.fp_regs_per_cluster = 2 * NUM_LOG_REGS - 1;
         assert!(c.validate().is_err());
-        c.fp_regs_per_cluster = 2 * crate::ids::NUM_LOG_REGS;
+        c.fp_regs_per_cluster = 2 * NUM_LOG_REGS;
         c.validate().unwrap();
         // Unbounded register files are exempt (nothing to exhaust).
         c.fp_regs_per_cluster = 1;
         c.unbounded_regs = true;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn iq_floor_scales_with_thread_count() {
+        for n in 1..=MAX_THREADS {
+            let mut c = MachineConfig::baseline();
+            c.num_threads = n;
+            c.int_regs_per_cluster = n * NUM_LOG_REGS;
+            c.fp_regs_per_cluster = n * NUM_LOG_REGS;
+            let floor = 4usize.max(2 * n);
+            c.iq_per_cluster = floor - 1;
+            assert!(c.validate().is_err(), "{n} threads: below the floor");
+            c.iq_per_cluster = floor;
+            c.validate()
+                .unwrap_or_else(|e| panic!("{n} threads at floor: {e}"));
+        }
+        // The 2-thread floor is the historical minimum of 4.
+        let mut c = MachineConfig::baseline();
+        c.iq_per_cluster = 4;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_shape_envelope_boundaries() {
+        // Accept every corner of the supported envelope.
+        for n in [1, MAX_THREADS] {
+            for m in [1, MAX_CLUSTERS] {
+                let mut c = MachineConfig::baseline();
+                c.num_threads = n;
+                c.num_clusters = m;
+                c.int_regs_per_cluster = n * NUM_LOG_REGS;
+                c.fp_regs_per_cluster = n * NUM_LOG_REGS;
+                c.validate().unwrap_or_else(|e| panic!("{n}x{m}: {e}"));
+            }
+        }
+        // Reject just outside it, with an error naming the envelope.
+        for (n, m) in [(0, 2), (MAX_THREADS + 1, 2), (2, 0), (2, MAX_CLUSTERS + 1)] {
+            let mut c = MachineConfig::baseline();
+            c.num_threads = n;
+            c.num_clusters = m;
+            c.unbounded_regs = true;
+            let err = c.validate().unwrap_err();
+            assert!(err.contains("unsupported shape"), "{err}");
+            assert!(err.contains("envelope"), "{err}");
+        }
+    }
+
+    #[test]
+    fn rename_deadlock_floor_scales_with_thread_count() {
+        // The per-cluster register floor is num_threads × NUM_LOG_REGS:
+        // every thread's architected span can pile into one cluster.
+        for n in 1..=MAX_THREADS {
+            let mut c = MachineConfig::baseline();
+            c.num_threads = n;
+            assert_eq!(c.regs_per_cluster_min(), n * NUM_LOG_REGS);
+            c.int_regs_per_cluster = n * NUM_LOG_REGS - 1;
+            c.fp_regs_per_cluster = n * NUM_LOG_REGS;
+            assert!(c.validate().is_err(), "{n} threads: under-floor accepted");
+            c.int_regs_per_cluster = n * NUM_LOG_REGS;
+            c.validate().unwrap();
+        }
+        // The 2-thread floor is exactly the PR 5 constant (2 × 32 = 64).
+        assert_eq!(MachineConfig::baseline().regs_per_cluster_min(), 64);
+    }
+
+    #[test]
+    fn total_iq_scales_with_cluster_count() {
+        let mut c = MachineConfig::iq_study(32);
+        assert_eq!(c.total_iq(), 64);
+        c.num_clusters = 4;
+        assert_eq!(c.total_iq(), 128);
+        c.num_clusters = 1;
+        assert_eq!(c.total_iq(), 32);
     }
 
     #[test]

@@ -6,10 +6,14 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Number of back-end clusters. The paper's machine has exactly two; the
-/// steering logic, the cluster-sensitive schemes and the workload-imbalance
-/// metric are all defined pairwise, so this is a compile-time constant.
-pub const NUM_CLUSTERS: usize = 2;
+/// Maximum number of back-end clusters a configuration may request.
+///
+/// The paper's machine has exactly two clusters; the cluster count is now a
+/// *runtime* field (`MachineConfig::num_clusters`, 1–4) so the schemes can
+/// be evaluated at scales the paper never measured. Hot per-cluster state
+/// stays in fixed-size arrays of this bound — only the first
+/// `num_clusters` slots are ever touched.
+pub const MAX_CLUSTERS: usize = 4;
 
 /// Number of architectural (logical) registers per register class.
 ///
@@ -18,10 +22,13 @@ pub const NUM_CLUSTERS: usize = 2;
 /// micro-code temporaries the MROM uses when cracking complex macro-ops.
 pub const NUM_LOG_REGS: usize = 32;
 
-/// Maximum number of hardware threads (the paper evaluates 2-threaded
-/// workloads throughout; the machinery supports running with a single
-/// thread for the fairness baselines).
-pub const MAX_THREADS: usize = 2;
+/// Maximum number of hardware threads a configuration may request.
+///
+/// The paper evaluates 2-threaded workloads throughout; the thread count
+/// is a runtime field (`MachineConfig::num_threads`, 1–8). Per-thread
+/// arrays in hot structures are sized by this bound and the unused tail
+/// slots stay zero.
+pub const MAX_THREADS: usize = 8;
 
 /// A hardware thread context (SMT thread).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -34,7 +41,9 @@ impl ThreadId {
         self.0 as usize
     }
 
-    /// The other thread of a 2-thread workload.
+    /// The other thread of a 2-thread workload. Only meaningful on
+    /// 2-thread shapes (kept for the pairwise tests and the symmetric-
+    /// scheduling mirror, which are defined on thread pairs).
     #[inline]
     pub fn other(self) -> ThreadId {
         ThreadId(1 - self.0)
@@ -57,16 +66,17 @@ impl ClusterId {
         self.0 as usize
     }
 
-    /// The other cluster of the 2-cluster back-end.
+    /// The other cluster of a 2-cluster back-end. Only meaningful on
+    /// 2-cluster shapes (kept for pairwise tests).
     #[inline]
     pub fn other(self) -> ClusterId {
         ClusterId(1 - self.0)
     }
 
-    /// Iterate over both clusters.
+    /// Iterate over the first `num_clusters` clusters of a machine shape.
     #[inline]
-    pub fn all() -> impl Iterator<Item = ClusterId> {
-        (0..NUM_CLUSTERS as u8).map(ClusterId)
+    pub fn first(num_clusters: usize) -> impl Iterator<Item = ClusterId> {
+        (0..num_clusters as u8).map(ClusterId)
     }
 }
 
@@ -297,12 +307,18 @@ mod tests {
     }
 
     #[test]
-    fn cluster_other_is_involutive() {
-        for c in ClusterId::all() {
+    fn cluster_other_is_involutive_on_pairs() {
+        for c in ClusterId::first(2) {
             assert_ne!(c, c.other());
             assert_eq!(c, c.other().other());
         }
-        assert_eq!(ClusterId::all().count(), NUM_CLUSTERS);
+        assert_eq!(ClusterId::first(2).count(), 2);
+        assert_eq!(ClusterId::first(MAX_CLUSTERS).count(), MAX_CLUSTERS);
+        assert_eq!(
+            ClusterId::first(3).last(),
+            Some(ClusterId(2)),
+            "iteration order is ascending"
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod uop;
 
 pub use config::{MachineConfig, RegFileSchemeKind, SchemeKind};
 pub use ids::{
-    ClusterId, ImbalanceKind, LogReg, OpClass, PhysReg, RegClass, ThreadId, MAX_THREADS,
-    NUM_CLUSTERS, NUM_LOG_REGS,
+    ClusterId, ImbalanceKind, LogReg, OpClass, PhysReg, RegClass, ThreadId, MAX_CLUSTERS,
+    MAX_THREADS, NUM_LOG_REGS,
 };
 pub use prng::Prng;
 pub use uop::{BranchInfo, MemInfo, MicroOp};

@@ -32,7 +32,30 @@ fn artifact_names_resolve() {
     // table2 is cheap and exercises run_named dispatch.
     assert!(run_named("table2", &sweeps).is_some());
     assert!(run_named("no-such-figure", &sweeps).is_none());
-    assert_eq!(ALL_ARTIFACTS.len(), 9);
+    assert_eq!(ALL_ARTIFACTS.len(), 10);
+    assert!(ALL_ARTIFACTS.contains(&"figN"));
+}
+
+#[test]
+fn fign_runs_scaled_shapes_at_tiny_scale() {
+    use clustered_smt::experiments::figures::fign;
+    let sweeps = Sweeps::new(ExpOptions {
+        commit_target: 200,
+        warmup: 50,
+        max_cycles: 2_000_000,
+        jobs: 0,
+        verbose: false,
+        validate: false,
+        batch: false,
+    });
+    let t = fign::run(&sweeps);
+    // Two shapes × six bundles, plus the Average row.
+    assert_eq!(t.rows.len(), 2 * 6 + 1);
+    for (label, vals) in &t.rows {
+        for v in vals {
+            assert!(v.is_finite() && *v >= 0.0, "{label}: bad value {v}");
+        }
+    }
 }
 
 #[test]

@@ -144,6 +144,98 @@ fn sim_stats_match_golden_fixture() {
     assert_matches_fixture("sim_stats.json", &actual);
 }
 
+/// Scaled-shape fixture runs: 4 threads × 2 clusters and 4 threads ×
+/// 4 clusters, over the N-thread bundles. Kept in a separate fixture
+/// (`scaled_stats.json`) so the paper-shape fixtures above stay
+/// byte-identical to their pre-generalization bytes.
+fn scaled_fixture_runs() -> Vec<(
+    String,
+    usize,
+    SchemeKind,
+    RegFileSchemeKind,
+    MachineConfig,
+    String,
+)> {
+    use RegFileSchemeKind as RF;
+    use SchemeKind as IQ;
+    let shaped_iq = |threads: usize, clusters: usize| {
+        let mut c = MachineConfig::iq_study(32);
+        c.num_threads = threads;
+        c.num_clusters = clusters;
+        c
+    };
+    let shaped_rf = |threads: usize, clusters: usize| {
+        let mut c = MachineConfig::rf_study(128);
+        c.num_threads = threads;
+        c.num_clusters = clusters;
+        c
+    };
+    vec![
+        (
+            "ISPEC00/ilp.4",
+            2,
+            IQ::Cssp,
+            RF::Shared,
+            shaped_iq(4, 2),
+            "iq32@4x2",
+        ),
+        (
+            "FSPEC00/mem.4",
+            2,
+            IQ::FlushPlus,
+            RF::Shared,
+            shaped_iq(4, 2),
+            "iq32@4x2",
+        ),
+        (
+            "ISPEC00/mix.4",
+            4,
+            IQ::Cisp,
+            RF::Shared,
+            shaped_iq(4, 4),
+            "iq32@4x4",
+        ),
+        (
+            "FSPEC00/mix.4",
+            4,
+            IQ::Cssp,
+            RF::Cdprf,
+            shaped_rf(4, 4),
+            "rf128@4x4",
+        ),
+    ]
+    .into_iter()
+    .map(|(b, m, iq, rf, cfg, label)| (b.to_string(), m, iq, rf, cfg, label.to_string()))
+    .collect()
+}
+
+#[test]
+fn scaled_sim_stats_match_golden_fixture() {
+    let bundles = csmt_trace::bundles(4);
+    let rows: Vec<StatsRow> = scaled_fixture_runs()
+        .into_iter()
+        .map(|(name, clusters, iq, rf, cfg, label)| {
+            let b = bundles
+                .iter()
+                .find(|b| b.name == name)
+                .unwrap_or_else(|| panic!("{name} not in bundles(4)"));
+            assert_eq!(cfg.num_clusters, clusters);
+            let mut sim = Simulator::new(cfg, iq, rf, &b.traces);
+            sim.enable_oracle();
+            let r = sim.run_with_warmup(500, 1_500, 10_000_000);
+            StatsRow {
+                workload: name,
+                iq: iq.to_string(),
+                rf: format!("{rf:?}"),
+                config: label,
+                stats: r.stats,
+            }
+        })
+        .collect();
+    let actual = serde_json::to_string_pretty(&rows).unwrap() + "\n";
+    assert_matches_fixture("scaled_stats.json", &actual);
+}
+
 #[derive(Serialize, Deserialize)]
 struct HeadlineRow {
     combo: String,

@@ -45,8 +45,15 @@ fn run(
     }
 }
 
-fn swap2<T: Copy>(a: [T; 2]) -> [T; 2] {
-    [a[1], a[0]]
+/// Assert the first two entries of `f` are `r`'s swapped, and any slots
+/// past the 2-thread/2-cluster shape are identical (all zero in practice).
+fn assert_swapped<T: Copy + PartialEq + std::fmt::Debug>(f: &[T], r: &[T], label: &str) {
+    assert_eq!(f.len(), r.len(), "{label}: length");
+    assert_eq!(f[0], r[1], "{label}[0]");
+    assert_eq!(f[1], r[0], "{label}[1]");
+    for i in 2..f.len() {
+        assert_eq!(f[i], r[i], "{label}[{i}]");
+    }
 }
 
 /// Assert that `fwd` (run on `[A, B]`) and `rev` (run on `[B, A]`) are
@@ -77,35 +84,47 @@ fn assert_mirrored(label: &str, fwd: &MirrorRun, rev: &MirrorRun) {
     // relabeling ("some cluster stalled while the *other* had ports").
     assert_eq!(f.imbalance, r.imbalance, "{label}: imbalance");
     // Per-thread: swapped.
-    assert_eq!(f.committed, swap2(r.committed), "{label}: committed");
-    assert_eq!(
-        f.finish_cycle,
-        swap2(r.finish_cycle),
-        "{label}: finish cycle"
+    assert_swapped(&f.committed, &r.committed, &format!("{label}: committed"));
+    assert_swapped(
+        &f.finish_cycle,
+        &r.finish_cycle,
+        &format!("{label}: finish cycle"),
     );
-    assert_eq!(f.rf_blocked, swap2(r.rf_blocked), "{label}: rf_blocked");
-    assert_eq!(f.l2_misses, swap2(r.l2_misses), "{label}: l2 misses");
+    assert_swapped(
+        &f.rf_blocked,
+        &r.rf_blocked,
+        &format!("{label}: rf_blocked"),
+    );
+    assert_swapped(&f.l2_misses, &r.l2_misses, &format!("{label}: l2 misses"));
     // Per-cluster: swapped.
-    assert_eq!(f.dispatched, swap2(r.dispatched), "{label}: dispatched");
-    assert_eq!(f.issued, swap2(r.issued), "{label}: issued");
-    assert_eq!(
-        f.issued_by_port,
-        swap2(r.issued_by_port),
-        "{label}: issued by port"
+    assert_swapped(
+        &f.dispatched,
+        &r.dispatched,
+        &format!("{label}: dispatched"),
+    );
+    assert_swapped(&f.issued, &r.issued, &format!("{label}: issued"));
+    assert_swapped(
+        &f.issued_by_port,
+        &r.issued_by_port,
+        &format!("{label}: issued by port"),
     );
     // Final occupancy snapshot: thread AND cluster axes both mirror.
     let fs = &fwd.snapshot;
     let rs = &rev.snapshot;
     assert_eq!(fs.cycle, rs.cycle, "{label}: snapshot cycle");
     assert_eq!(fs.mob, rs.mob, "{label}: snapshot mob");
-    assert_eq!(fs.rob, swap2(rs.rob), "{label}: snapshot rob");
-    assert_eq!(fs.fetchq, swap2(rs.fetchq), "{label}: snapshot fetchq");
-    assert_eq!(
-        fs.committed,
-        swap2(rs.committed),
-        "{label}: snapshot committed"
+    assert_swapped(&fs.rob, &rs.rob, &format!("{label}: snapshot rob"));
+    assert_swapped(&fs.fetchq, &rs.fetchq, &format!("{label}: snapshot fetchq"));
+    assert_swapped(
+        &fs.committed,
+        &rs.committed,
+        &format!("{label}: snapshot committed"),
     );
-    assert_eq!(fs.pending_l2, swap2(rs.pending_l2), "{label}: snapshot l2");
+    assert_swapped(
+        &fs.pending_l2,
+        &rs.pending_l2,
+        &format!("{label}: snapshot l2"),
+    );
     for t in 0..2 {
         for c in 0..2 {
             assert_eq!(

@@ -18,10 +18,10 @@ use csmt_core::{Validator, Violation};
 use csmt_types::OpClass;
 use std::sync::{Arc, Mutex};
 
-type Stream = Arc<Mutex<Vec<(u64, OpClass)>>>;
+type Streams = Arc<Mutex<Vec<Vec<(u64, OpClass)>>>>;
 
-/// Records thread 0's committed non-copy `(pc, class)` stream.
-struct StreamRecorder(Stream);
+/// Records every thread's committed non-copy `(pc, class)` stream.
+struct StreamRecorder(Streams);
 
 impl Validator for StreamRecorder {
     fn name(&self) -> &'static str {
@@ -29,10 +29,47 @@ impl Validator for StreamRecorder {
     }
     fn on_retire(&mut self, sim: &Simulator, id: u32, _out: &mut Vec<Violation>) {
         let v = sim.uop_view(id);
-        if v.thread.idx() == 0 && !v.is_copy {
-            self.0.lock().unwrap().push((v.pc, v.class));
+        if !v.is_copy {
+            self.0.lock().unwrap()[v.thread.idx()].push((v.pc, v.class));
         }
     }
+}
+
+/// Run `traces` on `cfg` until every trace-backed thread has committed
+/// `target` non-copy uops; return each thread's stream truncated there.
+fn committed_streams(
+    cfg: MachineConfig,
+    iq: SchemeKind,
+    rf: RegFileSchemeKind,
+    traces: &[csmt_trace::suite::TraceSpec],
+    target: usize,
+) -> Vec<Vec<(u64, OpClass)>> {
+    let active = traces.len();
+    let mut sim = Simulator::new(cfg, iq, rf, traces);
+    let streams: Streams = Arc::new(Mutex::new(vec![Vec::new(); active]));
+    sim.add_validator(Box::new(StreamRecorder(streams.clone())));
+    let mut guard = 0u64;
+    while streams.lock().unwrap().iter().any(|s| s.len() < target) {
+        sim.step();
+        guard += 1;
+        assert!(
+            guard < 5_000_000,
+            "{iq}/{rf:?}: a thread starved ({:?} commits after {guard} cycles)",
+            streams
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|s| s.len())
+                .collect::<Vec<_>>()
+        );
+    }
+    let mut out = Arc::try_unwrap(streams)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|arc| arc.lock().unwrap().clone());
+    for s in &mut out {
+        s.truncate(target);
+    }
+    out
 }
 
 const TARGET: usize = 3_000;
@@ -42,24 +79,25 @@ const TARGET: usize = 3_000;
 fn committed_stream(iq: SchemeKind, rf: RegFileSchemeKind, w: &Workload) -> Vec<(u64, OpClass)> {
     let mut sim = Simulator::new(MachineConfig::rf_study(64), iq, rf, &w.traces);
     sim.debug_disable_fetch_thread(1);
-    let stream: Stream = Arc::new(Mutex::new(Vec::new()));
-    sim.add_validator(Box::new(StreamRecorder(stream.clone())));
+    let streams: Streams = Arc::new(Mutex::new(vec![Vec::new(); 2]));
+    sim.add_validator(Box::new(StreamRecorder(streams.clone())));
     // Raw step loop: run_with_warmup would wait forever for the idle
     // thread to reach its commit target.
     let mut guard = 0u64;
-    while stream.lock().unwrap().len() < TARGET {
+    while streams.lock().unwrap()[0].len() < TARGET {
         sim.step();
         guard += 1;
         assert!(
             guard < 5_000_000,
             "{iq}/{rf:?}: thread 0 starved with thread 1 idle \
              ({} commits after {guard} cycles)",
-            stream.lock().unwrap().len()
+            streams.lock().unwrap()[0].len()
         );
     }
-    let mut s = Arc::try_unwrap(stream)
+    let mut s = Arc::try_unwrap(streams)
         .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|arc| arc.lock().unwrap().clone());
+        .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+        .swap_remove(0);
     s.truncate(TARGET);
     s
 }
@@ -97,5 +135,34 @@ fn all_schemes_commit_identical_stream_with_idle_second_thread() {
              with thread 1 idle",
             combos[0].0, combos[0].1
         );
+    }
+}
+
+/// Scaled shapes: in a 4-thread run, each thread's committed stream is
+/// the identical architectural stream its solo run commits — contention
+/// changes *when* uops commit, never *what* commits.
+#[test]
+fn each_thread_of_a_scaled_run_matches_its_solo_run() {
+    const TARGET_N: usize = 800;
+    let bundle = csmt_trace::bundles(4)
+        .into_iter()
+        .find(|b| b.name == "ISPEC00/mix.4")
+        .expect("bundle exists");
+    let mut cfg = MachineConfig::rf_study(128); // exactly the 4-thread floor
+    cfg.num_threads = 4;
+    cfg.num_clusters = 2;
+    for (iq, rf) in [
+        (SchemeKind::Icount, RegFileSchemeKind::Shared),
+        (SchemeKind::Cssp, RegFileSchemeKind::Cdprf),
+    ] {
+        let smt = committed_streams(cfg.clone(), iq, rf, &bundle.traces, TARGET_N);
+        for (t, spec) in bundle.traces.iter().enumerate() {
+            let solo = committed_streams(cfg.clone(), iq, rf, std::slice::from_ref(spec), TARGET_N);
+            assert_eq!(
+                smt[t], solo[0],
+                "{iq}/{rf:?}: thread {t} of the 4-thread run diverged from \
+                 its solo run on the same machine"
+            );
+        }
     }
 }
