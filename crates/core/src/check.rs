@@ -134,10 +134,18 @@ impl CheckSuite {
     /// (idempotent — a second call replaces nothing and adds nothing if an
     /// oracle is already armed).
     pub fn add_oracle(&mut self, specs: &[TraceSpec]) {
+        self.add_oracle_at(specs, &vec![0; specs.len()]);
+    }
+
+    /// [`CheckSuite::add_oracle`] with each thread's replay fast-forwarded
+    /// to an architectural commit offset first — for simulators resumed
+    /// from a checkpoint, whose first detailed commit is the offset-th
+    /// uop of the program. Same idempotence as `add_oracle`.
+    pub fn add_oracle_at(&mut self, specs: &[TraceSpec], offsets: &[u64]) {
         if self.validators.iter().any(|v| v.name() == ORACLE_NAME) {
             return;
         }
-        self.add(Box::new(OracleCheck::new(specs)));
+        self.add(Box::new(OracleCheck::at(specs, offsets)));
     }
 
     pub fn set_fail_fast(&mut self, fail_fast: bool) {
@@ -582,9 +590,20 @@ struct OracleCheck {
 }
 
 impl OracleCheck {
-    fn new(specs: &[TraceSpec]) -> Self {
+    fn at(specs: &[TraceSpec], offsets: &[u64]) -> Self {
+        assert_eq!(specs.len(), offsets.len(), "one offset per thread");
         OracleCheck {
-            oracles: specs.iter().map(ThreadOracle::from_spec).collect(),
+            oracles: specs
+                .iter()
+                .zip(offsets)
+                .map(|(spec, &off)| {
+                    let mut o = ThreadOracle::from_spec(spec);
+                    // The footprint is discarded: arming only needs the
+                    // replay cursor, not the warm summary.
+                    o.fast_forward(off, &mut csmt_trace::WarmFootprint::new());
+                    o
+                })
+                .collect(),
         }
     }
 }

@@ -38,6 +38,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod check;
+pub mod checkpoint;
 pub mod metrics;
 pub mod pipeline;
 pub mod probe;
@@ -46,6 +47,7 @@ pub mod steering;
 pub mod tracelog;
 
 pub use check::{CheckSuite, UopView, Validator, Violation};
+pub use checkpoint::{Checkpoint, ThreadCheckpoint, CHECKPOINT_SCHEMA};
 pub use metrics::{fairness, fairness_n, FigureRow, SimResult, SimStats};
 pub use pipeline::{SimBuilder, Simulator};
 pub use probe::MachineSnapshot;

@@ -566,6 +566,23 @@ impl TraceSource {
         }
     }
 
+    /// Advance `n` uops without delivering them (checkpoint restore).
+    /// A live generator replays forward; a shared-stream reader seeks,
+    /// so repeated restores of the same stream generate the prefix once.
+    pub fn skip(&mut self, n: u64) {
+        match self {
+            TraceSource::Live(t) => {
+                for _ in 0..n {
+                    t.next_uop();
+                }
+            }
+            TraceSource::Shared(r) => {
+                let pos = r.emitted() + n;
+                r.seek(pos);
+            }
+        }
+    }
+
     pub fn profile(&self) -> &TraceProfile {
         match self {
             TraceSource::Live(t) => t.profile(),
@@ -676,6 +693,11 @@ pub struct Simulator {
     pub(crate) orient: u8,
     /// The trace specs this simulator was built from (oracle replay).
     pub(crate) specs: Vec<TraceSpec>,
+    /// Architectural commit offset each thread was fast-forwarded to
+    /// before detailed execution began (all zeros unless built by
+    /// [`Simulator::from_checkpoint`]). The oracle arms its replay from
+    /// these offsets.
+    pub(crate) arch_base: Vec<u64>,
     /// Opt-in architectural invariant checker (None = zero overhead).
     /// Debug builds arm the standard validators by default.
     pub(crate) checker: Option<crate::check::CheckSuite>,
@@ -738,6 +760,67 @@ impl Simulator {
             .map(|s| TraceSource::Shared(StreamReader::new(s.clone())))
             .collect();
         Self::build(cfg, iq_kind, rf_kind, traces, sources)
+    }
+
+    /// Resume detailed simulation from an architectural [`Checkpoint`]:
+    /// verify its integrity, build a fresh machine for its specs, skip
+    /// each thread's trace source to the checkpointed commit offset and
+    /// pre-warm the memory hierarchy with the recorded footprint. The
+    /// resumed machine is bit-exact: two simulators restored from equal
+    /// checkpoints execute identically. Relative to a detailed run from
+    /// zero the commit stream is architecturally identical past the
+    /// offset (enforce with [`Simulator::enable_oracle`], which arms the
+    /// replay at the offset); microarchitectural warm state is
+    /// reconstructed by running a warm-up window before measuring.
+    pub fn from_checkpoint(
+        cfg: MachineConfig,
+        iq_kind: SchemeKind,
+        rf_kind: RegFileSchemeKind,
+        ckpt: &crate::checkpoint::Checkpoint,
+    ) -> Result<Self, String> {
+        ckpt.verify()?;
+        let specs = ckpt.specs();
+        let mut sim = Self::new(cfg, iq_kind, rf_kind, &specs);
+        sim.resume_from(ckpt);
+        Ok(sim)
+    }
+
+    /// [`Simulator::from_checkpoint`] over pre-decoded shared streams
+    /// (the batched-sweep mode). Seeking a shared stream to the offset
+    /// generates the prefix once per stream, shared by every config
+    /// point and interval that restores from it.
+    pub fn from_checkpoint_batched(
+        cfg: MachineConfig,
+        iq_kind: SchemeKind,
+        rf_kind: RegFileSchemeKind,
+        ckpt: &crate::checkpoint::Checkpoint,
+        streams: &[Arc<SharedStream>],
+    ) -> Result<Self, String> {
+        ckpt.verify()?;
+        let specs = ckpt.specs();
+        let mut sim = Self::new_batched(cfg, iq_kind, rf_kind, &specs, streams);
+        sim.resume_from(ckpt);
+        Ok(sim)
+    }
+
+    fn resume_from(&mut self, ckpt: &crate::checkpoint::Checkpoint) {
+        // Same per-thread warm budget as the cold-start `warm_caches`:
+        // half the L2, split between threads.
+        let l2_lines = (self.cfg.l2_size / self.cfg.l1_line) as u64;
+        let n = self.threads.len().max(1) as u64;
+        let per_thread = l2_lines / (2 * n);
+        for (i, tc) in ckpt.threads.iter().enumerate() {
+            self.threads[i].trace.skip(tc.offset);
+            self.arch_base[i] = tc.offset;
+            let mut budget = per_thread;
+            // Oldest-first order: the most recently touched lines are
+            // warmed last and end up most-recently-used. If the budget
+            // is smaller than the footprint, keep the newest lines.
+            let keep = (budget as usize).min(tc.warm_lines.len());
+            for &line in &tc.warm_lines[tc.warm_lines.len() - keep..] {
+                self.mem.warm(line, 1, true, &mut budget);
+            }
+        }
     }
 
     fn build(
@@ -846,6 +929,7 @@ impl Simulator {
             event_log: None,
             orient,
             specs: traces.to_vec(),
+            arch_base: vec![0; traces.len()],
             checker: if cfg!(debug_assertions) {
                 Some(crate::check::CheckSuite::standard())
             } else {
@@ -1240,7 +1324,11 @@ impl Simulator {
     pub fn enable_oracle(&mut self) {
         self.enable_validation();
         let specs = self.specs.clone();
-        self.checker.as_mut().unwrap().add_oracle(&specs);
+        let offsets = self.arch_base.clone();
+        self.checker
+            .as_mut()
+            .unwrap()
+            .add_oracle_at(&specs, &offsets);
     }
 
     /// Add a custom validator (arms an empty suite first if none is

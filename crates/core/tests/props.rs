@@ -378,6 +378,144 @@ mod injection_fuzz {
     }
 }
 
+// Checkpoint boundary: fast-forwarding to an arbitrary split K and
+// resuming detailed simulation must commit exactly the same
+// (seq, pc, class) suffix as a detailed run from zero, for any split —
+// with the standard validators AND the differential oracle armed on
+// both sides, so the replay cross-check polices every retire while the
+// suffix comparison polices the boundary itself.
+mod checkpoint_boundary {
+    use super::*;
+    use csmt_core::check::{Validator, Violation};
+    use csmt_core::Checkpoint;
+    use csmt_types::OpClass;
+    use std::sync::{Arc, Mutex};
+
+    /// One architectural commit: (thread, commit index, pc, class). The
+    /// index is the recorder's own per-thread count of non-copy retires
+    /// — slab `seq` numbers are fetch-order (wrong-path inclusive) and
+    /// so not comparable between a from-zero and a resumed run.
+    type Commit = (u8, u64, u64, OpClass);
+
+    /// External validator that records every non-copy retirement.
+    struct Recorder {
+        log: Arc<Mutex<Vec<Commit>>>,
+        counts: [u64; csmt_types::MAX_THREADS],
+    }
+
+    impl Recorder {
+        fn new(log: Arc<Mutex<Vec<Commit>>>) -> Self {
+            Recorder {
+                log,
+                counts: [0; csmt_types::MAX_THREADS],
+            }
+        }
+    }
+
+    impl Validator for Recorder {
+        fn name(&self) -> &'static str {
+            "commit-recorder"
+        }
+        fn on_retire(&mut self, sim: &Simulator, id: u32, _out: &mut Vec<Violation>) {
+            let v = sim.uop_view(id);
+            if !v.is_copy {
+                let idx = self.counts[v.thread.idx()];
+                self.counts[v.thread.idx()] += 1;
+                self.log
+                    .lock()
+                    .unwrap()
+                    .push((v.thread.0, idx, v.pc, v.class));
+            }
+        }
+    }
+
+    /// Step until every thread has recorded `per_thread` commits (or the
+    /// cycle budget runs out — the assertions below then catch it).
+    fn run_until(
+        sim: &mut Simulator,
+        log: &Arc<Mutex<Vec<Commit>>>,
+        threads: usize,
+        per_thread: u64,
+    ) {
+        for _ in 0..2_000_000u64 {
+            for _ in 0..64 {
+                sim.step();
+            }
+            let mut counts = [0u64; csmt_types::MAX_THREADS];
+            for &(t, ..) in log.lock().unwrap().iter() {
+                counts[t as usize] += 1;
+            }
+            if (0..threads).all(|t| counts[t] >= per_thread) {
+                return;
+            }
+        }
+    }
+
+    /// Thread `t`'s commits with index in `[split, split + len)`, in
+    /// order, re-based to the split (so a from-zero window and a resumed
+    /// window describe the same program region with the same indices).
+    fn window(log: &[Commit], t: u8, split: u64, len: u64) -> Vec<Commit> {
+        log.iter()
+            .copied()
+            .filter(|&(th, idx, ..)| th == t && idx >= split && idx < split + len)
+            .map(|(th, idx, pc, class)| (th, idx - split, pc, class))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn resume_suffix_matches_detailed_from_zero(
+            split in 200u64..2_500,
+            widx in 0usize..120,
+            iq_idx in 0usize..7,
+        ) {
+            const SUFFIX: u64 = 250;
+            let workloads = csmt_trace::suite::suite();
+            let w = &workloads[widx % workloads.len()];
+            let iq = SchemeKind::all()[iq_idx];
+            let cfg = MachineConfig::iq_study(32);
+            let n = w.traces.len();
+
+            // Detailed from zero, validators + oracle armed.
+            let zero_log = Arc::new(Mutex::new(Vec::new()));
+            let mut sim =
+                Simulator::new(cfg.clone(), iq, RegFileSchemeKind::Shared, &w.traces);
+            sim.enable_oracle();
+            sim.add_validator(Box::new(Recorder::new(zero_log.clone())));
+            run_until(&mut sim, &zero_log, n, split + SUFFIX);
+
+            // Fast-forward to the split, resume detailed, oracle armed at
+            // the offset.
+            let ck = Checkpoint::capture(&w.traces, split);
+            let resumed_log = Arc::new(Mutex::new(Vec::new()));
+            let mut sim =
+                Simulator::from_checkpoint(cfg, iq, RegFileSchemeKind::Shared, &ck).unwrap();
+            sim.enable_oracle();
+            sim.add_validator(Box::new(Recorder::new(resumed_log.clone())));
+            run_until(&mut sim, &resumed_log, n, SUFFIX);
+
+            let zero = zero_log.lock().unwrap();
+            let resumed = resumed_log.lock().unwrap();
+            for t in 0..n as u8 {
+                let want = window(&zero, t, split, SUFFIX);
+                let got = window(&resumed, t, 0, SUFFIX);
+                prop_assert_eq!(
+                    want.len() as u64, SUFFIX,
+                    "thread {}: from-zero run never reached seq {}",
+                    t, split + SUFFIX
+                );
+                prop_assert_eq!(
+                    want, got,
+                    "thread {}: resumed commit stream diverged past split {}",
+                    t, split
+                );
+            }
+        }
+    }
+}
+
 // CSSP's contract in the *running pipeline* (not just the policy
 // algebra): a thread may never hold more than half of any cluster's
 // issue queue with *steered* uops, which is exactly what guarantees the

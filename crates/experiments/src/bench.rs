@@ -1,8 +1,8 @@
 //! `csmt-experiments bench` — reproducible perf harness for the cycle loop,
 //! the sweep executor, and the sweep-service daemon.
 //!
-//! Seven fixed measurements seed the perf trajectory (`BENCH_3.json` …
-//! `BENCH_6.json` at the repo root):
+//! Nine fixed measurements seed the perf trajectory (`BENCH_3.json` …
+//! `BENCH_8.json` at the repo root):
 //!
 //! * **fig2-slice** — a deterministic 16-run slice of the Figure 2 grid
 //!   (4 suite workloads × 4 scheme/IQ-size combos), timed end to end on
@@ -26,6 +26,12 @@
 //!   against `fig2-sweep` (before) is the headline of the batched mode;
 //!   [`perf_baseline`] computes exactly that ratio when the before half
 //!   predates the measurement.
+//! * **fig2-long-full / fig2-long-sampled** — the same 16-config slice
+//!   at a 10× commit target, run full-detail and then estimated by
+//!   checkpointed sampling (`--sample`, [`LONG_SAMPLE`]). Both report
+//!   the full run's simulated cycles, so their cycles/sec ratio is
+//!   exactly the wall-clock reduction sampling buys; [`perf_baseline`]
+//!   emits it as the `fig2-long-sampled-vs-full` headline.
 //! * **batch-cold** — cold batch-CLI startup: spawn this very binary on
 //!   one detail artifact with no store, end to end (process start, trace
 //!   decode, 7 simulations, render).
@@ -45,15 +51,19 @@
 use crate::client::{run_on, ClientConfig, Outcome};
 use crate::proto::{read_response, write_line, Request};
 use crate::runner::{CfgKind, ExpOptions, Sweeps};
+use crate::sample;
 use crate::spec::JobSpec;
 use csmt_core::Simulator;
+use csmt_store::ArtifactStore;
+use csmt_trace::stream::SharedStream;
 use csmt_trace::suite::{suite, Workload};
-use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SampleSpec, SchemeKind};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Bump when measurement definitions change incompatibly; compared runs
@@ -100,8 +110,24 @@ const WARM_ITERS: u32 = 10;
 
 /// Measurements that time wall-clock latency rather than simulation
 /// throughput; [`check_against_baseline`] compares them only when the
-/// baseline and current run used the same mode.
-pub const LATENCY_MEASUREMENTS: [&str; 2] = ["batch-cold", "serve-warm"];
+/// baseline and current run used the same mode. (`fig2-long-sampled`
+/// reports the *full* run's cycles over its own wall time — the pair's
+/// speedup — so its cycles/sec moves with the mode's horizon too.)
+pub const LATENCY_MEASUREMENTS: [&str; 3] = ["batch-cold", "serve-warm", "fig2-long-sampled"];
+
+/// Sampling spec of the `fig2-long-sampled` measurement: 8 detailed
+/// windows over the long horizon instead of one contiguous run.
+pub const LONG_SAMPLE: SampleSpec = SampleSpec {
+    intervals: 8,
+    warmup: 200,
+    detail: 800,
+};
+
+/// Commit target of the long-horizon pair: 10× the slice target, the
+/// regime checkpointed sampling exists for.
+pub fn long_target(scale: BenchScale) -> u64 {
+    scale.slice_target * 10
+}
 
 /// How the two modes scale the fixed work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +263,88 @@ fn measure_rf_slice(scale: BenchScale) -> BenchMeasurement {
     finish("fig4-slice", best.unwrap())
 }
 
+/// Time the fig2 slice at the long horizon, full detail: the wall-clock
+/// cost checkpointed sampling is measured against.
+fn measure_long_full(scale: BenchScale) -> BenchMeasurement {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| find_workload(n)).collect();
+    let target = long_target(scale);
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..scale.reps {
+        let mut cycles = 0u64;
+        let mut uops = 0u64;
+        let t0 = Instant::now();
+        for w in &workloads {
+            for &(iq, size) in &SLICE_COMBOS {
+                let mut sim = Simulator::new(
+                    MachineConfig::iq_study(size),
+                    iq,
+                    RegFileSchemeKind::Shared,
+                    &w.traces,
+                );
+                let r = sim.run(target, 200_000_000);
+                cycles += r.stats.cycles;
+                uops += r.stats.committed.iter().sum::<u64>();
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        if best.is_none() || wall < best.unwrap().0 {
+            best = Some((wall, cycles, uops));
+        }
+    }
+    finish("fig2-long-full", best.unwrap())
+}
+
+/// The same 16 configs estimated by checkpointed sampling
+/// ([`LONG_SAMPLE`]), exactly as a `--sample --batch` sweep runs them:
+/// each workload's traces decoded once into shared streams, checkpoints
+/// captured into a cold artifact store on first use and reused by every
+/// config that shares the trace pair. Stream decode, checkpoint capture
+/// and store round trips are all *inside* the timed region (the store
+/// starts empty every repetition), so this is the honest cold cost of a
+/// sampled sweep. Reports the full measurement's cycles/uops as its
+/// reference work, so its cycles/sec over `fig2-long-full`'s is exactly
+/// the wall-clock speedup ([`perf_baseline`] extracts that ratio).
+fn measure_long_sampled(scale: BenchScale, reference: (u64, u64)) -> BenchMeasurement {
+    let workloads: Vec<Workload> = SLICE_WORKLOADS.iter().map(|n| find_workload(n)).collect();
+    let target = long_target(scale);
+    let base = std::env::temp_dir().join(format!("csmt-bench-sample-{}", std::process::id()));
+    let mut best: Option<f64> = None;
+    for _ in 0..scale.reps {
+        let _ = std::fs::remove_dir_all(&base);
+        let arts = ArtifactStore::open(&base).expect("bench artifact store");
+        let t0 = Instant::now();
+        for w in &workloads {
+            let shared: Vec<Arc<SharedStream>> = w
+                .traces
+                .iter()
+                .map(|t| Arc::new(SharedStream::new(&t.profile, t.seed)))
+                .collect();
+            for &(iq, size) in &SLICE_COMBOS {
+                let cfg = MachineConfig::iq_study(size);
+                sample::sampled_run(
+                    &cfg,
+                    iq,
+                    RegFileSchemeKind::Shared,
+                    &w.traces,
+                    LONG_SAMPLE,
+                    target,
+                    200_000_000,
+                    false,
+                    Some(&shared),
+                    Some(&arts),
+                );
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        if best.is_none() || wall < best.unwrap() {
+            best = Some(wall);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let (cycles, uops) = reference;
+    finish("fig2-long-sampled", (best.unwrap(), cycles, uops))
+}
+
 /// Time `step()` in a tight loop: CSSP + CDPRF on a bounded register file,
 /// so both schemes' per-cycle bookkeeping is on the measured path.
 fn measure_cycle_loop(scale: BenchScale) -> BenchMeasurement {
@@ -283,6 +391,7 @@ fn measure_sweep(scale: BenchScale, jobs: usize, batch: bool) -> BenchMeasuremen
             verbose: false,
             validate: false,
             batch,
+            sample: None,
         });
         let t0 = Instant::now();
         sweeps.smt_batch(&workloads, &combos);
@@ -435,6 +544,7 @@ fn measure_serve_warm(scale: BenchScale, reference: (u64, u64)) -> BenchMeasurem
         warmup: 0,
         max_cycles: 10_000_000,
         batch: false,
+        sample: None,
     };
     // Untimed cold fill: afterwards every RunKey is in the store.
     serve_roundtrip(&socket, &spec);
@@ -506,6 +616,16 @@ pub fn run(scale: BenchScale, quick: bool, verbose: bool, jobs: usize) -> BenchR
         }
         measurements.push(measure_sweep(scale, jobs, batch));
     }
+    if verbose {
+        eprintln!(
+            "bench: measuring fig2-long-full / fig2-long-sampled ({} reps)...",
+            scale.reps
+        );
+    }
+    let long_full = measure_long_full(scale);
+    let long_ref = (long_full.cycles, long_full.uops);
+    measurements.push(long_full);
+    measurements.push(measure_long_sampled(scale, long_ref));
     let reference = serve_reference(scale);
     if verbose {
         eprintln!("bench: measuring batch-cold ({} reps)...", scale.reps);
@@ -639,6 +759,24 @@ pub fn perf_baseline(before: BenchReport, after: BenchReport) -> PerfBaseline {
             ratio: w.cycles_per_sec / c.cycles_per_sec,
         });
     }
+    // The sampling headline is intra-after too: the long-horizon slice
+    // sampled vs full-detail, same reference cycles, so the ratio is the
+    // wall-clock reduction of checkpointed sampling.
+    if let (Some(s), Some(f)) = (
+        after
+            .measurements
+            .iter()
+            .find(|m| m.name == "fig2-long-sampled"),
+        after
+            .measurements
+            .iter()
+            .find(|m| m.name == "fig2-long-full"),
+    ) {
+        speedup.push(SpeedupEntry {
+            name: "fig2-long-sampled-vs-full".to_string(),
+            ratio: s.cycles_per_sec / f.cycles_per_sec,
+        });
+    }
     PerfBaseline {
         schema: BENCH_SCHEMA,
         command: "cargo run -p csmt-experiments --release -- bench --out <half>.json".to_string(),
@@ -767,6 +905,35 @@ mod tests {
         // Absent when the pair is not measured.
         let perf = perf_baseline(report(100_000.0), report(100_000.0));
         assert!(!perf.speedup.iter().any(|s| s.name.starts_with("serve")));
+    }
+
+    #[test]
+    fn sampling_headline_is_computed_from_the_after_half() {
+        fn named(name: &str, cps: f64) -> BenchMeasurement {
+            BenchMeasurement {
+                name: name.into(),
+                wall_ms: 1000.0 * 1000.0 / cps,
+                cycles: 1000,
+                uops: 2000,
+                cycles_per_sec: cps,
+                uops_per_sec: 2.0 * cps,
+            }
+        }
+        let mut after = report(100_000.0);
+        after.measurements.push(named("fig2-long-full", 50_000.0));
+        after
+            .measurements
+            .push(named("fig2-long-sampled", 400_000.0));
+        let perf = perf_baseline(report(100_000.0), after);
+        let entry = perf
+            .speedup
+            .iter()
+            .find(|s| s.name == "fig2-long-sampled-vs-full")
+            .expect("sampling headline present");
+        assert!((entry.ratio - 8.0).abs() < 1e-9, "{}", entry.ratio);
+        // Absent when the pair is not measured.
+        let perf = perf_baseline(report(100_000.0), report(100_000.0));
+        assert!(!perf.speedup.iter().any(|s| s.name.contains("long")));
     }
 
     #[test]

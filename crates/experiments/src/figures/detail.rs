@@ -69,6 +69,7 @@ mod tests {
             verbose: false,
             validate: false,
             batch: false,
+            sample: None,
         });
         let t = run(&sweeps, "DH/ilp.2.1").expect("known workload");
         assert_eq!(t.rows.len(), 7, "one row per scheme");

@@ -3,6 +3,7 @@
 //! Criterion benches share one code path.
 
 pub mod ablations;
+pub mod ci;
 pub mod detail;
 pub mod fig10;
 pub mod fig2;
@@ -84,6 +85,21 @@ pub fn run_named(name: &str, sweeps: &Sweeps) -> Option<Table> {
             return None;
         }
     })
+}
+
+/// Render an artifact plus, for sampled sweeps, its CI companion table
+/// (named `<artifact>-ci`, same rows/columns, cells = 95% half-widths).
+/// The companion rides on the runs the main table just ensured, so it
+/// adds no simulation work.
+pub fn run_named_all(name: &str, sweeps: &Sweeps) -> Option<Vec<(String, Table)>> {
+    let main = run_named(name, sweeps)?;
+    let mut out = vec![(name.to_string(), main)];
+    if sweeps.opts.sample.is_some() {
+        if let Some(t) = ci::run_named_ci(name, sweeps) {
+            out.push((format!("{name}-ci"), t));
+        }
+    }
+    Some(out)
 }
 
 /// All artifact names in paper order. `figN` extends the paper to scaled

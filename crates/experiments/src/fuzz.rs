@@ -14,7 +14,7 @@
 //! invocation produces byte-identical output and artifacts at any
 //! `--jobs` count (the executor returns results in case order).
 
-use csmt_core::Simulator;
+use csmt_core::{Checkpoint, Simulator};
 use csmt_store::Executor;
 use csmt_trace::stream::SharedStream;
 use csmt_trace::suite::{suite, TraceSpec};
@@ -53,6 +53,12 @@ pub struct FuzzCase {
     pub workload: String,
     pub traces: Vec<TraceSpec>,
     pub config: MachineConfig,
+    /// Checkpoint split: when nonzero the case fast-forwards every
+    /// thread to this architectural commit offset (capturing and
+    /// restoring a [`csmt_core::Checkpoint`]) and runs detailed from
+    /// there — fuzzing the restore boundary across the whole config
+    /// envelope, with the oracle armed at the offset.
+    pub ff_split: u64,
 }
 
 /// Fuzz invocation options.
@@ -196,6 +202,15 @@ pub fn generate_case(master: u64, index: u64) -> FuzzCase {
             t.seed = rng.next_u64();
         }
     }
+    // A third of the corpus starts from a checkpoint instead of cold:
+    // fast-forward to a random split, then run detailed. This is the
+    // only path that exercises `from_checkpoint` against arbitrary
+    // machine shapes, scheme pairs and reseeded programs.
+    let ff_split = if rng.chance(1.0 / 3.0) {
+        100 + rng.below(2_901) // 100..=3000
+    } else {
+        0
+    };
     FuzzCase {
         index,
         master_seed: master,
@@ -206,6 +221,7 @@ pub fn generate_case(master: u64, index: u64) -> FuzzCase {
         workload: w.name.clone(),
         traces,
         config,
+        ff_split,
     }
 }
 
@@ -230,15 +246,26 @@ pub fn run_case_in(case: &FuzzCase, validate: bool, batch: bool) -> Result<(), S
     let iq = parse_iq(&case.iq)?;
     let rf = parse_rf(&case.rf)?;
     let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let ckpt = (case.ff_split > 0).then(|| Checkpoint::capture(&case.traces, case.ff_split));
         let mut sim = if batch {
             let shared: Vec<Arc<SharedStream>> = case
                 .traces
                 .iter()
                 .map(|t| Arc::new(SharedStream::new(&t.profile, t.seed)))
                 .collect();
-            Simulator::new_batched(case.config.clone(), iq, rf, &case.traces, &shared)
+            match &ckpt {
+                Some(ck) => {
+                    Simulator::from_checkpoint_batched(case.config.clone(), iq, rf, ck, &shared)
+                        .expect("checkpoint restore (batched)")
+                }
+                None => Simulator::new_batched(case.config.clone(), iq, rf, &case.traces, &shared),
+            }
         } else {
-            Simulator::new(case.config.clone(), iq, rf, &case.traces)
+            match &ckpt {
+                Some(ck) => Simulator::from_checkpoint(case.config.clone(), iq, rf, ck)
+                    .expect("checkpoint restore"),
+                None => Simulator::new(case.config.clone(), iq, rf, &case.traces),
+            }
         };
         if validate {
             // Standard invariant suite + the differential in-order
@@ -350,6 +377,26 @@ pub fn shrink(case: &FuzzCase, validate: bool, batch: bool) -> FuzzCase {
             break;
         }
     }
+    // Checkpoint split: a cold start is the simplest repro, so try
+    // dropping the split entirely first; if the failure needs *a* split,
+    // bisect it down instead (any nonzero split exercises the boundary).
+    if best.ff_split > 0 {
+        let mut c = best.clone();
+        c.ff_split = 0;
+        if fails(&c) {
+            best = c;
+        } else {
+            while best.ff_split > 100 {
+                let mut c = best.clone();
+                c.ff_split /= 2;
+                if fails(&c) {
+                    best = c;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
     while best.config.num_threads > 1 {
         let mut c = best.clone();
         c.config.num_threads -= 1;
@@ -438,9 +485,14 @@ pub fn describe(case: &FuzzCase) -> String {
     } else {
         diff
     };
+    let ff = if case.ff_split > 0 {
+        format!(" ff={}", case.ff_split)
+    } else {
+        String::new()
+    };
     format!(
         "case #{} seed=0x{:016x} iq={} rf={} workload={} seeds=[0x{:x},0x{:x}] \
-         target={} cfg: {cfg}",
+         target={}{ff} cfg: {cfg}",
         case.index,
         case.master_seed,
         case.iq,
@@ -579,7 +631,33 @@ mod tests {
         assert_eq!(shrunk.config, expected);
         assert_eq!(shrunk.traces.len(), 1);
         assert!(shrunk.commit_target < case.commit_target);
+        assert_eq!(shrunk.ff_split, 0, "always-failing case keeps a split");
         assert_eq!(config_diff(&shrunk.config), "num_threads=1 num_clusters=1");
+    }
+
+    #[test]
+    fn corpus_covers_checkpointed_and_cold_starts() {
+        let mut split = 0;
+        let mut cold = 0;
+        for i in 0..60 {
+            let c = generate_case(DEFAULT_MASTER_SEED, i);
+            if c.ff_split > 0 {
+                split += 1;
+            } else {
+                cold += 1;
+            }
+        }
+        assert!(split >= 10, "only {split}/60 cases start from a checkpoint");
+        assert!(cold >= 10, "only {cold}/60 cases start cold");
+    }
+
+    #[test]
+    fn checkpointed_case_passes_validators_on_both_front_ends() {
+        let mut case = generate_case(DEFAULT_MASTER_SEED, 0);
+        case.ff_split = 700;
+        case.commit_target = 400;
+        run_case_in(&case, true, false).unwrap();
+        run_case_in(&case, true, true).unwrap();
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub mod fuzz;
 pub mod proto;
 pub mod report;
 pub mod runner;
+pub mod sample;
 pub mod spec;
 
-pub use runner::{ExpOptions, RunKey, SweepCounters, Sweeps};
-pub use spec::JobSpec;
+pub use runner::{ExpOptions, RunKey, RunOutput, SweepCounters, Sweeps};
+pub use sample::SampleStats;
+pub use spec::{JobSpec, SweepGroupKey};

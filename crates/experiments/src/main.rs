@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! csmt-experiments <artifact>... [--target N] [--jobs N] [--batch] [--csv DIR]
+//!                                [--sample intervals=N,warmup=W,detail=D]
 //!                                [--quiet] [--store DIR | --no-store] [--resume]
 //!                                [--bars]
 //! csmt-experiments all [--target N]
@@ -18,12 +19,13 @@
 //! run had already completed, using the store's JSONL journal.
 
 use csmt_experiments::client;
-use csmt_experiments::figures::{run_named, ABLATIONS, ALL_ARTIFACTS};
+use csmt_experiments::figures::{run_named_all, ABLATIONS, ALL_ARTIFACTS};
 use csmt_experiments::fuzz::{self, FuzzCase, FuzzOptions};
 use csmt_experiments::report::render_store_summary;
 use csmt_experiments::runner::{ExpOptions, Sweeps};
 use csmt_experiments::spec::JobSpec;
 use csmt_store::{EventKind, Journal};
+use csmt_types::SampleSpec;
 
 /// Default persistent store location (relative to the working directory).
 const DEFAULT_STORE_DIR: &str = "results/store";
@@ -54,6 +56,11 @@ fn usage() -> String {
          \x20                --jobs 1 runs serially; results are bit-identical for any N)\n\
          \x20 --batch        decode each distinct trace once and share the stream across\n\
          \x20                all config points (bit-identical results, faster sweeps)\n\
+         \x20 --sample SPEC  sampled simulation: SPEC is intervals=N,warmup=W,detail=D.\n\
+         \x20                Fast-forwards (via cached checkpoints) to N evenly spaced\n\
+         \x20                commit offsets across --target and measures a detailed\n\
+         \x20                W-warmup + D-commit window at each; figures report the\n\
+         \x20                pooled estimate plus a <name>-ci table of 95% CI half-widths\n\
          \x20 --csv DIR      also write <artifact>.csv and .json under DIR\n\
          \x20 --bars         render ASCII bar charts per column\n\
          \x20 --quiet        no progress dots\n\
@@ -123,6 +130,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 return Err("--workers was removed; use --jobs N".into());
             }
             "--batch" => cli.opts.batch = true,
+            "--sample" => {
+                let v = it
+                    .next()
+                    .ok_or("--sample needs intervals=N,warmup=W,detail=D")?;
+                cli.opts.sample = Some(SampleSpec::parse(v)?);
+            }
             "--csv" => {
                 cli.csv_dir = Some(it.next().ok_or("--csv needs a directory")?.clone());
             }
@@ -253,27 +266,29 @@ fn main() {
                 artifact: name.clone(),
             });
         }
-        let Some(table) = run_named(name, &sweeps) else {
+        let Some(tables) = run_named_all(name, &sweeps) else {
             // Unknown names are rejected in parse_args; this covers a
             // `detail:` target that names no suite workload.
             fail(&format!("unknown artifact: {name}"));
         };
-        println!("{}", table.render());
-        if cli.bars {
-            println!("{}", table.render_all_bars());
-        }
-        if let Some(dir) = &cli.csv_dir {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                fail(&format!("cannot create csv dir {dir}: {e}"));
+        for (tname, table) in &tables {
+            println!("{}", table.render());
+            if cli.bars {
+                println!("{}", table.render_all_bars());
             }
-            let path = format!("{dir}/{name}.csv");
-            let jpath = format!("{dir}/{name}.json");
-            if let Err(e) = std::fs::write(&path, table.to_csv())
-                .and_then(|_| std::fs::write(&jpath, table.to_json()))
-            {
-                fail(&format!("cannot write artifact files: {e}"));
+            if let Some(dir) = &cli.csv_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    fail(&format!("cannot create csv dir {dir}: {e}"));
+                }
+                let path = format!("{dir}/{tname}.csv");
+                let jpath = format!("{dir}/{tname}.json");
+                if let Err(e) = std::fs::write(&path, table.to_csv())
+                    .and_then(|_| std::fs::write(&jpath, table.to_json()))
+                {
+                    fail(&format!("cannot write artifact files: {e}"));
+                }
+                eprintln!("wrote {path} and {jpath}");
             }
-            eprintln!("wrote {path} and {jpath}");
         }
         if let Some(journal) = sweeps.journal() {
             journal.log(EventKind::ArtifactEnd {
@@ -537,6 +552,12 @@ fn client_cmd(args: &[String]) {
                 });
             }
             "--batch" => opts.batch = true,
+            "--sample" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--sample needs intervals=N,warmup=W,detail=D"));
+                opts.sample = Some(SampleSpec::parse(v).unwrap_or_else(|e| fail(&e)));
+            }
             "--csv" => match it.next() {
                 Some(v) => csv_dir = Some(v.clone()),
                 None => fail("--csv needs a directory"),
@@ -658,6 +679,25 @@ mod tests {
     fn batch_flag_sets_batched_mode() {
         assert!(parse(&["fig2", "--batch"]).unwrap().opts.batch);
         assert!(!parse(&["fig2"]).unwrap().opts.batch);
+    }
+
+    #[test]
+    fn sample_flag_parses_and_rejects_junk() {
+        let cli = parse(&["fig2", "--sample", "intervals=8,warmup=200,detail=800"]).unwrap();
+        assert_eq!(
+            cli.opts.sample,
+            Some(SampleSpec {
+                intervals: 8,
+                warmup: 200,
+                detail: 800
+            })
+        );
+        assert_eq!(parse(&["fig2"]).unwrap().opts.sample, None);
+        assert!(parse(&["fig2", "--sample"])
+            .unwrap_err()
+            .contains("--sample"));
+        assert!(parse(&["fig2", "--sample", "intervals=0,warmup=1,detail=1"]).is_err());
+        assert!(parse(&["fig2", "--sample", "bogus"]).is_err());
     }
 
     #[test]

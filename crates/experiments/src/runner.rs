@@ -19,18 +19,24 @@
 //! bounded number of times and at worst recorded as a failed job — it
 //! never tears down the sweep.
 
+use crate::sample::{self, SampleStats};
 use csmt_core::metrics::{SimResult, SimStats};
 use csmt_core::Simulator;
 use csmt_store::{
-    EventKind, ExecCounters, Executor, FlightCounters, JobDesc, Journal, Lookup, OrchCounters,
-    Orchestrator, ResultStore, RetryPolicy, SingleFlight, StoreCounters, StoreKey, SCHEMA_VERSION,
+    ArtifactStore, EventKind, ExecCounters, Executor, FlightCounters, JobDesc, Journal, Lookup,
+    OrchCounters, Orchestrator, ResultStore, RetryPolicy, SingleFlight, StoreCounters, StoreKey,
+    SCHEMA_VERSION,
 };
 use csmt_trace::stream::SharedStream;
 use csmt_trace::suite::{Bundle, TraceSpec, Workload};
-use csmt_types::{MachineConfig, RegFileSchemeKind, SchemeKind};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SampleSpec, SchemeKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// What one run produces: the memoized (possibly pooled) result, plus
+/// the per-interval sampling sidecar when the run was sampled.
+pub type RunOutput = (SimResult, Option<SampleStats>);
 
 /// Test-only fault injection for sweep jobs; see
 /// [`csmt_store::fault_injection`]. Re-exported here because the hook
@@ -193,6 +199,15 @@ pub struct ExpOptions {
     /// spec; see `tests/batch_determinism.rs`), so batched and
     /// per-config runs share store records.
     pub batch: bool,
+    /// Sampled simulation (`--sample intervals=N,warmup=W,detail=D`):
+    /// instead of one contiguous detailed run to `commit_target`, fast
+    /// forward (via checkpoints) to N evenly spaced commit offsets across
+    /// the `commit_target` horizon and run a detailed W-warmup + D-detail
+    /// window at each. The memoized result is the pooled estimate; the
+    /// per-interval measurements ride along as a [`SampleStats`] sidecar
+    /// so figures can annotate confidence intervals. Sampled results
+    /// never alias full runs in the store (the spec is part of the key).
+    pub sample: Option<SampleSpec>,
 }
 
 impl Default for ExpOptions {
@@ -205,6 +220,7 @@ impl Default for ExpOptions {
             verbose: true,
             validate: false,
             batch: false,
+            sample: None,
         }
     }
 }
@@ -233,7 +249,12 @@ type StreamCache = Mutex<HashMap<(String, u64), Arc<SharedStream>>>;
 pub struct Sweeps {
     pub opts: ExpOptions,
     results: Mutex<HashMap<RunKey, SimResult>>,
+    /// Per-interval sampling sidecars, populated only for sampled runs.
+    ci: Mutex<HashMap<RunKey, SampleStats>>,
     store: Option<Arc<ResultStore>>,
+    /// Checkpoint + sidecar cache, colocated with the result store
+    /// (`<store>/artifacts/`); `None` without a store.
+    artifacts: Option<Arc<ArtifactStore>>,
     journal: Option<Arc<Journal>>,
     orch: Orchestrator,
     exec: Executor,
@@ -242,7 +263,7 @@ pub struct Sweeps {
     /// Cross-store in-flight coalescing (the sweep service hands every
     /// `Sweeps` the same flight table so concurrent jobs hammering
     /// overlapping keys simulate each key once); `None` in batch-CLI use.
-    flight: Option<Arc<SingleFlight<SimResult>>>,
+    flight: Option<Arc<SingleFlight<RunOutput>>>,
 }
 
 impl Sweeps {
@@ -252,7 +273,9 @@ impl Sweeps {
         Sweeps {
             opts,
             results: Mutex::new(HashMap::new()),
+            ci: Mutex::new(HashMap::new()),
             store: None,
+            artifacts: None,
             journal: None,
             orch: Orchestrator::new(RetryPolicy::default(), None),
             exec: Executor::new(opts.jobs),
@@ -265,12 +288,15 @@ impl Sweeps {
     /// with a JSONL [`Journal`] and a crash-resilient orchestrator.
     pub fn with_store(opts: ExpOptions, dir: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let store = Arc::new(ResultStore::open(dir.as_ref())?);
+        let artifacts = Arc::new(ArtifactStore::open(dir.as_ref())?);
         let journal = Arc::new(Journal::open(dir.as_ref())?);
         let orch = Orchestrator::new(RetryPolicy::default(), Some(journal.clone()));
         Ok(Sweeps {
             opts,
             results: Mutex::new(HashMap::new()),
+            ci: Mutex::new(HashMap::new()),
             store: Some(store),
+            artifacts: Some(artifacts),
             journal: Some(journal),
             orch,
             exec: Executor::new(opts.jobs),
@@ -288,13 +314,16 @@ impl Sweeps {
         opts: ExpOptions,
         store: Arc<ResultStore>,
         journal: Arc<Journal>,
-        flight: Arc<SingleFlight<SimResult>>,
+        flight: Arc<SingleFlight<RunOutput>>,
     ) -> Self {
         let orch = Orchestrator::new(RetryPolicy::default(), Some(journal.clone()));
+        let artifacts = ArtifactStore::open(store.root()).ok().map(Arc::new);
         Sweeps {
             opts,
             results: Mutex::new(HashMap::new()),
+            ci: Mutex::new(HashMap::new()),
             store: Some(store),
+            artifacts,
             journal: Some(journal),
             orch,
             exec: Executor::new(opts.jobs),
@@ -340,6 +369,7 @@ impl Sweeps {
             commit_target: self.opts.commit_target,
             warmup: self.opts.warmup,
             max_cycles: self.opts.max_cycles,
+            sample: self.opts.sample,
         }
     }
 
@@ -388,28 +418,41 @@ impl Sweeps {
         if missing.is_empty() {
             return;
         }
-        // Warm phase: serve what the persistent store already has.
+        // Warm phase: serve what the persistent store already has. A
+        // sampled run is only a hit when its sidecar is also present and
+        // parses — a pooled result without its per-interval measurements
+        // would silently drop every CI table, so it re-simulates instead.
         let todo: Vec<(RunKey, RunInput)> = match &self.store {
             None => missing,
             Some(store) => missing
                 .into_iter()
                 .filter(|(key, _)| {
                     let skey = self.store_key(key);
-                    match store.get(&skey) {
-                        Lookup::Hit(result) => {
-                            if let Some(j) = &self.journal {
-                                j.log(EventKind::CacheHit { job: job_desc(key) });
+                    let hit = match store.get(&skey) {
+                        Lookup::Hit(result) => match self.opts.sample {
+                            None => {
+                                self.results.lock().insert(key.clone(), result);
+                                true
                             }
-                            self.results.lock().insert(key.clone(), result);
-                            false
-                        }
-                        Lookup::Miss => {
-                            if let Some(j) = &self.journal {
-                                j.log(EventKind::CacheMiss { job: job_desc(key) });
-                            }
-                            true
+                            Some(_) => match self.stored_sidecar(&skey) {
+                                Some(stats) => {
+                                    self.results.lock().insert(key.clone(), result);
+                                    self.ci.lock().insert(key.clone(), stats);
+                                    true
+                                }
+                                None => false,
+                            },
+                        },
+                        Lookup::Miss => false,
+                    };
+                    if let Some(j) = &self.journal {
+                        if hit {
+                            j.log(EventKind::CacheHit { job: job_desc(key) });
+                        } else {
+                            j.log(EventKind::CacheMiss { job: job_desc(key) });
                         }
                     }
+                    !hit
                 })
                 .collect(),
         };
@@ -433,39 +476,55 @@ impl Sweeps {
             // same content hash runs this once: the leader simulates
             // and persists *before* publishing, so a coalesced result
             // is already durable when a follower receives it.
-            let compute = || {
-                let outcome = self
-                    .orch
-                    .run_job(&desc, || run_one(key, input, &self.opts, streams));
+            let compute = || -> RunOutput {
+                let outcome = self.orch.run_job(&desc, || {
+                    run_one(key, input, &self.opts, streams, self.artifacts.as_deref())
+                });
                 match outcome {
-                    Some(result) => {
+                    Some(output) => {
+                        let skey = self.store_key(key);
                         if let Some(store) = &self.store {
-                            if let Err(e) = store.put(&self.store_key(key), &result) {
+                            if let Err(e) = store.put(&skey, &output.0) {
                                 eprintln!("store write failed for {desc}: {e}");
                             }
                         }
-                        result
+                        if let (Some(arts), Some(stats)) = (&self.artifacts, &output.1) {
+                            let payload = serde_json::to_string(stats).expect("sidecar serializes");
+                            if let Err(e) = arts.put_record(
+                                sample::SAMPLE_STATS_KIND,
+                                &skey.canonical_json(),
+                                &payload,
+                            ) {
+                                eprintln!("sidecar write failed for {desc}: {e}");
+                            }
+                        }
+                        output
                     }
                     // Every attempt panicked: record a zeroed result so
                     // dependent figures render (as zeros) instead of
                     // panicking; the journal and counters carry the
                     // failure.
-                    None => failed_placeholder(key, input, &self.opts),
+                    None => (failed_placeholder(key, input, &self.opts), None),
                 }
             };
-            let result = match &self.flight {
+            let output = match &self.flight {
                 Some(flight) => flight.run(self.store_key(key).content_hash(), compute).0,
                 None => compute(),
             };
             if self.opts.verbose {
                 eprint!(".");
             }
-            result
+            output
         });
         let mut map = self.results.lock();
-        for ((key, _), result) in todo.into_iter().zip(results) {
+        let mut ci = self.ci.lock();
+        for ((key, _), (result, stats)) in todo.into_iter().zip(results) {
+            if let Some(stats) = stats {
+                ci.insert(key.clone(), stats);
+            }
             map.insert(key, result);
         }
+        drop(ci);
         drop(map);
         if self.opts.verbose {
             eprintln!(" [{total} runs]");
@@ -547,6 +606,23 @@ impl Sweeps {
             .clone()
     }
 
+    /// Per-interval sampling sidecar of a run, if the run was sampled.
+    /// `None` for full runs, failed jobs, and keys never ensured.
+    pub fn get_ci(&self, key: &RunKey) -> Option<SampleStats> {
+        self.ci.lock().get(key).cloned()
+    }
+
+    /// Parse and verify a persisted sampling sidecar for one store key,
+    /// rejecting records whose interval count disagrees with the current
+    /// `--sample` spec (a stale sidecar from before a spec change).
+    fn stored_sidecar(&self, skey: &StoreKey) -> Option<SampleStats> {
+        let arts = self.artifacts.as_ref()?;
+        let payload = arts.get_record(sample::SAMPLE_STATS_KIND, &skey.canonical_json())?;
+        let stats: SampleStats = serde_json::from_str(&payload).ok()?;
+        let spec = self.opts.sample?;
+        (stats.spec == spec && stats.runs.len() as u64 == spec.intervals).then_some(stats)
+    }
+
     /// Number of memoized runs.
     pub fn len(&self) -> usize {
         self.results.lock().len()
@@ -602,7 +678,8 @@ fn run_one(
     input: &RunInput,
     opts: &ExpOptions,
     streams: Option<&StreamCache>,
-) -> SimResult {
+    artifacts: Option<&ArtifactStore>,
+) -> RunOutput {
     fault_injection::maybe_panic(&key.label);
     let cfg = key.cfg.build();
     let traces: Vec<TraceSpec> = match input {
@@ -610,6 +687,27 @@ fn run_one(
         RunInput::Single(s) => vec![(**s).clone()],
         RunInput::Bundle(b) => b.traces.clone(),
     };
+    if let Some(spec) = opts.sample {
+        // Sampled run: checkpointed fast-forward + N detailed windows.
+        // Batch mode shares decoded streams across the windows too — the
+        // stream cursor is re-seeked per restore, so window runs stay
+        // bit-identical to per-window decodes.
+        let shared: Option<Vec<Arc<SharedStream>>> =
+            streams.map(|cache| traces.iter().map(|t| stream_for(cache, t)).collect());
+        let (pooled, stats) = sample::sampled_run(
+            &cfg,
+            key.iq,
+            key.rf,
+            &traces,
+            spec,
+            opts.commit_target,
+            opts.max_cycles,
+            opts.validate,
+            shared.as_deref(),
+            artifacts,
+        );
+        return (pooled, Some(stats));
+    }
     let mut sim = match streams {
         Some(cache) => {
             let shared: Vec<Arc<SharedStream>> =
@@ -623,7 +721,10 @@ fn run_one(
         // panics the run, which the orchestrator journals and retries.
         sim.enable_oracle();
     }
-    sim.run_with_warmup(opts.warmup, opts.commit_target, opts.max_cycles)
+    (
+        sim.run_with_warmup(opts.warmup, opts.commit_target, opts.max_cycles),
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -640,6 +741,7 @@ mod tests {
             verbose: false,
             validate: false,
             batch: false,
+            sample: None,
         }
     }
 

@@ -15,7 +15,12 @@
 
 use crate::figures::{ABLATIONS, ALL_ARTIFACTS};
 use crate::runner::ExpOptions;
+use csmt_types::SampleSpec;
 use serde::{Deserialize, Serialize};
+
+/// Everything that groups specs onto one memoizing [`crate::Sweeps`]:
+/// each option that participates in the store identity of a run.
+pub type SweepGroupKey = (u64, u64, u64, bool, Option<SampleSpec>);
 
 /// One submitted unit of work: which artifacts to produce, under which
 /// run options.
@@ -31,6 +36,8 @@ pub struct JobSpec {
     pub max_cycles: u64,
     /// Shared-stream batched front end (`--batch`).
     pub batch: bool,
+    /// Sampled simulation plan (`--sample`); `None` for full runs.
+    pub sample: Option<SampleSpec>,
 }
 
 impl JobSpec {
@@ -42,6 +49,7 @@ impl JobSpec {
             warmup: opts.warmup,
             max_cycles: opts.max_cycles,
             batch: opts.batch,
+            sample: opts.sample,
         }
     }
 
@@ -74,6 +82,9 @@ impl JobSpec {
         if self.target == 0 {
             return Err("target must be positive".into());
         }
+        if let Some(s) = &self.sample {
+            s.validate()?;
+        }
         Ok(())
     }
 
@@ -89,13 +100,20 @@ impl JobSpec {
             verbose,
             validate: false,
             batch: self.batch,
+            sample: self.sample,
         }
     }
 
     /// Key grouping specs that can share one memoizing [`crate::Sweeps`]
     /// instance: every option that participates in the store identity.
-    pub fn sweep_group(&self) -> (u64, u64, u64, bool) {
-        (self.target, self.warmup, self.max_cycles, self.batch)
+    pub fn sweep_group(&self) -> SweepGroupKey {
+        (
+            self.target,
+            self.warmup,
+            self.max_cycles,
+            self.batch,
+            self.sample,
+        )
     }
 }
 
@@ -110,6 +128,7 @@ mod tests {
             warmup: 500,
             max_cycles: 1_000_000,
             batch: false,
+            sample: None,
         }
     }
 
@@ -169,5 +188,16 @@ mod tests {
         let mut c = spec(&["fig2"]);
         c.batch = true;
         assert_ne!(a.sweep_group(), c.sweep_group());
+        let mut d = spec(&["fig2"]);
+        d.sample = Some(SampleSpec {
+            intervals: 8,
+            warmup: 200,
+            detail: 800,
+        });
+        assert_ne!(a.sweep_group(), d.sweep_group(), "sampling splits groups");
+        assert_ne!(a.canonical(), d.canonical());
+        let mut bad = d.clone();
+        bad.sample.as_mut().unwrap().intervals = 0;
+        assert!(bad.validate().is_err(), "degenerate sample spec rejected");
     }
 }

@@ -46,6 +46,7 @@ fn opts(batch: bool, jobs: usize) -> ExpOptions {
         verbose: false,
         validate: false,
         batch,
+        sample: None,
     }
 }
 

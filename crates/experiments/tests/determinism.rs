@@ -72,6 +72,7 @@ fn fig2_avg_row_identical_across_worker_counts() {
             verbose: false,
             validate: false,
             batch: false,
+            sample: None,
         });
         sweeps.smt_batch(&workloads, &grid);
         // Serialize every result in grid order, then compute the AVG row
@@ -126,6 +127,7 @@ fn fig2_slice_table(jobs: usize) -> csmt_experiments::report::Table {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     });
     sweeps.smt_batch(&workloads, &grid);
     let columns: Vec<String> = fig2::combos()
@@ -217,6 +219,7 @@ fn jobs8_sweep_reproduces_golden_headline_speedups() {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     });
     sweeps.smt_batch(&workloads, &grid);
 

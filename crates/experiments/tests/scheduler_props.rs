@@ -89,6 +89,7 @@ proptest! {
             verbose: false,
             validate: false,
             batch: false,
+            sample: None,
         });
         let combos = [(
             SchemeKind::Icount,

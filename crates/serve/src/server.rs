@@ -19,11 +19,10 @@
 
 use crate::engine::{Effect, Engine, EngineConfig, Input};
 use crate::recovery::recover;
-use csmt_core::metrics::SimResult;
-use csmt_experiments::figures::run_named;
+use csmt_experiments::figures::run_named_all;
 use csmt_experiments::proto::{read_request, write_line, JobEvent, Request, Response, ServeStats};
-use csmt_experiments::spec::JobSpec;
-use csmt_experiments::Sweeps;
+use csmt_experiments::spec::{JobSpec, SweepGroupKey};
+use csmt_experiments::{RunOutput, Sweeps};
 use csmt_store::{Journal, ResultStore, SingleFlight};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
@@ -72,14 +71,14 @@ impl JobLog {
 
 /// Specs grouped by the options that shape store identity share one
 /// memoizing `Sweeps`.
-type SweepGroups = Mutex<HashMap<(u64, u64, u64, bool), Arc<Sweeps>>>;
+type SweepGroups = Mutex<HashMap<SweepGroupKey, Arc<Sweeps>>>;
 
 struct Inner {
     cfg: ServerConfig,
     engine: Mutex<Engine>,
     store: Arc<ResultStore>,
     journal: Arc<Journal>,
-    flight: Arc<SingleFlight<SimResult>>,
+    flight: Arc<SingleFlight<RunOutput>>,
     sweeps: SweepGroups,
     logs: Mutex<HashMap<u64, Arc<JobLog>>>,
     /// Set by the engine's `Stop` effect: accept loops exit.
@@ -266,13 +265,20 @@ impl Server {
                 for name in &spec.artifacts {
                     log.push(JobEvent::ArtifactStart { name: name.clone() });
                     let produced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_named(name, &sweeps)
+                        run_named_all(name, &sweeps)
                     }));
                     match produced {
-                        Ok(Some(table)) => log.push(JobEvent::ArtifactDone {
-                            name: name.clone(),
-                            table_json: table.to_json(),
-                        }),
+                        // Sampled jobs render companion `<name>-ci`
+                        // tables; each streams as its own ArtifactDone so
+                        // the client writes one CSV/JSON per table.
+                        Ok(Some(tables)) => {
+                            for (tname, table) in &tables {
+                                log.push(JobEvent::ArtifactDone {
+                                    name: tname.clone(),
+                                    table_json: table.to_json(),
+                                });
+                            }
+                        }
                         Ok(None) => {
                             failure = Some(format!("unknown artifact: {name}"));
                             break;

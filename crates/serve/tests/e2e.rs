@@ -56,6 +56,7 @@ fn tiny_opts() -> ExpOptions {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     }
 }
 

@@ -27,6 +27,7 @@ fn opts() -> ExpOptions {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     }
 }
 

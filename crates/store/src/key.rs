@@ -1,6 +1,6 @@
 //! Content addressing: the identity of one simulation run, and its hash.
 
-use csmt_types::MachineConfig;
+use csmt_types::{MachineConfig, SampleSpec};
 use serde::{Deserialize, Serialize};
 
 /// Version of the record format **and** of anything that changes simulated
@@ -37,6 +37,11 @@ pub struct StoreKey {
     pub warmup: u64,
     /// Hard cycle cap.
     pub max_cycles: u64,
+    /// Sampling plan, when the run is a checkpointed sampled estimate
+    /// rather than a contiguous detailed run. `None` (serialized as
+    /// `null`) for full runs, so sampled and full results of the same
+    /// workload never alias.
+    pub sample: Option<SampleSpec>,
 }
 
 impl StoreKey {
@@ -83,6 +88,7 @@ mod tests {
             commit_target: 20_000,
             warmup: 10_000,
             max_cycles: 30_000_000,
+            sample: None,
         }
     }
 
@@ -117,6 +123,18 @@ mod tests {
             base.content_hash(),
             k.content_hash(),
             "config is part of identity"
+        );
+
+        let mut k = key("a");
+        k.sample = Some(SampleSpec {
+            intervals: 8,
+            warmup: 200,
+            detail: 800,
+        });
+        assert_ne!(
+            base.content_hash(),
+            k.content_hash(),
+            "sampled and full runs must not alias"
         );
     }
 

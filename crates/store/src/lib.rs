@@ -37,8 +37,12 @@
 //!   journal.jsonl          append-only event log across runs
 //!   records/<hash>.json    header line (checksum) + payload line
 //!   quarantine/<hash>.json corrupt records, moved aside for post-mortem
+//!   artifacts/             [`ArtifactStore`]: checkpoints and sampling
+//!                          sidecars, same record framing and quarantine
+//!                          discipline (own index/records/quarantine)
 //! ```
 
+pub mod artifact;
 pub mod executor;
 pub mod journal;
 pub mod key;
@@ -46,6 +50,7 @@ pub mod orchestrator;
 pub mod single_flight;
 pub mod store;
 
+pub use artifact::{ArtifactCounters, ArtifactStore, ARTIFACT_SCHEMA};
 pub use executor::{default_jobs, ExecCounters, Executor};
 pub use journal::{Event, EventKind, JobDesc, Journal};
 pub use key::{fnv1a, StoreKey, SCHEMA_VERSION};

@@ -325,6 +325,7 @@ mod tests {
             commit_target: 1000,
             warmup: 100,
             max_cycles: 1_000_000,
+            sample: None,
         }
     }
 

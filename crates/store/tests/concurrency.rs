@@ -40,6 +40,7 @@ fn key(i: usize) -> StoreKey {
         commit_target: 2_000,
         warmup: 500,
         max_cycles: 10_000_000,
+        sample: None,
     }
 }
 

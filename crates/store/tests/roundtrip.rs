@@ -39,6 +39,7 @@ fn make_key(
         commit_target,
         warmup,
         max_cycles: 30_000_000,
+        sample: None,
     }
 }
 

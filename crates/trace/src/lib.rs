@@ -33,7 +33,7 @@ pub mod suite;
 
 pub use gen::{ThreadTrace, WrongPathSource};
 pub use io::{record_trace, TraceReader, TraceWriter};
-pub use oracle::{OracleDivergence, ThreadOracle};
+pub use oracle::{OracleDivergence, ThreadOracle, WarmFootprint};
 pub use profile::{TraceClass, TraceProfile};
 pub use program::Program;
 pub use stats::{characterize, characterize_trace, TraceStats};

@@ -20,6 +20,67 @@ use crate::gen::ThreadTrace;
 use crate::profile::TraceProfile;
 use crate::suite::TraceSpec;
 use csmt_types::OpClass;
+use std::collections::HashMap;
+
+/// Cache lines are recorded at this granularity during fast-forward.
+const WARM_LINE: u64 = 64;
+
+/// Most-recently-touched lines kept per thread in a checkpoint. Bounds
+/// the artifact size; the restore-side warm budget (a slice of the L2)
+/// is far smaller anyway.
+const MAX_WARM_LINES: usize = 4096;
+
+/// Memory lines touched during an architectural fast-forward, with
+/// recency. A checkpoint stores the most recently touched lines so the
+/// resumed simulator can pre-warm its memory hierarchy the way the
+/// skipped execution would have left it.
+#[derive(Debug, Default)]
+pub struct WarmFootprint {
+    /// line base address → last-touch tick.
+    lines: HashMap<u64, u64>,
+    tick: u64,
+}
+
+impl WarmFootprint {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an access of `size` bytes at `addr`.
+    pub fn touch(&mut self, addr: u64, size: u64) {
+        let first = addr & !(WARM_LINE - 1);
+        let last = (addr + size.max(1) - 1) & !(WARM_LINE - 1);
+        let mut line = first;
+        loop {
+            self.lines.insert(line, self.tick);
+            self.tick += 1;
+            if line >= last {
+                break;
+            }
+            line += WARM_LINE;
+        }
+        // Keep the map bounded: when it doubles past the cap, drop the
+        // oldest half. Eviction order is deterministic (ticks are unique).
+        if self.lines.len() > 2 * MAX_WARM_LINES {
+            let mut ticks: Vec<u64> = self.lines.values().copied().collect();
+            ticks.sort_unstable();
+            let cutoff = ticks[ticks.len() - MAX_WARM_LINES];
+            self.lines.retain(|_, &mut t| t >= cutoff);
+        }
+    }
+
+    /// The most recently touched line addresses, capped at
+    /// [`MAX_WARM_LINES`], ordered oldest-touched first so warming them
+    /// in order leaves the most recent lines most-recently-used.
+    pub fn recent_lines(&self) -> Vec<u64> {
+        let mut by_tick: Vec<(u64, u64)> = self.lines.iter().map(|(&l, &t)| (t, l)).collect();
+        by_tick.sort_unstable();
+        if by_tick.len() > MAX_WARM_LINES {
+            by_tick.drain(..by_tick.len() - MAX_WARM_LINES);
+        }
+        by_tick.into_iter().map(|(_, l)| l).collect()
+    }
+}
 
 /// A divergence between the simulator's committed stream and the oracle's
 /// architectural replay.
@@ -68,6 +129,21 @@ impl ThreadOracle {
     /// Committed non-copy uops cross-checked so far.
     pub fn committed(&self) -> u64 {
         self.position
+    }
+
+    /// Architecturally fast-forward `n` uops: replay the program in
+    /// order without checking anything, recording touched memory lines
+    /// into `footprint`. Afterwards the oracle expects commit `n` as the
+    /// next uop — exactly the state a detailed simulator reaches after
+    /// committing `n` uops of this thread.
+    pub fn fast_forward(&mut self, n: u64, footprint: &mut WarmFootprint) {
+        for _ in 0..n {
+            let u = self.trace.next_uop();
+            if let Some(m) = u.mem {
+                footprint.touch(m.addr, m.size as u64);
+            }
+            self.position += 1;
+        }
     }
 
     /// Check that sequence numbers strictly increase in commit order.
@@ -157,6 +233,41 @@ mod tests {
             u = stream.next_uop();
         }
         assert!(diverged, "skipping a uop must eventually diverge");
+    }
+
+    #[test]
+    fn fast_forward_lands_exactly_at_offset() {
+        let spec = &suite::suite()[0].traces[0];
+        let mut ff = ThreadOracle::from_spec(spec);
+        let mut fp = WarmFootprint::new();
+        ff.fast_forward(1234, &mut fp);
+        assert_eq!(ff.committed(), 1234);
+        // The fast-forwarded oracle continues exactly where a straight
+        // replay is at uop 1234.
+        let mut straight = ThreadTrace::from_profile(&spec.profile, spec.seed);
+        for _ in 0..1234 {
+            straight.next_uop();
+        }
+        for _ in 0..500 {
+            let u = straight.next_uop();
+            ff.expect_next(u.pc, u.class).unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_footprint_is_bounded_and_recency_ordered() {
+        let spec = &suite::suite()[0].traces[1]; // mem-bound: large footprint
+        let mut ff = ThreadOracle::from_spec(spec);
+        let mut fp = WarmFootprint::new();
+        ff.fast_forward(200_000, &mut fp);
+        let lines = fp.recent_lines();
+        assert!(!lines.is_empty());
+        assert!(lines.len() <= 4096, "footprint capped, got {}", lines.len());
+        // Deterministic: same replay, same lines in the same order.
+        let mut ff2 = ThreadOracle::from_spec(spec);
+        let mut fp2 = WarmFootprint::new();
+        ff2.fast_forward(200_000, &mut fp2);
+        assert_eq!(lines, fp2.recent_lines());
     }
 
     #[test]

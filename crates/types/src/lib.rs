@@ -19,6 +19,7 @@
 pub mod config;
 pub mod ids;
 pub mod prng;
+pub mod sample;
 pub mod uop;
 
 pub use config::{MachineConfig, RegFileSchemeKind, SchemeKind};
@@ -27,4 +28,5 @@ pub use ids::{
     MAX_THREADS, NUM_LOG_REGS,
 };
 pub use prng::Prng;
+pub use sample::SampleSpec;
 pub use uop::{BranchInfo, MemInfo, MicroOp};

@@ -1,0 +1,152 @@
+//! Sampled-simulation parameters.
+//!
+//! A sampled run replaces one long detailed simulation with `intervals`
+//! short detailed windows spread evenly across the trace: each window
+//! fast-forwards architecturally to its offset (via a checkpoint), warms
+//! the pipeline for `warmup` commits per thread, then measures `detail`
+//! commits per thread. Per-interval measurements aggregate into a mean
+//! and a Student-t confidence interval, so a sampled estimate always
+//! carries an honest error bar.
+//!
+//! The spec lives in `csmt-types` because it is part of the identity of
+//! a result: the content-addressed store keys sampled results by
+//! `(config, scheme, trace, SampleSpec)`, and the serve/batch layers
+//! ship it inside job specs.
+
+use serde::{Deserialize, Serialize};
+
+/// How to sample one long trace: `intervals` detailed windows of
+/// `detail` commits each, preceded by `warmup` commits of pipeline
+/// warm-up after the architectural fast-forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SampleSpec {
+    /// Number of evenly spaced detailed windows (N >= 1).
+    pub intervals: u64,
+    /// Detailed warm-up commits per thread before each measured window
+    /// (stats reset after warm-up, exactly like a full run's warmup).
+    pub warmup: u64,
+    /// Measured commits per thread in each window.
+    pub detail: u64,
+}
+
+impl SampleSpec {
+    /// Parse the CLI form `intervals=N,warmup=W,detail=D` (any order;
+    /// all three required).
+    pub fn parse(text: &str) -> Result<SampleSpec, String> {
+        let mut intervals = None;
+        let mut warmup = None;
+        let mut detail = None;
+        for part in text.split(',') {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad --sample field '{part}': expected key=value"))?;
+            let n: u64 = val
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad --sample value '{val}' for '{key}'"))?;
+            match key.trim() {
+                "intervals" => intervals = Some(n),
+                "warmup" => warmup = Some(n),
+                "detail" => detail = Some(n),
+                other => return Err(format!("unknown --sample field '{other}'")),
+            }
+        }
+        let spec = SampleSpec {
+            intervals: intervals.ok_or("--sample is missing 'intervals='")?,
+            warmup: warmup.ok_or("--sample is missing 'warmup='")?,
+            detail: detail.ok_or("--sample is missing 'detail='")?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The canonical CLI form (inverse of [`SampleSpec::parse`]).
+    pub fn render(&self) -> String {
+        format!(
+            "intervals={},warmup={},detail={}",
+            self.intervals, self.warmup, self.detail
+        )
+    }
+
+    /// Reject degenerate specs before they reach a simulator.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.intervals == 0 {
+            return Err("--sample intervals must be >= 1".into());
+        }
+        if self.detail == 0 {
+            return Err("--sample detail must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Architectural commit offset (per thread) where interval `i` of
+    /// `self.intervals` starts, for a trace measured over `horizon`
+    /// commits per thread. Interval 0 starts at offset 0 so a sampled
+    /// run always sees the program's start-up phase.
+    pub fn offset(&self, i: u64, horizon: u64) -> u64 {
+        debug_assert!(i < self.intervals);
+        (horizon / self.intervals) * i
+    }
+}
+
+impl std::fmt::Display for SampleSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_render() {
+        let s = SampleSpec::parse("intervals=8,warmup=200,detail=800").unwrap();
+        assert_eq!(
+            s,
+            SampleSpec {
+                intervals: 8,
+                warmup: 200,
+                detail: 800
+            }
+        );
+        assert_eq!(SampleSpec::parse(&s.render()).unwrap(), s);
+        // Order-insensitive.
+        assert_eq!(
+            SampleSpec::parse("detail=800,intervals=8,warmup=200").unwrap(),
+            s
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        assert!(SampleSpec::parse("intervals=8").is_err(), "missing fields");
+        assert!(SampleSpec::parse("intervals=0,warmup=1,detail=1").is_err());
+        assert!(SampleSpec::parse("intervals=2,warmup=1,detail=0").is_err());
+        assert!(SampleSpec::parse("intervals=x,warmup=1,detail=1").is_err());
+        assert!(SampleSpec::parse("bogus=1,warmup=1,detail=1").is_err());
+    }
+
+    #[test]
+    fn offsets_are_evenly_spaced_from_zero() {
+        let s = SampleSpec {
+            intervals: 4,
+            warmup: 100,
+            detail: 500,
+        };
+        let offs: Vec<u64> = (0..4).map(|i| s.offset(i, 40_000)).collect();
+        assert_eq!(offs, vec![0, 10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SampleSpec {
+            intervals: 8,
+            warmup: 200,
+            detail: 800,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SampleSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -14,6 +14,7 @@ fn tiny() -> Sweeps {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     })
 }
 
@@ -47,6 +48,7 @@ fn fign_runs_scaled_shapes_at_tiny_scale() {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     });
     let t = fign::run(&sweeps);
     // Two shapes × six bundles, plus the Average row.

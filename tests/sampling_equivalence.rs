@@ -1,0 +1,124 @@
+//! Statistical equivalence of sampled and full simulation.
+//!
+//! A sampled run (`--sample`) replaces one contiguous detailed run with
+//! N short detailed windows reached by architectural fast-forward. This
+//! suite locks down the contract that makes that substitution honest:
+//!
+//! 1. the sampled throughput estimate lands within its own reported 95%
+//!    confidence interval (modestly widened, see below) of the full-run
+//!    golden value, for the fig2-slice configs the bench harness also
+//!    tracks;
+//! 2. the reported half-width shrinks as the interval count grows —
+//!    more sampling genuinely buys a tighter error bar;
+//! 3. sampled runs are deterministic: same spec, same bytes.
+//!
+//! On the widening: the Student-t interval captures *within-sample*
+//! variance (program-phase heterogeneity across windows). It cannot see
+//! the systematic component — finite per-window warm-up reconstructs
+//! microarchitectural state imperfectly, and evenly spaced windows can
+//! alias against program periodicity. Empirically that component stays
+//! well under half of the statistical width at these parameters, so the
+//! test asserts |full − mean| ≤ 1.5 × half-width: tight enough to catch
+//! a broken fast-forward (which shifts estimates by whole IPC points),
+//! honest enough not to flake on the bias the CI provably cannot model.
+
+use csmt_core::Simulator;
+use csmt_experiments::bench::{SLICE_COMBOS, SLICE_WORKLOADS};
+use csmt_experiments::sample::{self, SampleStats};
+use csmt_trace::suite::{suite, Workload};
+use csmt_types::{MachineConfig, RegFileSchemeKind, SampleSpec, SchemeKind};
+
+const TARGET: u64 = 20_000;
+const MAX_CYCLES: u64 = 60_000_000;
+
+fn find(name: &str) -> Workload {
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("no workload {name}"))
+}
+
+fn full_throughput(w: &Workload, iq: SchemeKind, size: usize) -> f64 {
+    let cfg = MachineConfig::iq_study(size);
+    let mut sim = Simulator::new(cfg, iq, RegFileSchemeKind::Shared, &w.traces);
+    sim.run_with_warmup(500, TARGET, MAX_CYCLES).throughput()
+}
+
+fn sampled(w: &Workload, iq: SchemeKind, size: usize, intervals: u64) -> SampleStats {
+    let cfg = MachineConfig::iq_study(size);
+    let spec = SampleSpec {
+        intervals,
+        warmup: 1_500,
+        detail: 1_000,
+    };
+    sample::sampled_run(
+        &cfg,
+        iq,
+        RegFileSchemeKind::Shared,
+        &w.traces,
+        spec,
+        TARGET,
+        MAX_CYCLES,
+        false,
+        None,
+        None,
+    )
+    .1
+}
+
+/// Contract 1: every fig2-slice config's full-run throughput lands
+/// within 1.5 half-widths of the sampled estimate.
+#[test]
+fn sampled_estimate_contains_full_run_value() {
+    for name in SLICE_WORKLOADS {
+        let w = find(name);
+        for (iq, size) in SLICE_COMBOS {
+            let full = full_throughput(&w, iq, size);
+            let stats = sampled(&w, iq, size, 10);
+            let (mean, half) = stats.throughput_ci();
+            assert!(half > 0.0, "{name} {iq:?}/{size}: degenerate zero-width CI");
+            let err = (full - mean).abs();
+            assert!(
+                err <= 1.5 * half,
+                "{name} {iq:?}/{size}: full={full:.4} outside sampled \
+                 {mean:.4} ± 1.5×{half:.4} (|err|={err:.4})"
+            );
+        }
+    }
+}
+
+/// Contract 2: quadrupling the interval count tightens the error bar.
+/// (1/√N scaling plus the t-factor dropping from 3.18 to 2.13 predicts
+/// roughly a 3× shrink; asserting strict decrease keeps the test robust
+/// to phase heterogeneity between the two interval layouts.)
+#[test]
+fn half_width_shrinks_with_more_intervals() {
+    for name in ["DH/ilp.2.1", "mixes/mix.2.3"] {
+        let w = find(name);
+        let h4 = sampled(&w, SchemeKind::Cssp, 32, 4).throughput_ci().1;
+        let h16 = sampled(&w, SchemeKind::Cssp, 32, 16).throughput_ci().1;
+        assert!(
+            h16 < h4,
+            "{name}: half-width grew from {h4:.4} (N=4) to {h16:.4} (N=16)"
+        );
+    }
+}
+
+/// Contract 3: a sampled run is a pure function of its inputs — the
+/// sidecar (and therefore the pooled result) is byte-identical across
+/// repetitions.
+#[test]
+fn sampled_runs_are_deterministic() {
+    let w = find("DH/ilp.2.1");
+    let a = sampled(&w, SchemeKind::Cssp, 32, 4);
+    let b = sampled(&w, SchemeKind::Cssp, 32, 4);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "sampled sidecars must be bit-identical across runs"
+    );
+    assert_eq!(
+        serde_json::to_string(&a.pooled()).unwrap(),
+        serde_json::to_string(&b.pooled()).unwrap()
+    );
+}

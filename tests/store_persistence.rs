@@ -15,6 +15,7 @@ fn opts() -> ExpOptions {
         verbose: false,
         validate: false,
         batch: false,
+        sample: None,
     }
 }
 
