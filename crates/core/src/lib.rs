@@ -40,6 +40,7 @@
 pub mod check;
 pub mod checkpoint;
 pub mod metrics;
+pub mod perf;
 pub mod pipeline;
 pub mod probe;
 pub mod schemes;
@@ -49,6 +50,7 @@ pub mod tracelog;
 pub use check::{CheckSuite, UopView, Validator, Violation};
 pub use checkpoint::{Checkpoint, ThreadCheckpoint, CHECKPOINT_SCHEMA};
 pub use metrics::{fairness, fairness_n, FigureRow, SimResult, SimStats};
+pub use perf::{EpochStats, PerfCounters};
 pub use pipeline::{SimBuilder, Simulator};
 pub use probe::MachineSnapshot;
 pub use schemes::{

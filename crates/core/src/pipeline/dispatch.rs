@@ -115,19 +115,40 @@ impl Simulator {
                 Ok(()) => {
                     if i > 0 {
                         // Redirected away from the preferred cluster —
-                        // Figure 4 counts this as an issue-queue stall.
+                        // Figure 4 counts this as an issue-queue stall,
+                        // and the feedback layer charges it against the
+                        // cluster the steering algorithm wanted.
                         self.stats.iq_stall_events += 1;
+                        if let Some(p) = self.perf.as_mut() {
+                            p.note_iq_stall(t.idx(), preferred.idx());
+                        }
                     }
                     self.do_dispatch(t, fu, srcs, c, view, rf_view);
                     return true;
                 }
                 Err(veto) => {
-                    if i == 0 && veto == Veto::IqLimit {
-                        self.stats.iq_stall_events += 1;
+                    if i == 0 {
+                        match veto {
+                            Veto::IqLimit => {
+                                self.stats.iq_stall_events += 1;
+                                if let Some(p) = self.perf.as_mut() {
+                                    p.note_iq_stall(t.idx(), preferred.idx());
+                                }
+                            }
+                            Veto::Window => {
+                                if let Some(p) = self.perf.as_mut() {
+                                    p.note_window_stall(t.idx());
+                                }
+                            }
+                            Veto::RegFile(_) => {}
+                        }
                     }
                     if let Veto::RegFile(class) = veto {
                         self.rf_starved[t.idx()][class.idx()] = true;
                         self.stats.rf_blocked[t.idx()] += 1;
+                        if let Some(p) = self.perf.as_mut() {
+                            p.note_rf_stall(t.idx(), class);
+                        }
                     }
                 }
             }

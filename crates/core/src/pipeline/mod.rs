@@ -683,6 +683,13 @@ pub struct Simulator {
     pub(crate) commit_rr: u8,
     /// Register-file starvation flags for the current cycle (CDPRF input).
     pub(crate) rf_starved: [[bool; RegClass::COUNT]; MAX_THREADS],
+    /// Perf-counter feedback window for the counter-adaptive schemes
+    /// (None = one branch per cycle). Armed at build time iff an active
+    /// scheme asked for feedback and `cfg.adaptive_epoch > 0`. Derived
+    /// state, deliberately outside [`crate::Checkpoint`]: a restored
+    /// simulator restarts its window cold and the detailed warm-up
+    /// re-trains it deterministically.
+    pub(crate) perf: Option<crate::perf::PerfCounters>,
     /// Opt-in per-uop event log (None = zero overhead).
     pub(crate) event_log: Option<crate::tracelog::EventLog>,
     /// Orientation bit for every scheduling tie-break (fetch/rename/commit
@@ -823,6 +830,18 @@ impl Simulator {
         }
     }
 
+    /// Counter layer for a scheme pair: armed only when a scheme asked
+    /// for feedback and the configured epoch is non-zero.
+    fn perf_for(
+        cfg: &MachineConfig,
+        iq: &dyn IqScheme,
+        rf: &dyn RfScheme,
+    ) -> Option<crate::perf::PerfCounters> {
+        (cfg.adaptive_epoch > 0 && (iq.wants_feedback() || rf.wants_feedback())).then(|| {
+            crate::perf::PerfCounters::new(cfg.adaptive_epoch, cfg.num_threads, cfg.num_clusters)
+        })
+    }
+
     fn build(
         cfg: MachineConfig,
         iq_kind: SchemeKind,
@@ -904,9 +923,12 @@ impl Simulator {
                 }
             })
             .collect();
+        let iq_scheme = make_iq_scheme(iq_kind, &cfg);
+        let rf_scheme = make_rf_scheme(rf_kind, &cfg);
+        let perf = Self::perf_for(&cfg, iq_scheme.as_ref(), rf_scheme.as_ref());
         let mut sim = Simulator {
-            iq_scheme: make_iq_scheme(iq_kind, &cfg),
-            rf_scheme: make_rf_scheme(rf_kind, &cfg),
+            iq_scheme,
+            rf_scheme,
             tc: TraceCache::new(&cfg),
             gshare: Gshare::new(cfg.gshare_entries),
             indirect: IndirectPredictor::new(cfg.indirect_entries),
@@ -926,6 +948,7 @@ impl Simulator {
             stats: SimStats::sized(cfg.num_threads, cfg.num_clusters),
             commit_rr: orient,
             rf_starved: [[false; RegClass::COUNT]; MAX_THREADS],
+            perf,
             event_log: None,
             orient,
             specs: traces.to_vec(),
@@ -1073,6 +1096,24 @@ impl Simulator {
         // register files, so the view is current.
         self.rf_scheme
             .end_cycle(&self.rf_view_cycle, &self.rf_starved);
+        // Perf-counter feedback (counter-adaptive schemes): fold in this
+        // cycle's occupancy sample; at each epoch boundary deliver the
+        // closed window to both schemes. Pure function of simulated
+        // state, so adaptive runs stay byte-identical across serial /
+        // parallel / batched / served execution.
+        if let Some(p) = self.perf.as_mut() {
+            let mut committed = [0u64; MAX_THREADS];
+            for (i, th) in self.threads.iter().enumerate() {
+                committed[i] = th.committed;
+                for c in 0..self.cfg.num_clusters {
+                    p.note_occupancy(i, c, self.iqs[c].thread_occupancy(th.id));
+                }
+            }
+            if let Some(ep) = p.end_cycle(&committed) {
+                self.iq_scheme.observe_epoch(&ep);
+                self.rf_scheme.observe_epoch(&ep);
+            }
+        }
         // Per-cycle invariant sweep (after the RF scheme's own end-cycle
         // update so budget mirrors observe the same inputs it consumed).
         if self.checker.is_some() {
@@ -1538,6 +1579,12 @@ impl SimBuilder {
         let mut sim = Simulator::new(self.cfg, self.iq, self.rf, &self.traces);
         if let Some(custom) = self.iq_custom {
             sim.iq_scheme = custom;
+            // The custom scheme's feedback appetite may differ from the
+            // stock one it replaced: re-arm the counter layer to match.
+            // Nothing has stepped yet, so a fresh window is equivalent to
+            // having built with this scheme from the start.
+            sim.perf =
+                Simulator::perf_for(&sim.cfg, sim.iq_scheme.as_ref(), sim.rf_scheme.as_ref());
         }
         (sim, self.target, self.max_cycles)
     }

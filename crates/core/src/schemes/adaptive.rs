@@ -1,0 +1,353 @@
+//! Counter-adaptive schemes: CAIQ and CARF.
+//!
+//! Every Table-3/4 scheme partitions from *occupancy* alone; the related
+//! work (SYNPA, arxiv 2310.12786) shows runtime counters beat static
+//! shares. These two schemes start from the best static partitioners and
+//! re-apportion their shares once per feedback epoch from the
+//! [`EpochStats`] window the pipeline's perf-counter layer delivers:
+//!
+//! * **CAIQ** starts from CSSP's per-thread-per-cluster issue-queue share
+//!   (`iq_per_cluster / num_threads`) and each epoch moves
+//!   `adaptive_step` entries in each cluster from the thread with the
+//!   fewest dispatch stalls there to the thread with the most.
+//! * **CARF** starts from CISPRF's per-thread-per-class register cap
+//!   (`total_capacity / num_threads`) — the same per-thread, per-class
+//!   threshold array CDPRF adapts, driven by the same starvation signal,
+//!   but re-apportioned conservatively between threads instead of grown
+//!   from occupancy averages.
+//!
+//! Both moves are guarded by `adaptive_hysteresis` (no move unless the
+//! imbalance is at least that many stall events per epoch) and clamped to
+//! the validated floors, and both conserve the total: what one thread
+//! gains another loses, so the machine-wide capacity promise of the static
+//! parent is preserved at every instant. With `adaptive_epoch == 0` the
+//! feedback layer is never armed and each scheme is bit-identical to its
+//! static parent.
+//!
+//! Determinism: `observe_epoch` is a pure function of the epoch window
+//! (itself a pure function of simulated events) and the scheme's own
+//! state. Ties — equal stall counts — resolve to "no move", which also
+//! makes the decision symmetric under the thread/cluster mirror the
+//! metamorphic tests apply.
+
+use super::{EpochStats, IqScheme, RfScheme, RfView, SchedView};
+use csmt_types::{
+    ClusterId, MachineConfig, RegClass, RegFileSchemeKind, SchemeKind, ThreadId, MAX_CLUSTERS,
+    MAX_THREADS, NUM_LOG_REGS,
+};
+
+/// Minimum issue-queue entries CAIQ leaves any thread in any cluster: the
+/// config-validation floor (2 per thread per cluster), below which a
+/// two-source uop can wedge behind its own guarantee.
+pub const CAIQ_CAP_FLOOR: usize = 2;
+
+/// Pick the threads with the most and fewest stalls in `counts[..n]`.
+/// Ties resolve to the lowest index on both sides; an all-equal window
+/// returns `(i, i)` which callers treat as "no move". Returning equal
+/// indices on ties is what keeps the decision mirror-symmetric: swapped
+/// threads with swapped (equal) counts still produce no move.
+fn argmax_argmin(counts: impl Fn(usize) -> u64, n: usize) -> (usize, usize) {
+    let (mut hi, mut lo) = (0usize, 0usize);
+    for t in 1..n {
+        if counts(t) > counts(hi) {
+            hi = t;
+        }
+        if counts(t) < counts(lo) {
+            lo = t;
+        }
+    }
+    (hi, lo)
+}
+
+/// CAIQ — Counter-Adaptive Issue-Queue partitioning.
+pub struct Caiq {
+    /// Per-thread, per-cluster entry caps. Starts uniform at CSSP's share;
+    /// per-cluster column sums are invariant under adaptation.
+    caps: [[usize; MAX_CLUSTERS]; MAX_THREADS],
+    epoch: u64,
+    hysteresis: u64,
+    step: usize,
+    num_threads: usize,
+    num_clusters: usize,
+}
+
+impl Caiq {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let share = cfg.iq_per_cluster / cfg.num_threads;
+        Caiq {
+            caps: [[share; MAX_CLUSTERS]; MAX_THREADS],
+            epoch: cfg.adaptive_epoch,
+            hysteresis: cfg.adaptive_hysteresis,
+            step: cfg.adaptive_step,
+            num_threads: cfg.num_threads,
+            num_clusters: cfg.num_clusters,
+        }
+    }
+
+    /// Current entry cap of `t` in `c` (tests and proptests).
+    pub fn cap(&self, t: ThreadId, c: ClusterId) -> usize {
+        self.caps[t.idx()][c.idx()]
+    }
+}
+
+impl IqScheme for Caiq {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Caiq
+    }
+
+    fn headroom(&self, t: ThreadId, c: ClusterId, view: &SchedView) -> usize {
+        self.caps[t.idx()][c.idx()].saturating_sub(view.iq_occ[t.idx()][c.idx()])
+    }
+
+    fn wants_feedback(&self) -> bool {
+        self.epoch > 0
+    }
+
+    fn observe_epoch(&mut self, ep: &EpochStats) {
+        // Clusters adapt independently: per cluster, shift `step` entries
+        // from the thread that stalled least against it to the one that
+        // stalled most, if the gap clears the hysteresis band.
+        for c in 0..self.num_clusters {
+            let (hi, lo) = argmax_argmin(|t| ep.iq_stalls[t][c], self.num_threads);
+            if hi == lo || ep.iq_stalls[hi][c] - ep.iq_stalls[lo][c] < self.hysteresis.max(1) {
+                continue;
+            }
+            let moved = self
+                .step
+                .min(self.caps[lo][c].saturating_sub(CAIQ_CAP_FLOOR));
+            self.caps[lo][c] -= moved;
+            self.caps[hi][c] += moved;
+        }
+    }
+}
+
+/// CARF — Counter-Adaptive Register File.
+pub struct Carf {
+    /// Per-thread, per-class register thresholds (CDPRF's threshold shape),
+    /// starting at CISPRF's `total / num_threads` share. Per-class column
+    /// sums are invariant under adaptation.
+    threshold: [[usize; RegClass::COUNT]; MAX_THREADS],
+    /// Rename-progress floor per thread per class: one architected span
+    /// per cluster (`NUM_LOG_REGS × num_clusters`), the per-thread slice
+    /// of the config-validation floor.
+    floor: usize,
+    epoch: u64,
+    hysteresis: u64,
+    step: usize,
+    num_threads: usize,
+}
+
+impl Carf {
+    pub fn new(cfg: &MachineConfig) -> Self {
+        let mut threshold = [[0usize; RegClass::COUNT]; MAX_THREADS];
+        for class in [RegClass::Int, RegClass::FpSimd] {
+            let total = cfg.regs_per_cluster(class) * cfg.num_clusters;
+            for t in 0..MAX_THREADS {
+                threshold[t][class.idx()] = total / cfg.num_threads;
+            }
+        }
+        Carf {
+            threshold,
+            floor: NUM_LOG_REGS * cfg.num_clusters,
+            epoch: cfg.adaptive_epoch,
+            hysteresis: cfg.adaptive_hysteresis,
+            step: cfg.adaptive_step,
+            num_threads: cfg.num_threads,
+        }
+    }
+
+    /// Current threshold of `t` for `class` (tests and proptests).
+    pub fn threshold(&self, t: ThreadId, class: RegClass) -> usize {
+        self.threshold[t.idx()][class.idx()]
+    }
+
+    /// The rename-progress floor the thresholds never go below.
+    pub fn floor(&self) -> usize {
+        self.floor
+    }
+}
+
+impl RfScheme for Carf {
+    fn kind(&self) -> RegFileSchemeKind {
+        RegFileSchemeKind::Carf
+    }
+
+    fn allows(&self, t: ThreadId, class: RegClass, _c: ClusterId, view: &RfView) -> bool {
+        if view.unbounded {
+            return true;
+        }
+        view.used_total(t, class) < self.threshold[t.idx()][class.idx()]
+    }
+
+    fn wants_feedback(&self) -> bool {
+        self.epoch > 0
+    }
+
+    fn observe_epoch(&mut self, ep: &EpochStats) {
+        // Classes adapt independently, mirroring CDPRF's per-class
+        // thresholds: shift `step` registers from the least- to the
+        // most-starved thread when the gap clears the hysteresis band.
+        for k in 0..RegClass::COUNT {
+            let (hi, lo) = argmax_argmin(|t| ep.rf_stalls[t][k], self.num_threads);
+            if hi == lo || ep.rf_stalls[hi][k] - ep.rf_stalls[lo][k] < self.hysteresis.max(1) {
+                continue;
+            }
+            let moved = self
+                .step
+                .min(self.threshold[lo][k].saturating_sub(self.floor));
+            self.threshold[lo][k] -= moved;
+            self.threshold[hi][k] += moved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(num_threads: usize, num_clusters: usize) -> EpochStats {
+        EpochStats {
+            cycles: 1024,
+            committed: [0; MAX_THREADS],
+            iq_stalls: [[0; MAX_CLUSTERS]; MAX_THREADS],
+            rf_stalls: [[0; RegClass::COUNT]; MAX_THREADS],
+            window_stalls: [0; MAX_THREADS],
+            issue_occ: [[0; MAX_CLUSTERS]; MAX_THREADS],
+            num_threads,
+            num_clusters,
+        }
+    }
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId(i as u8)
+    }
+
+    fn c(i: usize) -> ClusterId {
+        ClusterId(i as u8)
+    }
+
+    #[test]
+    fn caiq_starts_at_cssp_share() {
+        let cfg = MachineConfig::baseline(); // 32-entry IQs, 2 threads
+        let s = Caiq::new(&cfg);
+        for th in 0..2 {
+            for cl in 0..2 {
+                assert_eq!(s.cap(t(th), c(cl)), 16);
+            }
+        }
+    }
+
+    #[test]
+    fn caiq_moves_entries_toward_the_stalled_thread_per_cluster() {
+        let cfg = MachineConfig::baseline();
+        let mut s = Caiq::new(&cfg);
+        let mut w = ep(2, 2);
+        w.iq_stalls[1][0] = 40; // thread 1 starves in cluster 0 only
+        s.observe_epoch(&w);
+        assert_eq!(s.cap(t(1), c(0)), 17);
+        assert_eq!(s.cap(t(0), c(0)), 15);
+        // Cluster 1 saw no imbalance: untouched.
+        assert_eq!(s.cap(t(0), c(1)), 16);
+        assert_eq!(s.cap(t(1), c(1)), 16);
+        // Per-cluster totals conserved.
+        assert_eq!(s.cap(t(0), c(0)) + s.cap(t(1), c(0)), 32);
+    }
+
+    #[test]
+    fn caiq_hysteresis_blocks_small_imbalance() {
+        let mut cfg = MachineConfig::baseline();
+        cfg.adaptive_hysteresis = 8;
+        let mut s = Caiq::new(&cfg);
+        let mut w = ep(2, 2);
+        w.iq_stalls[1][0] = 7; // below the band
+        s.observe_epoch(&w);
+        assert_eq!(s.cap(t(0), c(0)), 16);
+        assert_eq!(s.cap(t(1), c(0)), 16);
+        w.iq_stalls[1][0] = 8; // at the band edge: moves
+        s.observe_epoch(&w);
+        assert_eq!(s.cap(t(1), c(0)), 17);
+    }
+
+    #[test]
+    fn caiq_equal_windows_never_move() {
+        // Hysteresis 0 must still treat a dead-even window as "no move" —
+        // this is the tie case the mirror symmetry rests on.
+        let mut cfg = MachineConfig::baseline();
+        cfg.adaptive_hysteresis = 0;
+        let mut s = Caiq::new(&cfg);
+        let mut w = ep(2, 2);
+        w.iq_stalls[0][0] = 25;
+        w.iq_stalls[1][0] = 25;
+        s.observe_epoch(&w);
+        assert_eq!(s.cap(t(0), c(0)), 16);
+        assert_eq!(s.cap(t(1), c(0)), 16);
+    }
+
+    #[test]
+    fn caiq_clamps_at_the_floor() {
+        let mut cfg = MachineConfig::baseline();
+        cfg.adaptive_step = 64; // try to move far more than the donor has
+        let mut s = Caiq::new(&cfg);
+        let mut w = ep(2, 2);
+        w.iq_stalls[1][0] = 100;
+        for _ in 0..10 {
+            s.observe_epoch(&w);
+        }
+        assert_eq!(s.cap(t(0), c(0)), CAIQ_CAP_FLOOR);
+        assert_eq!(s.cap(t(1), c(0)), 32 - CAIQ_CAP_FLOOR);
+    }
+
+    #[test]
+    fn carf_starts_at_cisprf_share_and_clamps_at_the_rename_floor() {
+        let cfg = MachineConfig::rf_study(128); // 128 regs/cluster → 256 total
+        let mut s = Carf::new(&cfg);
+        assert_eq!(s.threshold(t(0), RegClass::Int), 128);
+        assert_eq!(s.floor(), NUM_LOG_REGS * 2);
+        let mut w = ep(2, 2);
+        w.rf_stalls[1][RegClass::Int.idx()] = 100;
+        for _ in 0..200 {
+            s.observe_epoch(&w);
+        }
+        assert_eq!(s.threshold(t(0), RegClass::Int), NUM_LOG_REGS * 2);
+        assert_eq!(s.threshold(t(1), RegClass::Int), 256 - NUM_LOG_REGS * 2);
+        // The FP file saw no starvation: untouched.
+        assert_eq!(s.threshold(t(0), RegClass::FpSimd), 128);
+    }
+
+    #[test]
+    fn carf_at_the_paper_floor_config_never_leaves_the_cisprf_share() {
+        // At the smallest studied file (64/cluster) the CISPRF share *is*
+        // the rename floor, so adaptation has no room: CARF must stay put
+        // rather than trade away a thread's rename-progress guarantee.
+        let cfg = MachineConfig::rf_study(64);
+        let mut s = Carf::new(&cfg);
+        let mut w = ep(2, 2);
+        w.rf_stalls[1][RegClass::Int.idx()] = 1_000;
+        s.observe_epoch(&w);
+        assert_eq!(s.threshold(t(0), RegClass::Int), 64);
+        assert_eq!(s.threshold(t(1), RegClass::Int), 64);
+    }
+
+    #[test]
+    fn carf_allows_matches_cisprf_until_adapted() {
+        use crate::schemes::Cisprf;
+        let cfg = MachineConfig::rf_study(64);
+        let carf = Carf::new(&cfg);
+        let cisprf = Cisprf;
+        let mut view = RfView {
+            capacity: [64, 64],
+            ..Default::default()
+        };
+        for used in [0usize, 32, 63, 64, 80] {
+            view.used[0][0][0] = used;
+            assert_eq!(
+                carf.allows(t(0), RegClass::Int, c(0), &view),
+                cisprf.allows(t(0), RegClass::Int, c(0), &view),
+                "used = {used}"
+            );
+        }
+        view.unbounded = true;
+        view.used[0][0][0] = 10_000;
+        assert!(carf.allows(t(0), RegClass::Int, c(0), &view));
+    }
+}

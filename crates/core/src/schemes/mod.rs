@@ -9,14 +9,17 @@
 //!
 //! The paper's final proposal is CSSP + CDPRF.
 
+mod adaptive;
 pub mod ext;
 mod iq;
 mod rf;
 
+pub use adaptive::{Caiq, Carf, CAIQ_CAP_FLOOR};
 pub use ext::{BranchGate, Dcra, HillClimb, RoundRobin};
 pub use iq::*;
 pub use rf::*;
 
+use crate::perf::EpochStats;
 use csmt_types::{ClusterId, RegClass, SchemeKind, ThreadId, MAX_CLUSTERS};
 
 /// Maximum hardware threads (compile-time array bound; the runtime thread
@@ -212,6 +215,18 @@ pub trait IqScheme: Send {
     fn steered_caps(&self) -> SteeredCaps {
         SteeredCaps::default()
     }
+
+    /// Whether the scheme wants the perf-counter feedback layer armed.
+    /// The pipeline only pays for counter accumulation when an active
+    /// scheme returns `true`.
+    fn wants_feedback(&self) -> bool {
+        false
+    }
+
+    /// Epoch-boundary feedback hook: the closed counter window of the last
+    /// `adaptive_epoch` cycles. Only ever called when [`Self::wants_feedback`]
+    /// returned `true` at build time.
+    fn observe_epoch(&mut self, _ep: &EpochStats) {}
 }
 
 /// Static per-thread occupancy caps a scheme promises never to exceed with
@@ -245,6 +260,14 @@ pub trait RfScheme: Send {
     fn as_cdprf(&self) -> Option<&Cdprf> {
         None
     }
+
+    /// Whether the scheme wants the perf-counter feedback layer armed.
+    fn wants_feedback(&self) -> bool {
+        false
+    }
+
+    /// Epoch-boundary feedback hook; see [`IqScheme::observe_epoch`].
+    fn observe_epoch(&mut self, _ep: &EpochStats) {}
 }
 
 /// Instantiate an issue-queue scheme.
@@ -257,6 +280,7 @@ pub fn make_iq_scheme(kind: SchemeKind, cfg: &csmt_types::MachineConfig) -> Box<
         SchemeKind::Cssp => Box::new(Cssp::new(cfg)),
         SchemeKind::Cspsp => Box::new(Cspsp::new(cfg)),
         SchemeKind::Pc => Box::new(PrivateClusters::new(cfg)),
+        SchemeKind::Caiq => Box::new(Caiq::new(cfg)),
     }
 }
 
@@ -271,5 +295,6 @@ pub fn make_rf_scheme(
         K::Cssprf => Box::new(Cssprf),
         K::Cisprf => Box::new(Cisprf),
         K::Cdprf => Box::new(Cdprf::new(cfg)),
+        K::Carf => Box::new(Carf::new(cfg)),
     }
 }

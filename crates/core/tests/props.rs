@@ -516,6 +516,133 @@ mod checkpoint_boundary {
     }
 }
 
+// Counter-adaptive schemes (CAIQ/CARF): epoch re-apportioning must
+// conserve total capacity and respect the validated floors at every
+// supported shape, for any sequence of feedback windows.
+mod adaptive_props {
+    use super::*;
+    use csmt_core::perf::EpochStats;
+    use csmt_core::schemes::{Caiq, Carf, CAIQ_CAP_FLOOR};
+    use csmt_types::{MAX_CLUSTERS, MAX_THREADS, NUM_LOG_REGS};
+
+    /// Synthetic feedback window from raw per-thread stall draws. The
+    /// same 8×4 draw feeds the IQ stalls directly and the RF stalls via
+    /// its first two columns — the schemes only ever compare counts
+    /// within a column, so any coupling between the two is harmless.
+    fn window(n: usize, m: usize, stalls: &[[u64; MAX_CLUSTERS]; MAX_THREADS]) -> EpochStats {
+        let mut rf_stalls = [[0u64; RegClass::COUNT]; MAX_THREADS];
+        for t in 0..MAX_THREADS {
+            rf_stalls[t].copy_from_slice(&stalls[t][..RegClass::COUNT]);
+        }
+        EpochStats {
+            cycles: 1024,
+            committed: [0; MAX_THREADS],
+            iq_stalls: *stalls,
+            rf_stalls,
+            window_stalls: [0; MAX_THREADS],
+            issue_occ: [[0; MAX_CLUSTERS]; MAX_THREADS],
+            num_threads: n,
+            num_clusters: m,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn reapportioning_conserves_capacity_and_floors_across_shapes(
+            n in 1usize..=8,
+            m in 1usize..=4,
+            iq_size in prop::sample::select(vec![16usize, 32, 48, 64]),
+            regs in prop::sample::select(vec![256usize, 320, 512]),
+            step in 1usize..=8,
+            hyst in 0u64..=8,
+            windows in prop::collection::vec(
+                prop::collection::vec(0u64..200, MAX_THREADS * MAX_CLUSTERS), 1..10),
+        ) {
+            let mut cfg = MachineConfig::baseline();
+            cfg.num_threads = n;
+            cfg.num_clusters = m;
+            cfg.iq_per_cluster = iq_size;
+            cfg.int_regs_per_cluster = regs;
+            cfg.fp_regs_per_cluster = regs;
+            cfg.adaptive_epoch = 1024;
+            cfg.adaptive_hysteresis = hyst;
+            cfg.adaptive_step = step;
+            prop_assert!(cfg.validate().is_ok(), "{n}x{m} rejected");
+
+            use csmt_core::schemes::{IqScheme, RfScheme};
+            let mut caiq = Caiq::new(&cfg);
+            let mut carf = Carf::new(&cfg);
+            let iq_share = iq_size / n;
+            let rf_share = regs * m / n;
+            for draws in &windows {
+                let mut stalls = [[0u64; MAX_CLUSTERS]; MAX_THREADS];
+                for (i, &v) in draws.iter().enumerate() {
+                    stalls[i / MAX_CLUSTERS][i % MAX_CLUSTERS] = v;
+                }
+                caiq.observe_epoch(&window(n, m, &stalls));
+                carf.observe_epoch(&window(n, m, &stalls));
+                for c in 0..m {
+                    let col: usize =
+                        (0..n).map(|t| caiq.cap(ThreadId(t as u8), ClusterId(c as u8))).sum();
+                    prop_assert_eq!(col, iq_share * n,
+                        "cluster {} IQ capacity not conserved", c);
+                    for t in 0..n {
+                        prop_assert!(
+                            caiq.cap(ThreadId(t as u8), ClusterId(c as u8)) >= CAIQ_CAP_FLOOR,
+                            "thread {} squeezed below the IQ floor in cluster {}", t, c);
+                    }
+                }
+                for class in [RegClass::Int, RegClass::FpSimd] {
+                    let col: usize =
+                        (0..n).map(|t| carf.threshold(ThreadId(t as u8), class)).sum();
+                    prop_assert_eq!(col, rf_share * n,
+                        "{:?} register capacity not conserved", class);
+                    for t in 0..n {
+                        prop_assert!(
+                            carf.threshold(ThreadId(t as u8), class) >= NUM_LOG_REGS * m,
+                            "thread {} squeezed below the {:?} rename floor", t, class);
+                    }
+                }
+            }
+        }
+    }
+
+    // Feedback disabled (`adaptive_epoch = 0`, i.e. epoch = ∞): the
+    // counter layer is never armed and the adaptive schemes must be
+    // bit-identical to their static parents over whole runs — same
+    // serialized SimStats, the same identity the golden fixtures use.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn feedback_disabled_is_bit_identical_to_the_static_parents(
+            widx in 0usize..120,
+            seed_bump in 0u64..3,
+        ) {
+            let workloads = csmt_trace::suite::suite();
+            let w = &workloads[widx % workloads.len()];
+            let mut traces = w.traces.to_vec();
+            for t in &mut traces {
+                t.seed = t.seed.wrapping_add(seed_bump);
+            }
+            let mut cfg = MachineConfig::rf_study(96);
+            cfg.adaptive_epoch = 0;
+            let run = |iq, rf| {
+                let mut sim = Simulator::new(cfg.clone(), iq, rf, &traces);
+                let res = sim.run(1_000, 2_000_000);
+                serde_json::to_string(&res.stats).unwrap()
+            };
+            prop_assert_eq!(
+                run(SchemeKind::Caiq, RegFileSchemeKind::Carf),
+                run(SchemeKind::Cssp, RegFileSchemeKind::Cisprf),
+                "epoch-disabled adaptive pair diverged from CSSP+CISPRF"
+            );
+        }
+    }
+}
+
 // CSSP's contract in the *running pipeline* (not just the policy
 // algebra): a thread may never hold more than half of any cluster's
 // issue queue with *steered* uops, which is exactly what guarantees the

@@ -19,7 +19,7 @@
 //! * a missing or mismatched sidecar (full-run baseline, failed job)
 //!   degrades that cell to 0.0 — an absent error bar, never a crash.
 
-use super::{by_category, fig10, fig2, fign};
+use super::{by_category, fig10, fig2, fign, figpair};
 use crate::report::Table;
 use crate::runner::{CfgKind, RunKey, Sweeps};
 use crate::sample::{self, SampleStats};
@@ -317,6 +317,51 @@ pub fn fign_ci(sweeps: &Sweeps) -> Table {
     t
 }
 
+/// figPair companion: half-widths of the per-regime throughputs and of
+/// the paired Adapt/Static ratio. The `Flips` column is a per-pairing
+/// binary decision, not an interval statistic, so its cells are 0.0
+/// (no error bar) by construction.
+pub fn figpair_ci(sweeps: &Sweeps) -> Table {
+    let cfg = CfgKind::RfStudy {
+        regs: figpair::PAIR_REGS,
+    };
+    let mut columns: Vec<String> = figpair::combos()
+        .iter()
+        .map(|(n, _, _)| n.to_string())
+        .collect();
+    columns.push("Adapt/Static".to_string());
+    columns.push("Flips".to_string());
+    let mut t = Table::new(
+        "figPair (CI) — 95% half-width of per-regime throughput (RF96 machine)",
+        "category",
+        columns,
+    );
+    let tp_series = |sweeps: &Sweeps, w: &Workload, j: usize| {
+        let (_, s, rf) = figpair::combos()[j];
+        series(sweeps, &Sweeps::smt_key(w, s, rf, cfg), |r| r.throughput())
+    };
+    for (c, ws) in by_category() {
+        let vals: Vec<f64> = (0..5)
+            .map(|j| {
+                let halves: Vec<f64> = ws
+                    .iter()
+                    .map(|w| match j {
+                        0..=2 => tp_series(sweeps, w, j)
+                            .map(|vs| sample::mean_ci(&vs).1)
+                            .unwrap_or(0.0),
+                        3 => paired_half(tp_series(sweeps, w, 2), tp_series(sweeps, w, 1)),
+                        _ => 0.0,
+                    })
+                    .collect();
+                sample::combine_halves(&halves)
+            })
+            .collect();
+        t.push(c.name(), vals);
+    }
+    push_combined(&mut t, "AVG");
+    t
+}
+
 /// CI companion table for one artifact, when one exists. Must run after
 /// the main artifact (the runs and sidecars are already ensured); never
 /// simulates anything itself.
@@ -326,6 +371,7 @@ pub fn run_named_ci(name: &str, sweeps: &Sweeps) -> Option<Table> {
         "fig4" => fig4_ci(sweeps),
         "fig10" => fig10_ci(sweeps),
         "figN" => fign_ci(sweeps),
+        "figPair" => figpair_ci(sweeps),
         _ => return None,
     })
 }

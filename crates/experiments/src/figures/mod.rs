@@ -13,6 +13,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig9;
 pub mod fign;
+pub mod figpair;
 pub mod summary;
 pub mod tables;
 
@@ -72,6 +73,7 @@ pub fn run_named(name: &str, sweeps: &Sweeps) -> Option<Table> {
         "fig9" => fig9::run(sweeps),
         "fig10" => fig10::run(sweeps),
         "figN" => fign::run(sweeps),
+        "figPair" => figpair::run(sweeps),
         "summary" => summary::run(sweeps),
         "ablation-steering" => ablations::steering(sweeps),
         "ablation-interval" => ablations::interval(sweeps),
@@ -103,9 +105,10 @@ pub fn run_named_all(name: &str, sweeps: &Sweeps) -> Option<Vec<(String, Table)>
 }
 
 /// All artifact names in paper order. `figN` extends the paper to scaled
-/// machine shapes (4 threads × 2/4 clusters).
-pub const ALL_ARTIFACTS: [&str; 10] = [
-    "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "figN", "summary",
+/// machine shapes (4 threads × 2/4 clusters); `figPair` extends it to
+/// counter-adaptive schemes (pairing sweep, Shared vs Static vs Adaptive).
+pub const ALL_ARTIFACTS: [&str; 11] = [
+    "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "figN", "figPair", "summary",
 ];
 
 /// Ablation artifact names (run via `csmt-experiments ablations`).

@@ -100,14 +100,14 @@ pub struct FuzzReport {
 }
 
 fn parse_iq(name: &str) -> Result<SchemeKind, String> {
-    SchemeKind::all()
+    SchemeKind::extended()
         .into_iter()
         .find(|s| s.name() == name)
         .ok_or_else(|| format!("unknown IQ scheme '{name}'"))
 }
 
 fn parse_rf(name: &str) -> Result<RegFileSchemeKind, String> {
-    RegFileSchemeKind::all()
+    RegFileSchemeKind::extended()
         .into_iter()
         .find(|s| s.name() == name)
         .ok_or_else(|| format!("unknown RF scheme '{name}'"))
@@ -168,6 +168,12 @@ fn random_config(rng: &mut Prng) -> MachineConfig {
     // Scheme knobs.
     c.steer_imbalance_threshold = (1 + rng.below(12)) as usize;
     c.cdprf_interval = 1u64 << (9 + rng.below(6)); // 512..=16384
+                                                   // Feedback knobs of the counter-adaptive family. Short epochs relative
+                                                   // to fuzz targets so CAIQ/CARF cases actually adapt mid-run; a slice
+                                                   // of the corpus draws epoch 0 (feedback off — the static-parent path).
+    c.adaptive_epoch = [0u64, 64, 128, 256, 512, 1024][rng.below(6) as usize];
+    c.adaptive_hysteresis = rng.below(9); // 0..=8
+    c.adaptive_step = (1 + rng.below(4)) as usize; // 1..=4
     c.symmetric_sched = rng.chance(0.5);
     c.validate().expect("generated config escapes the envelope");
     c
@@ -177,8 +183,8 @@ fn random_config(rng: &mut Prng) -> MachineConfig {
 /// `(master, index)` always yields the same case.
 pub fn generate_case(master: u64, index: u64) -> FuzzCase {
     let mut rng = Prng::derive(master, index);
-    let iq = SchemeKind::all()[rng.below(7) as usize];
-    let rf = RegFileSchemeKind::all()[rng.below(4) as usize];
+    let iq = SchemeKind::extended()[rng.below(8) as usize];
+    let rf = RegFileSchemeKind::extended()[rng.below(5) as usize];
     let config = random_config(&mut rng);
     let workloads = suite();
     let w = &workloads[rng.below(workloads.len() as u64) as usize];
@@ -309,6 +315,15 @@ pub fn run_case(case: &FuzzCase, validate: bool) -> Result<(), String> {
 /// knobs matter".
 type Revert = fn(&mut MachineConfig, &MachineConfig);
 const REVERTS: &[(&str, Revert)] = &[
+    // Tried first: a repro that survives with feedback back at the
+    // defaults is not about the adaptive machinery, and the adaptive
+    // knobs must drop out of a minimal case before anything trace- or
+    // resource-shaped is touched.
+    ("adaptive-knobs", |c, b| {
+        c.adaptive_epoch = b.adaptive_epoch;
+        c.adaptive_hysteresis = b.adaptive_hysteresis;
+        c.adaptive_step = b.adaptive_step;
+    }),
     ("caches", |c, b| {
         c.l1_size = b.l1_size;
         c.l1_assoc = b.l1_assoc;
@@ -473,6 +488,9 @@ pub fn config_diff(c: &MachineConfig) -> String {
     d!(victim_lines);
     d!(steer_imbalance_threshold);
     d!(cdprf_interval);
+    d!(adaptive_epoch);
+    d!(adaptive_hysteresis);
+    d!(adaptive_step);
     d!(symmetric_sched);
     parts.join(" ")
 }
@@ -633,6 +651,29 @@ mod tests {
         assert!(shrunk.commit_target < case.commit_target);
         assert_eq!(shrunk.ff_split, 0, "always-failing case keeps a split");
         assert_eq!(config_diff(&shrunk.config), "num_threads=1 num_clusters=1");
+    }
+
+    #[test]
+    fn corpus_draws_the_adaptive_schemes() {
+        let mut caiq = 0;
+        let mut carf = 0;
+        let mut adapting = 0;
+        for i in 0..60 {
+            let c = generate_case(DEFAULT_MASTER_SEED, i);
+            let is_caiq = c.iq == SchemeKind::Caiq.name();
+            let is_carf = c.rf == RegFileSchemeKind::Carf.name();
+            caiq += is_caiq as usize;
+            carf += is_carf as usize;
+            if (is_caiq || is_carf) && c.config.adaptive_epoch > 0 {
+                adapting += 1;
+            }
+        }
+        assert!(caiq >= 3, "only {caiq}/60 cases draw CAIQ");
+        assert!(carf >= 3, "only {carf}/60 cases draw CARF");
+        assert!(
+            adapting >= 3,
+            "only {adapting}/60 adaptive cases have feedback enabled"
+        );
     }
 
     #[test]

@@ -61,9 +61,15 @@ pub enum SchemeKind {
     Cspsp,
     /// Private Clusters: thread *t* is statically bound to cluster *t*.
     Pc,
+    /// Counter-Adaptive IQ partitioning: starts from CSSP's per-cluster
+    /// shares and re-apportions them every `adaptive_epoch` cycles from
+    /// observed dispatch-stall imbalance (SYNPA-style feedback).
+    Caiq,
 }
 
 impl SchemeKind {
+    /// The paper's Table-3 grid. Deliberately excludes the feedback-driven
+    /// extensions so the reproduction artifacts stay on the paper's axes.
     pub fn all() -> [SchemeKind; 7] {
         [
             SchemeKind::Icount,
@@ -76,6 +82,21 @@ impl SchemeKind {
         ]
     }
 
+    /// The paper grid plus the feedback-driven extensions (fuzzing and the
+    /// pairing-sweep artifact draw from this list).
+    pub fn extended() -> [SchemeKind; 8] {
+        [
+            SchemeKind::Icount,
+            SchemeKind::Stall,
+            SchemeKind::FlushPlus,
+            SchemeKind::Cisp,
+            SchemeKind::Cssp,
+            SchemeKind::Cspsp,
+            SchemeKind::Pc,
+            SchemeKind::Caiq,
+        ]
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             SchemeKind::Icount => "Icount",
@@ -85,6 +106,7 @@ impl SchemeKind {
             SchemeKind::Cssp => "CSSP",
             SchemeKind::Cspsp => "CSPSP",
             SchemeKind::Pc => "PC",
+            SchemeKind::Caiq => "CAIQ",
         }
     }
 }
@@ -111,9 +133,16 @@ pub enum RegFileSchemeKind {
     /// proposal (Figures 7 and 8): per-thread, per-class thresholds adapted
     /// every interval from occupancy (RFOC) and starvation counters.
     Cdprf,
+    /// Counter-Adaptive Register File: starts from CISPRF's per-thread,
+    /// per-class thresholds and re-apportions them every `adaptive_epoch`
+    /// cycles from observed register-file starvation imbalance, reusing the
+    /// CDPRF per-thread/per-class threshold machinery.
+    Carf,
 }
 
 impl RegFileSchemeKind {
+    /// The paper's Table-4 grid. Deliberately excludes the feedback-driven
+    /// extensions so the reproduction artifacts stay on the paper's axes.
     pub fn all() -> [RegFileSchemeKind; 4] {
         [
             RegFileSchemeKind::Shared,
@@ -123,12 +152,25 @@ impl RegFileSchemeKind {
         ]
     }
 
+    /// The paper grid plus the feedback-driven extensions (fuzzing and the
+    /// pairing-sweep artifact draw from this list).
+    pub fn extended() -> [RegFileSchemeKind; 5] {
+        [
+            RegFileSchemeKind::Shared,
+            RegFileSchemeKind::Cssprf,
+            RegFileSchemeKind::Cisprf,
+            RegFileSchemeKind::Cdprf,
+            RegFileSchemeKind::Carf,
+        ]
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             RegFileSchemeKind::Shared => "Shared",
             RegFileSchemeKind::Cssprf => "CSSPRF",
             RegFileSchemeKind::Cisprf => "CISPRF",
             RegFileSchemeKind::Cdprf => "CDPRF",
+            RegFileSchemeKind::Carf => "CARF",
         }
     }
 }
@@ -254,6 +296,19 @@ pub struct MachineConfig {
     /// CDPRF adaptation interval in cycles (§5.2: 128K cycles, a power of
     /// two so the average is a shift).
     pub cdprf_interval: u64,
+    /// Feedback epoch of the counter-adaptive schemes (CAIQ/CARF) in
+    /// cycles. Every epoch the perf-counter window is delivered to the
+    /// schemes and they may re-apportion their shares. `0` disables
+    /// feedback entirely (epoch = ∞): the adaptive schemes then behave
+    /// bit-identically to their static parents (CSSP / CISPRF).
+    pub adaptive_epoch: u64,
+    /// Minimum per-epoch stall-count imbalance (loser minus winner) before
+    /// an adaptive scheme moves any share. Damps oscillation when two
+    /// threads contend evenly.
+    pub adaptive_hysteresis: u64,
+    /// Entries (CAIQ) or registers (CARF) moved from the least- to the
+    /// most-starved thread per epoch per cluster/class. Must be ≥ 1.
+    pub adaptive_step: usize,
 
     // ---- validation support ----
     /// Orient every scheduling tie-break (fetch/rename/commit alternation,
@@ -328,6 +383,9 @@ impl MachineConfig {
             lat_agu: 2,
             steer_imbalance_threshold: 6,
             cdprf_interval: 128 * 1024,
+            adaptive_epoch: 1024,
+            adaptive_hysteresis: 4,
+            adaptive_step: 1,
             symmetric_sched: false,
         }
     }
@@ -449,6 +507,9 @@ impl MachineConfig {
         if !pow2(self.cdprf_interval as usize) {
             return Err("CDPRF interval must be a power of two (average computed by shift)".into());
         }
+        if self.adaptive_step == 0 {
+            return Err("adaptive step must be at least 1 entry/register per epoch".into());
+        }
         if self.num_links == 0 {
             return Err("need at least one inter-cluster link".into());
         }
@@ -558,6 +619,14 @@ mod tests {
         let mut c = MachineConfig::baseline();
         c.num_links = 0;
         assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::baseline();
+        c.adaptive_step = 0;
+        assert!(c.validate().is_err());
+        // Epoch 0 is legal: it means "feedback disabled", not "every cycle".
+        let mut c = MachineConfig::baseline();
+        c.adaptive_epoch = 0;
+        c.validate().unwrap();
 
         let mut c = MachineConfig::baseline();
         c.int_regs_per_cluster = 8;
@@ -670,15 +739,31 @@ mod tests {
 
     #[test]
     fn scheme_names_are_unique() {
-        let names: Vec<_> = SchemeKind::all().iter().map(|s| s.name()).collect();
+        let names: Vec<_> = SchemeKind::extended().iter().map(|s| s.name()).collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
-        let names: Vec<_> = RegFileSchemeKind::all().iter().map(|s| s.name()).collect();
+        let names: Vec<_> = RegFileSchemeKind::extended()
+            .iter()
+            .map(|s| s.name())
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn extended_grids_are_supersets_of_the_paper_grids() {
+        // The paper artifacts iterate `all()`; fuzzing iterates `extended()`.
+        // The extension must only append, never reorder or drop.
+        assert_eq!(&SchemeKind::extended()[..7], &SchemeKind::all()[..]);
+        assert_eq!(SchemeKind::extended()[7], SchemeKind::Caiq);
+        assert_eq!(
+            &RegFileSchemeKind::extended()[..4],
+            &RegFileSchemeKind::all()[..]
+        );
+        assert_eq!(RegFileSchemeKind::extended()[4], RegFileSchemeKind::Carf);
     }
 }

@@ -33,8 +33,9 @@ fn artifact_names_resolve() {
     // table2 is cheap and exercises run_named dispatch.
     assert!(run_named("table2", &sweeps).is_some());
     assert!(run_named("no-such-figure", &sweeps).is_none());
-    assert_eq!(ALL_ARTIFACTS.len(), 10);
+    assert_eq!(ALL_ARTIFACTS.len(), 11);
     assert!(ALL_ARTIFACTS.contains(&"figN"));
+    assert!(ALL_ARTIFACTS.contains(&"figPair"));
 }
 
 #[test]

@@ -236,6 +236,94 @@ fn scaled_sim_stats_match_golden_fixture() {
     assert_matches_fixture("scaled_stats.json", &actual);
 }
 
+/// Counter-adaptive fixture runs: the CAIQ/CARF schemes on the paper
+/// 2×2 shape plus one scaled 4×2 shape, with epochs short enough that
+/// many re-apportioning steps fire inside the run. A separate fixture
+/// (`adaptive_stats.json`) so the pre-existing fixtures stay
+/// byte-identical to their pre-adaptive bytes. All configs keep the
+/// adaptive shares strictly above the rename floor (96 regs at 2×2 →
+/// share 96 > floor 64; 160 regs at 4×2 → share 80 > floor 64) so the
+/// feedback loop genuinely moves entries during the pinned runs.
+fn adaptive_fixture_runs() -> Vec<(String, SchemeKind, RegFileSchemeKind, MachineConfig, String)> {
+    use RegFileSchemeKind as RF;
+    use SchemeKind as IQ;
+    let adaptive = |mut c: MachineConfig| {
+        c.adaptive_epoch = 256;
+        c
+    };
+    vec![
+        (
+            "mixes/mix.2.1",
+            IQ::Caiq,
+            RF::Carf,
+            adaptive(MachineConfig::rf_study(96)),
+            "rf96+ep256",
+        ),
+        (
+            "ISPEC-FSPEC/mix.2.1",
+            IQ::Caiq,
+            RF::Shared,
+            adaptive(MachineConfig::iq_study(32)),
+            "iq32+ep256",
+        ),
+        (
+            "DH/mem.2.1",
+            IQ::Cssp,
+            RF::Carf,
+            adaptive(MachineConfig::rf_study(96)),
+            "rf96+ep256",
+        ),
+    ]
+    .into_iter()
+    .map(|(w, iq, rf, cfg, label)| (w.to_string(), iq, rf, cfg, label.to_string()))
+    .collect()
+}
+
+#[test]
+fn adaptive_sim_stats_match_golden_fixture() {
+    let mut rows: Vec<StatsRow> = adaptive_fixture_runs()
+        .into_iter()
+        .map(|(name, iq, rf, cfg, label)| {
+            let w = workload(&name);
+            let mut sim = Simulator::new(cfg, iq, rf, &w.traces);
+            sim.enable_oracle();
+            let r = sim.run_with_warmup(1_000, 3_000, 10_000_000);
+            StatsRow {
+                workload: name,
+                iq: iq.to_string(),
+                rf: format!("{rf:?}"),
+                config: label,
+                stats: r.stats,
+            }
+        })
+        .collect();
+    // One scaled-shape run: 4 threads × 2 clusters, both schemes adapting.
+    {
+        let bundles = csmt_trace::bundles(4);
+        let name = "ISPEC00/mix.4";
+        let b = bundles
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("{name} not in bundles(4)"));
+        let mut cfg = MachineConfig::rf_study(160);
+        cfg.num_threads = 4;
+        cfg.num_clusters = 2;
+        cfg.adaptive_epoch = 256;
+        let mut sim = Simulator::new(cfg, SchemeKind::Caiq, RegFileSchemeKind::Carf, &b.traces);
+        sim.enable_oracle();
+        let r = sim.run_with_warmup(500, 1_500, 10_000_000);
+        rows.push(StatsRow {
+            workload: name.to_string(),
+            iq: SchemeKind::Caiq.to_string(),
+            rf: format!("{:?}", RegFileSchemeKind::Carf),
+            config: "rf160+ep256@4x2".to_string(),
+            stats: r.stats,
+        });
+    }
+    let actual = serde_json::to_string_pretty(&rows).unwrap() + "\n";
+    assert_matches_fixture("adaptive_stats.json", &actual);
+}
+
 #[derive(Serialize, Deserialize)]
 struct HeadlineRow {
     combo: String,

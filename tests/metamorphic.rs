@@ -195,6 +195,39 @@ fn same_profile_different_seed_mirrors() {
     mirror_case(&cfg, SchemeKind::Cssp, RegFileSchemeKind::Shared, &w);
 }
 
+/// The counter-adaptive schemes mirror too. This is the strongest case:
+/// the epoch re-apportioning must itself be covariant with the
+/// relabeling — the stall counters swap threads and clusters, the
+/// donor/receiver pick (`argmax`/`argmin` with ties resolving to
+/// hi == lo, i.e. no move) swaps with them, and the resulting share
+/// matrices stay exact mirrors across every epoch boundary. A short
+/// epoch makes many adaptation steps fire inside the run.
+#[test]
+fn adaptive_schemes_mirror_on_program_swap() {
+    let mut cfg = mirror_cfg(MachineConfig::rf_study(96));
+    // 96 regs/cluster/class: the CARF share (96) sits above the rename
+    // floor (64), so the RF cap genuinely moves during the run.
+    cfg.adaptive_epoch = 256;
+    let w = workload("mixes/mix.2.1");
+    mirror_case(&cfg, SchemeKind::Caiq, RegFileSchemeKind::Carf, &w);
+    mirror_case(&cfg, SchemeKind::Caiq, RegFileSchemeKind::Shared, &w);
+    mirror_case(&cfg, SchemeKind::Cssp, RegFileSchemeKind::Carf, &w);
+}
+
+/// Same-profile adaptive mirror: stall patterns of the two threads are
+/// statistically alike but not identical (different seeds), so epochs
+/// see small imbalances in both directions — the hysteresis band and
+/// the tie rule must treat them symmetrically.
+#[test]
+fn adaptive_schemes_mirror_with_same_profile_threads() {
+    let mut cfg = mirror_cfg(MachineConfig::rf_study(96));
+    cfg.adaptive_epoch = 256;
+    cfg.adaptive_hysteresis = 0; // the most trigger-happy setting
+    let w = workload("DH/ilp.2.1");
+    assert_eq!(w.traces[0].profile.name, w.traces[1].profile.name);
+    mirror_case(&cfg, SchemeKind::Caiq, RegFileSchemeKind::Carf, &w);
+}
+
 /// Without symmetric scheduling the historical tie-breaks (thread 0 /
 /// cluster 0 first) stay in place — the orientation bit must be 0 for
 /// both orders, i.e. the mode is genuinely opt-in.
